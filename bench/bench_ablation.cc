@@ -1,0 +1,81 @@
+// Ablation benchmarks for Ziziphus's design choices (DESIGN.md §5):
+//
+//   1. prepare-skip   — Section IV-B1: follower-zone endorsements skip
+//                       PBFT's prepare phase because the ballot is already
+//                       certified. Toggling it quantifies the saving.
+//   2. stable-leader  — Section IV-B1 (multi-Paxos style): skipping the
+//                       propose/promise phases vs per-request election.
+//   3. threshold-sigs — Section IV-B1 cites threshold schemes; without
+//                       them every certificate costs 2f+1 verifications.
+//   4. global-batching — the leader batches concurrent migrations into one
+//                       data-synchronization instance; batch size 1
+//                       reverts to one instance per migration.
+
+#include "bench/bench_util.h"
+
+namespace ziziphus::bench {
+namespace {
+
+app::WorkloadSpec AblationWorkload() {
+  app::WorkloadSpec wl = BaseWorkload();
+  wl.clients_per_zone = FullSweep() ? 400 : 200;
+  wl.global_fraction = 0.1;
+  return wl;
+}
+
+void BM_Ablation(benchmark::State& state) {
+  int knob = static_cast<int>(state.range(0));
+  bool enabled = state.range(1) != 0;
+
+  core::NodeConfig cfg = app::DefaultNodeConfig();
+  switch (knob) {
+    case 0:  // prepare-skip
+      cfg.sync.always_full_prepare = !enabled;
+      break;
+    case 1:  // stable leader
+      cfg.sync.stable_leader = enabled;
+      break;
+    case 2:  // threshold signatures
+      cfg.pbft.costs.crypto.threshold_signatures = enabled;
+      cfg.sync.costs.crypto.threshold_signatures = enabled;
+      cfg.migration.costs.crypto.threshold_signatures = enabled;
+      break;
+    case 3:  // global batching
+      cfg.sync.batch_max = enabled ? 64 : 1;
+      break;
+    default:
+      break;
+  }
+  app::ExperimentResult r;
+  for (auto _ : state) {
+    r = app::RunExperimentWithConfig(app::Protocol::kZiziphus,
+                                     app::PaperDeployment(3),
+                                     AblationWorkload(), cfg);
+  }
+  state.counters["tput_ktps"] = r.throughput_tps / 1000.0;
+  state.counters["lat_avg_ms"] = r.avg_latency_ms;
+  state.counters["lat_p99_ms"] = r.p99_ms;
+  state.counters["global_ms"] = r.global_avg_ms;
+}
+
+void RegisterAll() {
+  const char* knob_names[] = {"prepare-skip", "stable-leader",
+                              "threshold-sigs", "global-batching"};
+  for (int knob = 0; knob < 4; ++knob) {
+    for (int enabled : {1, 0}) {
+      std::string name = std::string("Ablation/") + knob_names[knob] +
+                         (enabled ? "/on" : "/off");
+      benchmark::RegisterBenchmark(name.c_str(), BM_Ablation)
+          ->Args({knob, enabled})
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+[[maybe_unused]] const bool registered = (RegisterAll(), true);
+
+}  // namespace
+}  // namespace ziziphus::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Figure 4 — "Throughput with increasing the number of zones".
+//
+// Reproduces the paper's Figure 4(a,b,c): end-to-end throughput of
+// Ziziphus vs flat PBFT vs two-level PBFT vs Steward with 3 / 5 / 7 zones
+// placed in the paper's AWS regions, for workloads with 10% / 30% / 50%
+// global transactions, sweeping the number of closed-loop clients per zone.
+//
+// Expected shape (paper, Section VII-A): Ziziphus and two-level PBFT far
+// above Steward and flat PBFT; Ziziphus best; flat PBFT collapses as zones
+// are added; lower global fraction => higher throughput.
+
+#include "bench/bench_util.h"
+
+namespace ziziphus::bench {
+namespace {
+
+void BM_Fig4(benchmark::State& state) {
+  auto proto = static_cast<app::Protocol>(state.range(0));
+  std::size_t zones = static_cast<std::size_t>(state.range(1));
+  double global_pct = static_cast<double>(state.range(2));
+  std::size_t clients = static_cast<std::size_t>(state.range(3));
+
+  app::WorkloadSpec wl = BaseWorkload();
+  wl.clients_per_zone = clients;
+  wl.global_fraction = global_pct / 100.0;
+  ReportCell(state, proto, app::PaperDeployment(zones), wl);
+}
+
+void RegisterAll() {
+  const int protos[] = {
+      static_cast<int>(app::Protocol::kZiziphus),
+      static_cast<int>(app::Protocol::kTwoLevelPbft),
+      static_cast<int>(app::Protocol::kSteward),
+      static_cast<int>(app::Protocol::kFlatPbft),
+  };
+  const int zone_counts[] = {3, 5, 7};
+  const int workloads[] = {10, 30, 50};
+  std::vector<int> client_counts =
+      FullSweep() ? std::vector<int>{10, 50, 100, 200, 300, 400}
+                  : std::vector<int>{50, 200, 400};
+  for (int z : zone_counts) {
+    for (int w : workloads) {
+      for (int p : protos) {
+        for (int c : client_counts) {
+          std::string name = "Fig4/" +
+                             std::string(app::ProtocolName(
+                                 static_cast<app::Protocol>(p))) +
+                             "/zones:" + std::to_string(z) +
+                             "/global%:" + std::to_string(w) +
+                             "/clients:" + std::to_string(c);
+          benchmark::RegisterBenchmark(name.c_str(), BM_Fig4)
+              ->Args({p, z, w, c})
+              ->Iterations(1)
+              ->Unit(benchmark::kMillisecond);
+        }
+      }
+    }
+  }
+}
+
+[[maybe_unused]] const bool registered = (RegisterAll(), true);
+
+}  // namespace
+}  // namespace ziziphus::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Figure 5 — "Latency with increasing the number of zones".
+//
+// The latency view of the Figure 4 experiment at the saturation point the
+// paper highlights (400 concurrent clients per zone): average / p50 / p99
+// end-to-end latency per protocol, zone count and workload.
+//
+// Expected shape: Ziziphus lowest latency everywhere; two-level PBFT
+// noticeably higher on global transactions (PBFT at the top level);
+// Steward pays geo-scale latency on every transaction; flat PBFT latency
+// explodes with the number of zones.
+
+#include "bench/bench_util.h"
+
+namespace ziziphus::bench {
+namespace {
+
+void BM_Fig5(benchmark::State& state) {
+  auto proto = static_cast<app::Protocol>(state.range(0));
+  std::size_t zones = static_cast<std::size_t>(state.range(1));
+  double global_pct = static_cast<double>(state.range(2));
+
+  app::WorkloadSpec wl = BaseWorkload();
+  wl.clients_per_zone = FullSweep() ? 400 : 200;
+  wl.global_fraction = global_pct / 100.0;
+  ReportCell(state, proto, app::PaperDeployment(zones), wl);
+}
+
+void RegisterAll() {
+  const int protos[] = {
+      static_cast<int>(app::Protocol::kZiziphus),
+      static_cast<int>(app::Protocol::kTwoLevelPbft),
+      static_cast<int>(app::Protocol::kSteward),
+      static_cast<int>(app::Protocol::kFlatPbft),
+  };
+  for (int z : {3, 5, 7}) {
+    for (int w : {10, 30, 50}) {
+      for (int p : protos) {
+        std::string name =
+            "Fig5/" +
+            std::string(
+                app::ProtocolName(static_cast<app::Protocol>(p))) +
+            "/zones:" + std::to_string(z) + "/global%:" + std::to_string(w);
+        benchmark::RegisterBenchmark(name.c_str(), BM_Fig5)
+            ->Args({p, z, w})
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+[[maybe_unused]] const bool registered = (RegisterAll(), true);
+
+}  // namespace
+}  // namespace ziziphus::bench
+
+BENCHMARK_MAIN();

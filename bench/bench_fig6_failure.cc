@@ -1,0 +1,60 @@
+// Figure 6 — "Different number of zones (with failure)".
+//
+// Repeats the multi-zone experiment with a single crashed backup in each
+// zone, at the saturation client count, reporting peak throughput and
+// latency (the paper reports only the saturated point per protocol).
+//
+// Expected shape: the protocol ordering is preserved; flat PBFT suffers
+// most because its quorums must now reach across every region (without
+// failures it can form quorums from the nearby data centers).
+
+#include "bench/bench_util.h"
+
+namespace ziziphus::bench {
+namespace {
+
+void BM_Fig6(benchmark::State& state) {
+  auto proto = static_cast<app::Protocol>(state.range(0));
+  std::size_t zones = static_cast<std::size_t>(state.range(1));
+  double global_pct = static_cast<double>(state.range(2));
+  bool faulty = state.range(3) != 0;
+
+  app::WorkloadSpec wl = BaseWorkload();
+  wl.clients_per_zone = FullSweep() ? 400 : 200;
+  wl.global_fraction = global_pct / 100.0;
+  app::FaultSpec faults;
+  faults.crashed_backups_per_zone = faulty ? 1 : 0;
+  ReportCell(state, proto, app::PaperDeployment(zones), wl, faults);
+}
+
+void RegisterAll() {
+  const int protos[] = {
+      static_cast<int>(app::Protocol::kZiziphus),
+      static_cast<int>(app::Protocol::kTwoLevelPbft),
+      static_cast<int>(app::Protocol::kSteward),
+      static_cast<int>(app::Protocol::kFlatPbft),
+  };
+  for (int z : {3, 5, 7}) {
+    for (int p : protos) {
+      for (int faulty : {1, 0}) {
+        std::string name =
+            "Fig6/" +
+            std::string(
+                app::ProtocolName(static_cast<app::Protocol>(p))) +
+            "/zones:" + std::to_string(z) +
+            (faulty ? "/backup-crashed" : "/healthy");
+        benchmark::RegisterBenchmark(name.c_str(), BM_Fig6)
+            ->Args({p, z, 10, faulty})
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+[[maybe_unused]] const bool registered = (RegisterAll(), true);
+
+}  // namespace
+}  // namespace ziziphus::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Figure 7 — "Different number of nodes per zone" (fault-tolerance
+// scalability).
+//
+// Three zones in CA / OH / QC; per-zone fault tolerance f swept from 1 to 5
+// (zone sizes 4 to 16 nodes, 12..48 nodes total; the flat PBFT group has
+// 3*3f+1 = 10..46 nodes).
+//
+// Expected shape (paper, Section VII-C): every protocol slows down with
+// larger zones (local PBFT's quadratic communication), but Ziziphus's
+// latency grows least — its global phase is independent of zone size —
+// while flat PBFT degrades drastically (all nodes of all zones exchange
+// messages).
+
+#include "bench/bench_util.h"
+
+namespace ziziphus::bench {
+namespace {
+
+void BM_Fig7(benchmark::State& state) {
+  auto proto = static_cast<app::Protocol>(state.range(0));
+  std::size_t f = static_cast<std::size_t>(state.range(1));
+  double global_pct = static_cast<double>(state.range(2));
+
+  app::WorkloadSpec wl = BaseWorkload();
+  wl.clients_per_zone = FullSweep() ? 400 : 150;
+  wl.global_fraction = global_pct / 100.0;
+  ReportCell(state, proto, app::PaperDeployment(3, f), wl);
+}
+
+void RegisterAll() {
+  const int protos[] = {
+      static_cast<int>(app::Protocol::kZiziphus),
+      static_cast<int>(app::Protocol::kTwoLevelPbft),
+      static_cast<int>(app::Protocol::kSteward),
+      static_cast<int>(app::Protocol::kFlatPbft),
+  };
+  for (int f = 1; f <= 5; ++f) {
+    for (int p : protos) {
+      std::string name =
+          "Fig7/" +
+          std::string(app::ProtocolName(static_cast<app::Protocol>(p))) +
+          "/f:" + std::to_string(f) +
+          "/zone-size:" + std::to_string(3 * f + 1);
+      benchmark::RegisterBenchmark(name.c_str(), BM_Fig7)
+          ->Args({p, f, 10})
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  // Ziziphus across workloads (the paper quotes the 10% line; we include
+  // 30/50 for completeness).
+  for (int w : {30, 50}) {
+    for (int f = 1; f <= 5; f += 2) {
+      std::string name = "Fig7/ziziphus/f:" + std::to_string(f) +
+                         "/global%:" + std::to_string(w);
+      benchmark::RegisterBenchmark(name.c_str(), BM_Fig7)
+          ->Args({static_cast<int>(app::Protocol::kZiziphus), f, w})
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+[[maybe_unused]] const bool registered = (RegisterAll(), true);
+
+}  // namespace
+}  // namespace ziziphus::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Figure 8 — "Different number of zone clusters" (Section VII-D).
+//
+// 1..10 zone clusters of 3 zones x 4 nodes (up to 120 nodes), clusters
+// placed in CA/SYD/PAR/LDN/TY (at most two per region). Six workloads
+// crossing {10,30,50}% global transactions with {10,50}% of those being
+// cross-cluster — the paper's .1G(.1C) ... .5G(.5C).
+//
+// Expected shape: throughput scales roughly linearly with the number of
+// clusters (global synchronization is confined to one cluster; only
+// cross-cluster migrations touch two), latency roughly flat beyond two
+// clusters, best workload .1G(.1C).
+
+#include "bench/bench_util.h"
+
+namespace ziziphus::bench {
+namespace {
+
+void BM_Fig8(benchmark::State& state) {
+  std::size_t clusters = static_cast<std::size_t>(state.range(0));
+  double global_pct = static_cast<double>(state.range(1));
+  double cross_pct = static_cast<double>(state.range(2));
+
+  app::WorkloadSpec wl = BaseWorkload();
+  wl.clients_per_zone = FullSweep() ? 150 : 60;
+  wl.global_fraction = global_pct / 100.0;
+  wl.cross_cluster_fraction = cross_pct / 100.0;
+  ReportCell(state, app::Protocol::kZiziphus,
+             app::ClusteredDeployment(clusters), wl);
+}
+
+void RegisterAll() {
+  std::vector<int> cluster_counts =
+      FullSweep() ? std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+                  : std::vector<int>{1, 2, 4, 6, 8, 10};
+  for (int g : {10, 30, 50}) {
+    for (int c : {10, 50}) {
+      for (int n : cluster_counts) {
+        std::string name = "Fig8/ziziphus/." + std::to_string(g / 10) +
+                           "G(." + std::to_string(c / 10) +
+                           "C)/clusters:" + std::to_string(n);
+        benchmark::RegisterBenchmark(name.c_str(), BM_Fig8)
+            ->Args({n, g, c})
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+[[maybe_unused]] const bool registered = (RegisterAll(), true);
+
+}  // namespace
+}  // namespace ziziphus::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// Micro-benchmarks of the substrate components (not in the paper; these
+// quantify the building blocks the macro-benchmarks rest on and guard
+// against performance regressions in the simulator itself).
+
+#include <memory>
+
+#include "benchmark/benchmark.h"
+#include "common/hash.h"
+#include "common/metrics.h"
+#include "common/random.h"
+#include "crypto/certificate.h"
+#include "sim/simulation.h"
+#include "storage/kv_store.h"
+
+namespace ziziphus {
+namespace {
+
+void BM_Rng(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.Next());
+}
+BENCHMARK(BM_Rng);
+
+void BM_Hasher(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    ++i;
+    benchmark::DoNotOptimize(
+        Hasher(0x1).Add(i).Add("some-key").Add(i * 3).Finish());
+  }
+}
+BENCHMARK(BM_Hasher);
+
+void BM_SignVerify(benchmark::State& state) {
+  crypto::KeyRegistry keys(7);
+  std::uint64_t d = 0;
+  for (auto _ : state) {
+    crypto::Signature sig = keys.Sign(3, ++d);
+    benchmark::DoNotOptimize(keys.Verify(sig, d));
+  }
+}
+BENCHMARK(BM_SignVerify);
+
+void BM_CertificateVerify(benchmark::State& state) {
+  crypto::KeyRegistry keys(7);
+  std::size_t quorum = static_cast<std::size_t>(state.range(0));
+  crypto::CertificateBuilder builder(0x1234, quorum);
+  for (NodeId n = 0; n < quorum; ++n) builder.Add(keys.Sign(n, 0x1234), 0x1234);
+  auto member = [](NodeId n) { return n < 64; };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::VerifyCertificate(
+        keys, builder.certificate(), 0x1234, quorum, member));
+  }
+}
+BENCHMARK(BM_CertificateVerify)->Arg(3)->Arg(7)->Arg(11);
+
+void BM_KvStorePut(benchmark::State& state) {
+  storage::KvStore kv;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    kv.Put("key/" + std::to_string(i++ % 10000), "value");
+  }
+  benchmark::DoNotOptimize(kv.StateDigest());
+}
+BENCHMARK(BM_KvStorePut);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram h;
+  std::uint64_t i = 1;
+  for (auto _ : state) h.Record(i++ % 100000);
+  benchmark::DoNotOptimize(h.Quantile(0.99));
+}
+BENCHMARK(BM_HistogramRecord);
+
+// Event-loop throughput: how many simulated message deliveries per second
+// the kernel sustains (bounds total macro-bench wall time).
+struct NullMsg : sim::Message {
+  NullMsg() : Message(1) {}
+  crypto::Digest ComputeDigest() const override { return 0; }
+};
+class PingPong : public sim::Process {
+ public:
+  NodeId peer = kInvalidNode;
+  std::uint64_t remaining = 0;
+
+  void OnMessage(const sim::MessagePtr& msg) override {
+    if (remaining > 0) {
+      --remaining;
+      Send(peer, msg);
+    }
+  }
+  using Process::Send;
+};
+
+void BM_SimEventLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim(1, sim::LatencyModel::Uniform(1, 100));
+    PingPong a, b;
+    NodeId ida = sim.Register(&a, 0);
+    NodeId idb = sim.Register(&b, 0);
+    a.peer = idb;
+    b.peer = ida;
+    a.remaining = b.remaining = 50000;
+    a.Send(idb, std::make_shared<NullMsg>());
+    sim.RunUntilIdle();
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(sim.events_dispatched()));
+  }
+}
+BENCHMARK(BM_SimEventLoop)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ziziphus
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+#ifndef ZIZIPHUS_BENCH_BENCH_UTIL_H_
+#define ZIZIPHUS_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+
+#include "app/experiment.h"
+#include "benchmark/benchmark.h"
+
+namespace ziziphus::bench {
+
+/// Set ZIZIPHUS_BENCH_FULL=1 for the paper-scale sweeps (longer runs,
+/// denser client counts); default keeps the whole suite under a few
+/// minutes.
+inline bool FullSweep() {
+  const char* env = std::getenv("ZIZIPHUS_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+inline app::WorkloadSpec BaseWorkload() {
+  app::WorkloadSpec wl;
+  wl.warmup = FullSweep() ? Millis(800) : Millis(500);
+  wl.measure = FullSweep() ? Seconds(2) : Millis(800);
+  wl.seed = 42;
+  return wl;
+}
+
+/// Runs one experiment cell and publishes the figure's series as counters.
+inline void ReportCell(benchmark::State& state, app::Protocol proto,
+                       const app::DeploymentSpec& dep,
+                       const app::WorkloadSpec& wl,
+                       const app::FaultSpec& faults = {}) {
+  app::ExperimentResult r;
+  for (auto _ : state) {
+    r = app::RunExperiment(proto, dep, wl, faults);
+  }
+  state.counters["tput_ktps"] = r.throughput_tps / 1000.0;
+  state.counters["lat_avg_ms"] = r.avg_latency_ms;
+  state.counters["lat_p50_ms"] = r.p50_ms;
+  state.counters["lat_p99_ms"] = r.p99_ms;
+  state.counters["local_ms"] = r.local_avg_ms;
+  state.counters["global_ms"] = r.global_avg_ms;
+  state.counters["local_ops"] = static_cast<double>(r.local_ops);
+  state.counters["global_ops"] = static_cast<double>(r.global_ops);
+  state.counters["timeouts"] = static_cast<double>(r.timeouts);
+}
+
+}  // namespace ziziphus::bench
+
+#endif  // ZIZIPHUS_BENCH_BENCH_UTIL_H_

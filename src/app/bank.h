@@ -1,0 +1,62 @@
+#ifndef ZIZIPHUS_APP_BANK_H_
+#define ZIZIPHUS_APP_BANK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/zone_app.h"
+#include "storage/kv_store.h"
+
+namespace ziziphus::app {
+
+/// The paper's evaluation application: "a simple banking application ...
+/// where the client data is stored in a key-value store replicated on the
+/// nodes in each zone. Each client initiates local transactions to transfer
+/// money from its account to another client's account within the same
+/// zone."
+///
+/// Commands (whitespace-separated):
+///   OPEN <amount>        — open the issuing client's account
+///   DEP <amount>         — deposit into the issuing client's account
+///   XFER <to> <amount>   — transfer from the issuing client to client <to>
+///   XZFER <to> <amount>  — cross-zone transfer (Section IV-B3 extension):
+///                          executed at both involved zones, each applying
+///                          the half it holds (debit where the sender's
+///                          account lives, credit where the receiver's
+///                          does). Overdraft is not re-validated across
+///                          zones — a demo of the cross-zone machinery,
+///                          not a full distributed-validation protocol.
+///   BAL                  — read the issuing client's balance
+class BankStateMachine : public core::ZoneStateMachine {
+ public:
+  std::string Apply(const pbft::Operation& op) override;
+  std::uint64_t StateDigest() const override { return store_.StateDigest(); }
+  storage::KvStore::Map Snapshot() const override { return store_.Snapshot(); }
+  void Restore(const storage::KvStore::Map& snapshot) override {
+    store_.Restore(snapshot);
+  }
+
+  storage::KvStore::Map ClientRecords(ClientId client) const override;
+  void InstallClientRecords(ClientId client,
+                            const storage::KvStore::Map& records) override;
+  void EvictClientRecords(ClientId client) override;
+
+  /// Direct account access for tests and bootstrap.
+  void OpenAccount(ClientId client, std::int64_t balance);
+  std::int64_t BalanceOf(ClientId client) const;
+  bool HasAccount(ClientId client) const;
+
+  /// Sum of every balance in this zone's store (conservation checks).
+  std::int64_t TotalBalance() const;
+
+  static std::string AccountKey(ClientId client) {
+    return "acct/" + std::to_string(client);
+  }
+
+ private:
+  storage::KvStore store_;
+};
+
+}  // namespace ziziphus::app
+
+#endif  // ZIZIPHUS_APP_BANK_H_

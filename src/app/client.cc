@@ -1,0 +1,316 @@
+#include "app/client.h"
+
+#include "common/logging.h"
+
+namespace ziziphus::app {
+
+// ------------------------------------------------------------ MobileClient
+
+void MobileClient::Start(Duration delay) {
+  ZCHECK(cfg_.topology != nullptr && cfg_.keys != nullptr);
+  home_ = cfg_.home;
+  started_ = true;
+  SetTimer(delay, kIssue);
+}
+
+NodeId MobileClient::GuessPrimary(ZoneId zone) const {
+  const core::ZoneInfo& zi = cfg_.topology->zone(zone);
+  auto it = view_guess_.find(zone);
+  ViewId v = it == view_guess_.end() ? 0 : it->second;
+  return zi.members[v % zi.members.size()];
+}
+
+ZoneId MobileClient::PickDestination() {
+  const core::Topology& topo = *cfg_.topology;
+  ClusterId my_cluster = topo.zone(home_).cluster;
+  bool cross = topo.num_clusters() > 1 &&
+               rng().NextBool(cfg_.cross_cluster_fraction);
+  if (cross) {
+    // Uniform over zones of other clusters.
+    std::vector<ZoneId> candidates;
+    for (const auto& z : topo.zones()) {
+      if (z.cluster != my_cluster) candidates.push_back(z.id);
+    }
+    if (!candidates.empty()) {
+      return candidates[rng().NextBounded(candidates.size())];
+    }
+  }
+  // Uniform over other zones of my cluster.
+  const auto& zones = topo.ZonesInCluster(my_cluster);
+  if (zones.size() <= 1) return home_;
+  for (;;) {
+    ZoneId z = zones[rng().NextBounded(zones.size())];
+    if (z != home_) return z;
+  }
+}
+
+ZoneId MobileClient::GlobalTargetZone(ZoneId dest) const {
+  if (cfg_.mode == Mode::kTwoLevel) return cfg_.tl_leader_zone;
+  const core::Topology& topo = *cfg_.topology;
+  bool cross = topo.zone(home_).cluster != topo.zone(dest).cluster;
+  if (cross) return dest;  // cross-cluster: destination zone initiates
+  if (cfg_.stable_leader) {
+    // Stable leader: the destination cluster's first zone initiates all
+    // data synchronization instances.
+    return topo.ZonesInCluster(topo.zone(dest).cluster).front();
+  }
+  return dest;
+}
+
+void MobileClient::IssueNext() {
+  if (in_flight_) return;
+  bool global = cfg_.mode == Mode::kSteward ||
+                rng().NextBool(cfg_.global_fraction);
+  if (global) {
+    IssueGlobal();
+  } else {
+    IssueLocal();
+  }
+}
+
+void MobileClient::IssueLocal() {
+  pbft::Operation op;
+  op.client = id();
+  op.timestamp = next_ts_++;
+  if (!cfg_.peers.empty() && rng().NextBool(0.5)) {
+    ClientId peer = cfg_.peers[rng().NextBounded(cfg_.peers.size())];
+    op.command = "XFER " + std::to_string(peer) + " 1";
+  } else {
+    op.command = "DEP 1";
+  }
+  auto req = std::make_shared<pbft::ClientRequestMsg>();
+  req->op = op;
+  req->client_sig = cfg_.keys->Sign(id(), op.ComputeDigest());
+
+  in_flight_ = true;
+  is_global_ = false;
+  cur_ts_ = op.timestamp;
+  issued_at_ = Now();
+  reply_zone_ = home_;
+  reply_replicas_.clear();
+  current_request_ = req;
+  Send(GuessPrimary(home_), req);
+  ArmTimeout();
+}
+
+void MobileClient::IssueGlobal() {
+  core::MigrationOp op;
+  op.client = id();
+  op.timestamp = next_ts_++;
+  ZoneId target;
+  if (cfg_.mode == Mode::kSteward) {
+    // Steward: every transaction is a globally replicated command.
+    op.source = home_;
+    op.destination = home_;
+    op.command = "DEP 1";
+    pending_dest_ = home_;
+    target = cfg_.topology->ZonesInCluster(
+        cfg_.topology->zone(home_).cluster)[0];
+    reply_zone_ = target;
+  } else {
+    ZoneId dest = PickDestination();
+    if (dest == home_) {  // nowhere to migrate (single-zone deployment)
+      IssueLocal();
+      return;
+    }
+    op.source = home_;
+    op.destination = dest;
+    pending_dest_ = dest;
+    target = GlobalTargetZone(dest);
+    // Completion: f+1 MIGRATION-DONE replies from the destination zone
+    // (Alg. 2 line 25).
+    reply_zone_ = dest;
+  }
+  auto req = std::make_shared<core::MigrationRequestMsg>();
+  req->op = op;
+  req->client_sig = cfg_.keys->Sign(id(), req->ComputeDigest());
+
+  in_flight_ = true;
+  is_global_ = true;
+  cur_ts_ = op.timestamp;
+  issued_at_ = Now();
+  initiator_zone_ = target;
+  reply_replicas_.clear();
+  rejected_replicas_.clear();
+  current_request_ = req;
+  Send(GuessPrimary(target), req);
+  ArmTimeout();
+}
+
+void MobileClient::CompleteOp(Histogram* hist, std::uint64_t* counter) {
+  hist->Record(Now() - issued_at_);
+  (*counter)++;
+  in_flight_ = false;
+  if (timeout_timer_ != 0) {
+    CancelTimer(timeout_timer_);
+    timeout_timer_ = 0;
+  }
+  if (is_global_ && cfg_.mode != Mode::kSteward) {
+    home_ = pending_dest_;
+    // The client physically moved: its device now talks to the new zone
+    // over the local edge network.
+    set_region(cfg_.topology->zone(home_).region);
+  }
+  if (cfg_.think_time > 0) {
+    SetTimer(cfg_.think_time, kIssue);
+  } else {
+    IssueNext();
+  }
+}
+
+void MobileClient::ArmTimeout() {
+  if (timeout_timer_ != 0) CancelTimer(timeout_timer_);
+  timeout_timer_ = SetTimer(cfg_.retry_timeout, kTimeout);
+}
+
+void MobileClient::OnMessage(const sim::MessagePtr& msg) {
+  if (!in_flight_) return;
+  std::size_t f = cfg_.topology->zone(reply_zone_).f;
+
+  switch (msg->type()) {
+    case pbft::kClientReply: {
+      auto r = std::static_pointer_cast<const pbft::ClientReplyMsg>(msg);
+      view_guess_[home_] = r->view;
+      if (is_global_ || r->timestamp != cur_ts_) return;
+      reply_replicas_.insert(r->replica);
+      if (reply_replicas_.size() >= f + 1) {
+        CompleteOp(&stats_.local_latency_us, &stats_.local_completed);
+      }
+      return;
+    }
+    case core::kMigrationReply: {
+      // First sub-transaction committed. For Steward command transactions
+      // this *is* the result; for migrations we wait for MIGRATION-DONE —
+      // unless the migration was rejected by policy, in which case no data
+      // ever moves and the rejection is the final answer.
+      if (!is_global_) return;
+      auto r = std::static_pointer_cast<const core::MigrationReplyMsg>(msg);
+      if (r->timestamp != cur_ts_) return;
+      bool rejected = r->result.rfind("rejected", 0) == 0;
+      if (cfg_.mode != Mode::kSteward && !rejected) return;
+      if (rejected) {
+        std::size_t init_f = cfg_.topology->zone(initiator_zone_).f;
+        rejected_replicas_.insert(r->replica);
+        if (rejected_replicas_.size() >= init_f + 1) {
+          pending_dest_ = home_;  // stay put
+          CompleteOp(&stats_.global_latency_us, &stats_.global_completed);
+        }
+        return;
+      }
+      reply_replicas_.insert(r->replica);
+      if (reply_replicas_.size() >= f + 1) {
+        CompleteOp(&stats_.global_latency_us, &stats_.global_completed);
+      }
+      return;
+    }
+    case core::kMigrationDone: {
+      if (!is_global_ || cfg_.mode == Mode::kSteward) return;
+      auto r = std::static_pointer_cast<const core::MigrationReplyMsg>(msg);
+      if (r->timestamp != cur_ts_) return;
+      reply_replicas_.insert(r->replica);
+      if (reply_replicas_.size() >= f + 1) {
+        CompleteOp(&stats_.global_latency_us, &stats_.global_completed);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void MobileClient::OnTimer(std::uint64_t tag) {
+  switch (tag) {
+    case kIssue:
+      IssueNext();
+      break;
+    case kTimeout: {
+      timeout_timer_ = 0;
+      if (!in_flight_ || current_request_ == nullptr) break;
+      stats_.timeouts++;
+      // Retransmit to every node of the serving zone; backups relay to the
+      // primary and suspect it on silence (Section V-A).
+      ZoneId zone = is_global_
+                        ? GlobalTargetZone(pending_dest_)
+                        : home_;
+      Multicast(cfg_.topology->zone(zone).members, current_request_);
+      ArmTimeout();
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+// -------------------------------------------------------------- FlatClient
+
+void FlatClient::Start(Duration delay) {
+  ZCHECK(!cfg_.group.empty() && cfg_.keys != nullptr);
+  started_ = true;
+  SetTimer(delay, kIssue);
+}
+
+void FlatClient::IssueNext() {
+  if (in_flight_) return;
+  pbft::Operation op;
+  op.client = id();
+  op.timestamp = next_ts_++;
+  if (!cfg_.peers.empty() && rng().NextBool(0.5)) {
+    ClientId peer = cfg_.peers[rng().NextBounded(cfg_.peers.size())];
+    op.command = "XFER " + std::to_string(peer) + " 1";
+  } else {
+    op.command = "DEP 1";
+  }
+  auto req = std::make_shared<pbft::ClientRequestMsg>();
+  req->op = op;
+  req->client_sig = cfg_.keys->Sign(id(), op.ComputeDigest());
+
+  in_flight_ = true;
+  cur_ts_ = op.timestamp;
+  issued_at_ = Now();
+  reply_replicas_.clear();
+  current_request_ = req;
+  Send(cfg_.group[view_guess_ % cfg_.group.size()], req);
+  if (timeout_timer_ != 0) CancelTimer(timeout_timer_);
+  timeout_timer_ = SetTimer(cfg_.retry_timeout, kTimeout);
+}
+
+void FlatClient::OnMessage(const sim::MessagePtr& msg) {
+  if (!in_flight_ || msg->type() != pbft::kClientReply) return;
+  auto r = std::static_pointer_cast<const pbft::ClientReplyMsg>(msg);
+  view_guess_ = r->view;
+  if (r->timestamp != cur_ts_) return;
+  reply_replicas_.insert(r->replica);
+  if (reply_replicas_.size() >= cfg_.f + 1) {
+    stats_.local_latency_us.Record(Now() - issued_at_);
+    stats_.local_completed++;
+    in_flight_ = false;
+    if (timeout_timer_ != 0) {
+      CancelTimer(timeout_timer_);
+      timeout_timer_ = 0;
+    }
+    if (cfg_.think_time > 0) {
+      SetTimer(cfg_.think_time, kIssue);
+    } else {
+      IssueNext();
+    }
+  }
+}
+
+void FlatClient::OnTimer(std::uint64_t tag) {
+  switch (tag) {
+    case kIssue:
+      IssueNext();
+      break;
+    case kTimeout:
+      timeout_timer_ = 0;
+      if (!in_flight_ || current_request_ == nullptr) break;
+      stats_.timeouts++;
+      Multicast(cfg_.group, current_request_);
+      timeout_timer_ = SetTimer(cfg_.retry_timeout, kTimeout);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace ziziphus::app

@@ -1,0 +1,166 @@
+#ifndef ZIZIPHUS_APP_CLIENT_H_
+#define ZIZIPHUS_APP_CLIENT_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/messages.h"
+#include "core/topology.h"
+#include "crypto/signature.h"
+#include "pbft/messages.h"
+#include "sim/simulation.h"
+
+namespace ziziphus::app {
+
+/// Latency/throughput accounting for one client; aggregated by the
+/// experiment runner.
+struct ClientStats {
+  Histogram local_latency_us;
+  Histogram global_latency_us;
+  std::uint64_t local_completed = 0;
+  std::uint64_t global_completed = 0;
+  std::uint64_t timeouts = 0;
+
+  void Reset() {
+    local_latency_us.Reset();
+    global_latency_us.Reset();
+    local_completed = 0;
+    global_completed = 0;
+    timeouts = 0;
+  }
+};
+
+/// A closed-loop mobile edge client (patient device / bank customer): it
+/// issues local transactions to its nearby zone and occasionally migrates
+/// to another zone (the paper's global transactions), waiting for f+1
+/// matching replies before proceeding.
+///
+/// The same client drives Ziziphus, Steward (100% global command
+/// transactions) and two-level PBFT deployments; only the routing of global
+/// requests differs.
+class MobileClient : public sim::Process {
+ public:
+  enum class Mode { kZiziphus, kSteward, kTwoLevel };
+
+  struct Config {
+    Mode mode = Mode::kZiziphus;
+    const core::Topology* topology = nullptr;
+    const crypto::KeyRegistry* keys = nullptr;
+    ZoneId home = 0;
+    /// Fraction of operations that are global (migrations; for Steward this
+    /// is implicitly 1.0).
+    double global_fraction = 0.1;
+    /// Fraction of *global* operations whose destination lies in another
+    /// zone cluster (Figure 8 workloads).
+    double cross_cluster_fraction = 0.0;
+    /// Stable-leader routing: migrations go to the destination cluster's
+    /// first zone instead of the destination zone itself.
+    bool stable_leader = true;
+    /// Two-level PBFT: the global leader zone.
+    ZoneId tl_leader_zone = 0;
+    Duration retry_timeout = Seconds(4);
+    Duration think_time = 0;
+    /// Same-zone peers for transfer targets.
+    std::vector<ClientId> peers;
+  };
+
+  explicit MobileClient(Config config) : cfg_(std::move(config)) {}
+
+  /// Kicks off the closed loop after `delay` (call after registration).
+  void Start(Duration delay);
+
+  /// Sets transfer targets; call before Start.
+  void SetPeers(std::vector<ClientId> peers) {
+    cfg_.peers = std::move(peers);
+  }
+
+  const ClientStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+  ZoneId home() const { return home_; }
+  bool idle() const { return !in_flight_; }
+
+ protected:
+  void OnMessage(const sim::MessagePtr& msg) override;
+  void OnTimer(std::uint64_t tag) override;
+
+ private:
+  enum TimerTag : std::uint64_t { kIssue = 1, kTimeout = 2 };
+
+  void IssueNext();
+  void IssueLocal();
+  void IssueGlobal();
+  void CompleteOp(Histogram* hist, std::uint64_t* counter);
+  void ArmTimeout();
+  NodeId GuessPrimary(ZoneId zone) const;
+  ZoneId PickDestination();
+  ZoneId GlobalTargetZone(ZoneId dest) const;
+
+  Config cfg_;
+  ClientStats stats_;
+  ZoneId home_ = 0;
+  bool started_ = false;
+
+  RequestTimestamp next_ts_ = 1;
+  bool in_flight_ = false;
+  bool is_global_ = false;
+  RequestTimestamp cur_ts_ = 0;
+  SimTime issued_at_ = 0;
+  ZoneId pending_dest_ = kInvalidZone;
+  ZoneId reply_zone_ = kInvalidZone;       // zone whose replies complete it
+  ZoneId initiator_zone_ = 0;              // zone leading the global request
+  std::set<NodeId> reply_replicas_;
+  std::set<NodeId> rejected_replicas_;
+  sim::MessagePtr current_request_;        // for timeout re-multicast
+  std::uint64_t timeout_timer_ = 0;
+  std::map<ZoneId, ViewId> view_guess_;
+};
+
+/// Closed-loop client of the flat PBFT baseline: every operation goes
+/// through the single geo-spanning PBFT group.
+class FlatClient : public sim::Process {
+ public:
+  struct Config {
+    std::vector<NodeId> group;
+    std::size_t f = 1;
+    const crypto::KeyRegistry* keys = nullptr;
+    Duration retry_timeout = Seconds(4);
+    Duration think_time = 0;
+    std::vector<ClientId> peers;
+  };
+
+  explicit FlatClient(Config config) : cfg_(std::move(config)) {}
+
+  void Start(Duration delay);
+  void SetPeers(std::vector<ClientId> peers) {
+    cfg_.peers = std::move(peers);
+  }
+  const ClientStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ protected:
+  void OnMessage(const sim::MessagePtr& msg) override;
+  void OnTimer(std::uint64_t tag) override;
+
+ private:
+  enum TimerTag : std::uint64_t { kIssue = 1, kTimeout = 2 };
+
+  void IssueNext();
+
+  Config cfg_;
+  ClientStats stats_;
+  bool started_ = false;
+  RequestTimestamp next_ts_ = 1;
+  bool in_flight_ = false;
+  RequestTimestamp cur_ts_ = 0;
+  SimTime issued_at_ = 0;
+  std::set<NodeId> reply_replicas_;
+  sim::MessagePtr current_request_;
+  std::uint64_t timeout_timer_ = 0;
+  ViewId view_guess_ = 0;
+};
+
+}  // namespace ziziphus::app
+
+#endif  // ZIZIPHUS_APP_CLIENT_H_

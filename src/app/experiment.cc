@@ -1,0 +1,415 @@
+#include "app/experiment.h"
+
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include "app/bank.h"
+#include "app/client.h"
+#include "baselines/pbft_process.h"
+#include "baselines/steward.h"
+#include "baselines/two_level_system.h"
+#include "common/logging.h"
+
+namespace ziziphus::app {
+
+const char* ProtocolName(Protocol p) {
+  switch (p) {
+    case Protocol::kZiziphus:
+      return "ziziphus";
+    case Protocol::kFlatPbft:
+      return "flat-pbft";
+    case Protocol::kTwoLevelPbft:
+      return "two-level-pbft";
+    case Protocol::kSteward:
+      return "steward";
+  }
+  return "?";
+}
+
+std::size_t DeploymentSpec::num_clusters() const {
+  std::set<ClusterId> cs;
+  for (const auto& z : zones) cs.insert(z.cluster);
+  return cs.size();
+}
+
+DeploymentSpec PaperDeployment(std::size_t num_zones, std::size_t f) {
+  using namespace ziziphus::sim;
+  DeploymentSpec dep;
+  dep.f = f;
+  std::vector<RegionId> regions;
+  if (num_zones == 3) {
+    regions = {kCalifornia, kOhio, kQuebec};
+  } else if (num_zones == 5) {
+    regions = {kCalifornia, kSydney, kParis, kLondon, kTokyo};
+  } else if (num_zones == 7) {
+    regions = {kCalifornia, kOhio,   kQuebec, kSydney,
+               kParis,      kLondon, kTokyo};
+  } else {
+    for (std::size_t i = 0; i < num_zones; ++i) {
+      regions.push_back(static_cast<RegionId>(i % kNumPaperRegions));
+    }
+  }
+  for (RegionId r : regions) dep.zones.push_back(ZonePlacement{r, 0});
+  return dep;
+}
+
+DeploymentSpec ClusteredDeployment(std::size_t clusters,
+                                   std::size_t zones_per_cluster,
+                                   std::size_t f) {
+  using namespace ziziphus::sim;
+  // "zone clusters are placed in CA, SYD, PAR, LDN and TY data centers (at
+  // most 2 clusters in each)" — Section VII-D.
+  static const RegionId kClusterRegions[] = {kCalifornia, kSydney, kParis,
+                                             kLondon, kTokyo};
+  DeploymentSpec dep;
+  dep.f = f;
+  for (std::size_t c = 0; c < clusters; ++c) {
+    RegionId region = kClusterRegions[c % 5];
+    for (std::size_t z = 0; z < zones_per_cluster; ++z) {
+      dep.zones.push_back(ZonePlacement{region, static_cast<ClusterId>(c)});
+    }
+  }
+  return dep;
+}
+
+core::NodeConfig DefaultNodeConfig() {
+  core::NodeConfig cfg;
+  cfg.pbft.batch_max = 64;
+  cfg.pbft.batch_timeout_us = Millis(2);
+  cfg.pbft.checkpoint_interval = 256;
+  cfg.pbft.request_timeout_us = Seconds(3);
+  cfg.sync.stable_leader = true;
+  cfg.sync.retry_timeout_us = Seconds(3);
+  cfg.sync.response_query_timeout_us = Seconds(2);
+  // Threshold signatures keep certificate verification constant-cost
+  // (Section IV-B1 cites Shoup-style threshold schemes).
+  cfg.pbft.costs.crypto.threshold_signatures = true;
+  cfg.sync.costs.crypto.threshold_signatures = true;
+  cfg.migration.costs.crypto.threshold_signatures = true;
+  return cfg;
+}
+
+std::string ExperimentResult::ToString() const {
+  std::ostringstream os;
+  os << ProtocolName(protocol) << ": " << throughput_tps / 1000.0
+     << " ktps, avg " << avg_latency_ms << " ms (p50 " << p50_ms << ", p99 "
+     << p99_ms << "), local " << local_ops << " ops @" << local_avg_ms
+     << " ms, global " << global_ops << " ops @" << global_avg_ms
+     << " ms, timeouts " << timeouts;
+  return os.str();
+}
+
+namespace {
+
+storage::KvStore::Map SeedBalance(ClientId client) {
+  return {{BankStateMachine::AccountKey(client), "1000"}};
+}
+
+struct ClientPool {
+  std::vector<std::unique_ptr<MobileClient>> mobile;
+  std::vector<std::unique_ptr<FlatClient>> flat;
+
+  void ResetStats() {
+    for (auto& c : mobile) c->ResetStats();
+    for (auto& c : flat) c->ResetStats();
+  }
+  template <typename Fn>
+  void ForEachStats(Fn&& fn) const {
+    for (const auto& c : mobile) fn(c->stats());
+    for (const auto& c : flat) fn(c->stats());
+  }
+};
+
+ExperimentResult Collect(Protocol protocol, const ClientPool& pool,
+                         Duration measure, std::uint64_t messages) {
+  ExperimentResult out;
+  out.protocol = protocol;
+  Histogram all, local, global;
+  pool.ForEachStats([&](const ClientStats& s) {
+    all.Merge(s.local_latency_us);
+    all.Merge(s.global_latency_us);
+    local.Merge(s.local_latency_us);
+    global.Merge(s.global_latency_us);
+    out.local_ops += s.local_completed;
+    out.global_ops += s.global_completed;
+    out.timeouts += s.timeouts;
+  });
+  double secs = ToSeconds(measure);
+  out.throughput_tps =
+      secs > 0 ? (out.local_ops + out.global_ops) / secs : 0.0;
+  out.avg_latency_ms = all.Mean() / 1000.0;
+  out.p50_ms = all.Quantile(0.5) / 1000.0;
+  out.p99_ms = all.Quantile(0.99) / 1000.0;
+  out.local_avg_ms = local.Mean() / 1000.0;
+  out.global_avg_ms = global.Mean() / 1000.0;
+  out.messages_sent = messages;
+  return out;
+}
+
+void CrashBackups(sim::Simulation& sim, const core::Topology& topo,
+                  std::size_t per_zone) {
+  for (const auto& z : topo.zones()) {
+    // Never crash the initial primary (member 0) or more than f nodes.
+    std::size_t n = std::min(per_zone, z.f);
+    for (std::size_t i = 0; i < n; ++i) {
+      sim.faults().Crash(z.members[1 + i]);
+    }
+  }
+}
+
+ExperimentResult RunZiziphusLike(Protocol protocol,
+                                 const DeploymentSpec& dep,
+                                 const WorkloadSpec& wl,
+                                 const FaultSpec& faults,
+                                 core::NodeConfig cfg) {
+
+  core::ZiziphusSystem sys(wl.seed, sim::LatencyModel::PaperGeoMatrix());
+  for (const auto& z : dep.zones) {
+    sys.AddZone(z.cluster, z.region, dep.f, dep.nodes_per_zone());
+  }
+  sys.Finalize(cfg, [](ZoneId) { return std::make_unique<BankStateMachine>(); });
+
+  ClientPool pool;
+  std::vector<std::vector<ClientId>> per_zone_ids(dep.zones.size());
+  for (std::size_t z = 0; z < dep.zones.size(); ++z) {
+    for (std::size_t i = 0; i < wl.clients_per_zone; ++i) {
+      MobileClient::Config cc;
+      cc.mode = protocol == Protocol::kSteward ? MobileClient::Mode::kSteward
+                                               : MobileClient::Mode::kZiziphus;
+      cc.topology = &sys.topology();
+      cc.keys = &sys.keys();
+      cc.home = static_cast<ZoneId>(z);
+      cc.global_fraction = wl.global_fraction;
+      cc.cross_cluster_fraction = wl.cross_cluster_fraction;
+      cc.stable_leader = cfg.sync.stable_leader;
+      cc.retry_timeout = Seconds(8);
+      auto client = std::make_unique<MobileClient>(std::move(cc));
+      NodeId cid = sys.sim().Register(client.get(), dep.zones[z].region);
+      per_zone_ids[z].push_back(cid);
+      pool.mobile.push_back(std::move(client));
+    }
+  }
+  // Peers + accounts.
+  std::size_t k = 0;
+  for (std::size_t z = 0; z < dep.zones.size(); ++z) {
+    for (ClientId cid : per_zone_ids[z]) {
+      sys.BootstrapClient(cid, static_cast<ZoneId>(z), SeedBalance,
+                          protocol == Protocol::kSteward);
+      (void)k;
+    }
+  }
+  // Hand every client its same-zone peers and start it (staggered).
+  std::size_t idx = 0;
+  for (std::size_t z = 0; z < dep.zones.size(); ++z) {
+    for (std::size_t i = 0; i < per_zone_ids[z].size(); ++i, ++idx) {
+      MobileClient* c = pool.mobile[idx].get();
+      // Mutating config post-construction is fine pre-Start.
+      // (Peers exclude self.)
+      std::vector<ClientId> peers;
+      for (ClientId p : per_zone_ids[z]) {
+        if (p != per_zone_ids[z][i]) peers.push_back(p);
+      }
+      c->SetPeers(std::move(peers));
+      c->Start(/*delay=*/sys.sim().rng().NextBounded(2000));
+    }
+  }
+
+  CrashBackups(sys.sim(), sys.topology(), faults.crashed_backups_per_zone);
+
+  sys.sim().RunUntil(wl.warmup);
+  pool.ResetStats();
+  std::uint64_t msgs0 = sys.sim().counters().Get("net.msgs_sent");
+  sys.sim().RunUntil(wl.warmup + wl.measure);
+  std::uint64_t msgs =
+      sys.sim().counters().Get("net.msgs_sent") - msgs0;
+  return Collect(protocol, pool, wl.measure, msgs);
+}
+
+ExperimentResult RunTwoLevel(const DeploymentSpec& dep,
+                             const WorkloadSpec& wl, const FaultSpec& faults) {
+  // Real zones plus witness zones in CA so the top level has 3F+1
+  // participants (F = (Z-1)/2, matching the zone-failure tolerance of
+  // Ziziphus's majority quorum).
+  std::size_t z_real = dep.zones.size();
+  std::size_t big_f = (z_real - 1) / 2;
+  std::size_t participants = 3 * big_f + 1;
+  std::size_t witnesses = participants > z_real ? participants - z_real : 0;
+
+  baselines::TwoLevelSystem sys(wl.seed, sim::LatencyModel::PaperGeoMatrix());
+  for (const auto& z : dep.zones) {
+    sys.AddZone(z.cluster, z.region, dep.f, dep.nodes_per_zone());
+  }
+  for (std::size_t w = 0; w < witnesses; ++w) {
+    sys.AddWitness(/*cluster=*/0, sim::kCalifornia);
+  }
+
+  baselines::TwoLevelNode::Config cfg;
+  core::NodeConfig base = DefaultNodeConfig();
+  cfg.pbft = base.pbft;
+  cfg.migration = base.migration;
+  cfg.policy = base.policy;
+  cfg.two_level.leader_zone = 0;
+  cfg.two_level.big_f = big_f;
+  cfg.two_level.costs = base.sync.costs;
+  // Threshold certificates are part of Ziziphus's design (Section IV-B1);
+  // the two-level comparator verifies plain 2f+1 signature sets.
+  cfg.two_level.costs.crypto.threshold_signatures = false;
+  cfg.migration.costs.crypto.threshold_signatures = false;
+  sys.Finalize(cfg, [](ZoneId) { return std::make_unique<BankStateMachine>(); });
+
+  ClientPool pool;
+  std::vector<std::vector<ClientId>> per_zone_ids(z_real);
+  for (std::size_t z = 0; z < z_real; ++z) {
+    for (std::size_t i = 0; i < wl.clients_per_zone; ++i) {
+      MobileClient::Config cc;
+      cc.mode = MobileClient::Mode::kTwoLevel;
+      cc.topology = &sys.topology();
+      cc.keys = &sys.keys();
+      cc.home = static_cast<ZoneId>(z);
+      cc.global_fraction = wl.global_fraction;
+      cc.cross_cluster_fraction = 0.0;
+      cc.tl_leader_zone = 0;
+      auto client = std::make_unique<MobileClient>(std::move(cc));
+      NodeId cid = sys.sim().Register(client.get(), dep.zones[z].region);
+      per_zone_ids[z].push_back(cid);
+      pool.mobile.push_back(std::move(client));
+    }
+  }
+  for (std::size_t z = 0; z < z_real; ++z) {
+    for (ClientId cid : per_zone_ids[z]) {
+      sys.BootstrapClient(cid, static_cast<ZoneId>(z), SeedBalance);
+    }
+  }
+  std::size_t idx = 0;
+  for (std::size_t z = 0; z < z_real; ++z) {
+    for (std::size_t i = 0; i < per_zone_ids[z].size(); ++i, ++idx) {
+      std::vector<ClientId> peers;
+      for (ClientId p : per_zone_ids[z]) {
+        if (p != per_zone_ids[z][i]) peers.push_back(p);
+      }
+      pool.mobile[idx]->SetPeers(std::move(peers));
+      pool.mobile[idx]->Start(sys.sim().rng().NextBounded(2000));
+    }
+  }
+
+  CrashBackups(sys.sim(), sys.topology(), faults.crashed_backups_per_zone);
+
+  sys.sim().RunUntil(wl.warmup);
+  pool.ResetStats();
+  std::uint64_t msgs0 = sys.sim().counters().Get("net.msgs_sent");
+  sys.sim().RunUntil(wl.warmup + wl.measure);
+  std::uint64_t msgs = sys.sim().counters().Get("net.msgs_sent") - msgs0;
+  return Collect(Protocol::kTwoLevelPbft, pool, wl.measure, msgs);
+}
+
+ExperimentResult RunFlat(const DeploymentSpec& dep, const WorkloadSpec& wl,
+                         const FaultSpec& faults) {
+  // "PBFT runs on 4 nodes in CA and 3 nodes in other data centers": 3f
+  // replicas per zone-region plus one extra in the first region, a single
+  // group tolerating Z*f faults.
+  sim::Simulation sim(wl.seed, sim::LatencyModel::PaperGeoMatrix());
+  crypto::KeyRegistry keys(wl.seed ^ 0x5eedc0deULL);
+
+  std::vector<std::unique_ptr<baselines::PbftReplicaProcess>> replicas;
+  std::vector<NodeId> group;
+  std::vector<std::vector<NodeId>> crash_candidates(dep.zones.size());
+  for (std::size_t z = 0; z < dep.zones.size(); ++z) {
+    std::size_t count = 3 * dep.f + (z == 0 ? 1 : 0);
+    for (std::size_t i = 0; i < count; ++i) {
+      auto rep = std::make_unique<baselines::PbftReplicaProcess>();
+      NodeId id = sim.Register(rep.get(), dep.zones[z].region);
+      group.push_back(id);
+      if (!(z == 0 && i == 0)) crash_candidates[z].push_back(id);
+      replicas.push_back(std::move(rep));
+    }
+  }
+  std::size_t flat_f = dep.zones.size() * dep.f;
+  pbft::PbftConfig pcfg = DefaultNodeConfig().pbft;
+  pcfg.members = group;
+  pcfg.f = flat_f;
+  pcfg.request_timeout_us = Seconds(5);
+  for (auto& rep : replicas) {
+    rep->Init(&keys, pcfg, std::make_unique<BankStateMachine>());
+  }
+
+  ClientPool pool;
+  std::vector<std::vector<ClientId>> per_zone_ids(dep.zones.size());
+  for (std::size_t z = 0; z < dep.zones.size(); ++z) {
+    for (std::size_t i = 0; i < wl.clients_per_zone; ++i) {
+      FlatClient::Config cc;
+      cc.group = group;
+      cc.f = flat_f;
+      cc.keys = &keys;
+      auto client = std::make_unique<FlatClient>(std::move(cc));
+      NodeId cid = sim.Register(client.get(), dep.zones[z].region);
+      per_zone_ids[z].push_back(cid);
+      pool.flat.push_back(std::move(client));
+    }
+  }
+  // Accounts exist on every replica (fully replicated).
+  for (auto& rep : replicas) {
+    auto* bank = dynamic_cast<BankStateMachine*>(&rep->app());
+    for (const auto& zone_ids : per_zone_ids) {
+      for (ClientId cid : zone_ids) bank->OpenAccount(cid, 1000);
+    }
+  }
+  std::size_t idx = 0;
+  for (std::size_t z = 0; z < dep.zones.size(); ++z) {
+    for (std::size_t i = 0; i < per_zone_ids[z].size(); ++i, ++idx) {
+      std::vector<ClientId> peers;
+      for (ClientId p : per_zone_ids[z]) {
+        if (p != per_zone_ids[z][i]) peers.push_back(p);
+      }
+      pool.flat[idx]->SetPeers(std::move(peers));
+      pool.flat[idx]->Start(sim.rng().NextBounded(2000));
+    }
+  }
+
+  if (faults.crashed_backups_per_zone > 0) {
+    for (auto& cands : crash_candidates) {
+      std::size_t n = std::min(faults.crashed_backups_per_zone, dep.f);
+      for (std::size_t i = 0; i < n && i < cands.size(); ++i) {
+        sim.faults().Crash(cands[i]);
+      }
+    }
+  }
+
+  sim.RunUntil(wl.warmup);
+  pool.ResetStats();
+  std::uint64_t msgs0 = sim.counters().Get("net.msgs_sent");
+  sim.RunUntil(wl.warmup + wl.measure);
+  std::uint64_t msgs = sim.counters().Get("net.msgs_sent") - msgs0;
+  return Collect(Protocol::kFlatPbft, pool, wl.measure, msgs);
+}
+
+}  // namespace
+
+ExperimentResult RunExperiment(Protocol protocol, const DeploymentSpec& dep,
+                               const WorkloadSpec& workload,
+                               const FaultSpec& faults) {
+  core::NodeConfig cfg = DefaultNodeConfig();
+  if (protocol == Protocol::kSteward) {
+    cfg.lazy_sync = false;  // every transaction is already global
+  }
+  return RunExperimentWithConfig(protocol, dep, workload, cfg, faults);
+}
+
+ExperimentResult RunExperimentWithConfig(Protocol protocol,
+                                         const DeploymentSpec& dep,
+                                         const WorkloadSpec& workload,
+                                         const core::NodeConfig& node_config,
+                                         const FaultSpec& faults) {
+  switch (protocol) {
+    case Protocol::kZiziphus:
+    case Protocol::kSteward:
+      return RunZiziphusLike(protocol, dep, workload, faults, node_config);
+    case Protocol::kTwoLevelPbft:
+      return RunTwoLevel(dep, workload, faults);
+    case Protocol::kFlatPbft:
+      return RunFlat(dep, workload, faults);
+  }
+  return {};
+}
+
+}  // namespace ziziphus::app

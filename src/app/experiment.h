@@ -1,0 +1,102 @@
+#ifndef ZIZIPHUS_APP_EXPERIMENT_H_
+#define ZIZIPHUS_APP_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/system.h"
+#include "sim/latency_model.h"
+
+namespace ziziphus::app {
+
+/// The four systems compared in the paper's evaluation (Section VII).
+enum class Protocol {
+  kZiziphus,
+  kFlatPbft,
+  kTwoLevelPbft,
+  kSteward,
+};
+
+const char* ProtocolName(Protocol p);
+
+/// Where zones live.
+struct ZonePlacement {
+  RegionId region = 0;
+  ClusterId cluster = 0;
+};
+
+/// A deployment: zones (with placement), per-zone fault tolerance f.
+struct DeploymentSpec {
+  std::vector<ZonePlacement> zones;
+  std::size_t f = 1;
+
+  std::size_t nodes_per_zone() const { return 3 * f + 1; }
+  std::size_t num_clusters() const;
+};
+
+/// The paper's zone placements (Section VII-A): 3 zones in CA/OH/QC,
+/// 5 in CA/SYD/PAR/LDN/TY, 7 in all of them.
+DeploymentSpec PaperDeployment(std::size_t num_zones, std::size_t f = 1);
+
+/// Figure 8 placement: `clusters` zone clusters of `zones_per_cluster`
+/// zones, clusters spread over CA/SYD/PAR/LDN/TY (at most 2 per region),
+/// zones of a cluster inside one data center.
+DeploymentSpec ClusteredDeployment(std::size_t clusters,
+                                   std::size_t zones_per_cluster = 3,
+                                   std::size_t f = 1);
+
+/// Workload knobs (Section VII: 10/30/50% global transactions; Figure 8
+/// adds the cross-cluster fraction).
+struct WorkloadSpec {
+  std::size_t clients_per_zone = 100;
+  double global_fraction = 0.1;
+  double cross_cluster_fraction = 0.0;
+  Duration warmup = Millis(800);
+  Duration measure = Seconds(2);
+  std::uint64_t seed = 42;
+};
+
+/// Failure injection (Figure 6: one crashed backup per zone).
+struct FaultSpec {
+  std::size_t crashed_backups_per_zone = 0;
+};
+
+struct ExperimentResult {
+  Protocol protocol = Protocol::kZiziphus;
+  double throughput_tps = 0;
+  double avg_latency_ms = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double local_avg_ms = 0;
+  double global_avg_ms = 0;
+  std::uint64_t local_ops = 0;
+  std::uint64_t global_ops = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t messages_sent = 0;
+
+  std::string ToString() const;
+};
+
+/// Default node configuration calibrated for the benchmark suite (see
+/// EXPERIMENTS.md for the cost-model rationale).
+core::NodeConfig DefaultNodeConfig();
+
+/// Builds the deployment for `protocol`, runs the closed-loop workload, and
+/// reports aggregate throughput and latency over the measurement window.
+ExperimentResult RunExperiment(Protocol protocol, const DeploymentSpec& dep,
+                               const WorkloadSpec& workload,
+                               const FaultSpec& faults = {});
+
+/// Variant with an explicit node configuration (ablation studies: stable
+/// leader off, prepare-phase skip off, threshold signatures off, global
+/// batching off, ...). Applies to Ziziphus/Steward deployments.
+ExperimentResult RunExperimentWithConfig(Protocol protocol,
+                                         const DeploymentSpec& dep,
+                                         const WorkloadSpec& workload,
+                                         const core::NodeConfig& node_config,
+                                         const FaultSpec& faults = {});
+
+}  // namespace ziziphus::app
+
+#endif  // ZIZIPHUS_APP_EXPERIMENT_H_

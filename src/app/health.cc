@@ -1,0 +1,60 @@
+#include "app/health.h"
+
+#include <sstream>
+#include <vector>
+
+namespace ziziphus::app {
+
+namespace {
+std::vector<std::string> Tokenize(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+}  // namespace
+
+std::string HealthStateMachine::Apply(const pbft::Operation& op) {
+  std::vector<std::string> tok = Tokenize(op.command);
+  if (tok.empty()) return "err:empty";
+  std::string prefix = PatientPrefix(op.client);
+
+  if (tok[0] == "VITAL" && tok.size() == 3) {
+    std::string count_key = prefix + tok[1] + "/count";
+    auto count = store_.Get(count_key);
+    std::uint64_t n = count ? std::stoull(*count) : 0;
+    store_.Put(count_key, std::to_string(n + 1));
+    store_.Put(prefix + tok[1] + "/last", tok[2]);
+    return "ok";
+  }
+  if (tok[0] == "COUNT" && tok.size() == 2) {
+    auto count = store_.Get(prefix + tok[1] + "/count");
+    return count ? *count : "0";
+  }
+  if (tok[0] == "LAST" && tok.size() == 2) {
+    auto last = store_.Get(prefix + tok[1] + "/last");
+    return last ? *last : "none";
+  }
+  return "err:verb";
+}
+
+storage::KvStore::Map HealthStateMachine::ClientRecords(
+    ClientId client) const {
+  storage::KvStore::Map out;
+  std::string prefix = PatientPrefix(client);
+  for (auto it = store_.contents().lower_bound(prefix);
+       it != store_.contents().end() && it->first.rfind(prefix, 0) == 0;
+       ++it) {
+    out[it->first] = it->second;
+  }
+  return out;
+}
+
+void HealthStateMachine::InstallClientRecords(
+    ClientId client, const storage::KvStore::Map& records) {
+  (void)client;
+  for (const auto& [k, v] : records) store_.Put(k, v);
+}
+
+}  // namespace ziziphus::app

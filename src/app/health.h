@@ -1,0 +1,44 @@
+#ifndef ZIZIPHUS_APP_HEALTH_H_
+#define ZIZIPHUS_APP_HEALTH_H_
+
+#include <string>
+
+#include "core/zone_app.h"
+#include "storage/kv_store.h"
+
+namespace ziziphus::app {
+
+/// The healthcare edge application from the paper's motivation (Section
+/// II): edge servers store and process data collected from patients'
+/// devices for remote patient monitoring; patients are mobile across zones.
+///
+/// Commands:
+///   VITAL <metric> <value>  — record the latest reading of a vital sign
+///   COUNT <metric>          — number of readings recorded for the metric
+///   LAST <metric>           — latest recorded value
+class HealthStateMachine : public core::ZoneStateMachine {
+ public:
+  std::string Apply(const pbft::Operation& op) override;
+  std::uint64_t StateDigest() const override { return store_.StateDigest(); }
+  storage::KvStore::Map Snapshot() const override { return store_.Snapshot(); }
+  void Restore(const storage::KvStore::Map& snapshot) override {
+    store_.Restore(snapshot);
+  }
+
+  storage::KvStore::Map ClientRecords(ClientId client) const override;
+  void InstallClientRecords(ClientId client,
+                            const storage::KvStore::Map& records) override;
+
+  std::size_t readings() const { return store_.size(); }
+
+  static std::string PatientPrefix(ClientId client) {
+    return "pt/" + std::to_string(client) + "/";
+  }
+
+ private:
+  storage::KvStore store_;
+};
+
+}  // namespace ziziphus::app
+
+#endif  // ZIZIPHUS_APP_HEALTH_H_

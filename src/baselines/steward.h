@@ -1,0 +1,36 @@
+#ifndef ZIZIPHUS_BASELINES_STEWARD_H_
+#define ZIZIPHUS_BASELINES_STEWARD_H_
+
+#include "core/system.h"
+
+namespace ziziphus::baselines {
+
+/// Steward (Amir et al., TDSC 2008) comparator, modelled exactly as the
+/// paper does: "Steward [is] similar to Ziziphus with 100% global
+/// transactions (i.e., every single transaction requires global
+/// synchronization across all zones)".
+///
+/// Concretely, a Steward deployment is a core::ZiziphusSystem whose clients
+/// submit *every* operation as a global command transaction (non-empty
+/// MigrationOp::command) through the data synchronization path with a
+/// stable leader site; client data is fully replicated on every zone
+/// (BootstrapClient with replicate_everywhere = true). Because Steward
+/// replicates all transactions on all zones, it tolerates whole-zone
+/// failures that Ziziphus does not (Prop. 5.4) — at the latency cost the
+/// benchmarks demonstrate.
+///
+/// There is intentionally no separate node class: the reuse *is* the model.
+struct Steward {
+  /// Convenience: NodeConfig tuned for Steward (stable leader, no lazy
+  /// sync needed since everything is already global).
+  static core::NodeConfig DefaultConfig() {
+    core::NodeConfig cfg;
+    cfg.sync.stable_leader = true;
+    cfg.lazy_sync = false;
+    return cfg;
+  }
+};
+
+}  // namespace ziziphus::baselines
+
+#endif  // ZIZIPHUS_BASELINES_STEWARD_H_

@@ -1,0 +1,28 @@
+#ifndef ZIZIPHUS_COMMON_COSTS_H_
+#define ZIZIPHUS_COMMON_COSTS_H_
+
+#include "common/types.h"
+#include "crypto/signature.h"
+
+namespace ziziphus {
+
+/// CPU cost model for a replica's single simulated core. Together with the
+/// crypto costs this produces the throughput saturation knees seen in the
+/// paper's figures: a node can only verify/sign/apply so much per second.
+struct NodeCosts {
+  /// Fixed cost of picking a message off the wire and dispatching it.
+  Duration base_handle_us = 1;
+  /// Applying one application operation to the state machine.
+  Duration apply_us = 2;
+  /// Per-message send overhead (serialization, syscall).
+  Duration send_us = 1;
+  /// MAC create/verify (used on client <-> replica links, as in practical
+  /// PBFT deployments).
+  Duration mac_us = 2;
+  /// Public-key signature costs for protocol messages.
+  crypto::CryptoCosts crypto;
+};
+
+}  // namespace ziziphus
+
+#endif  // ZIZIPHUS_COMMON_COSTS_H_

@@ -1,0 +1,44 @@
+#ifndef ZIZIPHUS_COMMON_HASH_H_
+#define ZIZIPHUS_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace ziziphus {
+
+/// 64-bit FNV-1a over a byte string.
+std::uint64_t Fnv1a64(std::string_view data);
+
+/// Strong 64-bit integer mixer (Stafford variant 13 of SplitMix64 finalizer).
+std::uint64_t Mix64(std::uint64_t x);
+
+/// Order-dependent combination of two 64-bit hashes.
+inline std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b) {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// Incremental 64-bit hasher for composing message digests from typed
+/// fields without materializing a byte serialization.
+class Hasher {
+ public:
+  Hasher() = default;
+  explicit Hasher(std::uint64_t seed) : state_(Mix64(seed)) {}
+
+  Hasher& Add(std::uint64_t v) {
+    state_ = HashCombine(state_, Mix64(v));
+    return *this;
+  }
+  Hasher& Add(std::string_view s) {
+    state_ = HashCombine(state_, Fnv1a64(s));
+    return *this;
+  }
+
+  std::uint64_t Finish() const { return Mix64(state_ ^ 0xdeadbeefcafef00dULL); }
+
+ private:
+  std::uint64_t state_ = 0x243f6a8885a308d3ULL;
+};
+
+}  // namespace ziziphus
+
+#endif  // ZIZIPHUS_COMMON_HASH_H_

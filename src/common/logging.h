@@ -1,0 +1,56 @@
+#ifndef ZIZIPHUS_COMMON_LOGGING_H_
+#define ZIZIPHUS_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace ziziphus {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global minimum level; messages below it are dropped. Defaults to kWarn so
+/// tests and benchmarks run quietly; examples raise it to kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Stream-style log line: flushes to stderr on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define ZLOG(level)                                                     \
+  ::ziziphus::internal_logging::LogLine(::ziziphus::LogLevel::k##level, \
+                                        __FILE__, __LINE__)
+
+/// Invariant check that aborts with a message. Used for programmer errors,
+/// never for untrusted protocol input (which returns Status instead).
+#define ZCHECK(cond)                                                       \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "ZCHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+}  // namespace ziziphus
+
+#endif  // ZIZIPHUS_COMMON_LOGGING_H_

@@ -1,0 +1,93 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+namespace ziziphus {
+
+Histogram::Histogram() { Reset(); }
+
+void Histogram::Reset() {
+  std::memset(buckets_, 0, sizeof(buckets_));
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+int Histogram::BucketFor(std::uint64_t value) {
+  if (value == 0) return 0;
+  // Log-spaced: 4 sub-buckets per power of two.
+  int msb = 63 - __builtin_clzll(value);
+  int sub = msb >= 2 ? static_cast<int>((value >> (msb - 2)) & 3) : 0;
+  int bucket = msb * 4 + sub;
+  return std::min(bucket, kBuckets - 1);
+}
+
+std::uint64_t Histogram::BucketLow(int bucket) {
+  int msb = bucket / 4;
+  int sub = bucket % 4;
+  if (msb == 0) return 0;
+  std::uint64_t base = 1ULL << msb;
+  if (msb < 2) return base;
+  return base + (static_cast<std::uint64_t>(sub) << (msb - 2));
+}
+
+std::uint64_t Histogram::BucketHigh(int bucket) {
+  if (bucket + 1 >= kBuckets) return BucketLow(bucket) * 2;
+  return BucketLow(bucket + 1);
+}
+
+void Histogram::Record(std::uint64_t value) {
+  buckets_[BucketFor(value)]++;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  count_++;
+  sum_ += value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::uint64_t target = static_cast<std::uint64_t>(q * (count_ - 1));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (seen + buckets_[i] > target) {
+      // Interpolate inside the bucket.
+      double frac = buckets_[i] <= 1
+                        ? 0.0
+                        : static_cast<double>(target - seen) / (buckets_[i] - 1);
+      double lo = static_cast<double>(std::max(BucketLow(i), min_));
+      double hi = static_cast<double>(std::min(BucketHigh(i), max_));
+      if (hi < lo) hi = lo;
+      return lo + frac * (hi - lo);
+    }
+    seen += buckets_[i];
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << Mean() << " p50=" << Quantile(0.5)
+     << " p99=" << Quantile(0.99) << " min=" << min() << " max=" << max_;
+  return os.str();
+}
+
+}  // namespace ziziphus

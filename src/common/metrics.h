@@ -1,0 +1,64 @@
+#ifndef ZIZIPHUS_COMMON_METRICS_H_
+#define ZIZIPHUS_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ziziphus {
+
+/// Streaming latency/size histogram with fixed log-spaced buckets.
+/// Records values in microseconds (or any unit); supports mean and
+/// approximate quantiles.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(std::uint64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  double Mean() const;
+  /// Approximate quantile in [0, 1], e.g. 0.5 for median, 0.99 for p99.
+  double Quantile(double q) const;
+
+  std::string Summary() const;
+
+ private:
+  static constexpr int kBuckets = 128;
+  static int BucketFor(std::uint64_t value);
+  static std::uint64_t BucketLow(int bucket);
+  static std::uint64_t BucketHigh(int bucket);
+
+  std::uint64_t buckets_[kBuckets];
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Named counters for protocol events (messages sent, commits, view
+/// changes, rejected certificates, ...).
+class CounterSet {
+ public:
+  void Inc(const std::string& name, std::uint64_t by = 1) {
+    counters_[name] += by;
+  }
+  std::uint64_t Get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  const std::map<std::string, std::uint64_t>& All() const { return counters_; }
+  void Reset() { counters_.clear(); }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace ziziphus
+
+#endif  // ZIZIPHUS_COMMON_METRICS_H_

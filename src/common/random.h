@@ -1,0 +1,48 @@
+#ifndef ZIZIPHUS_COMMON_RANDOM_H_
+#define ZIZIPHUS_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace ziziphus {
+
+/// Deterministic 64-bit PRNG (xoshiro256**), seeded via SplitMix64.
+///
+/// All randomness in the simulator flows through instances of this class so
+/// that every run is reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t Next();
+
+  /// Uniform in [0, bound). `bound` must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t NextRange(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Sample from an exponential distribution with the given mean.
+  double NextExponential(double mean);
+
+  /// Forks an independent generator whose stream is a deterministic function
+  /// of this generator's seed and `stream_id` (not of consumption order).
+  Rng Fork(std::uint64_t stream_id) const;
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+};
+
+/// SplitMix64 single-step mix; also used as a general 64-bit mixer.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+}  // namespace ziziphus
+
+#endif  // ZIZIPHUS_COMMON_RANDOM_H_

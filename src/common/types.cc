@@ -1,0 +1,10 @@
+#include "common/types.h"
+
+namespace ziziphus {
+
+std::string ToString(const Ballot& b) {
+  if (b == kNullBallot) return "<null>";
+  return "<" + std::to_string(b.n) + ",z" + std::to_string(b.zone) + ">";
+}
+
+}  // namespace ziziphus

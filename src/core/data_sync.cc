@@ -1,0 +1,1046 @@
+#include "core/data_sync.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ziziphus::core {
+
+DataSyncEngine::DataSyncEngine(sim::Transport* transport,
+                               const crypto::KeyRegistry* keys,
+                               const Topology* topology, ZoneId my_zone,
+                               GlobalMetadata* metadata, LockTable* locks,
+                               ZoneEndorser* endorser, SyncConfig config)
+    : transport_(transport),
+      keys_(keys),
+      topology_(topology),
+      my_zone_(my_zone),
+      metadata_(metadata),
+      locks_(locks),
+      endorser_(endorser),
+      config_(config) {}
+
+// ----------------------------------------------------------------- utils
+
+std::vector<NodeId> DataSyncEngine::ProxyNodes(const ZoneInfo& zone,
+                                               ViewId view) const {
+  std::vector<NodeId> out;
+  std::size_t n = zone.members.size();
+  for (std::size_t i = 0; i <= zone.f; ++i) {
+    out.push_back(zone.members[(view + i) % n]);
+  }
+  return out;
+}
+
+bool DataSyncEngine::IAmProxy() const {
+  auto proxies = ProxyNodes(my_zone_info(), endorser_->view());
+  return std::find(proxies.begin(), proxies.end(), transport_->self()) !=
+         proxies.end();
+}
+
+Ballot DataSyncEngine::NextBallot(ZoneId chain_zone) {
+  std::uint64_t n =
+      std::max({highest_n_seen_, my_last_ballot_.n, my_last_cross_ballot_.n}) +
+      1;
+  highest_n_seen_ = n;
+  return Ballot{n, chain_zone};
+}
+
+std::uint64_t DataSyncEngine::ArmTimer(std::uint64_t request_id,
+                                       TimerKind kind, Duration delay) {
+  std::uint64_t token = next_timer_token_++;
+  timers_[token] = {request_id, kind};
+  return transport_->SetTimer(delay, kTimerBase | token);
+}
+
+Status DataSyncEngine::VerifyZoneCert(const crypto::Certificate& cert,
+                                      crypto::Digest expected,
+                                      ZoneId zone) const {
+  const ZoneInfo& zi = topology_->zone(zone);
+  transport_->ChargeCpu(
+      config_.costs.crypto.CertificateVerifyCost(cert.size()));
+  return crypto::VerifyCertificate(
+      *keys_, cert, expected, zi.quorum(), [&zi](NodeId n) {
+        return std::find(zi.members.begin(), zi.members.end(), n) !=
+               zi.members.end();
+      });
+}
+
+Ballot DataSyncEngine::last_executed_ballot(ZoneId initiator) const {
+  auto it = chain_executed_.find(initiator);
+  return it == chain_executed_.end() ? kNullBallot : it->second;
+}
+
+// -------------------------------------------------------------- dispatch
+
+bool DataSyncEngine::HandleMessage(const sim::MessagePtr& msg) {
+  const auto& costs = config_.costs;
+  switch (msg->type()) {
+    case kMigrationRequest:
+      transport_->ChargeCpu(costs.base_handle_us + costs.mac_us);
+      HandleMigrationRequest(
+          std::static_pointer_cast<const MigrationRequestMsg>(msg));
+      return true;
+    case kPropose:
+      transport_->ChargeCpu(costs.base_handle_us);
+      HandlePropose(std::static_pointer_cast<const ProposeMsg>(msg));
+      return true;
+    case kPromise:
+      transport_->ChargeCpu(costs.base_handle_us);
+      HandlePromise(std::static_pointer_cast<const PromiseMsg>(msg));
+      return true;
+    case kAccept:
+      transport_->ChargeCpu(costs.base_handle_us);
+      HandleAccept(std::static_pointer_cast<const AcceptMsg>(msg));
+      return true;
+    case kAccepted:
+      transport_->ChargeCpu(costs.base_handle_us);
+      HandleAccepted(std::static_pointer_cast<const AcceptedMsg>(msg));
+      return true;
+    case kGlobalCommit:
+      transport_->ChargeCpu(costs.base_handle_us);
+      HandleGlobalCommit(std::static_pointer_cast<const GlobalCommitMsg>(msg));
+      return true;
+    case kResponseQuery:
+      transport_->ChargeCpu(costs.base_handle_us + costs.mac_us);
+      HandleResponseQuery(
+          std::static_pointer_cast<const ResponseQueryMsg>(msg));
+      return true;
+    case kCrossPropose:
+      transport_->ChargeCpu(costs.base_handle_us);
+      HandleCrossPropose(std::static_pointer_cast<const CrossProposeMsg>(msg));
+      return true;
+    case kPrepared:
+      transport_->ChargeCpu(costs.base_handle_us);
+      HandlePrepared(std::static_pointer_cast<const PreparedMsg>(msg));
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool DataSyncEngine::HandleTimer(std::uint64_t tag) {
+  if ((tag & kTimerMask) != kTimerBase) return false;
+  std::uint64_t token = tag & ~kTimerMask;
+  auto it = timers_.find(token);
+  if (it == timers_.end()) return true;
+  auto [request_id, kind] = it->second;
+  timers_.erase(it);
+
+  if (kind == kBatch) {
+    batch_timer_armed_ = false;
+    FlushBatch();
+    return true;
+  }
+
+  auto rit = requests_.find(request_id);
+  if (rit == requests_.end()) return true;
+  RequestState& req = rit->second;
+
+  switch (kind) {
+    case kRetry:
+      if (req.commit_msg == nullptr && req.i_am_leader) {
+        RetryRequest(request_id);
+      }
+      break;
+    case kCommitWait:
+      if (req.commit_msg == nullptr && req.initiator_zone != kInvalidZone &&
+          req.initiator_zone != my_zone_) {
+        // Probe the initiator zone for the missing commit (Section V-A).
+        auto query = std::make_shared<ResponseQueryMsg>();
+        query->request_id = request_id;
+        query->ballot = req.ballot;
+        query->zone = my_zone_;
+        query->replica = transport_->self();
+        query->sig = keys_->Sign(transport_->self(), query->ComputeDigest());
+        const auto& members = topology_->zone(req.initiator_zone).members;
+        transport_->ChargeCpu(config_.costs.crypto.sign_us +
+                              config_.costs.send_us * members.size());
+        transport_->counters().Inc("sync.response_queries_sent");
+        transport_->Multicast(members, query);
+        if (++req.commit_wait_rounds < 5) {
+          req.commit_wait_timer =
+              ArmTimer(request_id, kCommitWait,
+                       config_.response_query_timeout_us *
+                           (1ULL << req.commit_wait_rounds));
+        }
+      }
+      break;
+    case kRelayWatch: {
+      auto wit = relay_watch_.find(request_id);
+      if (wit != relay_watch_.end() && !req.saw_endorse &&
+          req.commit_msg == nullptr &&
+          executed_op_ids_.count(request_id) == 0) {
+        // The primary ignored a relayed migration request: suspect it.
+        transport_->counters().Inc("sync.relay_watch_expired");
+        relay_watch_.erase(wit);
+        if (suspect_primary_callback_) suspect_primary_callback_();
+      }
+      break;
+    }
+    case kChainSkip:
+      if (!req.executed && req.commit_msg != nullptr) {
+        transport_->counters().Inc("sync.chain_skip");
+        ExecuteCommit(req);
+      }
+      break;
+    default:
+      break;
+  }
+  return true;
+}
+
+// ----------------------------------------------------- request admission
+
+void DataSyncEngine::HandleMigrationRequest(
+    const std::shared_ptr<const MigrationRequestMsg>& msg) {
+  if (!keys_->Verify(msg->client_sig, msg->ComputeDigest())) {
+    transport_->counters().Inc("sync.bad_client_sig");
+    return;
+  }
+  const MigrationOp& op = msg->op;
+  if (op.client == kInvalidClient) return;
+  if (op.IsMigration() &&
+      (op.source == op.destination || op.source >= topology_->num_zones() ||
+       op.destination >= topology_->num_zones())) {
+    return;  // malformed; faulty client
+  }
+  std::uint64_t op_id = op.RequestId();
+  if (executed_op_ids_.count(op_id) > 0 || queued_op_ids_.count(op_id) > 0) {
+    return;  // duplicate
+  }
+  if (!IsZonePrimary()) {
+    // Relay to the primary and watch for progress (Section V-A). Track the
+    // op so a future primary (after a view change) can lead it.
+    transport_->ChargeCpu(config_.costs.send_us);
+    transport_->Send(endorser_->primary(), msg);
+    if (relay_watch_.count(op_id) == 0) {
+      queued_op_ids_.insert(op_id);
+      pending_ops_.push_back(op);
+      relay_watch_[op_id] =
+          ArmTimer(op_id, kRelayWatch, config_.relay_watch_timeout_us);
+      // Ensure a request record exists for relay-watch bookkeeping.
+      RequestState& watch = requests_[op_id];
+      if (watch.id == 0) {
+        watch.id = op_id;
+        watch.ops = {op};
+      }
+    }
+    return;
+  }
+  QueueOrLead(op);
+}
+
+void DataSyncEngine::QueueOrLead(const MigrationOp& op) {
+  std::uint64_t op_id = op.RequestId();
+  if (op.cross_zone) {
+    // Cross-zone transaction (Section IV-B3): the initiator (destination)
+    // zone is the primary; no election; only the involved zones take part.
+    RequestState& req = requests_[op_id];
+    if (req.id != 0 && req.phase != Phase::kIdle) return;
+    req.id = op_id;
+    req.ops = {op};
+    req.initiator_zone = my_zone_;
+    req.cross_zone = true;
+    LeadRequest(req);
+    return;
+  }
+  bool cross = op.IsMigration() &&
+               topology_->zone(op.source).cluster !=
+                   topology_->zone(op.destination).cluster;
+  if (cross) {
+    // Cross-cluster requests run as singleton instances (they coordinate
+    // two clusters and cannot share a ballot with intra-cluster traffic).
+    RequestState& req = requests_[op_id];
+    if (req.id != 0 && req.phase != Phase::kIdle) return;
+    req.id = op_id;
+    req.ops = {op};
+    req.initiator_zone = my_zone_;
+    req.cross = true;
+    LeadRequest(req);
+    return;
+  }
+  queued_op_ids_.insert(op_id);
+  pending_ops_.push_back(op);
+  if (pending_ops_.size() >= config_.batch_max) {
+    FlushBatch();
+  } else if (!batch_timer_armed_) {
+    batch_timer_armed_ = true;
+    ArmTimer(0, kBatch, config_.batch_timeout_us);
+  }
+}
+
+void DataSyncEngine::FlushBatch() {
+  if (!IsZonePrimary() || pending_ops_.empty()) return;
+  while (!pending_ops_.empty()) {
+    std::size_t take = std::min(config_.batch_max, pending_ops_.size());
+    std::vector<MigrationOp> ops(pending_ops_.begin(),
+                                 pending_ops_.begin() + take);
+    pending_ops_.erase(pending_ops_.begin(), pending_ops_.begin() + take);
+    for (const auto& op : ops) queued_op_ids_.erase(op.RequestId());
+
+    Hasher h(0xba7c);
+    for (const auto& op : ops) h.Add(op.RequestId());
+    std::uint64_t batch_id = h.Finish();
+    RequestState& req = requests_[batch_id];
+    req.id = batch_id;
+    req.ops = std::move(ops);
+    req.initiator_zone = my_zone_;
+    transport_->counters().Inc("sync.batches_formed");
+    LeadRequest(req);
+  }
+}
+
+void DataSyncEngine::LeadRequest(RequestState& req) {
+  req.i_am_leader = true;
+  bool cross_chain = req.cross || req.is_source_leg || req.cross_zone;
+  ZoneId chain_zone =
+      cross_chain ? my_zone_ + static_cast<ZoneId>(topology_->num_zones())
+                  : my_zone_;
+  Ballot& tail = cross_chain ? my_last_cross_ballot_ : my_last_ballot_;
+  req.ballot = NextBallot(chain_zone);
+  req.prev = tail;
+  tail = req.ballot;
+  req.initiator_zone = my_zone_;
+  req.exec_ballot = req.ballot;
+  req.exec_prev = req.prev;
+  transport_->counters().Inc("sync.requests_led");
+
+  if (config_.stable_leader || req.is_source_leg) {
+    // Stable leader: no propose/promise phases. The first endorsement both
+    // assigns the ballot (full PBFT) and certifies the accept message.
+    req.phase = Phase::kAccepting;
+    EndorsePhase phase = req.is_source_leg ? EndorsePhase::kCrossSource
+                                           : EndorsePhase::kAccept;
+    endorser_->Start(
+        phase, req.id, req.ballot, req.prev,
+        AcceptContentDigest(req.id, req.ballot, req.prev, req.ops), nullptr,
+        req.ops.front(), req.ops, {}, /*full_prepare=*/true);
+  } else {
+    req.phase = Phase::kProposing;
+    endorser_->Start(EndorsePhase::kPropose, req.id, req.ballot, req.prev,
+                     ProposeContentDigest(req.id, req.ballot, req.ops),
+                     nullptr, req.ops.front(), req.ops, {},
+                     /*full_prepare=*/true);
+  }
+  if (req.retry_timer != 0) transport_->CancelTimer(req.retry_timer);
+  req.retry_timer = ArmTimer(req.id, kRetry, config_.retry_timeout_us);
+}
+
+void DataSyncEngine::RetryRequest(std::uint64_t request_id) {
+  auto it = requests_.find(request_id);
+  if (it == requests_.end()) return;
+  RequestState& req = it->second;
+  if (req.retries >= 8 || !IsZonePrimary()) return;
+  req.retries++;
+  transport_->counters().Inc("sync.retries");
+
+  if (config_.stable_leader && req.sent_accept != nullptr) {
+    // Retransmit; followers deduplicate by request id.
+    std::vector<NodeId> targets = ParticipantNodes(my_zone_info().cluster);
+    transport_->ChargeCpu(config_.costs.send_us * targets.size());
+    transport_->Multicast(targets, req.sent_accept);
+    req.retry_timer = ArmTimer(req.id, kRetry, config_.retry_timeout_us);
+    return;
+  }
+  // Re-propose with a fresh, higher ballot after a randomized backoff
+  // (collision handling, Lemma 5.6).
+  req.promises.clear();
+  req.accepteds.clear();
+  req.phase = Phase::kIdle;
+  req.sent_propose = nullptr;
+  req.sent_accept = nullptr;
+  LeadRequest(req);
+}
+
+// ----------------------------------------------------------- endorsement
+
+bool DataSyncEngine::ValidateEndorse(const EndorsePrePrepareMsg& pp) {
+  std::uint64_t id = pp.request_id;
+  bool is_source_leg = pp.phase == EndorsePhase::kCrossSource;
+  std::vector<MigrationOp> ops =
+      is_source_leg ? std::vector<MigrationOp>{pp.op} : pp.ops;
+  if (ops.empty() && !pp.ops.empty()) ops = pp.ops;
+  if (ops.empty()) ops = {pp.op};
+
+  // Track the request at every node of the zone (needed for relay-watch
+  // cancellation, proxies, and follower-side protocol state).
+  RequestState& req = requests_[id];
+  if (req.id == 0) {
+    req.id = id;
+    req.ops = ops;
+  }
+  req.saw_endorse = true;
+  req.ballot = pp.ballot;
+  req.prev = pp.prev;
+  req.is_source_leg = req.is_source_leg || is_source_leg;
+  req.cross_zone = req.cross_zone || ops.front().cross_zone;
+  if (req.is_source_leg && req.peer_request_id == 0) {
+    // The original (destination-leg) id is derivable from the op.
+    req.peer_request_id = pp.op.RequestId();
+  }
+  for (const auto& op : ops) {
+    auto wit = relay_watch_.find(op.RequestId());
+    if (wit != relay_watch_.end()) {
+      transport_->CancelTimer(wit->second);
+      relay_watch_.erase(wit);
+    }
+  }
+  highest_n_seen_ = std::max(highest_n_seen_, pp.ballot.n);
+
+  // Phase-specific digest validation: recompute what the zone is being
+  // asked to sign.
+  crypto::Digest expect = 0;
+  switch (pp.phase) {
+    case EndorsePhase::kPropose:
+      expect = ProposeContentDigest(id, pp.ballot, ops);
+      break;
+    case EndorsePhase::kPromise:
+      expect = PromiseContentDigest(id, pp.ballot, pp.prev, my_zone_);
+      break;
+    case EndorsePhase::kAccept:
+      expect = AcceptContentDigest(id, pp.ballot, pp.prev, ops);
+      break;
+    case EndorsePhase::kCrossSource:
+      expect = AcceptContentDigest(id, pp.ballot, pp.prev, {pp.op});
+      break;
+    case EndorsePhase::kAccepted:
+      expect = AcceptedContentDigest(id, pp.ballot, pp.prev, my_zone_);
+      break;
+    case EndorsePhase::kCommit:
+      expect = req.is_source_leg
+                   ? PreparedContentDigest(req.peer_request_id, pp.ballot,
+                                           my_zone_)
+                   : CommitContentDigest(id, pp.ballot, pp.prev, ops);
+      break;
+    default:
+      return false;  // not a data-sync phase
+  }
+  if (expect != pp.content_digest) {
+    transport_->counters().Inc("sync.bad_endorse_digest");
+    return false;
+  }
+
+  // Validate the embedded top-level message's certificate, if any.
+  if (pp.payload != nullptr) {
+    if (const auto* prop = dynamic_cast<const ProposeMsg*>(pp.payload.get())) {
+      if (!VerifyZoneCert(prop->cert, prop->ComputeDigest(),
+                          prop->initiator_zone)
+               .ok()) {
+        return false;
+      }
+    } else if (const auto* acc =
+                   dynamic_cast<const AcceptMsg*>(pp.payload.get())) {
+      if (!VerifyZoneCert(acc->cert, acc->ComputeDigest(), acc->initiator_zone)
+               .ok()) {
+        return false;
+      }
+    }
+  }
+
+  // Side effect (Alg. 1 lines 18, 21): the source zone stops serving a
+  // migrating client as soon as it endorses the promise/accept(ed) phase.
+  if (pp.phase == EndorsePhase::kPromise ||
+      pp.phase == EndorsePhase::kAccepted ||
+      pp.phase == EndorsePhase::kAccept ||
+      pp.phase == EndorsePhase::kCrossSource) {
+    for (const auto& op : ops) {
+      if (op.IsMigration() && my_zone_ == op.source &&
+          op.client != kInvalidClient) {
+        locks_->SetLocked(op.client, false);
+      }
+    }
+  }
+  return true;
+}
+
+void DataSyncEngine::OnEndorseQuorum(const EndorseKey& key,
+                                     const EndorsePrePrepareMsg& pp,
+                                     const crypto::Certificate& cert) {
+  auto it = requests_.find(key.request_id);
+  if (it == requests_.end()) return;
+  RequestState& req = it->second;
+
+  switch (key.phase) {
+    case EndorsePhase::kPropose: {
+      if (!IsZonePrimary() || !req.i_am_leader) break;
+      auto prop = std::make_shared<ProposeMsg>();
+      prop->request_id = req.id;
+      prop->ballot = req.ballot;
+      prop->ops = req.ops;
+      prop->cert = cert;
+      prop->initiator_zone = my_zone_;
+      req.sent_propose = prop;
+      req.phase = Phase::kPromised;
+      std::vector<NodeId> targets;
+      for (ZoneId z : topology_->ZonesInCluster(my_zone_info().cluster)) {
+        if (z == my_zone_) continue;
+        const auto& m = topology_->zone(z).members;
+        targets.insert(targets.end(), m.begin(), m.end());
+      }
+      transport_->ChargeCpu(config_.costs.send_us * targets.size());
+      transport_->Multicast(targets, prop);
+      break;
+    }
+    case EndorsePhase::kPromise: {
+      if (!IsZonePrimary()) break;
+      auto promise = std::make_shared<PromiseMsg>();
+      promise->request_id = req.id;
+      promise->ballot = pp.ballot;
+      promise->last_accepted = pp.prev;
+      promise->zone = my_zone_;
+      promise->cert = cert;
+      const auto& members = topology_->zone(req.initiator_zone).members;
+      transport_->ChargeCpu(config_.costs.send_us * members.size());
+      transport_->Multicast(members, promise);
+      break;
+    }
+    case EndorsePhase::kAccept:
+    case EndorsePhase::kCrossSource: {
+      // Cross-cluster: the f+1 proxies of the destination zone forward the
+      // certified request to the source zone (Section VI).
+      if (req.cross && !req.is_source_leg && IAmProxy()) {
+        auto cp = std::make_shared<CrossProposeMsg>();
+        cp->request_id = req.id;
+        cp->ballot = pp.ballot;
+        cp->prev = pp.prev;
+        cp->op = req.op0();
+        cp->initiator_zone = my_zone_;
+        cp->cert = cert;
+        const auto& members = topology_->zone(req.op0().source).members;
+        transport_->ChargeCpu(config_.costs.send_us * members.size());
+        transport_->counters().Inc("sync.cross_proposes_sent");
+        transport_->Multicast(members, cp);
+      }
+      if (!IsZonePrimary() || !req.i_am_leader) break;
+      SendAccept(req, cert);
+      break;
+    }
+    case EndorsePhase::kAccepted: {
+      // Every node of a follower zone that endorsed the accepted phase now
+      // waits for the commit; probe with response-queries if it never comes.
+      if (req.commit_wait_timer == 0 && req.commit_msg == nullptr) {
+        req.commit_wait_rounds = 0;
+        req.commit_wait_timer =
+            ArmTimer(req.id, kCommitWait, config_.response_query_timeout_us);
+      }
+      if (!IsZonePrimary()) break;
+      auto acc = std::make_shared<AcceptedMsg>();
+      acc->request_id = req.id;
+      acc->ballot = pp.ballot;
+      acc->prev = pp.prev;
+      acc->zone = my_zone_;
+      acc->cert = cert;
+      const auto& members = topology_->zone(req.initiator_zone).members;
+      transport_->ChargeCpu(config_.costs.send_us * members.size());
+      transport_->Multicast(members, acc);
+      break;
+    }
+    case EndorsePhase::kCommit: {
+      if (req.is_source_leg) {
+        // Source-cluster leg finished: proxies of the source zone inform
+        // the destination zone with a PREPARED message.
+        if (IAmProxy()) {
+          auto prep = std::make_shared<PreparedMsg>();
+          prep->request_id = req.peer_request_id;
+          prep->source_ballot = req.ballot;
+          prep->source_prev = req.prev;
+          prep->source_zone = my_zone_;
+          prep->cert = cert;
+          auto pit = requests_.find(req.peer_request_id);
+          ZoneId dest_zone =
+              pit != requests_.end() &&
+                      pit->second.initiator_zone != kInvalidZone
+                  ? pit->second.initiator_zone
+                  : topology_->zone(req.op0().destination).id;
+          const auto& members = topology_->zone(dest_zone).members;
+          transport_->ChargeCpu(config_.costs.send_us * members.size());
+          transport_->counters().Inc("sync.prepared_sent");
+          transport_->Multicast(members, prep);
+        }
+        break;
+      }
+      if (!IsZonePrimary() || !req.i_am_leader) break;
+      req.commit_cert = cert;
+      req.commit_cert_ready = true;
+      if (!req.cross || req.prepared != nullptr) {
+        SendCommit(req);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void DataSyncEngine::StartAcceptPhase(RequestState& req) {
+  req.phase = Phase::kAccepting;
+  endorser_->Start(EndorsePhase::kAccept, req.id, req.ballot, req.prev,
+                   AcceptContentDigest(req.id, req.ballot, req.prev, req.ops),
+                   req.sent_propose, req.ops.front(), req.ops, {},
+                   /*full_prepare=*/config_.always_full_prepare);
+}
+
+void DataSyncEngine::StartCommitPhase(RequestState& req) {
+  req.phase = Phase::kCommitting;
+  endorser_->Start(
+      EndorsePhase::kCommit, req.id, req.ballot, req.prev,
+      req.is_source_leg
+          ? PreparedContentDigest(req.peer_request_id, req.ballot, my_zone_)
+          : CommitContentDigest(req.id, req.ballot, req.prev, req.ops),
+      nullptr, req.ops.front(), req.ops, {},
+      /*full_prepare=*/config_.always_full_prepare);
+}
+
+void DataSyncEngine::SendAccept(RequestState& req,
+                                const crypto::Certificate& cert) {
+  auto acc = std::make_shared<AcceptMsg>();
+  acc->request_id = req.id;
+  acc->ballot = req.ballot;
+  acc->prev = req.prev;
+  acc->ops = req.ops;
+  acc->initiator_zone = my_zone_;
+  acc->cert = cert;
+  req.sent_accept = acc;
+  req.phase = Phase::kAccepted;
+
+  std::vector<NodeId> targets;
+  if (req.cross_zone) {
+    // Only the involved zones participate (Section IV-B3).
+    for (ZoneId z : {req.op0().source, req.op0().destination}) {
+      if (z == my_zone_) continue;
+      const auto& m = topology_->zone(z).members;
+      targets.insert(targets.end(), m.begin(), m.end());
+    }
+  } else {
+    for (ZoneId z : topology_->ZonesInCluster(my_zone_info().cluster)) {
+      if (z == my_zone_) continue;
+      const auto& m = topology_->zone(z).members;
+      targets.insert(targets.end(), m.begin(), m.end());
+    }
+  }
+  transport_->ChargeCpu(config_.costs.send_us * targets.size());
+  transport_->Multicast(targets, acc);
+
+  // A single-zone cluster has no followers: the accept quorum already
+  // implies the zone majority, so move straight to the commit phase.
+  if (targets.empty()) StartCommitPhase(req);
+}
+
+void DataSyncEngine::SendCommit(RequestState& req) {
+  auto commit = std::make_shared<GlobalCommitMsg>();
+  commit->request_id = req.id;
+  commit->ballot = req.ballot;
+  commit->prev = req.prev;
+  commit->ops = req.ops;
+  commit->initiator_zone = my_zone_;
+  commit->cert = req.commit_cert;
+  if (req.cross && req.prepared != nullptr) {
+    commit->cross_cluster = true;
+    commit->source_ballot = req.prepared->source_ballot;
+    commit->source_prev = req.prepared->source_prev;
+    commit->source_zone = req.prepared->source_zone;
+    commit->source_cert = req.prepared->cert;
+  }
+  std::vector<NodeId> targets;
+  if (req.cross_zone) {
+    for (ZoneId z : {req.op0().source, req.op0().destination}) {
+      const auto& m = topology_->zone(z).members;
+      targets.insert(targets.end(), m.begin(), m.end());
+    }
+  } else {
+    targets = ParticipantNodes(my_zone_info().cluster);
+  }
+  if (commit->cross_cluster) {
+    auto src = ParticipantNodes(topology_->zone(commit->source_zone).cluster);
+    targets.insert(targets.end(), src.begin(), src.end());
+  }
+  transport_->ChargeCpu(config_.costs.send_us * targets.size());
+  transport_->counters().Inc("sync.commits_sent");
+  transport_->Multicast(targets, commit);
+}
+
+// --------------------------------------------------- top-level reception
+
+void DataSyncEngine::HandlePropose(
+    const std::shared_ptr<const ProposeMsg>& msg) {
+  RequestState& req = requests_[msg->request_id];
+  req.id = msg->request_id;
+  if (req.ops.empty()) req.ops = msg->ops;
+  req.initiator_zone = msg->initiator_zone;
+  if (!IsZonePrimary()) return;  // backups observe; primary acts
+  if (req.commit_msg != nullptr) return;
+
+  if (!VerifyZoneCert(msg->cert, msg->ComputeDigest(), msg->initiator_zone)
+           .ok()) {
+    transport_->counters().Inc("sync.bad_propose_cert");
+    return;
+  }
+  // Paxos promise rule, scoped per instance: only promise ballots above
+  // anything promised for this request.
+  if (!(msg->ballot > req.promised)) {
+    transport_->counters().Inc("sync.propose_rejected_stale");
+    return;
+  }
+  req.promised = msg->ballot;
+  req.ballot = msg->ballot;
+  highest_n_seen_ = std::max(highest_n_seen_, msg->ballot.n);
+
+  endorser_->Start(
+      EndorsePhase::kPromise, req.id, msg->ballot, last_accepted_ballot_,
+      PromiseContentDigest(req.id, msg->ballot, last_accepted_ballot_,
+                           my_zone_),
+      msg, req.ops.front(), req.ops, {},
+      /*full_prepare=*/config_.always_full_prepare);
+}
+
+void DataSyncEngine::HandlePromise(
+    const std::shared_ptr<const PromiseMsg>& msg) {
+  auto it = requests_.find(msg->request_id);
+  if (it == requests_.end()) return;
+  RequestState& req = it->second;
+  if (!req.i_am_leader || req.phase != Phase::kPromised) return;
+  if (msg->ballot != req.ballot) return;
+  if (!VerifyZoneCert(msg->cert, msg->ComputeDigest(), msg->zone).ok()) {
+    transport_->counters().Inc("sync.bad_promise_cert");
+    return;
+  }
+  req.promises[msg->zone] = msg;
+  std::size_t majority = ZoneMajorityFor(my_zone_info().cluster);
+  if (req.promises.size() + 1 >= majority) {  // +1: the initiator zone
+    StartAcceptPhase(req);
+  }
+}
+
+void DataSyncEngine::HandleAccept(
+    const std::shared_ptr<const AcceptMsg>& msg) {
+  RequestState& req = requests_[msg->request_id];
+  req.id = msg->request_id;
+  if (req.ops.empty()) req.ops = msg->ops;
+  req.initiator_zone = msg->initiator_zone;
+  if (!IsZonePrimary()) return;
+  if (req.commit_msg != nullptr) return;
+  if (req.phase == Phase::kAccepted || req.phase == Phase::kAccepting) {
+    // Duplicate (leader retransmission). If our ACCEPTED was lost, re-send
+    // it from the completed endorsement certificate.
+    const crypto::Certificate* cert =
+        endorser_->CertFor({req.id, EndorsePhase::kAccepted});
+    if (cert != nullptr) {
+      auto acc = std::make_shared<AcceptedMsg>();
+      acc->request_id = req.id;
+      acc->ballot = req.ballot;
+      acc->prev = req.prev;
+      acc->zone = my_zone_;
+      acc->cert = *cert;
+      const auto& members = topology_->zone(msg->initiator_zone).members;
+      transport_->ChargeCpu(config_.costs.send_us * members.size());
+      transport_->Multicast(members, acc);
+    }
+    return;
+  }
+  if (!VerifyZoneCert(msg->cert, msg->ComputeDigest(), msg->initiator_zone)
+           .ok()) {
+    transport_->counters().Inc("sync.bad_accept_cert");
+    return;
+  }
+  // Paxos accept rule (non-stable mode): reject ballots below this
+  // instance's promise.
+  if (!config_.stable_leader && msg->ballot < req.promised) {
+    transport_->counters().Inc("sync.accept_rejected_stale");
+    return;
+  }
+  req.ballot = msg->ballot;
+  req.prev = msg->prev;
+  req.phase = Phase::kAccepting;
+  highest_n_seen_ = std::max(highest_n_seen_, msg->ballot.n);
+  if (msg->ballot > last_accepted_ballot_) last_accepted_ballot_ = msg->ballot;
+
+  endorser_->Start(
+      EndorsePhase::kAccepted, req.id, msg->ballot, msg->prev,
+      AcceptedContentDigest(req.id, msg->ballot, msg->prev, my_zone_), msg,
+      req.ops.front(), req.ops, {},
+      /*full_prepare=*/config_.always_full_prepare);
+}
+
+void DataSyncEngine::HandleAccepted(
+    const std::shared_ptr<const AcceptedMsg>& msg) {
+  auto it = requests_.find(msg->request_id);
+  if (it == requests_.end()) return;
+  RequestState& req = it->second;
+  if (!req.i_am_leader || req.commit_msg != nullptr) return;
+  if (msg->ballot != req.ballot) return;
+  if (req.phase != Phase::kAccepted && req.phase != Phase::kAccepting) return;
+  if (!VerifyZoneCert(msg->cert, msg->ComputeDigest(), msg->zone).ok()) {
+    transport_->counters().Inc("sync.bad_accepted_cert");
+    return;
+  }
+  req.accepteds[msg->zone] = msg;
+  std::size_t needed;
+  if (req.cross_zone) {
+    // Every involved shard must accept (the other involved zone; the
+    // initiator zone's own endorsement counts implicitly).
+    needed = req.op0().source == my_zone_ || req.op0().destination == my_zone_
+                 ? 1
+                 : 2;
+  } else {
+    needed = ZoneMajorityFor(my_zone_info().cluster) - 1;
+  }
+  if (req.accepteds.size() >= needed && req.phase != Phase::kCommitting) {
+    StartCommitPhase(req);
+  }
+}
+
+void DataSyncEngine::HandleGlobalCommit(
+    const std::shared_ptr<const GlobalCommitMsg>& msg) {
+  RequestState& req = requests_[msg->request_id];
+  req.id = msg->request_id;
+  if (req.ops.empty()) req.ops = msg->ops;
+  if (req.commit_msg != nullptr) return;  // duplicate
+  if (!VerifyZoneCert(msg->cert, msg->ComputeDigest(), msg->initiator_zone)
+           .ok()) {
+    transport_->counters().Inc("sync.bad_commit_cert");
+    return;
+  }
+  if (msg->cross_cluster) {
+    if (!VerifyZoneCert(msg->source_cert,
+                        PreparedContentDigest(msg->request_id,
+                                              msg->source_ballot,
+                                              msg->source_zone),
+                        msg->source_zone)
+             .ok()) {
+      transport_->counters().Inc("sync.bad_commit_source_cert");
+      return;
+    }
+  }
+  req.commit_msg = msg;
+  req.initiator_zone = msg->initiator_zone;
+  req.cross = msg->cross_cluster;
+  if (req.ops.empty()) req.ops = msg->ops;
+  committed_count_++;
+  if (req.commit_wait_timer != 0) {
+    transport_->CancelTimer(req.commit_wait_timer);
+    req.commit_wait_timer = 0;
+  }
+  if (req.retry_timer != 0) {
+    transport_->CancelTimer(req.retry_timer);
+    req.retry_timer = 0;
+  }
+  if (msg->ballot.zone == my_zone_ && msg->ballot > my_last_ballot_) {
+    my_last_ballot_ = msg->ballot;
+  }
+  ZoneId cross_chain_id =
+      my_zone_ + static_cast<ZoneId>(topology_->num_zones());
+  if (msg->ballot.zone == cross_chain_id &&
+      msg->ballot > my_last_cross_ballot_) {
+    my_last_cross_ballot_ = msg->ballot;
+  }
+
+  if (msg->cross_cluster) {
+    // The source-cluster leg tracked this request under its own leg id;
+    // mark it complete so its commit-wait probing and re-leading stop.
+    auto lit = requests_.find(SourceLegId(msg->request_id));
+    if (lit != requests_.end()) {
+      RequestState& leg = lit->second;
+      leg.commit_msg = msg;
+      leg.executed = true;
+      if (leg.commit_wait_timer != 0) {
+        transport_->CancelTimer(leg.commit_wait_timer);
+        leg.commit_wait_timer = 0;
+      }
+      if (leg.retry_timer != 0) {
+        transport_->CancelTimer(leg.retry_timer);
+        leg.retry_timer = 0;
+      }
+    }
+  }
+
+  // Which execution chain does this node follow? Source-cluster nodes of a
+  // cross-cluster transaction order by the source leg's ballot.
+  ClusterId my_cluster = my_zone_info().cluster;
+  if (msg->cross_cluster &&
+      my_cluster == topology_->zone(msg->source_zone).cluster &&
+      my_cluster != topology_->zone(msg->initiator_zone).cluster) {
+    req.exec_ballot = msg->source_ballot;
+    req.exec_prev = msg->source_prev;
+  } else {
+    req.exec_ballot = msg->ballot;
+    req.exec_prev = msg->prev;
+  }
+  MaybeExecute(msg->request_id);
+}
+
+void DataSyncEngine::MaybeExecute(std::uint64_t request_id) {
+  auto it = requests_.find(request_id);
+  if (it == requests_.end()) return;
+  RequestState& req = it->second;
+  if (req.executed || req.commit_msg == nullptr) return;
+  if (req.exec_prev == kNullBallot ||
+      executed_ballots_.count(req.exec_prev) > 0) {
+    ExecuteCommit(req);
+    return;
+  }
+  // Predecessor not executed yet: wait for it (and arm a skip guard so a
+  // predecessor lost to a failed leader cannot wedge the chain forever).
+  waiting_on_[req.exec_prev].push_back(request_id);
+  ArmTimer(request_id, kChainSkip, config_.retry_timeout_us * 2);
+}
+
+void DataSyncEngine::ExecuteCommit(RequestState& req) {
+  if (req.executed) return;
+  req.executed = true;
+  for (const MigrationOp& op : req.ops) {
+    std::uint64_t op_id = op.RequestId();
+    if (!executed_op_ids_.insert(op_id).second) continue;  // re-led twin
+    executed_count_++;
+    transport_->ChargeCpu(config_.costs.apply_us);
+    std::string result;
+    if (op.IsMigration()) {
+      result = metadata_->Execute(op);
+    } else if (global_apply_callback_) {
+      result = global_apply_callback_(op);
+    } else {
+      result = "no-global-apply";
+    }
+    if (executed_callback_) {
+      executed_callback_(op, req.exec_ballot, req.initiator_zone, result);
+    }
+  }
+  executed_ballots_.insert(req.exec_ballot);
+  Ballot& chain = chain_executed_[req.exec_ballot.zone];
+  if (req.exec_ballot > chain) chain = req.exec_ballot;
+  FlushWaiters(req.exec_ballot);
+}
+
+void DataSyncEngine::FlushWaiters(Ballot ballot) {
+  auto it = waiting_on_.find(ballot);
+  if (it == waiting_on_.end()) return;
+  std::vector<std::uint64_t> ready = std::move(it->second);
+  waiting_on_.erase(it);
+  for (std::uint64_t id : ready) MaybeExecute(id);
+}
+
+// ------------------------------------------------------- failure probing
+
+void DataSyncEngine::HandleResponseQuery(
+    const std::shared_ptr<const ResponseQueryMsg>& msg) {
+  if (!keys_->Verify(msg->sig, msg->ComputeDigest())) return;
+  transport_->counters().Inc("sync.response_queries_received");
+  auto it = requests_.find(msg->request_id);
+  if (it != requests_.end() && it->second.commit_msg != nullptr) {
+    // Already processed: re-send the response (Section V-A), and log the
+    // query to detect denial-of-service attempts.
+    transport_->ChargeCpu(config_.costs.send_us);
+    transport_->Send(msg->replica, it->second.commit_msg);
+    return;
+  }
+  if (it == requests_.end()) return;
+  RequestState& req = it->second;
+  req.response_queries.insert(msg->replica);
+  std::size_t suspicion_quorum = topology_->zone(msg->zone).quorum();
+  if (req.response_queries.size() >= suspicion_quorum && !IsZonePrimary()) {
+    transport_->counters().Inc("sync.primary_suspected");
+    req.response_queries.clear();
+    if (suspect_primary_callback_) suspect_primary_callback_();
+  }
+}
+
+// --------------------------------------------------------- cross-cluster
+
+void DataSyncEngine::HandleCrossPropose(
+    const std::shared_ptr<const CrossProposeMsg>& msg) {
+  // Received by nodes of the source zone: start the source-cluster leg.
+  if (my_zone_ != topology_->zone(msg->op.source).id) return;
+  std::uint64_t leg_id = SourceLegId(msg->request_id);
+  RequestState& leg = requests_[leg_id];
+  if (leg.id != 0 && leg.phase != Phase::kIdle) return;  // already running
+  if (!VerifyZoneCert(msg->cert, msg->ComputeDigest(), msg->initiator_zone)
+           .ok()) {
+    transport_->counters().Inc("sync.bad_cross_propose_cert");
+    return;
+  }
+  leg.id = leg_id;
+  leg.ops = {msg->op};
+  leg.is_source_leg = true;
+  leg.cross = true;
+  leg.peer_request_id = msg->request_id;
+  // Remember the destination-leg coordinates for the PREPARED reply.
+  RequestState& orig = requests_[msg->request_id];
+  if (orig.id == 0) {
+    orig.id = msg->request_id;
+    orig.ops = {msg->op};
+  }
+  orig.initiator_zone = msg->initiator_zone;
+  orig.cross = true;
+
+  if (!IsZonePrimary()) return;  // backups track; primary leads the leg
+  leg.initiator_zone = my_zone_;
+  transport_->counters().Inc("sync.source_legs_started");
+  LeadRequest(leg);
+}
+
+void DataSyncEngine::HandlePrepared(
+    const std::shared_ptr<const PreparedMsg>& msg) {
+  auto it = requests_.find(msg->request_id);
+  if (it == requests_.end()) return;
+  RequestState& req = it->second;
+  if (req.prepared != nullptr) return;
+  if (!VerifyZoneCert(msg->cert, msg->ComputeDigest(), msg->source_zone)
+           .ok()) {
+    transport_->counters().Inc("sync.bad_prepared_cert");
+    return;
+  }
+  req.prepared = msg;
+  transport_->counters().Inc("sync.prepared_received");
+  if (req.i_am_leader && req.commit_cert_ready && req.commit_msg == nullptr) {
+    SendCommit(req);
+  }
+}
+
+// ------------------------------------------------------------ view change
+
+void DataSyncEngine::OnViewChange(ViewId view) {
+  (void)view;
+  if (!endorser_->IsPrimary()) {
+    // Demoted (or still a backup): drop leadership of in-flight requests.
+    for (auto& [id, req] : requests_) {
+      if (req.i_am_leader && req.commit_msg == nullptr) {
+        req.i_am_leader = false;
+        if (req.retry_timer != 0) {
+          transport_->CancelTimer(req.retry_timer);
+          req.retry_timer = 0;
+        }
+      }
+    }
+    return;
+  }
+  // New primary: re-lead every known, uncommitted request that this zone is
+  // responsible for ("another node from the same zone becomes the primary
+  // and will continue to process the request" — Section IV-B1).
+  for (auto& [id, req] : requests_) {
+    if (req.commit_msg != nullptr || req.executed) continue;
+    if (req.ops.empty()) continue;
+    bool ours = req.initiator_zone == my_zone_ ||
+                (req.initiator_zone == kInvalidZone && req.saw_endorse);
+    if (!ours) continue;
+    req.promises.clear();
+    req.accepteds.clear();
+    req.phase = Phase::kIdle;
+    req.commit_cert_ready = false;
+    req.sent_propose = nullptr;
+    req.sent_accept = nullptr;
+    transport_->counters().Inc("sync.releads_after_view_change");
+    LeadRequest(req);
+  }
+  // Relayed-but-never-endorsed ops queue for a fresh batch.
+  if (!pending_ops_.empty()) {
+    std::vector<MigrationOp> backlog = std::move(pending_ops_);
+    pending_ops_.clear();
+    queued_op_ids_.clear();
+    for (const auto& op : backlog) {
+      if (executed_op_ids_.count(op.RequestId()) == 0) QueueOrLead(op);
+    }
+    FlushBatch();
+  }
+}
+
+}  // namespace ziziphus::core

@@ -1,0 +1,278 @@
+#ifndef ZIZIPHUS_CORE_DATA_SYNC_H_
+#define ZIZIPHUS_CORE_DATA_SYNC_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/costs.h"
+#include "core/endorsement.h"
+#include "core/lock_table.h"
+#include "core/messages.h"
+#include "core/metadata.h"
+#include "core/topology.h"
+#include "crypto/certificate.h"
+#include "sim/transport.h"
+
+namespace ziziphus::core {
+
+/// Configuration of the data synchronization protocol.
+struct SyncConfig {
+  /// Multi-Paxos style stable leader (Section IV-B1, last paragraph): the
+  /// initiator zone is fixed per cluster and the propose/promise phases are
+  /// skipped. The paper's throughput experiments run in this mode.
+  bool stable_leader = true;
+
+  /// Leader-side batching of concurrent global requests into one ballot
+  /// (exactly as a PBFT primary batches client requests). Cross-cluster
+  /// requests are never batched — each runs its own two-cluster instance.
+  std::size_t batch_max = 64;
+  Duration batch_timeout_us = Millis(2);
+
+  /// Leader-side retransmission / re-proposal timeout for an uncommitted
+  /// global request ("nodes use different timers for local and global
+  /// transactions" — Section V-A).
+  Duration retry_timeout_us = Seconds(2);
+
+  /// Follower-side wait before multicasting RESPONSE-QUERY messages.
+  Duration response_query_timeout_us = Seconds(1);
+
+  /// Upper bound of the randomized backoff before re-proposing after a
+  /// collision (non-stable mode, Lemma 5.6).
+  Duration backoff_max_us = Millis(300);
+
+  /// Watchdog at initiator-zone backups: how long a relayed migration
+  /// request may sit without the primary starting consensus on it.
+  Duration relay_watch_timeout_us = Seconds(3);
+
+  /// Ablation: run the full PBFT prepare round in *every* endorsement
+  /// instead of skipping it where the ballot is already fixed (the paper's
+  /// Section IV-B1 optimization). Benchmarked by bench_ablation.
+  bool always_full_prepare = false;
+
+  NodeCosts costs;
+};
+
+/// The per-node engine for Ziziphus's global transactions: the data
+/// synchronization protocol (Algorithm 1), its stable-leader variant with
+/// request batching, the RESPONSE-QUERY failure handling (Section V-A),
+/// and the cross-cluster data synchronization protocol (Section VI).
+///
+/// One engine instance runs on every replica; behaviour depends on the
+/// node's role for each request (global primary, initiator-zone node,
+/// follower-zone primary/node, source-zone proxy, ...).
+class DataSyncEngine {
+ public:
+  /// Fired at every node per executed operation. `initiator_zone` is the
+  /// zone whose nodes reply to the client; `result` the execution result.
+  using ExecutedCallback =
+      std::function<void(const MigrationOp& op, Ballot ballot,
+                         ZoneId initiator_zone, const std::string& result)>;
+  /// Fired when this node suspects its own zone primary (e.g., 2f+1
+  /// response-queries from another zone); the host should trigger the local
+  /// PBFT view change.
+  using SuspectPrimaryCallback = std::function<void()>;
+  /// Applies a non-migration global command (Steward baseline / cross-zone
+  /// transactions) to the node's globally replicated application state.
+  using GlobalApplyCallback =
+      std::function<std::string(const MigrationOp& op)>;
+
+  DataSyncEngine(sim::Transport* transport, const crypto::KeyRegistry* keys,
+                 const Topology* topology, ZoneId my_zone,
+                 GlobalMetadata* metadata, LockTable* locks,
+                 ZoneEndorser* endorser, SyncConfig config);
+
+  static constexpr std::uint64_t kTimerBase = 0x0200000000ULL;
+  static constexpr std::uint64_t kTimerMask = 0xff00000000ULL;
+
+  /// Routes top-level protocol messages; returns true if consumed.
+  bool HandleMessage(const sim::MessagePtr& msg);
+  bool HandleTimer(std::uint64_t tag);
+
+  /// Endorsement routing: the host's ZoneEndorser calls these for data-sync
+  /// phases (kPropose..kCommit, kCrossSource).
+  bool ValidateEndorse(const EndorsePrePrepareMsg& msg);
+  void OnEndorseQuorum(const EndorseKey& key, const EndorsePrePrepareMsg& pp,
+                       const crypto::Certificate& cert);
+
+  /// Local view changed (mirrors the zone's PBFT view). The new primary
+  /// re-initiates pending uncommitted requests with fresh ballots.
+  void OnViewChange(ViewId view);
+
+  void set_executed_callback(ExecutedCallback cb) {
+    executed_callback_ = std::move(cb);
+  }
+  void set_suspect_primary_callback(SuspectPrimaryCallback cb) {
+    suspect_primary_callback_ = std::move(cb);
+  }
+  void set_global_apply_callback(GlobalApplyCallback cb) {
+    global_apply_callback_ = std::move(cb);
+  }
+
+  /// Deterministic id for the source-cluster leg of a cross-cluster request.
+  static std::uint64_t SourceLegId(std::uint64_t request_id) {
+    return Hasher(0xc405).Add(request_id).Finish();
+  }
+
+  // ---- Introspection (tests / stats) ----------------------------------
+  std::uint64_t committed_count() const { return committed_count_; }
+  std::uint64_t executed_count() const { return executed_count_; }
+  Ballot last_executed_ballot(ZoneId initiator) const;
+  const GlobalMetadata& metadata() const { return *metadata_; }
+
+ private:
+  enum class Phase {
+    kIdle,
+    kProposing,
+    kPromised,
+    kAccepting,
+    kAccepted,
+    kCommitting,
+    kCommitted,
+  };
+  enum TimerKind {
+    kRetry = 1,
+    kCommitWait = 2,
+    kRelayWatch = 3,
+    kChainSkip = 4,
+    kBatch = 5,
+  };
+
+  /// One data-synchronization instance (a batch of global ops under one
+  /// ballot, or a singleton cross-cluster request / source leg).
+  struct RequestState {
+    std::uint64_t id = 0;
+    std::vector<MigrationOp> ops;
+    Ballot ballot;
+    Ballot prev;
+    ZoneId initiator_zone = kInvalidZone;
+    Phase phase = Phase::kIdle;
+    bool i_am_leader = false;
+    /// Per-instance Paxos promise bound (non-stable mode): a follower zone
+    /// promises only ballots above this for this request.
+    Ballot promised = kNullBallot;
+    std::map<ZoneId, std::shared_ptr<const PromiseMsg>> promises;
+    std::map<ZoneId, std::shared_ptr<const AcceptedMsg>> accepteds;
+    std::shared_ptr<const GlobalCommitMsg> commit_msg;
+    bool executed = false;
+    int retries = 0;
+    // Cross-cluster state (only singleton instances).
+    bool cross = false;
+    // Cross-zone transaction (Section IV-B3): singleton, participants are
+    // the involved zones only.
+    bool cross_zone = false;
+    bool is_source_leg = false;
+    std::uint64_t peer_request_id = 0;
+    std::shared_ptr<const PreparedMsg> prepared;
+    crypto::Certificate commit_cert;
+    bool commit_cert_ready = false;
+    // Execution chain coordinates.
+    Ballot exec_ballot;
+    Ballot exec_prev;
+    // Cached top-level messages for leader retransmission.
+    std::shared_ptr<const ProposeMsg> sent_propose;
+    std::shared_ptr<const AcceptMsg> sent_accept;
+    bool saw_endorse = false;
+    // Failure handling.
+    std::set<NodeId> response_queries;
+    std::uint64_t commit_wait_timer = 0;
+    std::uint64_t retry_timer = 0;
+    int commit_wait_rounds = 0;
+
+    const MigrationOp& op0() const { return ops.front(); }
+  };
+
+  const ZoneInfo& my_zone_info() const { return topology_->zone(my_zone_); }
+  bool IsZonePrimary() const { return endorser_->IsPrimary(); }
+  std::size_t ZoneMajorityFor(ClusterId cluster) const {
+    return topology_->ZoneMajority(cluster);
+  }
+  std::vector<NodeId> ParticipantNodes(ClusterId cluster) const {
+    return topology_->AllNodesInCluster(cluster);
+  }
+  std::vector<NodeId> ProxyNodes(const ZoneInfo& zone, ViewId view) const;
+  bool IAmProxy() const;
+
+  // Message handlers.
+  void HandleMigrationRequest(
+      const std::shared_ptr<const MigrationRequestMsg>& msg);
+  void HandlePropose(const std::shared_ptr<const ProposeMsg>& msg);
+  void HandlePromise(const std::shared_ptr<const PromiseMsg>& msg);
+  void HandleAccept(const std::shared_ptr<const AcceptMsg>& msg);
+  void HandleAccepted(const std::shared_ptr<const AcceptedMsg>& msg);
+  void HandleGlobalCommit(const std::shared_ptr<const GlobalCommitMsg>& msg);
+  void HandleResponseQuery(
+      const std::shared_ptr<const ResponseQueryMsg>& msg);
+  void HandleCrossPropose(const std::shared_ptr<const CrossProposeMsg>& msg);
+  void HandlePrepared(const std::shared_ptr<const PreparedMsg>& msg);
+
+  // Leader actions.
+  void QueueOrLead(const MigrationOp& op);
+  void FlushBatch();
+  void LeadRequest(RequestState& req);
+  void StartAcceptPhase(RequestState& req);
+  void SendAccept(RequestState& req, const crypto::Certificate& cert);
+  void StartCommitPhase(RequestState& req);
+  void SendCommit(RequestState& req);
+  void RetryRequest(std::uint64_t request_id);
+
+  // Execution.
+  void MaybeExecute(std::uint64_t request_id);
+  void ExecuteCommit(RequestState& req);
+  void FlushWaiters(Ballot ballot);
+
+  Status VerifyZoneCert(const crypto::Certificate& cert,
+                        crypto::Digest expected, ZoneId zone) const;
+
+  Ballot NextBallot(ZoneId chain_zone);
+  std::uint64_t ArmTimer(std::uint64_t request_id, TimerKind kind,
+                         Duration delay);
+
+  sim::Transport* transport_;
+  const crypto::KeyRegistry* keys_;
+  const Topology* topology_;
+  ZoneId my_zone_;
+  GlobalMetadata* metadata_;
+  LockTable* locks_;
+  ZoneEndorser* endorser_;
+  SyncConfig config_;
+  ExecutedCallback executed_callback_;
+  SuspectPrimaryCallback suspect_primary_callback_;
+  GlobalApplyCallback global_apply_callback_;
+
+  std::unordered_map<std::uint64_t, RequestState> requests_;
+  /// Leader-side batching queue.
+  std::vector<MigrationOp> pending_ops_;
+  std::unordered_set<std::uint64_t> queued_op_ids_;
+  bool batch_timer_armed_ = false;
+  /// Per-operation execution dedup (re-led instances, chain skips).
+  std::unordered_set<std::uint64_t> executed_op_ids_;
+
+  std::uint64_t highest_n_seen_ = 0;
+  Ballot my_last_ballot_ = kNullBallot;
+  /// Cross-cluster requests chain separately (virtual chain id
+  /// my_zone + num_zones), so a slow two-cluster commit never stalls the
+  /// intra-cluster pipeline behind it. Global operations commute across
+  /// chains; per-client ordering is enforced by the migration lock.
+  Ballot my_last_cross_ballot_ = kNullBallot;
+  /// Latest migration ballot accepted by this zone (the <l, z_l> carried in
+  /// promise messages).
+  Ballot last_accepted_ballot_ = kNullBallot;
+  std::map<ZoneId, Ballot> chain_executed_;
+  std::set<Ballot> executed_ballots_;
+  std::map<Ballot, std::vector<std::uint64_t>> waiting_on_;
+  std::map<std::uint64_t, std::uint64_t> relay_watch_;
+  std::unordered_map<std::uint64_t, std::pair<std::uint64_t, int>> timers_;
+  std::uint64_t next_timer_token_ = 1;
+
+  std::uint64_t committed_count_ = 0;
+  std::uint64_t executed_count_ = 0;
+};
+
+}  // namespace ziziphus::core
+
+#endif  // ZIZIPHUS_CORE_DATA_SYNC_H_

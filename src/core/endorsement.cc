@@ -1,0 +1,225 @@
+#include "core/endorsement.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ziziphus::core {
+
+ZoneEndorser::ZoneEndorser(sim::Transport* transport,
+                           const crypto::KeyRegistry* keys,
+                           const ZoneInfo* zone, NodeCosts costs,
+                           Callbacks callbacks)
+    : transport_(transport),
+      keys_(keys),
+      zone_(zone),
+      costs_(costs),
+      callbacks_(std::move(callbacks)) {
+  ZCHECK(zone_ != nullptr);
+}
+
+bool ZoneEndorser::IsMember(NodeId n) const {
+  return std::find(zone_->members.begin(), zone_->members.end(), n) !=
+         zone_->members.end();
+}
+
+void ZoneEndorser::OnViewChange(ViewId view) {
+  if (view <= view_) return;
+  view_ = view;
+  // Drop in-flight (not yet quorate) endorsements; the protocol layer
+  // re-initiates pending requests under the new primary.
+  for (auto it = states_.begin(); it != states_.end();) {
+    if (!it->second.done) {
+      it = states_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ZoneEndorser::Start(EndorsePhase phase, std::uint64_t request_id,
+                         Ballot ballot, Ballot prev,
+                         crypto::Digest content_digest,
+                         sim::MessagePtr payload, const MigrationOp& op,
+                         std::vector<MigrationOp> ops,
+                         storage::KvStore::Map records, bool full_prepare) {
+  ZCHECK(IsPrimary());
+  auto msg = std::make_shared<EndorsePrePrepareMsg>();
+  msg->phase = phase;
+  msg->request_id = request_id;
+  msg->view = view_;
+  msg->ballot = ballot;
+  msg->prev = prev;
+  msg->content_digest = content_digest;
+  msg->payload = std::move(payload);
+  msg->op = op;
+  msg->ops = std::move(ops);
+  msg->records = std::move(records);
+  msg->full_prepare = full_prepare;
+  msg->sig = keys_->Sign(transport_->self(), msg->ComputeDigest());
+  transport_->ChargeCpu(costs_.crypto.sign_us +
+                        costs_.send_us * zone_->members.size());
+  transport_->Multicast(zone_->members, msg);
+}
+
+bool ZoneEndorser::HandleMessage(const sim::MessagePtr& msg) {
+  switch (msg->type()) {
+    case kEndorsePrePrepare:
+      transport_->ChargeCpu(costs_.base_handle_us + costs_.crypto.verify_us);
+      HandlePrePrepare(
+          std::static_pointer_cast<const EndorsePrePrepareMsg>(msg));
+      return true;
+    case kEndorsePrepare:
+      transport_->ChargeCpu(costs_.base_handle_us + costs_.mac_us);
+      HandlePrepare(std::static_pointer_cast<const EndorsePrepareMsg>(msg));
+      return true;
+    case kEndorseVote:
+      // Vote tags are threshold-signature shares: cheap to check
+      // individually; the assembled certificate costs one full verify at
+      // its consumer.
+      transport_->ChargeCpu(costs_.base_handle_us + costs_.mac_us);
+      HandleVote(std::static_pointer_cast<const EndorseVoteMsg>(msg));
+      return true;
+    default:
+      return false;
+  }
+}
+
+void ZoneEndorser::HandlePrePrepare(
+    const std::shared_ptr<const EndorsePrePrepareMsg>& m) {
+  if (m->view != view_) return;
+  if (m->from() != primary()) return;
+  if (!keys_->Verify(m->sig, m->ComputeDigest())) {
+    transport_->counters().Inc("endorse.bad_sig");
+    return;
+  }
+  EndorseKey key{m->request_id, m->phase};
+  State& st = states_[key];
+  if (st.pre_prepare != nullptr) {
+    if (st.pre_prepare->content_digest == m->content_digest) return;
+    if (m->ballot > st.pre_prepare->ballot) {
+      // A re-led attempt (new leader or retry) with a higher ballot for the
+      // same request: start a fresh endorsement instance.
+      st = State{};
+    } else {
+      // Same ballot, different content: the primary is equivocating.
+      transport_->counters().Inc("endorse.equivocation_detected");
+      return;
+    }
+  }
+  if (callbacks_.validate && !callbacks_.validate(*m)) {
+    transport_->counters().Inc("endorse.rejected");
+    states_.erase(key);
+    return;
+  }
+  st.pre_prepare = m;
+  st.builder.Reset(m->content_digest, zone_->quorum());
+  for (const auto& [sig, digest] : st.early_votes) {
+    st.builder.Add(sig, digest);
+  }
+  st.early_votes.clear();
+
+  if (m->full_prepare) {
+    auto prep = std::make_shared<EndorsePrepareMsg>();
+    prep->phase = m->phase;
+    prep->request_id = m->request_id;
+    prep->view = view_;
+    prep->content_digest = m->content_digest;
+    prep->replica = transport_->self();
+    prep->sig = keys_->Sign(transport_->self(), prep->ComputeDigest());
+    transport_->ChargeCpu(costs_.mac_us +
+                          costs_.send_us * zone_->members.size());
+    transport_->Multicast(zone_->members, prep);
+    // Prepares recorded so far may already satisfy the quorum.
+    std::size_t have = st.prepares.size();
+    if (!st.prepares.count(primary())) have += 1;
+    if (have >= zone_->quorum()) CastVote(key, st);
+  } else {
+    CastVote(key, st);
+  }
+  MaybeFinish(key, st);
+}
+
+void ZoneEndorser::HandlePrepare(
+    const std::shared_ptr<const EndorsePrepareMsg>& m) {
+  if (m->view != view_) return;
+  if (!IsMember(m->replica) || m->replica != m->from()) return;
+  if (!keys_->Verify(m->sig, m->ComputeDigest())) return;
+  EndorseKey key{m->request_id, m->phase};
+  State& st = states_[key];
+  if (st.pre_prepare != nullptr &&
+      st.pre_prepare->content_digest != m->content_digest) {
+    return;
+  }
+  st.prepares.insert(m->replica);
+  if (st.pre_prepare == nullptr || st.voted) return;
+  std::size_t have = st.prepares.size();
+  if (!st.prepares.count(primary())) have += 1;  // pre-prepare counts
+  if (have >= zone_->quorum()) CastVote(key, st);
+}
+
+void ZoneEndorser::CastVote(const EndorseKey& key, State& st) {
+  if (st.voted || st.pre_prepare == nullptr) return;
+  st.voted = true;
+  auto vote = std::make_shared<EndorseVoteMsg>();
+  vote->phase = key.phase;
+  vote->request_id = key.request_id;
+  vote->view = view_;
+  vote->content_digest = st.pre_prepare->content_digest;
+  vote->replica = transport_->self();
+  vote->sig = keys_->Sign(transport_->self(), vote->content_digest);
+  transport_->ChargeCpu(costs_.crypto.sign_us +
+                        costs_.send_us * zone_->members.size());
+  transport_->Multicast(zone_->members, vote);
+}
+
+void ZoneEndorser::HandleVote(
+    const std::shared_ptr<const EndorseVoteMsg>& m) {
+  if (m->view != view_) return;
+  if (!IsMember(m->replica) || m->replica != m->from()) return;
+  if (!keys_->Verify(m->sig, m->content_digest)) {
+    transport_->counters().Inc("endorse.bad_vote");
+    return;
+  }
+  EndorseKey key{m->request_id, m->phase};
+  State& st = states_[key];
+  if (st.pre_prepare != nullptr &&
+      st.pre_prepare->content_digest != m->content_digest) {
+    return;
+  }
+  if (st.pre_prepare == nullptr) {
+    // Votes can outrun the pre-prepare; buffer until the digest is fixed.
+    st.early_votes.emplace_back(m->sig, m->content_digest);
+    return;
+  }
+  st.builder.Add(m->sig, m->content_digest);
+  MaybeFinish(key, st);
+}
+
+void ZoneEndorser::MaybeFinish(const EndorseKey& key, State& st) {
+  if (st.done || st.pre_prepare == nullptr) return;
+  if (!st.builder.Complete()) return;
+  st.done = true;
+  if (callbacks_.on_quorum) {
+    callbacks_.on_quorum(key, *st.pre_prepare, st.builder.certificate());
+  }
+}
+
+bool ZoneEndorser::IsDone(const EndorseKey& key) const {
+  auto it = states_.find(key);
+  return it != states_.end() && it->second.done;
+}
+
+const EndorsePrePrepareMsg* ZoneEndorser::PrePrepareFor(
+    const EndorseKey& key) const {
+  auto it = states_.find(key);
+  return it == states_.end() ? nullptr : it->second.pre_prepare.get();
+}
+
+const crypto::Certificate* ZoneEndorser::CertFor(const EndorseKey& key) const {
+  auto it = states_.find(key);
+  if (it == states_.end() || !it->second.done) return nullptr;
+  return &it->second.builder.certificate();
+}
+
+}  // namespace ziziphus::core

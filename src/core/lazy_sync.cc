@@ -1,0 +1,63 @@
+#include "core/lazy_sync.h"
+
+#include <algorithm>
+
+namespace ziziphus::core {
+
+void LazySyncEngine::OnLocalStableCheckpoint(const storage::Checkpoint& cp,
+                                             bool i_am_primary) {
+  // Every node remembers its own zone's stable state; only the primary
+  // gossips it (backups would duplicate traffic).
+  storage::Checkpoint own = cp;
+  remote_.Install(my_zone_, own);
+  if (!i_am_primary) return;
+
+  auto msg = std::make_shared<ZoneCheckpointMsg>();
+  msg->zone = my_zone_;
+  msg->seq = cp.seq;
+  msg->state_digest = cp.state_digest;
+  msg->snapshot = cp.snapshot;
+  msg->cert = cp.certificate;
+
+  std::vector<NodeId> targets;
+  ClusterId cluster = topology_->zone(my_zone_).cluster;
+  for (ZoneId z : topology_->ZonesInCluster(cluster)) {
+    if (z == my_zone_) continue;
+    const auto& m = topology_->zone(z).members;
+    targets.insert(targets.end(), m.begin(), m.end());
+  }
+  transport_->ChargeCpu(costs_.send_us * targets.size());
+  transport_->counters().Inc("lazy.checkpoints_shared");
+  transport_->Multicast(targets, msg);
+}
+
+bool LazySyncEngine::HandleMessage(const sim::MessagePtr& msg) {
+  if (msg->type() != kZoneCheckpoint) return false;
+  auto m = std::static_pointer_cast<const ZoneCheckpointMsg>(msg);
+  transport_->ChargeCpu(costs_.base_handle_us +
+                        costs_.crypto.CertificateVerifyCost(m->cert.size()));
+  if (m->zone >= topology_->num_zones()) return true;
+  const ZoneInfo& zi = topology_->zone(m->zone);
+  // The certificate is the PBFT checkpoint proof: 2f+1 signatures over
+  // H(seq, state_digest).
+  Status s = crypto::VerifyCertificate(
+      *keys_, m->cert, m->ComputeDigest(), zi.quorum(), [&zi](NodeId n) {
+        return std::find(zi.members.begin(), zi.members.end(), n) !=
+               zi.members.end();
+      });
+  if (!s.ok()) {
+    transport_->counters().Inc("lazy.bad_checkpoint_cert");
+    return true;
+  }
+  storage::Checkpoint cp;
+  cp.seq = m->seq;
+  cp.state_digest = m->state_digest;
+  cp.snapshot = m->snapshot;
+  cp.certificate = m->cert;
+  if (remote_.Install(m->zone, std::move(cp))) {
+    transport_->counters().Inc("lazy.checkpoints_installed");
+  }
+  return true;
+}
+
+}  // namespace ziziphus::core

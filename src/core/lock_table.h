@@ -1,0 +1,32 @@
+#ifndef ZIZIPHUS_CORE_LOCK_TABLE_H_
+#define ZIZIPHUS_CORE_LOCK_TABLE_H_
+
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace ziziphus::core {
+
+/// Per-client lock bits (Section IV-A): lock(c) == true means the client's
+/// data in this zone is up-to-date and local transactions may be processed.
+/// The data synchronization protocol clears the bit in the source zone; the
+/// data migration protocol sets it in the destination zone.
+class LockTable {
+ public:
+  void SetLocked(ClientId c, bool locked) { locked_[c] = locked; }
+
+  /// Clients never seen are not served (their data is not here).
+  bool IsLocked(ClientId c) const {
+    auto it = locked_.find(c);
+    return it != locked_.end() && it->second;
+  }
+
+  bool Knows(ClientId c) const { return locked_.count(c) > 0; }
+
+ private:
+  std::unordered_map<ClientId, bool> locked_;
+};
+
+}  // namespace ziziphus::core
+
+#endif  // ZIZIPHUS_CORE_LOCK_TABLE_H_

@@ -1,0 +1,291 @@
+#include "core/migration.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ziziphus::core {
+
+MigrationEngine::MigrationEngine(sim::Transport* transport,
+                                 const crypto::KeyRegistry* keys,
+                                 const Topology* topology, ZoneId my_zone,
+                                 LockTable* locks, ZoneEndorser* endorser,
+                                 MigrationConfig config)
+    : transport_(transport),
+      keys_(keys),
+      topology_(topology),
+      my_zone_(my_zone),
+      locks_(locks),
+      endorser_(endorser),
+      config_(config) {}
+
+std::uint64_t MigrationEngine::RecordsDigest(
+    const storage::KvStore::Map& records) {
+  std::uint64_t d = 0;
+  for (const auto& [k, v] : records) {
+    d += Hasher(0x42).Add(k).Add(v).Finish() * 0x9e3779b97f4a7c15ULL + 1;
+  }
+  return d;
+}
+
+Status MigrationEngine::VerifyZoneCert(const crypto::Certificate& cert,
+                                       crypto::Digest expected,
+                                       ZoneId zone) const {
+  const ZoneInfo& zi = topology_->zone(zone);
+  transport_->ChargeCpu(
+      config_.costs.crypto.CertificateVerifyCost(cert.size()));
+  return crypto::VerifyCertificate(
+      *keys_, cert, expected, zi.quorum(), [&zi](NodeId n) {
+        return std::find(zi.members.begin(), zi.members.end(), n) !=
+               zi.members.end();
+      });
+}
+
+void MigrationEngine::OnGlobalExecuted(const MigrationOp& op, Ballot ballot) {
+  std::uint64_t id = op.RequestId();
+  MigState& st = states_[id];
+  st.op = op;
+  st.ballot = ballot;
+
+  if (my_zone_ == op.source && endorser_->IsPrimary() &&
+      st.state_msg == nullptr) {
+    StartRecordGeneration(st);
+  }
+  if (my_zone_ == op.destination && !st.appended && st.wait_timer == 0) {
+    // Wait for the STATE message; probe the source zone if it never comes
+    // ("the data migration protocol handles failure in the same way for
+    // state messages" — Section V-A).
+    std::uint64_t token = next_timer_token_++;
+    timers_[token] = id;
+    st.wait_timer =
+        transport_->SetTimer(config_.state_wait_timeout_us, kTimerBase | token);
+  }
+}
+
+void MigrationEngine::StartRecordGeneration(MigState& st) {
+  ZCHECK(provider_ != nullptr);
+  st.records = provider_(st.op.client);
+  st.records_digest = RecordsDigest(st.records);
+  std::uint64_t id = st.op.RequestId();
+  transport_->counters().Inc("mig.record_generations");
+  endorser_->Start(
+      EndorsePhase::kMigrationState, id, st.ballot, kNullBallot,
+      StateContentDigest(id, st.op.client, st.records_digest), nullptr, st.op,
+      {}, st.records, /*full_prepare=*/true);
+}
+
+bool MigrationEngine::HandleMessage(const sim::MessagePtr& msg) {
+  switch (msg->type()) {
+    case kStateTransfer:
+      transport_->ChargeCpu(config_.costs.base_handle_us);
+      HandleStateTransfer(
+          std::static_pointer_cast<const StateTransferMsg>(msg));
+      return true;
+    case kResponseQuery: {
+      auto q = std::static_pointer_cast<const ResponseQueryMsg>(msg);
+      // Only consume queries in the migration id namespace.
+      bool known = false;
+      for (const auto& [id, st] : states_) {
+        if (QueryId(id) == q->request_id) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) return false;
+      transport_->ChargeCpu(config_.costs.base_handle_us + config_.costs.mac_us);
+      HandleResponseQuery(q);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+bool MigrationEngine::HandleTimer(std::uint64_t tag) {
+  if ((tag & kTimerMask) != kTimerBase) return false;
+  std::uint64_t token = tag & ~kTimerMask;
+  auto it = timers_.find(token);
+  if (it == timers_.end()) return true;
+  std::uint64_t id = it->second;
+  timers_.erase(it);
+  auto sit = states_.find(id);
+  if (sit == states_.end()) return true;
+  MigState& st = sit->second;
+  st.wait_timer = 0;
+  if (st.appended || my_zone_ != st.op.destination) return true;
+
+  // Probe the source zone for the missing state.
+  auto query = std::make_shared<ResponseQueryMsg>();
+  query->request_id = QueryId(id);
+  query->ballot = st.ballot;
+  query->zone = my_zone_;
+  query->replica = transport_->self();
+  query->sig = keys_->Sign(transport_->self(), query->ComputeDigest());
+  const auto& members = topology_->zone(st.op.source).members;
+  transport_->ChargeCpu(config_.costs.crypto.sign_us +
+                        config_.costs.send_us * members.size());
+  transport_->counters().Inc("mig.state_queries_sent");
+  transport_->Multicast(members, query);
+  if (++st.wait_rounds < 5) {
+    std::uint64_t token2 = next_timer_token_++;
+    timers_[token2] = id;
+    st.wait_timer = transport_->SetTimer(
+        config_.state_wait_timeout_us * (1ULL << st.wait_rounds),
+        kTimerBase | token2);
+  }
+  return true;
+}
+
+bool MigrationEngine::ValidateEndorse(const EndorsePrePrepareMsg& pp) {
+  std::uint64_t id = pp.request_id;
+  switch (pp.phase) {
+    case EndorsePhase::kMigrationState: {
+      // Source-zone nodes check that the records the primary proposes match
+      // their own copy of the client's data — a Byzantine primary cannot
+      // ship a forged state.
+      if (my_zone_ != pp.op.source) return false;
+      std::uint64_t claimed = RecordsDigest(pp.records);
+      if (StateContentDigest(id, pp.op.client, claimed) !=
+          pp.content_digest) {
+        transport_->counters().Inc("mig.bad_state_digest");
+        return false;
+      }
+      if (provider_ != nullptr) {
+        transport_->ChargeCpu(config_.costs.crypto.digest_us);
+        std::uint64_t own = RecordsDigest(provider_(pp.op.client));
+        if (own != claimed) {
+          transport_->counters().Inc("mig.state_mismatch_rejected");
+          return false;
+        }
+      }
+      MigState& st = states_[id];
+      st.op = pp.op;
+      st.records = pp.records;
+      st.records_digest = claimed;
+      return true;
+    }
+    case EndorsePhase::kMigrationAppend: {
+      if (my_zone_ != pp.op.destination) return false;
+      std::uint64_t claimed = RecordsDigest(pp.records);
+      if (StateContentDigest(id, pp.op.client, claimed) !=
+          pp.content_digest) {
+        transport_->counters().Inc("mig.bad_append_digest");
+        return false;
+      }
+      // The embedded STATE message's certificate proves 2f+1 source-zone
+      // nodes vouch for these records.
+      const auto* state =
+          dynamic_cast<const StateTransferMsg*>(pp.payload.get());
+      if (state == nullptr ||
+          !VerifyZoneCert(state->cert, state->ComputeDigest(),
+                          state->source_zone)
+               .ok()) {
+        transport_->counters().Inc("mig.bad_state_cert");
+        return false;
+      }
+      if (state->records_digest != claimed) {
+        transport_->counters().Inc("mig.append_digest_mismatch");
+        return false;
+      }
+      MigState& st = states_[id];
+      st.op = pp.op;
+      st.records = pp.records;
+      st.records_digest = claimed;
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+void MigrationEngine::OnEndorseQuorum(const EndorseKey& key,
+                                      const EndorsePrePrepareMsg& pp,
+                                      const crypto::Certificate& cert) {
+  auto it = states_.find(key.request_id);
+  if (it == states_.end()) return;
+  MigState& st = it->second;
+
+  switch (key.phase) {
+    case EndorsePhase::kMigrationState: {
+      if (!endorser_->IsPrimary()) break;
+      auto msg = std::make_shared<StateTransferMsg>();
+      msg->request_id = key.request_id;
+      msg->ballot = pp.ballot;
+      msg->client = st.op.client;
+      msg->timestamp = st.op.timestamp;
+      msg->source_zone = my_zone_;
+      msg->records = st.records;
+      msg->records_digest = st.records_digest;
+      msg->cert = cert;
+      st.state_msg = msg;
+      const auto& members = topology_->zone(st.op.destination).members;
+      transport_->ChargeCpu(config_.costs.send_us * members.size());
+      transport_->counters().Inc("mig.states_sent");
+      transport_->Multicast(members, msg);
+      break;
+    }
+    case EndorsePhase::kMigrationAppend: {
+      // Finalizes at every destination-zone node (Alg. 2 lines 22-25).
+      if (st.appended) break;
+      st.appended = true;
+      completed_++;
+      transport_->ChargeCpu(config_.costs.apply_us);
+      if (installer_ != nullptr) installer_(st.op.client, st.records);
+      locks_->SetLocked(st.op.client, true);
+      transport_->counters().Inc("mig.appends");
+      if (st.wait_timer != 0) {
+        // Timer cancellation happens lazily (token map erased on fire).
+        st.wait_timer = 0;
+      }
+      if (done_) done_(st.op);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void MigrationEngine::HandleStateTransfer(
+    const std::shared_ptr<const StateTransferMsg>& msg) {
+  std::uint64_t id = msg->request_id;
+  MigState& st = states_[id];
+  if (st.op.client == kInvalidClient) {
+    // STATE can arrive before the commit executes here; remember enough to
+    // validate when the append endorsement starts.
+    st.op.client = msg->client;
+    st.op.timestamp = msg->timestamp;
+  }
+  if (st.appended) return;
+  if (!endorser_->IsPrimary()) return;
+  if (st.op.destination != kInvalidZone && my_zone_ != st.op.destination) {
+    return;
+  }
+  if (!VerifyZoneCert(msg->cert, msg->ComputeDigest(), msg->source_zone)
+           .ok()) {
+    transport_->counters().Inc("mig.bad_state_cert");
+    return;
+  }
+  endorser_->Start(
+      EndorsePhase::kMigrationAppend, id, msg->ballot, kNullBallot,
+      StateContentDigest(id, msg->client, msg->records_digest), msg,
+      st.op.client != kInvalidClient && st.op.destination != kInvalidZone
+          ? st.op
+          : MigrationOp{msg->client, msg->source_zone, my_zone_,
+                        msg->timestamp, ""},
+      {}, msg->records, /*full_prepare=*/false);
+}
+
+void MigrationEngine::HandleResponseQuery(
+    const std::shared_ptr<const ResponseQueryMsg>& msg) {
+  for (const auto& [id, st] : states_) {
+    if (QueryId(id) != msg->request_id) continue;
+    if (st.state_msg != nullptr) {
+      transport_->ChargeCpu(config_.costs.send_us);
+      transport_->counters().Inc("mig.states_resent");
+      transport_->Send(msg->replica, st.state_msg);
+    }
+    return;
+  }
+}
+
+}  // namespace ziziphus::core

@@ -1,0 +1,116 @@
+#ifndef ZIZIPHUS_CORE_MIGRATION_H_
+#define ZIZIPHUS_CORE_MIGRATION_H_
+
+#include <functional>
+#include <unordered_map>
+
+#include "common/costs.h"
+#include "core/endorsement.h"
+#include "core/lock_table.h"
+#include "core/messages.h"
+#include "core/topology.h"
+#include "sim/transport.h"
+
+namespace ziziphus::core {
+
+struct MigrationConfig {
+  /// How long destination-zone nodes wait for the STATE message before
+  /// probing the source zone with response-queries.
+  Duration state_wait_timeout_us = Seconds(2);
+  NodeCosts costs;
+};
+
+/// The data migration protocol (Algorithm 2): once the data synchronization
+/// protocol commits a migration, the source zone reaches consensus on the
+/// client's records R(c), certifies them with 2f+1 signatures, and ships
+/// them to the destination zone, which validates, appends, re-enables the
+/// client (lock(c) = TRUE) and replies.
+class MigrationEngine {
+ public:
+  /// Reads the client's records from the local application state.
+  using StateProvider =
+      std::function<storage::KvStore::Map(ClientId client)>;
+  /// Installs migrated records into the local application state.
+  using StateInstaller = std::function<void(
+      ClientId client, const storage::KvStore::Map& records)>;
+  /// Fired at destination-zone nodes when the append completes; the host
+  /// sends the final reply to the client.
+  using DoneCallback = std::function<void(const MigrationOp& op)>;
+
+  MigrationEngine(sim::Transport* transport, const crypto::KeyRegistry* keys,
+                  const Topology* topology, ZoneId my_zone, LockTable* locks,
+                  ZoneEndorser* endorser, MigrationConfig config);
+
+  static constexpr std::uint64_t kTimerBase = 0x0300000000ULL;
+  static constexpr std::uint64_t kTimerMask = 0xff00000000ULL;
+
+  /// Request-id namespace for migration-related response queries, so they
+  /// do not collide with data-synchronization queries.
+  static std::uint64_t QueryId(std::uint64_t request_id) {
+    return Hasher(0x9167).Add(request_id).Finish();
+  }
+
+  /// Digest of a record map (order-insensitive).
+  static std::uint64_t RecordsDigest(const storage::KvStore::Map& records);
+
+  /// Called at every node of the source and destination zones when the
+  /// first sub-transaction executes (commit of Algorithm 1). The source
+  /// primary initiates record generation; destination nodes start waiting
+  /// for the state.
+  void OnGlobalExecuted(const MigrationOp& op, Ballot ballot);
+
+  /// Routes kStateTransfer and migration-scoped kResponseQuery messages.
+  bool HandleMessage(const sim::MessagePtr& msg);
+  bool HandleTimer(std::uint64_t tag);
+
+  /// Endorsement routing for kMigrationState / kMigrationAppend phases.
+  bool ValidateEndorse(const EndorsePrePrepareMsg& pp);
+  void OnEndorseQuorum(const EndorseKey& key, const EndorsePrePrepareMsg& pp,
+                       const crypto::Certificate& cert);
+
+  void set_state_provider(StateProvider p) { provider_ = std::move(p); }
+  void set_state_installer(StateInstaller i) { installer_ = std::move(i); }
+  void set_done_callback(DoneCallback cb) { done_ = std::move(cb); }
+
+  std::uint64_t migrations_completed() const { return completed_; }
+
+ private:
+  struct MigState {
+    MigrationOp op;
+    Ballot ballot;
+    storage::KvStore::Map records;
+    std::uint64_t records_digest = 0;
+    std::shared_ptr<const StateTransferMsg> state_msg;  // source side cache
+    bool appended = false;
+    std::uint64_t wait_timer = 0;
+    int wait_rounds = 0;
+  };
+
+  void StartRecordGeneration(MigState& st);
+  void HandleStateTransfer(
+      const std::shared_ptr<const StateTransferMsg>& msg);
+  void HandleResponseQuery(
+      const std::shared_ptr<const ResponseQueryMsg>& msg);
+  Status VerifyZoneCert(const crypto::Certificate& cert,
+                        crypto::Digest expected, ZoneId zone) const;
+
+  sim::Transport* transport_;
+  const crypto::KeyRegistry* keys_;
+  const Topology* topology_;
+  ZoneId my_zone_;
+  LockTable* locks_;
+  ZoneEndorser* endorser_;
+  MigrationConfig config_;
+  StateProvider provider_;
+  StateInstaller installer_;
+  DoneCallback done_;
+
+  std::unordered_map<std::uint64_t, MigState> states_;
+  std::unordered_map<std::uint64_t, std::uint64_t> timers_;  // token -> req
+  std::uint64_t next_timer_token_ = 1;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace ziziphus::core
+
+#endif  // ZIZIPHUS_CORE_MIGRATION_H_

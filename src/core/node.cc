@@ -1,0 +1,181 @@
+#include "core/node.h"
+
+#include "common/logging.h"
+
+namespace ziziphus::core {
+
+void ZiziphusNode::Init(const crypto::KeyRegistry* keys,
+                        const Topology* topology, ZoneId zone,
+                        std::unique_ptr<ZoneStateMachine> app,
+                        NodeConfig config) {
+  keys_ = keys;
+  topology_ = topology;
+  zone_ = zone;
+  config_ = std::move(config);
+  app_ = std::move(app);
+  metadata_ = std::make_unique<GlobalMetadata>(config_.policy);
+
+  const ZoneInfo& zi = topology_->zone(zone_);
+  config_.pbft.members = zi.members;
+  config_.pbft.f = zi.f;
+
+  pbft_ = std::make_unique<pbft::PbftEngine>(this, keys_, config_.pbft,
+                                             app_.get());
+
+  ZoneEndorser::Callbacks cbs;
+  cbs.validate = [this](const EndorsePrePrepareMsg& pp) {
+    switch (pp.phase) {
+      case EndorsePhase::kMigrationState:
+      case EndorsePhase::kMigrationAppend:
+        return migration_->ValidateEndorse(pp);
+      default:
+        return sync_->ValidateEndorse(pp);
+    }
+  };
+  cbs.on_quorum = [this](const EndorseKey& key,
+                         const EndorsePrePrepareMsg& pp,
+                         const crypto::Certificate& cert) {
+    switch (key.phase) {
+      case EndorsePhase::kMigrationState:
+      case EndorsePhase::kMigrationAppend:
+        migration_->OnEndorseQuorum(key, pp, cert);
+        break;
+      default:
+        sync_->OnEndorseQuorum(key, pp, cert);
+        break;
+    }
+  };
+  endorser_ = std::make_unique<ZoneEndorser>(this, keys_, &zi,
+                                             config_.sync.costs, cbs);
+
+  sync_ = std::make_unique<DataSyncEngine>(this, keys_, topology_, zone_,
+                                           metadata_.get(), &locks_,
+                                           endorser_.get(), config_.sync);
+  migration_ = std::make_unique<MigrationEngine>(this, keys_, topology_,
+                                                 zone_, &locks_,
+                                                 endorser_.get(),
+                                                 config_.migration);
+  lazy_ = std::make_unique<LazySyncEngine>(this, keys_, topology_, zone_,
+                                           config_.sync.costs);
+
+  // ---- cross-engine wiring --------------------------------------------
+  sync_->set_executed_callback(
+      [this](const MigrationOp& op, Ballot ballot, ZoneId initiator,
+             const std::string& result) {
+        OnGlobalExecuted(op, ballot, initiator, result);
+      });
+  sync_->set_suspect_primary_callback([this] { pbft_->SuspectPrimary(); });
+  sync_->set_global_apply_callback([this](const MigrationOp& op) {
+    // Globally replicated command (Steward baseline / cross-zone txn):
+    // apply to this node's application state.
+    pbft::Operation app_op;
+    app_op.client = op.client;
+    app_op.timestamp = op.timestamp;
+    app_op.command = op.command;
+    ChargeCpu(config_.sync.costs.apply_us);
+    return app_->Apply(app_op);
+  });
+
+  migration_->set_state_provider(
+      [this](ClientId c) { return app_->ClientRecords(c); });
+  migration_->set_state_installer(
+      [this](ClientId c, const storage::KvStore::Map& records) {
+        app_->InstallClientRecords(c, records);
+      });
+  migration_->set_done_callback([this](const MigrationOp& op) {
+    auto reply = std::make_shared<MigrationReplyMsg>(/*done=*/true);
+    reply->request_id = op.RequestId();
+    reply->client = op.client;
+    reply->timestamp = op.timestamp;
+    reply->replica = self();
+    reply->result = "migrated";
+    ChargeCpu(config_.migration.costs.mac_us + config_.migration.costs.send_us);
+    Send(op.client, reply);
+  });
+
+  pbft_->set_view_callback([this](ViewId view, bool active) {
+    if (!active) return;
+    endorser_->OnViewChange(view);
+    sync_->OnViewChange(view);
+  });
+  if (config_.lazy_sync) {
+    pbft_->set_stable_checkpoint_callback(
+        [this](const storage::Checkpoint& cp) {
+          lazy_->OnLocalStableCheckpoint(cp, endorser_->IsPrimary());
+        });
+  }
+}
+
+void ZiziphusNode::OnGlobalExecuted(const MigrationOp& op, Ballot ballot,
+                                    ZoneId initiator_zone,
+                                    const std::string& result) {
+  // First sub-transaction committed: initiator-zone nodes reply to the
+  // client (the client waits for f+1 matching replies — Alg. 1).
+  if (zone_ == initiator_zone && op.client != kInvalidClient) {
+    auto reply = std::make_shared<MigrationReplyMsg>(/*done=*/false);
+    reply->request_id = op.RequestId();
+    reply->client = op.client;
+    reply->timestamp = op.timestamp;
+    reply->replica = self();
+    reply->result = result.empty() ? "synced" : result;
+    ChargeCpu(config_.sync.costs.mac_us + config_.sync.costs.send_us);
+    Send(op.client, reply);
+  }
+  // Second sub-transaction: source generates R(c), destination awaits it.
+  // Policy-rejected migrations never move data.
+  if (op.IsMigration() && result == "ok" &&
+      (zone_ == op.source || zone_ == op.destination)) {
+    migration_->OnGlobalExecuted(op, ballot);
+  }
+}
+
+void ZiziphusNode::OnMessage(const sim::MessagePtr& msg) {
+  sim::MessageType t = msg->type();
+
+  // Local transactions: gate on the client's lock bit (Section IV-A — a
+  // migrating client's stale zone must not serve it).
+  if (t == pbft::kClientRequest) {
+    auto req = std::static_pointer_cast<const pbft::ClientRequestMsg>(msg);
+    if (!locks_.IsLocked(req->op.client)) {
+      counters().Inc("node.unlocked_client_rejected");
+      return;
+    }
+    pbft_->HandleMessage(msg);
+    return;
+  }
+  if (t >= 10 && t < 30) {
+    pbft_->HandleMessage(msg);
+    return;
+  }
+  if (t == kEndorsePrePrepare || t == kEndorsePrepare || t == kEndorseVote) {
+    endorser_->HandleMessage(msg);
+    return;
+  }
+  if (t == kStateTransfer) {
+    migration_->HandleMessage(msg);
+    return;
+  }
+  if (t == kResponseQuery) {
+    // Migration-scoped queries use a distinct id namespace; try the
+    // migration engine first, then data synchronization.
+    if (!migration_->HandleMessage(msg)) sync_->HandleMessage(msg);
+    return;
+  }
+  if (t == kZoneCheckpoint) {
+    lazy_->HandleMessage(msg);
+    return;
+  }
+  if (t >= 40 && t < 80) {
+    sync_->HandleMessage(msg);
+    return;
+  }
+  counters().Inc("node.unroutable_message");
+}
+
+void ZiziphusNode::OnTimer(std::uint64_t tag) {
+  if (pbft_->HandleTimer(tag)) return;
+  if (sync_->HandleTimer(tag)) return;
+  if (migration_->HandleTimer(tag)) return;
+}
+
+}  // namespace ziziphus::core

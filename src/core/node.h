@@ -1,0 +1,109 @@
+#ifndef ZIZIPHUS_CORE_NODE_H_
+#define ZIZIPHUS_CORE_NODE_H_
+
+#include <memory>
+
+#include "core/data_sync.h"
+#include "core/endorsement.h"
+#include "core/lazy_sync.h"
+#include "core/lock_table.h"
+#include "core/messages.h"
+#include "core/metadata.h"
+#include "core/migration.h"
+#include "core/topology.h"
+#include "core/zone_app.h"
+#include "pbft/engine.h"
+#include "sim/simulation.h"
+#include "sim/transport.h"
+
+namespace ziziphus::core {
+
+/// Configuration shared by all engines on one Ziziphus replica.
+struct NodeConfig {
+  pbft::PbftConfig pbft;     // members filled in by Init from the topology
+  SyncConfig sync;
+  MigrationConfig migration;
+  PolicyConfig policy;
+  /// Enables lazy checkpoint sharing across zones (Section V-B).
+  bool lazy_sync = true;
+};
+
+/// One Ziziphus edge replica: a single simulated core running
+///   - a PBFT engine for the zone's local transactions,
+///   - the intra-zone endorsement machinery,
+///   - the data synchronization engine (global transactions),
+///   - the data migration engine, and
+///   - the lazy checkpoint synchronization engine.
+///
+/// The node routes delivered messages and timers into the right engine and
+/// wires the cross-engine callbacks (commit → migration, suspicion → view
+/// change, view change → re-lead, executed → client replies).
+class ZiziphusNode : public sim::Process, public sim::Transport {
+ public:
+  ZiziphusNode() = default;
+
+  /// Two-phase initialization: construct, register with the simulation
+  /// (assigns the NodeId), then Init once the full topology is known.
+  void Init(const crypto::KeyRegistry* keys, const Topology* topology,
+            ZoneId zone, std::unique_ptr<ZoneStateMachine> app,
+            NodeConfig config);
+
+  // ---- sim::Transport --------------------------------------------------
+  NodeId self() const override { return id(); }
+  SimTime Now() const override { return Process::Now(); }
+  void Send(NodeId dst, sim::MessagePtr msg) override {
+    Process::Send(dst, std::move(msg));
+  }
+  void Multicast(const std::vector<NodeId>& dsts,
+                 sim::MessagePtr msg) override {
+    Process::Multicast(dsts, std::move(msg));
+  }
+  std::uint64_t SetTimer(Duration delay, std::uint64_t tag) override {
+    return Process::SetTimer(delay, tag);
+  }
+  void CancelTimer(std::uint64_t timer_id) override {
+    Process::CancelTimer(timer_id);
+  }
+  void ChargeCpu(Duration cost) override { Process::ChargeCpu(cost); }
+  CounterSet& counters() override { return simulation()->counters(); }
+
+  // ---- Introspection ---------------------------------------------------
+  ZoneId zone() const { return zone_; }
+  pbft::PbftEngine& pbft() { return *pbft_; }
+  DataSyncEngine& sync() { return *sync_; }
+  MigrationEngine& migration() { return *migration_; }
+  LazySyncEngine& lazy_sync() { return *lazy_; }
+  ZoneEndorser& endorser() { return *endorser_; }
+  LockTable& locks() { return locks_; }
+  GlobalMetadata& metadata() { return *metadata_; }
+  ZoneStateMachine& app() { return *app_; }
+
+  /// Marks a client as homed (lock = TRUE) at bootstrap.
+  void BootstrapClient(ClientId client) { locks_.SetLocked(client, true); }
+
+ protected:
+  void OnMessage(const sim::MessagePtr& msg) override;
+  void OnTimer(std::uint64_t tag) override;
+
+ private:
+  void OnGlobalExecuted(const MigrationOp& op, Ballot ballot,
+                        ZoneId initiator_zone, const std::string& result);
+
+  const crypto::KeyRegistry* keys_ = nullptr;
+  const Topology* topology_ = nullptr;
+  ZoneId zone_ = kInvalidZone;
+  NodeConfig config_;
+
+  std::unique_ptr<ZoneStateMachine> app_;
+  std::unique_ptr<GlobalMetadata> metadata_;
+  LockTable locks_;
+  std::unique_ptr<pbft::PbftEngine> pbft_;
+  std::unique_ptr<ZoneEndorser> endorser_;
+  std::unique_ptr<DataSyncEngine> sync_;
+  std::unique_ptr<MigrationEngine> migration_;
+  std::unique_ptr<LazySyncEngine> lazy_;
+};
+
+}  // namespace ziziphus::core
+
+#endif  // ZIZIPHUS_CORE_NODE_H_

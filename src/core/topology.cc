@@ -1,0 +1,43 @@
+#include "core/topology.h"
+
+#include "common/logging.h"
+
+namespace ziziphus::core {
+
+ZoneId Topology::AddZone(ClusterId cluster, RegionId region, std::size_t f,
+                         std::vector<NodeId> members) {
+  ZCHECK(members.size() >= 3 * f + 1);
+  ZoneId id = static_cast<ZoneId>(zones_.size());
+  for (NodeId n : members) {
+    ZCHECK(node_zone_.count(n) == 0);
+    node_zone_[n] = id;
+  }
+  zones_.push_back(ZoneInfo{id, cluster, region, f, std::move(members)});
+  clusters_[cluster].push_back(id);
+  return id;
+}
+
+ZoneId Topology::ZoneOf(NodeId node) const {
+  auto it = node_zone_.find(node);
+  ZCHECK(it != node_zone_.end());
+  return it->second;
+}
+
+std::vector<NodeId> Topology::AllNodesInCluster(ClusterId cluster) const {
+  std::vector<NodeId> out;
+  for (ZoneId z : clusters_.at(cluster)) {
+    const auto& m = zones_[z].members;
+    out.insert(out.end(), m.begin(), m.end());
+  }
+  return out;
+}
+
+std::vector<NodeId> Topology::AllNodes() const {
+  std::vector<NodeId> out;
+  for (const auto& z : zones_) {
+    out.insert(out.end(), z.members.begin(), z.members.end());
+  }
+  return out;
+}
+
+}  // namespace ziziphus::core

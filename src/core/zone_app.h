@@ -1,0 +1,30 @@
+#ifndef ZIZIPHUS_CORE_ZONE_APP_H_
+#define ZIZIPHUS_CORE_ZONE_APP_H_
+
+#include "common/types.h"
+#include "pbft/state_machine.h"
+#include "storage/kv_store.h"
+
+namespace ziziphus::core {
+
+/// A zone-local application state machine that additionally supports the
+/// data migration protocol: extracting one client's records R(c) and
+/// installing migrated records.
+class ZoneStateMachine : public pbft::StateMachine {
+ public:
+  /// The client's data state — "only the client data state consisting of
+  /// the information that is needed to process its transactions, e.g., the
+  /// account balance" (Section IV-B2).
+  virtual storage::KvStore::Map ClientRecords(ClientId client) const = 0;
+
+  /// Appends R(c) to this zone's database.
+  virtual void InstallClientRecords(ClientId client,
+                                    const storage::KvStore::Map& records) = 0;
+
+  /// Removes a migrated-away client's records (housekeeping; optional).
+  virtual void EvictClientRecords(ClientId client) { (void)client; }
+};
+
+}  // namespace ziziphus::core
+
+#endif  // ZIZIPHUS_CORE_ZONE_APP_H_

@@ -1,0 +1,32 @@
+#include "crypto/certificate.h"
+
+#include <unordered_set>
+
+namespace ziziphus::crypto {
+
+Status VerifyCertificate(const KeyRegistry& keys, const Certificate& cert,
+                         Digest expected_digest, std::size_t quorum,
+                         const std::function<bool(NodeId)>& is_member) {
+  if (cert.digest != expected_digest) {
+    return Status::InvalidCertificate("certificate digest mismatch");
+  }
+  std::unordered_set<NodeId> distinct;
+  distinct.reserve(cert.signatures.size());
+  for (const auto& sig : cert.signatures) {
+    if (!is_member(sig.signer)) {
+      return Status::InvalidCertificate("signer not a member of the zone");
+    }
+    if (!keys.Verify(sig, expected_digest)) {
+      return Status::InvalidCertificate("invalid component signature");
+    }
+    distinct.insert(sig.signer);
+  }
+  if (distinct.size() < quorum) {
+    return Status::InvalidCertificate(
+        "insufficient distinct signers: have " +
+        std::to_string(distinct.size()) + ", need " + std::to_string(quorum));
+  }
+  return Status::Ok();
+}
+
+}  // namespace ziziphus::crypto

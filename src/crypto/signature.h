@@ -1,0 +1,77 @@
+#ifndef ZIZIPHUS_CRYPTO_SIGNATURE_H_
+#define ZIZIPHUS_CRYPTO_SIGNATURE_H_
+
+#include <cstdint>
+
+#include "common/hash.h"
+#include "common/types.h"
+
+namespace ziziphus::crypto {
+
+/// 64-bit message digest. The simulator models digests as collision-free
+/// 64-bit values computed over a message's semantic fields.
+using Digest = std::uint64_t;
+
+/// A (simulated) digital signature: the signing node id plus a tag that is a
+/// keyed hash of the message digest. Only the owner of the node's secret can
+/// produce a tag that verifies, so non-owners cannot forge signatures —
+/// which is the only property the protocol's safety arguments rely on.
+struct Signature {
+  NodeId signer = kInvalidNode;
+  std::uint64_t tag = 0;
+
+  friend bool operator==(const Signature&, const Signature&) = default;
+};
+
+/// Derives and verifies per-node signing keys. In a real deployment this is
+/// a PKI; in the simulator every node's secret is a deterministic function
+/// of a run-wide seed, and verification re-derives the expected tag.
+class KeyRegistry {
+ public:
+  explicit KeyRegistry(std::uint64_t seed) : seed_(seed) {}
+
+  /// The node's signing secret. Handed only to the node itself (and, for
+  /// verification, used internally); Byzantine test doubles that try to sign
+  /// for *other* nodes do not get access to those secrets.
+  std::uint64_t SecretFor(NodeId node) const {
+    return Hasher(seed_).Add(0x5ec7e7ULL).Add(node).Finish();
+  }
+
+  /// Signs `digest` with `signer`'s secret.
+  Signature Sign(NodeId signer, Digest digest) const {
+    return Signature{signer, Tag(signer, digest)};
+  }
+
+  /// True iff `sig` is a valid signature over `digest`.
+  bool Verify(const Signature& sig, Digest digest) const {
+    return sig.signer != kInvalidNode && sig.tag == Tag(sig.signer, digest);
+  }
+
+ private:
+  std::uint64_t Tag(NodeId signer, Digest digest) const {
+    return Hasher(SecretFor(signer)).Add(digest).Finish();
+  }
+
+  std::uint64_t seed_;
+};
+
+/// CPU cost (in microseconds) of crypto operations, charged to the node's
+/// simulated core. Defaults approximate Ed25519 on mid-2010s server cores
+/// (the paper's c4.large instances).
+struct CryptoCosts {
+  Duration sign_us = 25;
+  Duration verify_us = 60;
+  Duration digest_us = 1;
+  /// Verifying a 2f+1 certificate with a threshold signature costs one
+  /// verify; without, it costs one verify per component signature.
+  bool threshold_signatures = false;
+
+  Duration CertificateVerifyCost(std::size_t signatures) const {
+    return threshold_signatures ? verify_us
+                                : verify_us * static_cast<Duration>(signatures);
+  }
+};
+
+}  // namespace ziziphus::crypto
+
+#endif  // ZIZIPHUS_CRYPTO_SIGNATURE_H_

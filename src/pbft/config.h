@@ -1,0 +1,46 @@
+#ifndef ZIZIPHUS_PBFT_CONFIG_H_
+#define ZIZIPHUS_PBFT_CONFIG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/costs.h"
+#include "common/types.h"
+
+namespace ziziphus::pbft {
+
+/// Static configuration of one PBFT group (3f+1 replicas).
+struct PbftConfig {
+  /// Replica node ids; position in this vector is the replica index used for
+  /// primary rotation (primary of view v is members[v % members.size()]).
+  std::vector<NodeId> members;
+
+  /// Maximum simultaneous Byzantine replicas tolerated. members.size() must
+  /// be >= 3f+1.
+  std::size_t f = 1;
+
+  /// Request batching at the primary.
+  std::size_t batch_max = 64;
+  Duration batch_timeout_us = Millis(2);
+
+  /// Progress timeout before suspecting the primary (local transactions; the
+  /// paper notes global transactions use longer timers — the global engines
+  /// configure their own).
+  Duration request_timeout_us = Millis(600);
+
+  /// Checkpoint every this many sequence numbers.
+  SeqNum checkpoint_interval = 128;
+
+  /// High-watermark window above the last stable checkpoint.
+  SeqNum watermark_window = 2048;
+
+  /// CPU cost model.
+  NodeCosts costs;
+
+  std::size_t quorum() const { return 2 * f + 1; }
+  std::size_t n() const { return members.size(); }
+};
+
+}  // namespace ziziphus::pbft
+
+#endif  // ZIZIPHUS_PBFT_CONFIG_H_

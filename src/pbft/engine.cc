@@ -1,0 +1,699 @@
+#include "pbft/engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ziziphus::pbft {
+
+namespace {
+crypto::Digest EmptyBatchDigest() { return Batch{}.ComputeDigest(); }
+}  // namespace
+
+PbftEngine::PbftEngine(sim::Transport* transport,
+                       const crypto::KeyRegistry* keys, PbftConfig config,
+                       StateMachine* state_machine)
+    : transport_(transport),
+      keys_(keys),
+      config_(std::move(config)),
+      state_machine_(state_machine) {
+  ZCHECK(config_.members.size() >= 3 * config_.f + 1);
+  ZCHECK(state_machine_ != nullptr);
+}
+
+bool PbftEngine::IsMember(NodeId n) const {
+  return std::find(config_.members.begin(), config_.members.end(), n) !=
+         config_.members.end();
+}
+
+// --------------------------------------------------------------- dispatch
+
+bool PbftEngine::HandleMessage(const sim::MessagePtr& msg) {
+  const auto& costs = config_.costs;
+  switch (msg->type()) {
+    case kClientRequest:
+      transport_->ChargeCpu(costs.base_handle_us + costs.mac_us);
+      HandleClientRequest(
+          std::static_pointer_cast<const ClientRequestMsg>(msg));
+      return true;
+    case kPrePrepare: {
+      auto m = std::static_pointer_cast<const PrePrepareMsg>(msg);
+      // Verify the primary's signature plus the client MACs in the batch.
+      transport_->ChargeCpu(costs.base_handle_us + costs.crypto.verify_us +
+                            costs.mac_us * m->batch.ops.size());
+      HandlePrePrepare(m);
+      return true;
+    }
+    case kPrepare:
+      transport_->ChargeCpu(costs.base_handle_us + costs.crypto.verify_us);
+      HandlePrepare(std::static_pointer_cast<const PrepareMsg>(msg));
+      return true;
+    case kCommit:
+      transport_->ChargeCpu(costs.base_handle_us + costs.crypto.verify_us);
+      HandleCommit(std::static_pointer_cast<const CommitMsg>(msg));
+      return true;
+    case kCheckpoint:
+      transport_->ChargeCpu(costs.base_handle_us + costs.crypto.verify_us);
+      HandleCheckpoint(std::static_pointer_cast<const CheckpointMsg>(msg));
+      return true;
+    case kViewChange:
+      transport_->ChargeCpu(costs.base_handle_us + costs.crypto.verify_us);
+      HandleViewChange(std::static_pointer_cast<const ViewChangeMsg>(msg));
+      return true;
+    case kNewView:
+      transport_->ChargeCpu(costs.base_handle_us + costs.crypto.verify_us);
+      HandleNewView(std::static_pointer_cast<const NewViewMsg>(msg));
+      return true;
+    case kStateRequest:
+      transport_->ChargeCpu(costs.base_handle_us);
+      HandleStateRequest(std::static_pointer_cast<const StateRequestMsg>(msg));
+      return true;
+    case kStateResponse:
+      transport_->ChargeCpu(costs.base_handle_us + costs.crypto.digest_us);
+      HandleStateResponse(
+          std::static_pointer_cast<const StateResponseMsg>(msg));
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool PbftEngine::HandleTimer(std::uint64_t tag) {
+  if ((tag & kTimerMask) != kTimerBase) return false;
+  switch (tag & ~kTimerMask) {
+    case kBatchTimer:
+      batch_timer_armed_ = false;
+      MaybeProposeBatch(/*timer_fired=*/true);
+      break;
+    case kProgressTimer:
+      progress_timer_ = 0;
+      if (view_changes_enabled_) {
+        transport_->counters().Inc("pbft.progress_timeout");
+        StartViewChange(view_ + 1);
+      }
+      break;
+    case kViewChangeTimer:
+      view_change_timer_ = 0;
+      if (view_changes_enabled_ && !view_active_) {
+        StartViewChange(view_ + 1);
+      }
+      break;
+    default:
+      break;
+  }
+  return true;
+}
+
+// ------------------------------------------------------------ normal case
+
+void PbftEngine::Submit(const Operation& op) { EnqueueOp(op); }
+
+void PbftEngine::HandleClientRequest(
+    const std::shared_ptr<const ClientRequestMsg>& msg) {
+  // Authenticate the client.
+  if (!keys_->Verify(msg->client_sig, msg->op.ComputeDigest())) {
+    transport_->counters().Inc("pbft.bad_client_sig");
+    return;
+  }
+  auto it = clients_.find(msg->op.client);
+  if (it != clients_.end() &&
+      msg->op.timestamp <= it->second.last_executed_ts) {
+    // Replay: resend the cached reply (exactly-once semantics).
+    if (send_replies_ && it->second.last_reply != nullptr &&
+        msg->op.timestamp == it->second.last_executed_ts) {
+      transport_->ChargeCpu(config_.costs.send_us);
+      transport_->Send(msg->op.client, it->second.last_reply);
+    }
+    return;
+  }
+  if (!IsPrimary()) {
+    // Relay to the primary, remember the request (so a future primary can
+    // propose it after a view change), and watch for progress.
+    transport_->ChargeCpu(config_.costs.send_us);
+    transport_->Send(primary(), msg);
+  }
+  EnqueueOp(msg->op);
+}
+
+void PbftEngine::EnqueueOp(const Operation& op) {
+  std::uint64_t d = op.ComputeDigest();
+  if (seen_ops_.count(d) > 0) return;
+  auto it = clients_.find(op.client);
+  if (it != clients_.end() && op.timestamp <= it->second.last_executed_ts) {
+    return;
+  }
+  seen_ops_[d] = true;
+  pending_.push_back(op);
+  if (IsPrimary() && view_active_) {
+    MaybeProposeBatch(/*timer_fired=*/false);
+  } else {
+    ArmProgressTimer();
+  }
+}
+
+void PbftEngine::MaybeProposeBatch(bool timer_fired) {
+  if (!IsPrimary() || !view_active_) return;
+  while (pending_.size() >= config_.batch_max) {
+    Batch batch;
+    batch.ops.assign(pending_.begin(),
+                     pending_.begin() + config_.batch_max);
+    pending_.erase(pending_.begin(), pending_.begin() + config_.batch_max);
+    ProposeBatch(std::move(batch));
+  }
+  if (pending_.empty()) return;
+  if (timer_fired) {
+    Batch batch;
+    batch.ops = std::move(pending_);
+    pending_.clear();
+    ProposeBatch(std::move(batch));
+  } else if (!batch_timer_armed_) {
+    batch_timer_armed_ = true;
+    batch_timer_ = transport_->SetTimer(config_.batch_timeout_us,
+                                        kTimerBase | kBatchTimer);
+  }
+}
+
+void PbftEngine::ProposeBatch(Batch batch) {
+  SeqNum seq = std::max(next_seq_, stable_seq_) + 1;
+  if (seq > stable_seq_ + config_.watermark_window) {
+    // Out of window: requeue and wait for checkpoints to advance.
+    for (auto& op : batch.ops) pending_.push_back(std::move(op));
+    return;
+  }
+  next_seq_ = seq;
+  auto msg = std::make_shared<PrePrepareMsg>();
+  msg->view = view_;
+  msg->seq = seq;
+  msg->batch_digest = batch.ComputeDigest();
+  msg->batch = std::move(batch);
+  msg->sig = keys_->Sign(transport_->self(), msg->ComputeDigest());
+  transport_->ChargeCpu(config_.costs.crypto.sign_us +
+                        config_.costs.send_us * config_.members.size());
+  transport_->counters().Inc("pbft.batches_proposed");
+  EmitPrePrepare(msg);
+}
+
+void PbftEngine::EmitPrePrepare(const std::shared_ptr<PrePrepareMsg>& msg) {
+  transport_->Multicast(config_.members, msg);
+}
+
+void PbftEngine::HandlePrePrepare(
+    const std::shared_ptr<const PrePrepareMsg>& msg) {
+  if (!view_active_ || msg->view != view_) return;
+  if (msg->from() != primary()) return;
+  if (!keys_->Verify(msg->sig, msg->ComputeDigest())) {
+    transport_->counters().Inc("pbft.bad_sig");
+    return;
+  }
+  if (msg->batch_digest != msg->batch.ComputeDigest()) {
+    transport_->counters().Inc("pbft.bad_batch_digest");
+    return;
+  }
+  if (msg->seq <= stable_seq_ ||
+      msg->seq > stable_seq_ + config_.watermark_window) {
+    transport_->counters().Inc("pbft.out_of_window");
+    return;
+  }
+  Slot& slot = slots_[msg->seq];
+  if (slot.pre_prepare != nullptr) {
+    if (slot.pre_prepare->batch_digest != msg->batch_digest) {
+      // Equivocating primary: keep the first, suspect the primary.
+      transport_->counters().Inc("pbft.equivocation_detected");
+      if (view_changes_enabled_) StartViewChange(view_ + 1);
+    }
+    return;
+  }
+  slot.pre_prepare = msg;
+  ArmProgressTimer();
+
+  auto prep = std::make_shared<PrepareMsg>();
+  prep->view = msg->view;
+  prep->seq = msg->seq;
+  prep->batch_digest = msg->batch_digest;
+  prep->replica = transport_->self();
+  prep->sig = keys_->Sign(transport_->self(), prep->ComputeDigest());
+  transport_->ChargeCpu(config_.costs.crypto.sign_us +
+                        config_.costs.send_us * config_.members.size());
+  transport_->Multicast(config_.members, prep);
+  TryPrepare(msg->seq);
+}
+
+void PbftEngine::HandlePrepare(const std::shared_ptr<const PrepareMsg>& msg) {
+  if (!view_active_ || msg->view != view_) return;
+  if (!IsMember(msg->replica) || msg->replica != msg->from()) return;
+  if (!keys_->Verify(msg->sig, msg->ComputeDigest())) return;
+  Slot& slot = slots_[msg->seq];
+  if (slot.pre_prepare != nullptr &&
+      slot.pre_prepare->batch_digest != msg->batch_digest) {
+    return;
+  }
+  slot.prepares.insert(msg->replica);
+  TryPrepare(msg->seq);
+}
+
+void PbftEngine::TryPrepare(SeqNum seq) {
+  auto it = slots_.find(seq);
+  if (it == slots_.end()) return;
+  Slot& slot = it->second;
+  if (slot.prepared || slot.pre_prepare == nullptr) return;
+  // `prepared` requires the pre-prepare plus 2f prepares from distinct
+  // replicas (the sender of the pre-prepare does not send a prepare, so we
+  // count it implicitly).
+  std::size_t votes = slot.prepares.size();
+  if (!slot.prepares.count(slot.pre_prepare->from())) votes += 1;
+  if (votes < Quorum()) return;
+  slot.prepared = true;
+
+  auto commit = std::make_shared<CommitMsg>();
+  commit->view = slot.pre_prepare->view;
+  commit->seq = seq;
+  commit->batch_digest = slot.pre_prepare->batch_digest;
+  commit->replica = transport_->self();
+  commit->sig = keys_->Sign(transport_->self(), commit->ComputeDigest());
+  transport_->ChargeCpu(config_.costs.crypto.sign_us +
+                        config_.costs.send_us * config_.members.size());
+  transport_->Multicast(config_.members, commit);
+  TryCommit(seq);
+}
+
+void PbftEngine::HandleCommit(const std::shared_ptr<const CommitMsg>& msg) {
+  if (msg->view > view_ || (!view_active_ && msg->view == view_)) return;
+  if (!IsMember(msg->replica) || msg->replica != msg->from()) return;
+  if (!keys_->Verify(msg->sig, msg->ComputeDigest())) return;
+  if (msg->seq <= stable_seq_) return;
+  Slot& slot = slots_[msg->seq];
+  if (slot.pre_prepare != nullptr &&
+      slot.pre_prepare->batch_digest != msg->batch_digest) {
+    return;
+  }
+  slot.commits.insert(msg->replica);
+  TryCommit(msg->seq);
+}
+
+void PbftEngine::TryCommit(SeqNum seq) {
+  auto it = slots_.find(seq);
+  if (it == slots_.end()) return;
+  Slot& slot = it->second;
+  if (slot.committed || !slot.prepared) return;
+  if (slot.commits.size() < Quorum()) return;
+  slot.committed = true;
+  transport_->counters().Inc("pbft.batches_committed");
+  ExecuteReady();
+}
+
+void PbftEngine::ExecuteReady() {
+  bool progressed = false;
+  for (;;) {
+    auto it = slots_.find(last_executed_ + 1);
+    if (it == slots_.end() || !it->second.committed || it->second.executed) {
+      break;
+    }
+    Slot& slot = it->second;
+    slot.executed = true;
+    SeqNum seq = it->first;
+    for (const auto& op : slot.pre_prepare->batch.ops) {
+      ExecuteOp(seq, op);
+    }
+    commit_log_.Append(storage::LogEntry{
+        seq, slot.pre_prepare->batch_digest,
+        "batch:" + std::to_string(slot.pre_prepare->batch.ops.size())});
+    last_executed_ = seq;
+    progressed = true;
+    MaybeCheckpoint();
+  }
+  if (progressed) {
+    // Progress was made; reset or clear the suspicion timer.
+    bool outstanding = !pending_.empty();
+    for (const auto& [seq, slot] : slots_) {
+      if (seq > last_executed_ && slot.pre_prepare != nullptr &&
+          !slot.executed) {
+        outstanding = true;
+        break;
+      }
+    }
+    if (outstanding) {
+      ArmProgressTimer();
+    } else {
+      DisarmProgressTimer();
+    }
+  }
+}
+
+void PbftEngine::ExecuteOp(SeqNum seq, const Operation& op) {
+  std::uint64_t digest = op.ComputeDigest();
+  seen_ops_.erase(digest);
+  // Drop the request from the backlog kept for view changes.
+  std::erase_if(pending_, [digest](const Operation& p) {
+    return p.ComputeDigest() == digest;
+  });
+  ClientState& cs = clients_[op.client];
+  if (op.client != kInvalidClient && op.timestamp <= cs.last_executed_ts) {
+    return;  // duplicate delivery of an already-executed request
+  }
+  transport_->ChargeCpu(config_.costs.apply_us);
+  std::string result = state_machine_->Apply(op);
+  cs.last_executed_ts = op.timestamp;
+  if (send_replies_ && op.client != kInvalidClient) {
+    auto reply = std::make_shared<ClientReplyMsg>();
+    reply->view = view_;
+    reply->timestamp = op.timestamp;
+    reply->client = op.client;
+    reply->replica = transport_->self();
+    reply->result = result;
+    cs.last_reply = reply;
+    transport_->ChargeCpu(config_.costs.mac_us + config_.costs.send_us);
+    transport_->Send(op.client, reply);
+  }
+  if (executed_callback_) executed_callback_(seq, op, result);
+}
+
+// ------------------------------------------------------------ checkpoints
+
+void PbftEngine::MaybeCheckpoint() {
+  if (config_.checkpoint_interval == 0 ||
+      last_executed_ % config_.checkpoint_interval != 0) {
+    return;
+  }
+  auto msg = std::make_shared<CheckpointMsg>();
+  msg->seq = last_executed_;
+  msg->state_digest = state_machine_->StateDigest();
+  msg->replica = transport_->self();
+  msg->sig = keys_->Sign(transport_->self(), msg->ComputeDigest());
+  transport_->ChargeCpu(config_.costs.crypto.sign_us +
+                        config_.costs.send_us * config_.members.size());
+  transport_->Multicast(config_.members, msg);
+}
+
+void PbftEngine::HandleCheckpoint(
+    const std::shared_ptr<const CheckpointMsg>& msg) {
+  if (!IsMember(msg->replica) || msg->replica != msg->from()) return;
+  if (!keys_->Verify(msg->sig, msg->ComputeDigest())) return;
+  if (msg->seq <= stable_seq_) return;
+  auto& votes = checkpoint_votes_[msg->seq];
+  votes[msg->replica] = msg;
+  // Count votes that agree on one digest.
+  std::map<std::uint64_t, std::size_t> by_digest;
+  for (const auto& [node, cp] : votes) by_digest[cp->state_digest]++;
+  for (const auto& [digest, count] : by_digest) {
+    if (count >= Quorum()) {
+      crypto::CertificateBuilder builder(
+          Hasher(0x0f).Add(msg->seq).Add(digest).Finish(), Quorum());
+      for (const auto& [node, cp] : votes) {
+        if (cp->state_digest == digest) {
+          builder.Add(cp->sig, cp->ComputeDigest());
+        }
+      }
+      if (last_executed_ < msg->seq ||
+          state_machine_->StateDigest() != digest) {
+        // We are behind (or diverged): fetch the snapshot from a voter.
+        NodeId peer = votes.begin()->first;
+        if (peer == transport_->self() && votes.size() > 1) {
+          peer = std::next(votes.begin())->first;
+        }
+        RequestStateTransfer(msg->seq, digest, peer);
+        return;
+      }
+      AdvanceStable(msg->seq, builder.certificate());
+      return;
+    }
+  }
+}
+
+void PbftEngine::AdvanceStable(SeqNum seq, const crypto::Certificate& cert) {
+  if (seq <= stable_seq_) return;
+  stable_seq_ = seq;
+  last_stable_checkpoint_.seq = seq;
+  last_stable_checkpoint_.state_digest = state_machine_->StateDigest();
+  last_stable_checkpoint_.snapshot = state_machine_->Snapshot();
+  last_stable_checkpoint_.certificate = cert;
+  // Garbage-collect the log below the stable point.
+  slots_.erase(slots_.begin(), slots_.upper_bound(seq));
+  checkpoint_votes_.erase(checkpoint_votes_.begin(),
+                          checkpoint_votes_.upper_bound(seq));
+  commit_log_.TruncatePrefix(seq);
+  transport_->counters().Inc("pbft.stable_checkpoints");
+  if (stable_checkpoint_callback_) {
+    stable_checkpoint_callback_(last_stable_checkpoint_);
+  }
+}
+
+void PbftEngine::RequestStateTransfer(SeqNum seq, std::uint64_t digest,
+                                      NodeId peer) {
+  if (pending_transfer_seq_ >= seq) return;
+  pending_transfer_seq_ = seq;
+  pending_transfer_digest_ = digest;
+  transfer_votes_.clear();
+  auto req = std::make_shared<StateRequestMsg>();
+  req->seq = seq;
+  req->replica = transport_->self();
+  if (digest != 0) {
+    transport_->ChargeCpu(config_.costs.send_us);
+    transport_->Send(peer, req);
+  } else {
+    // Digest unknown: ask everyone, install on f+1 matching responses.
+    transport_->ChargeCpu(config_.costs.send_us * config_.members.size());
+    transport_->Multicast(config_.members, req);
+  }
+}
+
+void PbftEngine::HandleStateRequest(
+    const std::shared_ptr<const StateRequestMsg>& msg) {
+  if (!IsMember(msg->replica)) return;
+  if (last_executed_ < msg->seq) return;  // cannot help
+  auto resp = std::make_shared<StateResponseMsg>();
+  resp->seq = last_executed_;
+  resp->state_digest = state_machine_->StateDigest();
+  resp->snapshot = state_machine_->Snapshot();
+  transport_->ChargeCpu(config_.costs.send_us + config_.costs.crypto.digest_us);
+  transport_->Send(msg->replica, resp);
+}
+
+void PbftEngine::HandleStateResponse(
+    const std::shared_ptr<const StateResponseMsg>& msg) {
+  if (pending_transfer_seq_ == 0) return;
+  if (msg->seq < pending_transfer_seq_) return;
+  if (!IsMember(msg->from())) return;
+
+  bool install = false;
+  if (pending_transfer_digest_ != 0 && msg->seq == pending_transfer_seq_) {
+    // Digest certified by 2f+1 checkpoint votes: one matching copy suffices.
+    if (msg->state_digest != pending_transfer_digest_) {
+      transport_->counters().Inc("pbft.bad_state_transfer");
+      return;
+    }
+    install = true;
+  } else {
+    // Unknown target digest: collect f+1 matching (seq, digest) responses.
+    auto& slot = transfer_votes_[{msg->seq, msg->state_digest}];
+    slot.first.insert(msg->from());
+    slot.second = msg->snapshot;
+    install = slot.first.size() >= config_.f + 1;
+  }
+  if (!install) return;
+
+  state_machine_->Restore(msg->snapshot);
+  if (state_machine_->StateDigest() != msg->state_digest) {
+    // Snapshot does not hash to the claimed digest: reject and keep waiting.
+    transport_->counters().Inc("pbft.bad_state_transfer");
+    return;
+  }
+  last_executed_ = std::max(last_executed_, msg->seq);
+  stable_seq_ = std::max(stable_seq_, msg->seq);
+  slots_.erase(slots_.begin(), slots_.upper_bound(stable_seq_));
+  pending_transfer_seq_ = 0;
+  pending_transfer_digest_ = 0;
+  transfer_votes_.clear();
+  transport_->counters().Inc("pbft.state_transfers");
+  ExecuteReady();
+}
+
+// ------------------------------------------------------------ view change
+
+void PbftEngine::ArmProgressTimer() {
+  if (!view_changes_enabled_) return;
+  if (progress_timer_ != 0) transport_->CancelTimer(progress_timer_);
+  progress_timer_ = transport_->SetTimer(config_.request_timeout_us,
+                                         kTimerBase | kProgressTimer);
+}
+
+void PbftEngine::DisarmProgressTimer() {
+  if (progress_timer_ != 0) {
+    transport_->CancelTimer(progress_timer_);
+    progress_timer_ = 0;
+  }
+}
+
+void PbftEngine::StartViewChange(ViewId new_view) {
+  if (new_view <= view_) return;
+  view_ = new_view;
+  view_active_ = false;
+  DisarmProgressTimer();
+  transport_->counters().Inc("pbft.view_changes_started");
+  if (view_callback_) view_callback_(view_, false);
+
+  auto msg = std::make_shared<ViewChangeMsg>();
+  msg->new_view = new_view;
+  msg->stable_seq = stable_seq_;
+  for (const auto& [seq, slot] : slots_) {
+    if (slot.prepared && slot.pre_prepare != nullptr) {
+      msg->prepared.push_back(PreparedProof{slot.pre_prepare->view, seq,
+                                            slot.pre_prepare->batch_digest,
+                                            slot.pre_prepare->batch});
+    }
+  }
+  msg->replica = transport_->self();
+  msg->sig = keys_->Sign(transport_->self(), msg->ComputeDigest());
+  transport_->ChargeCpu(config_.costs.crypto.sign_us +
+                        config_.costs.send_us * config_.members.size());
+  transport_->Multicast(config_.members, msg);
+
+  if (view_change_timer_ != 0) transport_->CancelTimer(view_change_timer_);
+  // Exponential backoff (classic PBFT liveness argument: timeouts grow
+  // until correct replicas overlap in one view long enough to agree).
+  std::uint64_t shift = std::min<std::uint64_t>(view_change_attempts_++, 5);
+  view_change_timer_ =
+      transport_->SetTimer(config_.request_timeout_us * 2 * (1ULL << shift),
+                           kTimerBase | kViewChangeTimer);
+}
+
+void PbftEngine::HandleViewChange(
+    const std::shared_ptr<const ViewChangeMsg>& msg) {
+  if (!IsMember(msg->replica) || msg->replica != msg->from()) return;
+  if (!keys_->Verify(msg->sig, msg->ComputeDigest())) return;
+  if (msg->new_view < view_ || (msg->new_view == view_ && view_active_)) {
+    return;
+  }
+  auto& votes = view_change_votes_[msg->new_view];
+  votes[msg->replica] = msg;
+
+  // Liveness rule: join a view change once f+1 replicas demand it.
+  if (view_changes_enabled_ && votes.size() >= config_.f + 1 &&
+      msg->new_view > view_) {
+    StartViewChange(msg->new_view);
+  }
+  MaybeSendNewView(msg->new_view);
+}
+
+void PbftEngine::MaybeSendNewView(ViewId v) {
+  if (PrimaryOf(v) != transport_->self()) return;
+  if (view_active_ && view_ >= v) return;
+  auto it = view_change_votes_.find(v);
+  if (it == view_change_votes_.end() || it->second.size() < Quorum()) return;
+
+  auto msg = std::make_shared<NewViewMsg>();
+  msg->new_view = v;
+  SeqNum max_stable = stable_seq_;
+  SeqNum max_prepared = 0;
+  std::map<SeqNum, const PreparedProof*> best;
+  for (const auto& [node, vc] : it->second) {
+    msg->view_change_sources.push_back(node);
+    max_stable = std::max(max_stable, vc->stable_seq);
+    for (const auto& proof : vc->prepared) {
+      max_prepared = std::max(max_prepared, proof.seq);
+      auto bit = best.find(proof.seq);
+      if (bit == best.end() || bit->second->view < proof.view) {
+        best[proof.seq] = &proof;
+      }
+    }
+  }
+  msg->stable_seq = max_stable;
+  for (SeqNum s = max_stable + 1; s <= max_prepared; ++s) {
+    auto bit = best.find(s);
+    if (bit != best.end()) {
+      PreparedProof p = *bit->second;
+      p.view = v;
+      msg->reproposals.push_back(std::move(p));
+    } else {
+      // Fill the gap with a no-op batch.
+      msg->reproposals.push_back(
+          PreparedProof{v, s, EmptyBatchDigest(), Batch{}});
+    }
+  }
+  msg->sig = keys_->Sign(transport_->self(), msg->ComputeDigest());
+  transport_->ChargeCpu(config_.costs.crypto.sign_us +
+                        config_.costs.send_us * config_.members.size());
+  transport_->counters().Inc("pbft.new_views_sent");
+  transport_->Multicast(config_.members, msg);
+}
+
+void PbftEngine::HandleNewView(const std::shared_ptr<const NewViewMsg>& msg) {
+  if (msg->from() != PrimaryOf(msg->new_view)) return;
+  if (!keys_->Verify(msg->sig, msg->ComputeDigest())) return;
+  if (msg->new_view < view_ || (msg->new_view == view_ && view_active_)) {
+    return;
+  }
+  if (msg->view_change_sources.size() < Quorum()) return;
+  EnterNewView(msg);
+}
+
+void PbftEngine::EnterNewView(const std::shared_ptr<const NewViewMsg>& msg) {
+  view_ = msg->new_view;
+  view_active_ = true;
+  view_change_attempts_ = 0;
+  transport_->counters().Inc("pbft.new_views_entered");
+  if (view_callback_) view_callback_(view_, true);
+  if (view_change_timer_ != 0) {
+    transport_->CancelTimer(view_change_timer_);
+    view_change_timer_ = 0;
+  }
+  view_change_votes_.erase(view_change_votes_.begin(),
+                           view_change_votes_.upper_bound(msg->new_view));
+
+  SeqNum max_seq = msg->stable_seq;
+  for (const auto& proof : msg->reproposals) {
+    max_seq = std::max(max_seq, proof.seq);
+    if (proof.seq <= stable_seq_) continue;
+    Slot& slot = slots_[proof.seq];
+    auto pp = std::make_shared<PrePrepareMsg>();
+    pp->view = msg->new_view;
+    pp->seq = proof.seq;
+    pp->batch_digest = proof.batch_digest;
+    pp->batch = proof.batch;
+    pp->sig = keys_->Sign(msg->from(), pp->ComputeDigest());
+    pp->set_from(msg->from());
+    // Replace any old-view slot contents; commit votes must be re-collected
+    // in the new view.
+    slot.pre_prepare = pp;
+    slot.prepares.clear();
+    slot.commits.clear();
+    slot.prepared = false;
+    // Slots already committed locally stay committed; only uncommitted ones
+    // re-run the prepare/commit phases in the new view.
+    if (!slot.committed) {
+      auto prep = std::make_shared<PrepareMsg>();
+      prep->view = msg->new_view;
+      prep->seq = proof.seq;
+      prep->batch_digest = proof.batch_digest;
+      prep->replica = transport_->self();
+      prep->sig = keys_->Sign(transport_->self(), prep->ComputeDigest());
+      transport_->ChargeCpu(config_.costs.crypto.sign_us +
+                            config_.costs.send_us * config_.members.size());
+      transport_->Multicast(config_.members, prep);
+    }
+  }
+  next_seq_ = std::max(max_seq, stable_seq_);
+  if (msg->stable_seq > last_executed_) {
+    // We missed executions below the new stable point; catch up by state
+    // transfer (digest learned from f+1 matching responses).
+    RequestStateTransfer(msg->stable_seq, 0, kInvalidNode);
+  }
+
+  // Requests that were pending before the view change get re-submitted.
+  if (IsPrimary()) {
+    MaybeProposeBatch(/*timer_fired=*/true);
+  } else if (!pending_.empty()) {
+    // Forward pending requests to the new primary as client requests are
+    // already deduplicated there via seen_ops_/client table.
+    for (const auto& op : pending_) {
+      auto req = std::make_shared<ClientRequestMsg>();
+      req->op = op;
+      req->client_sig = keys_->Sign(op.client, op.ComputeDigest());
+      transport_->ChargeCpu(config_.costs.send_us);
+      transport_->Send(primary(), req);
+    }
+    ArmProgressTimer();
+  }
+  ExecuteReady();
+}
+
+}  // namespace ziziphus::pbft

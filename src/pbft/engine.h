@@ -1,0 +1,213 @@
+#ifndef ZIZIPHUS_PBFT_ENGINE_H_
+#define ZIZIPHUS_PBFT_ENGINE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/certificate.h"
+#include "crypto/signature.h"
+#include "pbft/config.h"
+#include "pbft/messages.h"
+#include "pbft/state_machine.h"
+#include "sim/transport.h"
+#include "storage/checkpoint.h"
+#include "storage/log.h"
+
+namespace ziziphus::pbft {
+
+/// A full PBFT replica engine: normal-case three-phase ordering with
+/// request batching, reply caching with exactly-once client semantics,
+/// periodic checkpointing with log garbage collection, and the view-change /
+/// new-view routine for primary failure.
+///
+/// The engine is transport-agnostic: a host sim::Process feeds it messages
+/// and timers (HandleMessage / HandleTimer) and it emits messages through
+/// the Transport. This allows a Ziziphus node to run a PBFT engine for
+/// local transactions next to the global protocol engines on one core, and
+/// allows the flat-PBFT baseline to reuse the identical implementation.
+class PbftEngine {
+ public:
+  /// Called after an operation executes, with its global slot and result.
+  using ExecutedCallback =
+      std::function<void(SeqNum seq, const Operation& op,
+                         const std::string& result)>;
+  /// Called when a checkpoint becomes stable (2f+1 matching signatures).
+  using StableCheckpointCallback =
+      std::function<void(const storage::Checkpoint& cp)>;
+  /// Called whenever the view changes: active=false when this replica
+  /// starts a view change, active=true when the new view is installed.
+  using ViewCallback = std::function<void(ViewId view, bool active)>;
+
+  PbftEngine(sim::Transport* transport, const crypto::KeyRegistry* keys,
+             PbftConfig config, StateMachine* state_machine);
+  virtual ~PbftEngine() = default;
+
+  PbftEngine(const PbftEngine&) = delete;
+  PbftEngine& operator=(const PbftEngine&) = delete;
+
+  /// Timer tags used by this engine are offset by this base so one host can
+  /// run several engines.
+  static constexpr std::uint64_t kTimerBase = 0x0100000000ULL;
+  static constexpr std::uint64_t kTimerMask = 0xff00000000ULL;
+
+  /// Feeds a delivered message. Returns true if it was a PBFT message
+  /// (consumed), false if the host should route it elsewhere.
+  bool HandleMessage(const sim::MessagePtr& msg);
+
+  /// Feeds an expired timer. Returns true if the tag belongs to this engine.
+  bool HandleTimer(std::uint64_t tag);
+
+  /// Directly submits an operation at this replica, as if a valid client
+  /// request arrived (used by engines layered on top of PBFT).
+  void Submit(const Operation& op);
+
+  // ---- Introspection --------------------------------------------------
+
+  ViewId view() const { return view_; }
+  bool view_active() const { return view_active_; }
+  NodeId primary() const { return PrimaryOf(view_); }
+  bool IsPrimary() const { return primary() == transport_->self(); }
+  SeqNum last_executed() const { return last_executed_; }
+  SeqNum stable_seq() const { return stable_seq_; }
+  const PbftConfig& config() const { return config_; }
+  const storage::CommitLog& commit_log() const { return commit_log_; }
+  StateMachine* state_machine() const { return state_machine_; }
+
+  /// Last stable checkpoint with its 2f+1 certificate (lazy sync source).
+  const storage::Checkpoint& last_stable_checkpoint() const {
+    return last_stable_checkpoint_;
+  }
+
+  void set_executed_callback(ExecutedCallback cb) {
+    executed_callback_ = std::move(cb);
+  }
+  void set_stable_checkpoint_callback(StableCheckpointCallback cb) {
+    stable_checkpoint_callback_ = std::move(cb);
+  }
+  void set_view_callback(ViewCallback cb) { view_callback_ = std::move(cb); }
+
+  /// External suspicion trigger (e.g., 2f+1 response-queries from another
+  /// zone — Section V-A): starts a view change immediately.
+  void SuspectPrimary() {
+    if (view_changes_enabled_) StartViewChange(view_ + 1);
+  }
+
+  /// When false, the engine does not send ClientReply messages (engines
+  /// layered on top of PBFT handle their own replies).
+  void set_send_replies(bool v) { send_replies_ = v; }
+
+  /// Disables the progress timer (used in micro-benchmarks).
+  void set_view_changes_enabled(bool v) { view_changes_enabled_ = v; }
+
+ protected:
+  // Virtual so Byzantine test doubles can misbehave in controlled ways.
+  virtual void EmitPrePrepare(const std::shared_ptr<PrePrepareMsg>& msg);
+
+  sim::Transport* transport_;
+  const crypto::KeyRegistry* keys_;
+  PbftConfig config_;
+
+ private:
+  struct Slot {
+    std::shared_ptr<const PrePrepareMsg> pre_prepare;
+    std::set<NodeId> prepares;
+    std::set<NodeId> commits;
+    bool prepared = false;
+    bool committed = false;
+    bool executed = false;
+  };
+  struct ClientState {
+    RequestTimestamp last_executed_ts = 0;
+    std::shared_ptr<ClientReplyMsg> last_reply;
+  };
+
+  enum TimerTag : std::uint64_t {
+    kBatchTimer = 1,
+    kProgressTimer = 2,
+    kViewChangeTimer = 3,
+  };
+
+  NodeId PrimaryOf(ViewId v) const {
+    return config_.members[v % config_.members.size()];
+  }
+  bool IsMember(NodeId n) const;
+  std::size_t Quorum() const { return config_.quorum(); }
+
+  void HandleClientRequest(const std::shared_ptr<const ClientRequestMsg>& msg);
+  void HandlePrePrepare(const std::shared_ptr<const PrePrepareMsg>& msg);
+  void HandlePrepare(const std::shared_ptr<const PrepareMsg>& msg);
+  void HandleCommit(const std::shared_ptr<const CommitMsg>& msg);
+  void HandleCheckpoint(const std::shared_ptr<const CheckpointMsg>& msg);
+  void HandleViewChange(const std::shared_ptr<const ViewChangeMsg>& msg);
+  void HandleNewView(const std::shared_ptr<const NewViewMsg>& msg);
+  void HandleStateRequest(const std::shared_ptr<const StateRequestMsg>& msg);
+  void HandleStateResponse(const std::shared_ptr<const StateResponseMsg>& msg);
+  void RequestStateTransfer(SeqNum seq, std::uint64_t digest, NodeId peer);
+
+  void EnqueueOp(const Operation& op);
+  void MaybeProposeBatch(bool timer_fired);
+  void ProposeBatch(Batch batch);
+  void TryPrepare(SeqNum seq);
+  void TryCommit(SeqNum seq);
+  void ExecuteReady();
+  void ExecuteOp(SeqNum seq, const Operation& op);
+  void MaybeCheckpoint();
+  void AdvanceStable(SeqNum seq, const crypto::Certificate& cert);
+
+  void ArmProgressTimer();
+  void DisarmProgressTimer();
+  void StartViewChange(ViewId new_view);
+  void MaybeSendNewView(ViewId v);
+  void EnterNewView(const std::shared_ptr<const NewViewMsg>& msg);
+
+  StateMachine* state_machine_;
+  ExecutedCallback executed_callback_;
+  StableCheckpointCallback stable_checkpoint_callback_;
+  ViewCallback view_callback_;
+  bool send_replies_ = true;
+  bool view_changes_enabled_ = true;
+
+  ViewId view_ = 0;
+  bool view_active_ = true;
+  SeqNum next_seq_ = 0;        // last assigned by this primary
+  SeqNum last_executed_ = 0;
+  SeqNum stable_seq_ = 0;
+
+  std::map<SeqNum, Slot> slots_;
+  std::vector<Operation> pending_;
+  std::unordered_map<std::uint64_t, bool> seen_ops_;  // digest -> queued
+  std::unordered_map<ClientId, ClientState> clients_;
+
+  // Checkpointing.
+  std::map<SeqNum, std::map<NodeId, std::shared_ptr<const CheckpointMsg>>>
+      checkpoint_votes_;
+  storage::Checkpoint last_stable_checkpoint_;
+  storage::CommitLog commit_log_;
+
+  // View change.
+  std::map<ViewId, std::map<NodeId, std::shared_ptr<const ViewChangeMsg>>>
+      view_change_votes_;
+  std::uint64_t batch_timer_ = 0;
+  std::uint64_t progress_timer_ = 0;
+  std::uint64_t view_change_timer_ = 0;
+  std::uint64_t view_change_attempts_ = 0;
+  bool batch_timer_armed_ = false;
+
+  // In-flight state transfer target (0 = none). When the target digest is
+  // known (from 2f+1 checkpoint votes) one matching response suffices;
+  // otherwise (view-change catch-up) f+1 matching responses are required.
+  SeqNum pending_transfer_seq_ = 0;
+  std::uint64_t pending_transfer_digest_ = 0;
+  std::map<std::pair<SeqNum, std::uint64_t>,
+           std::pair<std::set<NodeId>, storage::KvStore::Map>>
+      transfer_votes_;
+};
+
+}  // namespace ziziphus::pbft
+
+#endif  // ZIZIPHUS_PBFT_ENGINE_H_

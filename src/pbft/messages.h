@@ -1,0 +1,245 @@
+#ifndef ZIZIPHUS_PBFT_MESSAGES_H_
+#define ZIZIPHUS_PBFT_MESSAGES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/types.h"
+#include "crypto/certificate.h"
+#include "sim/message.h"
+#include "storage/kv_store.h"
+
+namespace ziziphus::pbft {
+
+/// PBFT wire types occupy [10, 30).
+enum PbftMessageType : sim::MessageType {
+  kClientRequest = 10,
+  kClientReply = 11,
+  kPrePrepare = 12,
+  kPrepare = 13,
+  kCommit = 14,
+  kCheckpoint = 15,
+  kViewChange = 16,
+  kNewView = 17,
+  kStateRequest = 18,
+  kStateResponse = 19,
+};
+
+/// An application operation as carried by consensus: an opaque command
+/// string interpreted only by the replicated state machine.
+struct Operation {
+  ClientId client = kInvalidClient;
+  RequestTimestamp timestamp = 0;
+  std::string command;
+
+  crypto::Digest ComputeDigest() const {
+    return Hasher(0x09)
+        .Add(client)
+        .Add(timestamp)
+        .Add(command)
+        .Finish();
+  }
+  friend bool operator==(const Operation&, const Operation&) = default;
+};
+
+/// <REQUEST, o, t, c>_sigma_c — client request (authenticated with a MAC in
+/// the cost model; carries a signature object for validity checks).
+struct ClientRequestMsg : sim::Message {
+  ClientRequestMsg() : Message(kClientRequest) {}
+
+  Operation op;
+  crypto::Signature client_sig;
+
+  crypto::Digest ComputeDigest() const override { return op.ComputeDigest(); }
+  std::size_t WireSize() const override { return 64 + op.command.size(); }
+};
+
+/// <REPLY, v, t, c, r>_sigma_i
+struct ClientReplyMsg : sim::Message {
+  ClientReplyMsg() : Message(kClientReply) {}
+
+  ViewId view = 0;
+  RequestTimestamp timestamp = 0;
+  ClientId client = kInvalidClient;
+  NodeId replica = kInvalidNode;
+  std::string result;
+
+  crypto::Digest ComputeDigest() const override {
+    return Hasher(0x0a)
+        .Add(view)
+        .Add(timestamp)
+        .Add(client)
+        .Add(result)
+        .Finish();
+  }
+  std::size_t WireSize() const override { return 48 + result.size(); }
+};
+
+/// A batch of operations ordered as one PBFT slot.
+struct Batch {
+  std::vector<Operation> ops;
+
+  crypto::Digest ComputeDigest() const {
+    Hasher h(0x0b);
+    for (const auto& op : ops) h.Add(op.ComputeDigest());
+    return h.Finish();
+  }
+  std::size_t WireSizeBytes() const {
+    std::size_t s = 16;
+    for (const auto& op : ops) s += 40 + op.command.size();
+    return s;
+  }
+};
+
+/// <PRE-PREPARE, v, n, d, m>_sigma_p
+struct PrePrepareMsg : sim::Message {
+  PrePrepareMsg() : Message(kPrePrepare) {}
+
+  ViewId view = 0;
+  SeqNum seq = 0;
+  crypto::Digest batch_digest = 0;
+  Batch batch;
+  crypto::Signature sig;
+
+  /// Digest of the ordering assertion (view, seq, batch digest): what
+  /// prepare/commit messages refer to and what the primary signs.
+  crypto::Digest ComputeDigest() const override {
+    return Hasher(0x0c).Add(view).Add(seq).Add(batch_digest).Finish();
+  }
+  std::size_t WireSize() const override {
+    return 64 + batch.WireSizeBytes();
+  }
+};
+
+/// <PREPARE, v, n, d, i>_sigma_i
+struct PrepareMsg : sim::Message {
+  PrepareMsg() : Message(kPrepare) {}
+
+  ViewId view = 0;
+  SeqNum seq = 0;
+  crypto::Digest batch_digest = 0;
+  NodeId replica = kInvalidNode;
+  crypto::Signature sig;
+
+  crypto::Digest ComputeDigest() const override {
+    return Hasher(0x0d).Add(view).Add(seq).Add(batch_digest).Finish();
+  }
+};
+
+/// <COMMIT, v, n, d, i>_sigma_i
+struct CommitMsg : sim::Message {
+  CommitMsg() : Message(kCommit) {}
+
+  ViewId view = 0;
+  SeqNum seq = 0;
+  crypto::Digest batch_digest = 0;
+  NodeId replica = kInvalidNode;
+  crypto::Signature sig;
+
+  crypto::Digest ComputeDigest() const override {
+    return Hasher(0x0e).Add(view).Add(seq).Add(batch_digest).Finish();
+  }
+};
+
+/// <CHECKPOINT, n, d, i>_sigma_i — state digest at sequence n.
+struct CheckpointMsg : sim::Message {
+  CheckpointMsg() : Message(kCheckpoint) {}
+
+  SeqNum seq = 0;
+  std::uint64_t state_digest = 0;
+  NodeId replica = kInvalidNode;
+  crypto::Signature sig;
+
+  crypto::Digest ComputeDigest() const override {
+    return Hasher(0x0f).Add(seq).Add(state_digest).Finish();
+  }
+};
+
+/// Proof that a slot prepared in some view: the pre-prepare's identity plus
+/// (implicitly, in this simulation) 2f matching prepares. Carried in
+/// view-change messages.
+struct PreparedProof {
+  ViewId view = 0;
+  SeqNum seq = 0;
+  crypto::Digest batch_digest = 0;
+  Batch batch;
+
+  crypto::Digest ComputeDigest() const {
+    return Hasher(0x10).Add(view).Add(seq).Add(batch_digest).Finish();
+  }
+};
+
+/// <VIEW-CHANGE, v+1, n_stable, C, P, i>_sigma_i
+struct ViewChangeMsg : sim::Message {
+  ViewChangeMsg() : Message(kViewChange) {}
+
+  ViewId new_view = 0;
+  SeqNum stable_seq = 0;
+  std::vector<PreparedProof> prepared;
+  NodeId replica = kInvalidNode;
+  crypto::Signature sig;
+
+  crypto::Digest ComputeDigest() const override {
+    Hasher h(0x11);
+    h.Add(new_view).Add(stable_seq).Add(replica);
+    for (const auto& p : prepared) h.Add(p.ComputeDigest());
+    return h.Finish();
+  }
+  std::size_t WireSize() const override { return 96 + prepared.size() * 72; }
+};
+
+/// <NEW-VIEW, v+1, V, O>_sigma_p
+struct NewViewMsg : sim::Message {
+  NewViewMsg() : Message(kNewView) {}
+
+  ViewId new_view = 0;
+  /// Signers of the 2f+1 view-change messages justifying this view.
+  std::vector<NodeId> view_change_sources;
+  /// Re-proposed pre-prepares for prepared-but-uncommitted slots.
+  std::vector<PreparedProof> reproposals;
+  SeqNum stable_seq = 0;
+  crypto::Signature sig;
+
+  crypto::Digest ComputeDigest() const override {
+    Hasher h(0x12);
+    h.Add(new_view).Add(stable_seq);
+    for (NodeId n : view_change_sources) h.Add(n);
+    for (const auto& p : reproposals) h.Add(p.ComputeDigest());
+    return h.Finish();
+  }
+  std::size_t WireSize() const override {
+    return 96 + reproposals.size() * 72 + view_change_sources.size() * 8;
+  }
+};
+
+/// Asks a peer for the application snapshot at a stable checkpoint.
+struct StateRequestMsg : sim::Message {
+  StateRequestMsg() : Message(kStateRequest) {}
+
+  SeqNum seq = 0;
+  NodeId replica = kInvalidNode;
+
+  crypto::Digest ComputeDigest() const override {
+    return Hasher(0x13).Add(seq).Add(replica).Finish();
+  }
+};
+
+/// Snapshot transfer; the receiver validates `state_digest` against the
+/// 2f+1-agreed checkpoint digest before installing.
+struct StateResponseMsg : sim::Message {
+  StateResponseMsg() : Message(kStateResponse) {}
+
+  SeqNum seq = 0;
+  std::uint64_t state_digest = 0;
+  storage::KvStore::Map snapshot;
+
+  crypto::Digest ComputeDigest() const override {
+    return Hasher(0x14).Add(seq).Add(state_digest).Finish();
+  }
+  std::size_t WireSize() const override { return 64 + snapshot.size() * 48; }
+};
+
+}  // namespace ziziphus::pbft
+
+#endif  // ZIZIPHUS_PBFT_MESSAGES_H_

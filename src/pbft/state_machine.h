@@ -1,0 +1,59 @@
+#ifndef ZIZIPHUS_PBFT_STATE_MACHINE_H_
+#define ZIZIPHUS_PBFT_STATE_MACHINE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "pbft/messages.h"
+#include "storage/kv_store.h"
+
+namespace ziziphus::pbft {
+
+/// The replicated application deterministic state machine. Consensus hands
+/// it committed operations in log order; it returns the result string sent
+/// back to the client.
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+
+  /// Applies one committed operation; must be deterministic.
+  virtual std::string Apply(const Operation& op) = 0;
+
+  /// Digest of the current application state (for checkpoints).
+  virtual std::uint64_t StateDigest() const = 0;
+
+  /// Full-state snapshot / restore, used by checkpointing and the data
+  /// migration protocol. Default: stateless machine.
+  virtual storage::KvStore::Map Snapshot() const { return {}; }
+  virtual void Restore(const storage::KvStore::Map& snapshot) {
+    (void)snapshot;
+  }
+};
+
+/// Trivial machine for tests: echoes commands and counts applications.
+class EchoStateMachine : public StateMachine {
+ public:
+  std::string Apply(const Operation& op) override {
+    ++applied_;
+    digest_ = Hasher(digest_).Add(op.ComputeDigest()).Finish();
+    return "ok:" + op.command;
+  }
+  std::uint64_t StateDigest() const override { return digest_; }
+  storage::KvStore::Map Snapshot() const override {
+    return {{"applied", std::to_string(applied_)},
+            {"digest", std::to_string(digest_)}};
+  }
+  void Restore(const storage::KvStore::Map& snapshot) override {
+    applied_ = std::stoull(snapshot.at("applied"));
+    digest_ = std::stoull(snapshot.at("digest"));
+  }
+  std::uint64_t applied() const { return applied_; }
+
+ private:
+  std::uint64_t applied_ = 0;
+  std::uint64_t digest_ = 0;
+};
+
+}  // namespace ziziphus::pbft
+
+#endif  // ZIZIPHUS_PBFT_STATE_MACHINE_H_

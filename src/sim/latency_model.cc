@@ -1,0 +1,86 @@
+#include "sim/latency_model.h"
+
+#include "common/logging.h"
+
+namespace ziziphus::sim {
+
+const char* RegionName(RegionId region) {
+  switch (region) {
+    case kCalifornia:
+      return "CA";
+    case kOhio:
+      return "OH";
+    case kQuebec:
+      return "QC";
+    case kSydney:
+      return "SYD";
+    case kParis:
+      return "PAR";
+    case kLondon:
+      return "LDN";
+    case kTokyo:
+      return "TY";
+    default:
+      return "R?";
+  }
+}
+
+LatencyModel::LatencyModel(std::vector<std::vector<Duration>> one_way_us)
+    : matrix_(std::move(one_way_us)) {
+  for (const auto& row : matrix_) {
+    ZCHECK(row.size() == matrix_.size());
+  }
+}
+
+LatencyModel LatencyModel::PaperGeoMatrix() {
+  // One-way latencies in milliseconds, approximating half the public
+  // region-to-region RTTs between the paper's data centers.
+  // Order: CA, OH, QC, SYD, PAR, LDN, TY.
+  static const double kOneWayMs[7][7] = {
+      //  CA    OH    QC    SYD   PAR   LDN   TY
+      {0.25, 25.0, 38.0, 70.0, 71.0, 68.0, 53.0},   // CA
+      {25.0, 0.25, 13.0, 98.0, 47.0, 44.0, 78.0},   // OH
+      {38.0, 13.0, 0.25, 108.0, 43.0, 40.0, 82.0},  // QC
+      {70.0, 98.0, 108.0, 0.25, 140.0, 135.0, 52.0},  // SYD
+      {71.0, 47.0, 43.0, 140.0, 0.25, 5.0, 110.0},    // PAR
+      {68.0, 44.0, 40.0, 135.0, 5.0, 0.25, 105.0},    // LDN
+      {53.0, 78.0, 82.0, 52.0, 110.0, 105.0, 0.25},   // TY
+  };
+  std::vector<std::vector<Duration>> m(7, std::vector<Duration>(7));
+  for (int i = 0; i < 7; ++i) {
+    for (int j = 0; j < 7; ++j) {
+      m[i][j] = static_cast<Duration>(kOneWayMs[i][j] * 1000.0);
+    }
+  }
+  return LatencyModel(std::move(m));
+}
+
+LatencyModel LatencyModel::Uniform(std::size_t regions, Duration one_way_us) {
+  std::vector<std::vector<Duration>> m(regions,
+                                       std::vector<Duration>(regions));
+  for (std::size_t i = 0; i < regions; ++i) {
+    for (std::size_t j = 0; j < regions; ++j) {
+      m[i][j] = i == j ? 250 : one_way_us;
+    }
+  }
+  return LatencyModel(std::move(m));
+}
+
+Duration LatencyModel::BaseLatency(RegionId from, RegionId to) const {
+  ZCHECK(from < matrix_.size() && to < matrix_.size());
+  return matrix_[from][to];
+}
+
+Duration LatencyModel::Sample(RegionId from, RegionId to, std::size_t bytes,
+                              Rng& rng) const {
+  Duration base = from == to ? intra_zone_us_ : matrix_[from][to];
+  double jitter_mean = jitter_fraction_ * static_cast<double>(base);
+  Duration jitter =
+      jitter_mean > 0 ? static_cast<Duration>(rng.NextExponential(jitter_mean))
+                      : 0;
+  Duration transmit =
+      static_cast<Duration>(static_cast<double>(bytes) / bytes_per_us_);
+  return base + jitter + transmit;
+}
+
+}  // namespace ziziphus::sim

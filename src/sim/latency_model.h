@@ -1,0 +1,76 @@
+#ifndef ZIZIPHUS_SIM_LATENCY_MODEL_H_
+#define ZIZIPHUS_SIM_LATENCY_MODEL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace ziziphus::sim {
+
+/// The seven AWS regions used in the paper's evaluation (Section VII-A).
+enum Region : RegionId {
+  kCalifornia = 0,  // us-west-1 (CA)
+  kOhio = 1,        // us-east-2 (OH)
+  kQuebec = 2,      // ca-central-1 (QC)
+  kSydney = 3,      // ap-southeast-2 (SYD)
+  kParis = 4,       // eu-west-3 (PAR)
+  kLondon = 5,      // eu-west-2 (LDN)
+  kTokyo = 6,       // ap-northeast-1 (TY)
+  kNumPaperRegions = 7,
+};
+
+const char* RegionName(RegionId region);
+
+/// One-way network latency between regions, plus a small jitter and a
+/// bandwidth term so large messages (batches, client state) cost more.
+///
+/// The inter-region values approximate public AWS RTT measurements
+/// (cloudping-style), halved for one-way latency. Intra-region delivery
+/// models a single data center.
+class LatencyModel {
+ public:
+  /// Builds the 7-region geo matrix used by the paper's experiments.
+  static LatencyModel PaperGeoMatrix();
+
+  /// Builds a uniform matrix: every cross-region one-way latency is
+  /// `one_way_us`; useful for controlled tests.
+  static LatencyModel Uniform(std::size_t regions, Duration one_way_us);
+
+  /// Custom matrix of one-way latencies in microseconds; must be square.
+  explicit LatencyModel(std::vector<std::vector<Duration>> one_way_us);
+
+  std::size_t num_regions() const { return matrix_.size(); }
+
+  /// Base one-way latency between two regions (no jitter).
+  Duration BaseLatency(RegionId from, RegionId to) const;
+
+  /// Sampled delivery latency for a message of `bytes` bytes, including
+  /// deterministic bandwidth cost and random jitter drawn from `rng`.
+  Duration Sample(RegionId from, RegionId to, std::size_t bytes,
+                  Rng& rng) const;
+
+  /// Latency between nodes within one data-center rack (same zone).
+  Duration intra_zone_us() const { return intra_zone_us_; }
+  void set_intra_zone_us(Duration v) { intra_zone_us_ = v; }
+
+  /// Fraction of the base latency used as the mean of the additive
+  /// exponential jitter (default 3%).
+  void set_jitter_fraction(double f) { jitter_fraction_ = f; }
+
+  /// Link bandwidth in bytes per microsecond (default ~1.25 GB/s ≈ 10Gb/s
+  /// intra-DC is not modelled separately; WAN term dominates for batches).
+  void set_bytes_per_us(double b) { bytes_per_us_ = b; }
+
+ private:
+  std::vector<std::vector<Duration>> matrix_;
+  Duration intra_zone_us_ = 150;
+  double jitter_fraction_ = 0.03;
+  double bytes_per_us_ = 125.0;  // 1 Gb/s WAN links
+};
+
+}  // namespace ziziphus::sim
+
+#endif  // ZIZIPHUS_SIM_LATENCY_MODEL_H_

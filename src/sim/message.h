@@ -1,0 +1,58 @@
+#ifndef ZIZIPHUS_SIM_MESSAGE_H_
+#define ZIZIPHUS_SIM_MESSAGE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.h"
+#include "crypto/signature.h"
+
+namespace ziziphus::sim {
+
+/// Wire type tag. Each protocol module defines its own constants in a
+/// disjoint range (see *_messages.h files); the simulator itself never
+/// interprets the value beyond dispatch and tracing.
+using MessageType = std::uint16_t;
+
+/// Base class for everything the simulated network carries.
+///
+/// Messages are immutable after sending and shared between recipients of a
+/// multicast (std::shared_ptr<const Message>), exactly as a real network
+/// duplicates bytes, so a Byzantine sender cannot retroactively mutate a
+/// delivered message.
+class Message {
+ public:
+  explicit Message(MessageType type) : type_(type) {}
+  virtual ~Message() = default;
+
+  Message(const Message&) = default;
+  Message& operator=(const Message&) = delete;
+
+  MessageType type() const { return type_; }
+  NodeId from() const { return from_; }
+  void set_from(NodeId n) { from_ = n; }
+
+  /// Digest over the message's semantic content, used for signatures and
+  /// certificates. Implementations must cover every field that affects
+  /// protocol decisions.
+  virtual crypto::Digest ComputeDigest() const = 0;
+
+  /// Approximate serialized size in bytes, used for bandwidth costs.
+  virtual std::size_t WireSize() const { return 64; }
+
+ private:
+  MessageType type_;
+  NodeId from_ = kInvalidNode;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+/// Downcast helper; returns nullptr on type mismatch.
+template <typename T>
+const T* As(const MessagePtr& m) {
+  return dynamic_cast<const T*>(m.get());
+}
+
+}  // namespace ziziphus::sim
+
+#endif  // ZIZIPHUS_SIM_MESSAGE_H_

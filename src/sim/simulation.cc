@@ -1,0 +1,143 @@
+#include "sim/simulation.h"
+
+#include "common/logging.h"
+
+namespace ziziphus::sim {
+
+// ---------------------------------------------------------------- Process
+
+void Process::DeliverMessage(SimTime arrival, const MessagePtr& msg) {
+  logical_now_ = std::max(arrival, busy_until_);
+  OnMessage(msg);
+  busy_until_ = logical_now_;
+}
+
+void Process::DeliverTimer(SimTime arrival, std::uint64_t timer_id) {
+  auto it = active_timers_.find(timer_id);
+  if (it == active_timers_.end()) return;  // cancelled
+  std::uint64_t tag = it->second;
+  active_timers_.erase(it);
+  logical_now_ = std::max(arrival, busy_until_);
+  OnTimer(tag);
+  busy_until_ = logical_now_;
+}
+
+SimTime Process::Now() const {
+  return sim_ == nullptr ? logical_now_ : std::max(logical_now_, sim_->Now());
+}
+
+void Process::Send(NodeId dst, MessagePtr msg) {
+  ZCHECK(sim_ != nullptr);
+  const_cast<Message*>(msg.get())->set_from(id_);
+  sim_->SendMessage(id_, Now(), dst, std::move(msg));
+}
+
+void Process::Multicast(const std::vector<NodeId>& dsts, MessagePtr msg) {
+  ZCHECK(sim_ != nullptr);
+  const_cast<Message*>(msg.get())->set_from(id_);
+  for (NodeId dst : dsts) {
+    sim_->SendMessage(id_, Now(), dst, msg);
+  }
+}
+
+std::uint64_t Process::SetTimer(Duration delay, std::uint64_t tag) {
+  ZCHECK(sim_ != nullptr);
+  std::uint64_t timer_id = sim_->next_timer_id_++;
+  active_timers_[timer_id] = tag;
+  sim_->PostTimer(id_, Now() + delay, timer_id);
+  return timer_id;
+}
+
+void Process::CancelTimer(std::uint64_t timer_id) {
+  active_timers_.erase(timer_id);
+}
+
+// ------------------------------------------------------------- Simulation
+
+Simulation::Simulation(std::uint64_t seed, LatencyModel latency)
+    : latency_(std::move(latency)),
+      rng_(seed),
+      jitter_rng_(rng_.Fork(0xbeef)),
+      faults_(rng_.Fork(0xfa01)) {}
+
+NodeId Simulation::Register(Process* process, RegionId region) {
+  ZCHECK(process != nullptr);
+  ZCHECK(region < latency_.num_regions());
+  NodeId id = static_cast<NodeId>(processes_.size());
+  process->sim_ = this;
+  process->id_ = id;
+  process->region_ = region;
+  process->rng_ = rng_.Fork(0x1000 + id);
+  processes_.push_back(process);
+  return id;
+}
+
+void Simulation::SendMessage(NodeId from, SimTime depart, NodeId to,
+                             MessagePtr msg) {
+  ZCHECK(to < processes_.size());
+  counters_.Inc("net.msgs_sent");
+  counters_.Inc("net.bytes_sent", msg->WireSize());
+  if (!faults_.AllowDelivery(from, to)) {
+    counters_.Inc("net.msgs_dropped");
+    return;
+  }
+  Duration lat = latency_.Sample(region_of(from), region_of(to),
+                                 msg->WireSize(), jitter_rng_);
+  queue_.push(Event{depart + lat, next_seq_++, to, std::move(msg), 0, from});
+}
+
+void Simulation::PostTimer(NodeId owner, SimTime at, std::uint64_t timer_id) {
+  queue_.push(Event{at, next_seq_++, owner, nullptr, timer_id, owner});
+}
+
+void Simulation::Dispatch(const Event& e) {
+  now_ = std::max(now_, e.time);
+  events_dispatched_++;
+  Process* p = processes_[e.dst];
+  if (e.msg != nullptr) {
+    if (faults_.IsCrashed(e.dst)) {
+      counters_.Inc("net.msgs_dropped");
+      return;
+    }
+    if (trace_enabled_) {
+      trace_.push_back(TraceEntry{e.time, e.from, e.dst, e.msg->type()});
+    }
+    counters_.Inc("net.msgs_delivered");
+    p->DeliverMessage(e.time, e.msg);
+  } else {
+    if (faults_.IsCrashed(e.dst)) return;
+    p->DeliverTimer(e.time, e.timer_id);
+  }
+}
+
+bool Simulation::Step() {
+  if (queue_.empty()) return false;
+  Event e = queue_.top();
+  queue_.pop();
+  Dispatch(e);
+  return true;
+}
+
+void Simulation::RunUntil(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Event e = queue_.top();
+    queue_.pop();
+    Dispatch(e);
+  }
+  now_ = std::max(now_, t);
+}
+
+void Simulation::RunUntilIdle(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    if (max_events != 0 && ++n > max_events) {
+      ZLOG(Warn) << "RunUntilIdle: hit max_events=" << max_events;
+      return;
+    }
+    Event e = queue_.top();
+    queue_.pop();
+    Dispatch(e);
+  }
+}
+
+}  // namespace ziziphus::sim

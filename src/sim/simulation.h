@@ -1,0 +1,223 @@
+#ifndef ZIZIPHUS_SIM_SIMULATION_H_
+#define ZIZIPHUS_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/random.h"
+#include "common/types.h"
+#include "sim/latency_model.h"
+#include "sim/message.h"
+
+namespace ziziphus::sim {
+
+class Simulation;
+
+/// Health state of a simulated node, controlled by the FaultInjector.
+enum class NodeHealth {
+  kHealthy,
+  /// Silent crash: all inbound and outbound traffic is dropped.
+  kCrashed,
+};
+
+/// Injects failures into the network: crashes, link partitions, and
+/// probabilistic message loss. Consulted on every delivery.
+class FaultInjector {
+ public:
+  explicit FaultInjector(Rng rng) : rng_(rng) {}
+
+  void Crash(NodeId node) { health_[node] = NodeHealth::kCrashed; }
+  void Recover(NodeId node) { health_.erase(node); }
+  bool IsCrashed(NodeId node) const {
+    auto it = health_.find(node);
+    return it != health_.end() && it->second == NodeHealth::kCrashed;
+  }
+
+  /// Cuts both directions of the (a, b) link.
+  void Partition(NodeId a, NodeId b) {
+    cut_links_.insert(LinkKey(a, b));
+    cut_links_.insert(LinkKey(b, a));
+  }
+  void Heal(NodeId a, NodeId b) {
+    cut_links_.erase(LinkKey(a, b));
+    cut_links_.erase(LinkKey(b, a));
+  }
+  bool IsCut(NodeId from, NodeId to) const {
+    return cut_links_.count(LinkKey(from, to)) > 0;
+  }
+
+  /// Uniform probability that any message is silently dropped.
+  void set_loss_probability(double p) { loss_probability_ = p; }
+
+  /// Returns true if the message should be delivered.
+  bool AllowDelivery(NodeId from, NodeId to) {
+    if (IsCrashed(from) || IsCrashed(to) || IsCut(from, to)) return false;
+    if (loss_probability_ > 0 && rng_.NextBool(loss_probability_)) return false;
+    return true;
+  }
+
+ private:
+  static std::uint64_t LinkKey(NodeId a, NodeId b) {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  Rng rng_;
+  std::unordered_map<NodeId, NodeHealth> health_;
+  std::unordered_set<std::uint64_t> cut_links_;
+  double loss_probability_ = 0.0;
+};
+
+/// One record of a delivered message, for tests that assert protocol flow.
+struct TraceEntry {
+  SimTime time;
+  NodeId from;
+  NodeId to;
+  MessageType type;
+};
+
+/// Base class for every simulated actor (replica or client).
+///
+/// CPU model: each process is a single core. Handling of an event begins at
+/// max(arrival, busy_until); the handler advances its logical clock with
+/// ChargeCpu(), and messages it sends depart at the logical time reached so
+/// far. This yields realistic queueing and saturation behaviour.
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  NodeId id() const { return id_; }
+  RegionId region() const { return region_; }
+  /// Moves the process to another region (mobile edge clients physically
+  /// migrate; subsequent messages use the new region's latencies).
+  void set_region(RegionId region) { region_ = region; }
+
+  /// Called by the scheduler; runs the handler under the CPU model.
+  void DeliverMessage(SimTime arrival, const MessagePtr& msg);
+  void DeliverTimer(SimTime arrival, std::uint64_t timer_id);
+
+ protected:
+  /// Handles a delivered message. `Now()` is the processing start time.
+  virtual void OnMessage(const MessagePtr& msg) = 0;
+  /// Handles an expired (uncancelled) timer with the tag it was set with.
+  virtual void OnTimer(std::uint64_t tag) { (void)tag; }
+
+  /// Current logical time inside a handler (arrival + CPU charged so far).
+  SimTime Now() const;
+
+  /// Occupies this process's core for `cost` microseconds.
+  void ChargeCpu(Duration cost) { logical_now_ += cost; }
+
+  /// Sends `msg` to `dst`, departing at the current logical time.
+  void Send(NodeId dst, MessagePtr msg);
+
+  /// Sends `msg` to every node in `dsts` (including possibly self).
+  void Multicast(const std::vector<NodeId>& dsts, MessagePtr msg);
+
+  /// Schedules OnTimer(tag) after `delay`; returns a cancellable id.
+  std::uint64_t SetTimer(Duration delay, std::uint64_t tag);
+  void CancelTimer(std::uint64_t timer_id);
+
+  Simulation* simulation() const { return sim_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  friend class Simulation;
+
+  Simulation* sim_ = nullptr;
+  NodeId id_ = kInvalidNode;
+  RegionId region_ = 0;
+  SimTime busy_until_ = 0;
+  SimTime logical_now_ = 0;
+  Rng rng_{0};
+  std::unordered_map<std::uint64_t, std::uint64_t> active_timers_;
+};
+
+/// Deterministic discrete-event simulation: clock, event queue, network.
+///
+/// Events with equal timestamps are dispatched in insertion order, so runs
+/// are exactly reproducible given a seed.
+class Simulation {
+ public:
+  Simulation(std::uint64_t seed, LatencyModel latency);
+
+  SimTime Now() const { return now_; }
+
+  /// Registers a process at a region; assigns and returns its NodeId.
+  NodeId Register(Process* process, RegionId region);
+
+  Process* process(NodeId id) const { return processes_[id]; }
+  std::size_t num_processes() const { return processes_.size(); }
+  RegionId region_of(NodeId id) const { return processes_[id]->region(); }
+
+  /// Network send with latency, loss and partition handling.
+  void SendMessage(NodeId from, SimTime depart, NodeId to, MessagePtr msg);
+
+  /// Schedules a timer event for `owner`.
+  void PostTimer(NodeId owner, SimTime at, std::uint64_t timer_id);
+
+  /// Dispatches the next event. Returns false if the queue is empty.
+  bool Step();
+
+  /// Runs until the clock reaches `t` (events at exactly `t` included) or
+  /// the queue drains.
+  void RunUntil(SimTime t);
+  void RunFor(Duration d) { RunUntil(now_ + d); }
+
+  /// Runs until no events remain. `max_events` guards against livelock in
+  /// tests (0 = unlimited).
+  void RunUntilIdle(std::uint64_t max_events = 0);
+
+  FaultInjector& faults() { return faults_; }
+  LatencyModel& latency() { return latency_; }
+  CounterSet& counters() { return counters_; }
+  Rng& rng() { return rng_; }
+
+  /// Message-flow tracing (off by default; costs memory).
+  void EnableTrace(bool on) { trace_enabled_ = on; }
+  const std::vector<TraceEntry>& trace() const { return trace_; }
+  void ClearTrace() { trace_.clear(); }
+
+  std::uint64_t events_dispatched() const { return events_dispatched_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    NodeId dst;
+    MessagePtr msg;            // null for timers
+    std::uint64_t timer_id;    // valid when msg == nullptr
+    NodeId from;               // message sender, for tracing
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void Dispatch(const Event& e);
+
+  LatencyModel latency_;
+  Rng rng_;
+  Rng jitter_rng_;
+  FaultInjector faults_;
+  CounterSet counters_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<Process*> processes_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_timer_id_ = 1;
+  std::uint64_t events_dispatched_ = 0;
+  bool trace_enabled_ = false;
+  std::vector<TraceEntry> trace_;
+
+  friend class Process;
+};
+
+}  // namespace ziziphus::sim
+
+#endif  // ZIZIPHUS_SIM_SIMULATION_H_

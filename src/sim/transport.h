@@ -1,0 +1,33 @@
+#ifndef ZIZIPHUS_SIM_TRANSPORT_H_
+#define ZIZIPHUS_SIM_TRANSPORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/types.h"
+#include "sim/message.h"
+
+namespace ziziphus::sim {
+
+/// Narrow interface protocol engines use to talk to the world. A host
+/// process (e.g., a Ziziphus node, which runs a PBFT engine *and* the global
+/// protocol engines on one simulated core) implements this and routes
+/// delivered messages/timers into its engines.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual NodeId self() const = 0;
+  virtual SimTime Now() const = 0;
+  virtual void Send(NodeId dst, MessagePtr msg) = 0;
+  virtual void Multicast(const std::vector<NodeId>& dsts, MessagePtr msg) = 0;
+  virtual std::uint64_t SetTimer(Duration delay, std::uint64_t tag) = 0;
+  virtual void CancelTimer(std::uint64_t timer_id) = 0;
+  virtual void ChargeCpu(Duration cost) = 0;
+  virtual CounterSet& counters() = 0;
+};
+
+}  // namespace ziziphus::sim
+
+#endif  // ZIZIPHUS_SIM_TRANSPORT_H_

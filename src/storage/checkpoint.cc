@@ -1,0 +1,23 @@
+#include "storage/checkpoint.h"
+
+namespace ziziphus::storage {
+
+bool CheckpointStore::Install(ZoneId zone, Checkpoint cp) {
+  auto it = latest_.find(zone);
+  if (it != latest_.end() && it->second.seq >= cp.seq) return false;
+  latest_[zone] = std::move(cp);
+  return true;
+}
+
+std::optional<SeqNum> CheckpointStore::LatestSeq(ZoneId zone) const {
+  auto it = latest_.find(zone);
+  if (it == latest_.end()) return std::nullopt;
+  return it->second.seq;
+}
+
+const Checkpoint* CheckpointStore::Latest(ZoneId zone) const {
+  auto it = latest_.find(zone);
+  return it == latest_.end() ? nullptr : &it->second;
+}
+
+}  // namespace ziziphus::storage

@@ -1,0 +1,46 @@
+#ifndef ZIZIPHUS_STORAGE_CHECKPOINT_H_
+#define ZIZIPHUS_STORAGE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+#include "crypto/certificate.h"
+#include "storage/kv_store.h"
+
+namespace ziziphus::storage {
+
+/// A stable state snapshot at a sequence number: the last persisted state of
+/// a zone's data (Section V-B, lazy synchronization). The certificate proves
+/// 2f+1 nodes of the producing zone vouch for the snapshot digest.
+struct Checkpoint {
+  SeqNum seq = 0;
+  std::uint64_t state_digest = 0;
+  KvStore::Map snapshot;
+  crypto::Certificate certificate;
+};
+
+/// Keeps the latest stable checkpoint per producing zone. Used both by
+/// PBFT's garbage collection and by Ziziphus's lazy cross-zone
+/// synchronization, where each zone replicates the latest stable state of
+/// every other zone (Section V-B).
+class CheckpointStore {
+ public:
+  /// Installs `cp` for `zone` if it is newer than what is held.
+  /// Returns true if installed.
+  bool Install(ZoneId zone, Checkpoint cp);
+
+  std::optional<SeqNum> LatestSeq(ZoneId zone) const;
+  const Checkpoint* Latest(ZoneId zone) const;
+
+  std::size_t zones_covered() const { return latest_.size(); }
+
+ private:
+  std::map<ZoneId, Checkpoint> latest_;
+};
+
+}  // namespace ziziphus::storage
+
+#endif  // ZIZIPHUS_STORAGE_CHECKPOINT_H_

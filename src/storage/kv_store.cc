@@ -1,0 +1,47 @@
+#include "storage/kv_store.h"
+
+namespace ziziphus::storage {
+
+std::uint64_t KvStore::EntryDigest(const std::string& k,
+                                   const std::string& v) {
+  // Multiplication by an odd constant keeps the per-entry digest non-zero
+  // with overwhelming probability; addition makes the state digest
+  // order-insensitive and incrementally updatable.
+  return Hasher().Add(k).Add(v).Finish() * 0x9e3779b97f4a7c15ULL + 1;
+}
+
+void KvStore::Put(const std::string& key, const std::string& value) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    state_digest_ -= EntryDigest(key, it->second);
+    it->second = value;
+  } else {
+    map_.emplace(key, value);
+  }
+  state_digest_ += EntryDigest(key, value);
+  ++version_;
+}
+
+bool KvStore::Delete(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  state_digest_ -= EntryDigest(key, it->second);
+  map_.erase(it);
+  ++version_;
+  return true;
+}
+
+std::optional<std::string> KvStore::Get(const std::string& key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+void KvStore::Restore(const Map& snapshot) {
+  map_ = snapshot;
+  state_digest_ = 0;
+  for (const auto& [k, v] : map_) state_digest_ += EntryDigest(k, v);
+  ++version_;
+}
+
+}  // namespace ziziphus::storage

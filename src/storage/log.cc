@@ -1,0 +1,38 @@
+#include "storage/log.h"
+
+#include "common/logging.h"
+
+namespace ziziphus::storage {
+
+void CommitLog::Append(LogEntry entry) {
+  ZCHECK(entry.seq > highest_appended_);
+  highest_appended_ = entry.seq;
+  entries_.push_back(std::move(entry));
+}
+
+void CommitLog::TruncatePrefix(SeqNum up_to) {
+  while (!entries_.empty() && entries_.front().seq <= up_to) {
+    entries_.pop_front();
+  }
+}
+
+std::optional<LogEntry> CommitLog::Find(SeqNum seq) const {
+  if (entries_.empty() || seq < entries_.front().seq ||
+      seq > entries_.back().seq) {
+    return std::nullopt;
+  }
+  // Entries are seq-ordered but may have gaps (global log); binary search.
+  std::size_t lo = 0, hi = entries_.size();
+  while (lo < hi) {
+    std::size_t mid = (lo + hi) / 2;
+    if (entries_[mid].seq < seq) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < entries_.size() && entries_[lo].seq == seq) return entries_[lo];
+  return std::nullopt;
+}
+
+}  // namespace ziziphus::storage

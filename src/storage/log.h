@@ -1,0 +1,48 @@
+#ifndef ZIZIPHUS_STORAGE_LOG_H_
+#define ZIZIPHUS_STORAGE_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+
+namespace ziziphus::storage {
+
+/// One committed entry in a replica's linearizable log.
+struct LogEntry {
+  SeqNum seq = 0;
+  std::uint64_t digest = 0;
+  std::string description;
+};
+
+/// Append-only committed-operation log with prefix truncation at
+/// checkpoints. Models the durable log every SMR replica keeps ("every sent
+/// and received message is logged by the nodes" — we log commits; message
+/// logging for failure handling lives in the protocol layers).
+class CommitLog {
+ public:
+  /// Appends an entry; sequence numbers must be strictly increasing.
+  void Append(LogEntry entry);
+
+  /// Discards all entries with seq <= `up_to` (checkpoint garbage
+  /// collection).
+  void TruncatePrefix(SeqNum up_to);
+
+  std::optional<LogEntry> Find(SeqNum seq) const;
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  SeqNum first_seq() const { return entries_.empty() ? 0 : entries_.front().seq; }
+  SeqNum last_seq() const { return entries_.empty() ? 0 : entries_.back().seq; }
+  const std::deque<LogEntry>& entries() const { return entries_; }
+
+ private:
+  std::deque<LogEntry> entries_;
+  SeqNum highest_appended_ = 0;
+};
+
+}  // namespace ziziphus::storage
+
+#endif  // ZIZIPHUS_STORAGE_LOG_H_

@@ -1,0 +1,112 @@
+// Cross-zone transactions (Section IV-B3): a command executes on the local
+// data of the two involved zones only; the destination (initiator) zone is
+// the primary, no leader election, and messages go only to the involved
+// zones. The BankStateMachine's XZFER verb applies the debit half where
+// the sender's account lives and the credit half where the receiver's does.
+
+#include <memory>
+
+#include "app/bank.h"
+#include "core/system.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace ziziphus {
+namespace {
+
+using app::BankStateMachine;
+
+struct XZoneFixture {
+  XZoneFixture() : sys(5, sim::LatencyModel::PaperGeoMatrix()) {
+    for (int z = 0; z < 3; ++z) sys.AddZone(0, z, 1, 4);
+    core::NodeConfig cfg;
+    cfg.pbft.request_timeout_us = Seconds(2);
+    sys.Finalize(cfg,
+                 [](ZoneId) { return std::make_unique<BankStateMachine>(); });
+    alice = std::make_unique<testutil::TestClient>(&sys.keys(), 1);
+    bob = std::make_unique<testutil::TestClient>(&sys.keys(), 1);
+    sys.sim().Register(alice.get(), 0);
+    sys.sim().Register(bob.get(), 1);
+    Seed(alice->id(), 0, 500);
+    Seed(bob->id(), 1, 100);
+  }
+
+  void Seed(ClientId c, ZoneId home, std::int64_t balance) {
+    sys.BootstrapClient(c, home, [balance](ClientId id) {
+      return storage::KvStore::Map{
+          {BankStateMachine::AccountKey(id), std::to_string(balance)}};
+    });
+  }
+  BankStateMachine& bank(ZoneId z, std::size_t m) {
+    return static_cast<BankStateMachine&>(sys.Member(z, m)->app());
+  }
+
+  core::ZiziphusSystem sys;
+  std::unique_ptr<testutil::TestClient> alice, bob;
+};
+
+TEST(CrossZoneTest, TransferMovesMoneyBetweenZones) {
+  XZoneFixture fx;
+  // Alice (zone 0) pays Bob (zone 1) 200. The destination zone (Bob's) is
+  // the initiator; Alice's zone is the other involved shard.
+  std::string cmd = "XZFER " + std::to_string(fx.bob->id()) + " 200";
+  auto ts = fx.alice->SubmitGlobal(fx.sys.PrimaryOf(1)->id(), /*source=*/0,
+                                   /*dest=*/1, cmd, /*cross_zone=*/true);
+  fx.sys.sim().RunFor(Seconds(3));
+  EXPECT_TRUE(fx.alice->Synced(ts));
+
+  // Debit applied at zone 0 on every replica; credit at zone 1.
+  for (std::size_t m = 0; m < 4; ++m) {
+    EXPECT_EQ(fx.bank(0, m).BalanceOf(fx.alice->id()), 300) << "m" << m;
+    EXPECT_EQ(fx.bank(1, m).BalanceOf(fx.bob->id()), 300) << "m" << m;
+  }
+  // Money is conserved system-wide.
+  EXPECT_EQ(fx.bank(0, 0).TotalBalance() + fx.bank(1, 0).TotalBalance(), 600);
+}
+
+TEST(CrossZoneTest, UninvolvedZoneSeesNoTraffic) {
+  XZoneFixture fx;
+  std::uint64_t before = fx.sys.sim().counters().Get("net.msgs_delivered");
+  (void)before;
+  std::string cmd = "XZFER " + std::to_string(fx.bob->id()) + " 50";
+  auto ts = fx.alice->SubmitGlobal(fx.sys.PrimaryOf(1)->id(), 0, 1, cmd,
+                                   true);
+  fx.sys.sim().RunFor(Seconds(3));
+  ASSERT_TRUE(fx.alice->Synced(ts));
+  // Zone 2 never executes the command (its bank state is untouched) —
+  // "messages are sent only to the involved zones".
+  EXPECT_EQ(fx.bank(2, 0).TotalBalance(), 0);
+  EXPECT_EQ(fx.sys.Member(2, 0)->sync().executed_count(), 0u);
+}
+
+TEST(CrossZoneTest, ReplicasOfEachZoneAgree) {
+  XZoneFixture fx;
+  for (int i = 0; i < 3; ++i) {
+    std::string cmd = "XZFER " + std::to_string(fx.bob->id()) + " 10";
+    fx.alice->SubmitGlobal(fx.sys.PrimaryOf(1)->id(), 0, 1, cmd, true);
+    fx.sys.sim().RunFor(Seconds(2));
+  }
+  for (ZoneId z = 0; z < 2; ++z) {
+    std::uint64_t d = fx.bank(z, 0).StateDigest();
+    for (std::size_t m = 1; m < 4; ++m) {
+      EXPECT_EQ(fx.bank(z, m).StateDigest(), d) << "zone " << z;
+    }
+  }
+  EXPECT_EQ(fx.bank(0, 0).BalanceOf(fx.alice->id()), 470);
+  EXPECT_EQ(fx.bank(1, 0).BalanceOf(fx.bob->id()), 130);
+}
+
+TEST(CrossZoneTest, ResultReportsAppliedHalves) {
+  XZoneFixture fx;
+  std::string cmd = "XZFER " + std::to_string(fx.bob->id()) + " 25";
+  auto ts = fx.alice->SubmitGlobal(fx.sys.PrimaryOf(1)->id(), 0, 1, cmd,
+                                   true);
+  fx.sys.sim().RunFor(Seconds(3));
+  ASSERT_TRUE(fx.alice->Synced(ts));
+  // The initiator-zone replicas hold Bob's account: their result reports
+  // the credit half.
+  EXPECT_EQ(fx.alice->ResultOf(ts), "ok:credit");
+}
+
+}  // namespace
+}  // namespace ziziphus

@@ -1,0 +1,135 @@
+#include "crypto/certificate.h"
+#include "crypto/signature.h"
+#include "gtest/gtest.h"
+
+namespace ziziphus::crypto {
+namespace {
+
+TEST(SignatureTest, SignVerifyRoundtrip) {
+  KeyRegistry keys(42);
+  Signature sig = keys.Sign(3, 0xabcd);
+  EXPECT_TRUE(keys.Verify(sig, 0xabcd));
+}
+
+TEST(SignatureTest, WrongDigestFails) {
+  KeyRegistry keys(42);
+  Signature sig = keys.Sign(3, 0xabcd);
+  EXPECT_FALSE(keys.Verify(sig, 0xabce));
+}
+
+TEST(SignatureTest, ForgedSignerFails) {
+  KeyRegistry keys(42);
+  // A Byzantine node that copies another node's signature object onto a
+  // different digest, or fabricates a tag, must fail verification.
+  Signature forged{5, 12345};
+  EXPECT_FALSE(keys.Verify(forged, 0xabcd));
+  Signature stolen = keys.Sign(3, 0x1);
+  stolen.signer = 4;  // claims node 4 signed it
+  EXPECT_FALSE(keys.Verify(stolen, 0x1));
+}
+
+TEST(SignatureTest, InvalidNodeRejected) {
+  KeyRegistry keys(42);
+  Signature sig{kInvalidNode, 0};
+  EXPECT_FALSE(keys.Verify(sig, 0));
+}
+
+TEST(SignatureTest, DifferentSeedsDifferentKeys) {
+  KeyRegistry a(1), b(2);
+  Signature sig = a.Sign(3, 0xabcd);
+  EXPECT_FALSE(b.Verify(sig, 0xabcd));
+}
+
+TEST(CryptoCostsTest, ThresholdCertificateConstantCost) {
+  CryptoCosts costs;
+  costs.verify_us = 60;
+  costs.threshold_signatures = false;
+  EXPECT_EQ(costs.CertificateVerifyCost(3), 180u);
+  costs.threshold_signatures = true;
+  EXPECT_EQ(costs.CertificateVerifyCost(3), 60u);
+}
+
+class CertificateTest : public ::testing::Test {
+ protected:
+  KeyRegistry keys_{7};
+  Digest digest_ = 0x1234;
+  std::function<bool(NodeId)> members_0_to_3_ = [](NodeId n) {
+    return n < 4;
+  };
+};
+
+TEST_F(CertificateTest, BuilderCollectsQuorum) {
+  CertificateBuilder b(digest_, 3);
+  EXPECT_FALSE(b.Complete());
+  EXPECT_TRUE(b.Add(keys_.Sign(0, digest_), digest_));
+  EXPECT_TRUE(b.Add(keys_.Sign(1, digest_), digest_));
+  EXPECT_FALSE(b.Complete());
+  EXPECT_TRUE(b.Add(keys_.Sign(2, digest_), digest_));
+  EXPECT_TRUE(b.Complete());
+  EXPECT_TRUE(VerifyCertificate(keys_, b.certificate(), digest_, 3,
+                                members_0_to_3_)
+                  .ok());
+}
+
+TEST_F(CertificateTest, DuplicateSignersIgnored) {
+  CertificateBuilder b(digest_, 3);
+  EXPECT_TRUE(b.Add(keys_.Sign(0, digest_), digest_));
+  EXPECT_FALSE(b.Add(keys_.Sign(0, digest_), digest_));
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST_F(CertificateTest, WrongDigestIgnoredByBuilder) {
+  CertificateBuilder b(digest_, 2);
+  EXPECT_FALSE(b.Add(keys_.Sign(0, 0x9999), 0x9999));
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST_F(CertificateTest, VerifyRejectsInsufficientSigners) {
+  CertificateBuilder b(digest_, 2);
+  b.Add(keys_.Sign(0, digest_), digest_);
+  b.Add(keys_.Sign(1, digest_), digest_);
+  Status s =
+      VerifyCertificate(keys_, b.certificate(), digest_, 3, members_0_to_3_);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidCertificate);
+}
+
+TEST_F(CertificateTest, VerifyRejectsNonMembers) {
+  CertificateBuilder b(digest_, 3);
+  b.Add(keys_.Sign(0, digest_), digest_);
+  b.Add(keys_.Sign(1, digest_), digest_);
+  b.Add(keys_.Sign(9, digest_), digest_);  // node 9 is not in the zone
+  Status s =
+      VerifyCertificate(keys_, b.certificate(), digest_, 3, members_0_to_3_);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidCertificate);
+}
+
+TEST_F(CertificateTest, VerifyRejectsForgedComponent) {
+  Certificate cert;
+  cert.digest = digest_;
+  cert.signatures.push_back(keys_.Sign(0, digest_));
+  cert.signatures.push_back(keys_.Sign(1, digest_));
+  cert.signatures.push_back(Signature{2, 0xbad});  // forged tag
+  Status s = VerifyCertificate(keys_, cert, digest_, 3, members_0_to_3_);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidCertificate);
+}
+
+TEST_F(CertificateTest, VerifyRejectsDigestMismatch) {
+  CertificateBuilder b(digest_, 2);
+  b.Add(keys_.Sign(0, digest_), digest_);
+  b.Add(keys_.Sign(1, digest_), digest_);
+  Status s = VerifyCertificate(keys_, b.certificate(), 0x9999, 2,
+                               members_0_to_3_);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidCertificate);
+}
+
+TEST_F(CertificateTest, ResetReuses) {
+  CertificateBuilder b(digest_, 2);
+  b.Add(keys_.Sign(0, digest_), digest_);
+  b.Reset(0x777, 1);
+  EXPECT_EQ(b.count(), 0u);
+  b.Add(keys_.Sign(1, 0x777), 0x777);
+  EXPECT_TRUE(b.Complete());
+}
+
+}  // namespace
+}  // namespace ziziphus::crypto

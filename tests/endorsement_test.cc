@@ -1,0 +1,182 @@
+#include <memory>
+
+#include "core/endorsement.h"
+#include "gtest/gtest.h"
+#include "sim/simulation.h"
+
+namespace ziziphus::core {
+namespace {
+
+/// Hosts one ZoneEndorser on a simulated process; records quorum events.
+class EndorserHost : public sim::Process, public sim::Transport {
+ public:
+  void Init(const crypto::KeyRegistry* keys, const ZoneInfo* zone,
+            std::function<bool(const EndorsePrePrepareMsg&)> validate) {
+    ZoneEndorser::Callbacks cbs;
+    cbs.validate = std::move(validate);
+    cbs.on_quorum = [this](const EndorseKey& key,
+                           const EndorsePrePrepareMsg& pp,
+                           const crypto::Certificate& cert) {
+      quorums.push_back(key);
+      last_cert = cert;
+      last_digest = pp.content_digest;
+    };
+    endorser = std::make_unique<ZoneEndorser>(this, keys, zone, NodeCosts{},
+                                              cbs);
+  }
+
+  NodeId self() const override { return id(); }
+  SimTime Now() const override { return Process::Now(); }
+  void Send(NodeId dst, sim::MessagePtr msg) override {
+    Process::Send(dst, std::move(msg));
+  }
+  void Multicast(const std::vector<NodeId>& dsts,
+                 sim::MessagePtr msg) override {
+    Process::Multicast(dsts, std::move(msg));
+  }
+  std::uint64_t SetTimer(Duration delay, std::uint64_t tag) override {
+    return Process::SetTimer(delay, tag);
+  }
+  void CancelTimer(std::uint64_t t) override { Process::CancelTimer(t); }
+  void ChargeCpu(Duration cost) override { Process::ChargeCpu(cost); }
+  CounterSet& counters() override { return simulation()->counters(); }
+
+  std::vector<EndorseKey> quorums;
+  crypto::Certificate last_cert;
+  crypto::Digest last_digest = 0;
+  std::unique_ptr<ZoneEndorser> endorser;
+
+ protected:
+  void OnMessage(const sim::MessagePtr& msg) override {
+    endorser->HandleMessage(msg);
+  }
+};
+
+struct EndorserFixture {
+  explicit EndorserFixture(std::size_t n = 4, std::size_t f = 1,
+                           bool reject_at_node3 = false)
+      : keys(1 ^ 0x5eedc0deULL),
+        sim(1, sim::LatencyModel::Uniform(1, 500)) {
+    hosts.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      hosts[i] = std::make_unique<EndorserHost>();
+      zone.members.push_back(sim.Register(hosts[i].get(), 0));
+    }
+    zone.id = 0;
+    zone.f = f;
+    for (std::size_t i = 0; i < n; ++i) {
+      bool reject = reject_at_node3 && i == 3;
+      hosts[i]->Init(&keys, &zone,
+                     [reject](const EndorsePrePrepareMsg&) { return !reject; });
+    }
+  }
+
+  void Start(EndorsePhase phase, std::uint64_t id, crypto::Digest digest,
+             bool full_prepare) {
+    hosts[0]->endorser->Start(phase, id, Ballot{1, 0}, kNullBallot, digest,
+                              nullptr, MigrationOp{}, {}, {}, full_prepare);
+  }
+
+  crypto::KeyRegistry keys;
+  sim::Simulation sim;
+  ZoneInfo zone;
+  std::vector<std::unique_ptr<EndorserHost>> hosts;
+};
+
+TEST(EndorsementTest, TwoPhaseQuorumAtEveryNode) {
+  EndorserFixture fx;
+  fx.Start(EndorsePhase::kAccepted, 42, 0xabc, /*full_prepare=*/false);
+  fx.sim.RunUntilIdle();
+  for (auto& h : fx.hosts) {
+    ASSERT_EQ(h->quorums.size(), 1u);
+    EXPECT_EQ(h->quorums[0].request_id, 42u);
+    EXPECT_GE(h->last_cert.size(), 3u);
+  }
+  // The certificate verifies against the content digest.
+  const ZoneInfo& z = fx.zone;
+  EXPECT_TRUE(crypto::VerifyCertificate(
+                  fx.keys, fx.hosts[1]->last_cert, 0xabc, z.quorum(),
+                  [&z](NodeId n) {
+                    return std::find(z.members.begin(), z.members.end(), n) !=
+                           z.members.end();
+                  })
+                  .ok());
+}
+
+TEST(EndorsementTest, FullPrepareAlsoReachesQuorum) {
+  EndorserFixture fx;
+  fx.Start(EndorsePhase::kAccept, 7, 0xdef, /*full_prepare=*/true);
+  fx.sim.RunUntilIdle();
+  for (auto& h : fx.hosts) EXPECT_EQ(h->quorums.size(), 1u);
+  // Full prepare costs one extra message round.
+  EXPECT_GT(fx.sim.counters().Get("net.msgs_sent"), 32u);
+}
+
+TEST(EndorsementTest, QuorumDespiteOneRefusingNode) {
+  EndorserFixture fx(4, 1, /*reject_at_node3=*/true);
+  fx.Start(EndorsePhase::kAccepted, 9, 0x123, false);
+  fx.sim.RunUntilIdle();
+  // 3 of 4 votes = 2f+1: quorum still reached at the voting nodes.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(fx.hosts[i]->quorums.size(), 1u) << i;
+  }
+  EXPECT_GE(fx.sim.counters().Get("endorse.rejected"), 1u);
+}
+
+TEST(EndorsementTest, QuorumFailsWithTwoCrashedNodes) {
+  EndorserFixture fx;
+  fx.sim.faults().Crash(fx.zone.members[2]);
+  fx.sim.faults().Crash(fx.zone.members[3]);
+  fx.Start(EndorsePhase::kAccepted, 5, 0x77, false);
+  fx.sim.RunUntilIdle();
+  // Only 2 votes < 2f+1 = 3: nobody reaches quorum (safety over liveness).
+  for (auto& h : fx.hosts) EXPECT_TRUE(h->quorums.empty());
+}
+
+TEST(EndorsementTest, NonPrimaryPrePrepareIgnored) {
+  EndorserFixture fx;
+  // Node 1 (not the view-0 primary) tries to start an endorsement.
+  fx.hosts[1]->endorser->OnViewChange(0);  // no-op; still view 0
+  auto msg = std::make_shared<EndorsePrePrepareMsg>();
+  msg->phase = EndorsePhase::kAccepted;
+  msg->request_id = 1;
+  msg->view = 0;
+  msg->content_digest = 0x99;
+  msg->sig = fx.keys.Sign(fx.zone.members[1], msg->ComputeDigest());
+  msg->set_from(fx.zone.members[1]);
+  // Inject directly via the network from node 1.
+  fx.sim.SendMessage(fx.zone.members[1], 0, fx.zone.members[2], msg);
+  fx.sim.RunUntilIdle();
+  EXPECT_TRUE(fx.hosts[2]->quorums.empty());
+}
+
+TEST(EndorsementTest, HigherBallotSupersedesLowerAttempt) {
+  EndorserFixture fx;
+  fx.Start(EndorsePhase::kAccepted, 3, 0x111, false);
+  fx.sim.RunUntilIdle();
+  ASSERT_EQ(fx.hosts[1]->quorums.size(), 1u);
+  // A re-led attempt with a higher ballot and different digest restarts the
+  // instance rather than being flagged as equivocation.
+  fx.hosts[0]->endorser->Start(EndorsePhase::kAccepted, 3, Ballot{2, 0},
+                               kNullBallot, 0x222, nullptr, MigrationOp{}, {},
+                               {}, false);
+  fx.sim.RunUntilIdle();
+  EXPECT_EQ(fx.sim.counters().Get("endorse.equivocation_detected"), 0u);
+  EXPECT_EQ(fx.hosts[1]->quorums.size(), 2u);
+  EXPECT_EQ(fx.hosts[1]->last_digest, 0x222u);
+}
+
+TEST(EndorsementTest, ViewChangeDropsInFlightInstances) {
+  EndorserFixture fx;
+  fx.sim.faults().Crash(fx.zone.members[3]);
+  fx.sim.faults().Crash(fx.zone.members[2]);
+  fx.Start(EndorsePhase::kAccepted, 4, 0x333, false);
+  fx.sim.RunUntilIdle();  // cannot reach quorum
+  EXPECT_TRUE(fx.hosts[1]->quorums.empty());
+  fx.hosts[1]->endorser->OnViewChange(1);
+  EXPECT_EQ(fx.hosts[1]->endorser->primary(), fx.zone.members[1]);
+  EXPECT_FALSE(fx.hosts[1]->endorser->IsDone({4, EndorsePhase::kAccepted}));
+}
+
+}  // namespace
+}  // namespace ziziphus::core

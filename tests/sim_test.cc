@@ -1,0 +1,219 @@
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "sim/latency_model.h"
+#include "sim/message.h"
+#include "sim/simulation.h"
+
+namespace ziziphus::sim {
+namespace {
+
+struct PingMsg : Message {
+  PingMsg() : Message(1) {}
+  std::uint64_t payload = 0;
+  crypto::Digest ComputeDigest() const override { return payload; }
+};
+
+/// Records arrivals; optionally replies or charges CPU.
+class Recorder : public Process {
+ public:
+  std::vector<std::pair<SimTime, std::uint64_t>> received;
+  std::vector<std::pair<SimTime, std::uint64_t>> timers;
+  Duration charge_per_message = 0;
+  NodeId reply_to = kInvalidNode;
+
+  void OnMessage(const MessagePtr& msg) override {
+    ChargeCpu(charge_per_message);
+    auto ping = As<PingMsg>(msg);
+    received.emplace_back(Now(), ping != nullptr ? ping->payload : 0);
+    if (reply_to != kInvalidNode) {
+      auto m = std::make_shared<PingMsg>();
+      m->payload = 1000 + received.size();
+      Send(reply_to, m);
+    }
+  }
+  void OnTimer(std::uint64_t tag) override { timers.emplace_back(Now(), tag); }
+
+  using Process::CancelTimer;
+  using Process::Send;
+  using Process::SetTimer;
+};
+
+TEST(LatencyModelTest, PaperMatrixSymmetricAndPlausible) {
+  LatencyModel m = LatencyModel::PaperGeoMatrix();
+  ASSERT_EQ(m.num_regions(), 7u);
+  for (RegionId a = 0; a < 7; ++a) {
+    for (RegionId b = 0; b < 7; ++b) {
+      EXPECT_EQ(m.BaseLatency(a, b), m.BaseLatency(b, a));
+    }
+  }
+  // Sanity: CA-OH much closer than SYD-PAR.
+  EXPECT_LT(m.BaseLatency(kCalifornia, kOhio),
+            m.BaseLatency(kSydney, kParis));
+}
+
+TEST(LatencyModelTest, SampleIncludesBandwidthAndJitter) {
+  LatencyModel m = LatencyModel::Uniform(2, 10000);
+  Rng rng(1);
+  Duration small = m.Sample(0, 1, 100, rng);
+  EXPECT_GE(small, 10000u);
+  // A 1 MB message must take noticeably longer on a 1 Gb/s link.
+  Duration big = m.Sample(0, 1, 1000000, rng);
+  EXPECT_GT(big, small + 5000);
+}
+
+TEST(LatencyModelTest, IntraZoneLatencyUsed) {
+  LatencyModel m = LatencyModel::Uniform(2, 10000);
+  m.set_jitter_fraction(0.0);
+  Rng rng(1);
+  EXPECT_LT(m.Sample(0, 0, 10, rng), 1000u);
+}
+
+TEST(SimulationTest, DeliversWithLatency) {
+  Simulation sim(1, LatencyModel::Uniform(2, 5000));
+  Recorder a, b;
+  NodeId ida = sim.Register(&a, 0);
+  sim.Register(&b, 1);
+  auto msg = std::make_shared<PingMsg>();
+  msg->payload = 7;
+  sim.SendMessage(ida, 0, 1, msg);
+  sim.RunUntilIdle();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_GE(b.received[0].first, 5000u);
+  EXPECT_EQ(b.received[0].second, 7u);
+}
+
+TEST(SimulationTest, DeterministicAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    Simulation sim(seed, LatencyModel::Uniform(2, 2000));
+    Recorder a, b;
+    NodeId ida = sim.Register(&a, 0);
+    NodeId idb = sim.Register(&b, 1);
+    a.reply_to = idb;
+    b.reply_to = kInvalidNode;
+    for (int i = 0; i < 20; ++i) {
+      auto msg = std::make_shared<PingMsg>();
+      msg->payload = i;
+      sim.SendMessage(idb, i * 10, ida, msg);
+    }
+    sim.RunUntilIdle();
+    return std::make_pair(a.received, b.received);
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99), run(100));
+}
+
+TEST(SimulationTest, CpuModelSerializesWork) {
+  Simulation sim(1, LatencyModel::Uniform(1, 1000));
+  Recorder a, b;
+  NodeId ida = sim.Register(&a, 0);
+  sim.Register(&b, 0);
+  b.charge_per_message = 500;
+  // Two messages arrive nearly together; the second must start after the
+  // first one's CPU time.
+  auto m1 = std::make_shared<PingMsg>();
+  auto m2 = std::make_shared<PingMsg>();
+  sim.SendMessage(ida, 0, 1, m1);
+  sim.SendMessage(ida, 0, 1, m2);
+  sim.RunUntilIdle();
+  ASSERT_EQ(b.received.size(), 2u);
+  // Now() inside the handler includes the charge of that handler.
+  EXPECT_GE(b.received[1].first, b.received[0].first + 500);
+}
+
+TEST(SimulationTest, TimersFireAndCancel) {
+  Simulation sim(1, LatencyModel::Uniform(1, 1000));
+  Recorder a;
+  sim.Register(&a, 0);
+  a.SetTimer(1000, 1);
+  std::uint64_t t2 = a.SetTimer(2000, 2);
+  a.SetTimer(3000, 3);
+  a.CancelTimer(t2);
+  sim.RunUntilIdle();
+  ASSERT_EQ(a.timers.size(), 2u);
+  EXPECT_EQ(a.timers[0].second, 1u);
+  EXPECT_EQ(a.timers[1].second, 3u);
+}
+
+TEST(SimulationTest, CrashDropsTraffic) {
+  Simulation sim(1, LatencyModel::Uniform(1, 1000));
+  Recorder a, b;
+  NodeId ida = sim.Register(&a, 0);
+  NodeId idb = sim.Register(&b, 0);
+  sim.faults().Crash(idb);
+  sim.SendMessage(ida, 0, idb, std::make_shared<PingMsg>());
+  sim.RunUntilIdle();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(sim.counters().Get("net.msgs_dropped"), 1u);
+  sim.faults().Recover(idb);
+  sim.SendMessage(ida, sim.Now(), idb, std::make_shared<PingMsg>());
+  sim.RunUntilIdle();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(SimulationTest, PartitionCutsBothDirections) {
+  Simulation sim(1, LatencyModel::Uniform(1, 1000));
+  Recorder a, b;
+  NodeId ida = sim.Register(&a, 0);
+  NodeId idb = sim.Register(&b, 0);
+  sim.faults().Partition(ida, idb);
+  sim.SendMessage(ida, 0, idb, std::make_shared<PingMsg>());
+  sim.SendMessage(idb, 0, ida, std::make_shared<PingMsg>());
+  sim.RunUntilIdle();
+  EXPECT_TRUE(a.received.empty());
+  EXPECT_TRUE(b.received.empty());
+  sim.faults().Heal(ida, idb);
+  sim.SendMessage(ida, sim.Now(), idb, std::make_shared<PingMsg>());
+  sim.RunUntilIdle();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(SimulationTest, MessageLossProbability) {
+  Simulation sim(1, LatencyModel::Uniform(1, 1000));
+  Recorder a, b;
+  NodeId ida = sim.Register(&a, 0);
+  NodeId idb = sim.Register(&b, 0);
+  sim.faults().set_loss_probability(0.5);
+  for (int i = 0; i < 1000; ++i) {
+    sim.SendMessage(ida, 0, idb, std::make_shared<PingMsg>());
+  }
+  sim.RunUntilIdle();
+  EXPECT_GT(b.received.size(), 350u);
+  EXPECT_LT(b.received.size(), 650u);
+}
+
+TEST(SimulationTest, TraceRecordsFlow) {
+  Simulation sim(1, LatencyModel::Uniform(1, 1000));
+  Recorder a, b;
+  NodeId ida = sim.Register(&a, 0);
+  NodeId idb = sim.Register(&b, 0);
+  sim.EnableTrace(true);
+  sim.SendMessage(ida, 0, idb, std::make_shared<PingMsg>());
+  sim.RunUntilIdle();
+  ASSERT_EQ(sim.trace().size(), 1u);
+  EXPECT_EQ(sim.trace()[0].from, ida);
+  EXPECT_EQ(sim.trace()[0].to, idb);
+  EXPECT_EQ(sim.trace()[0].type, 1);
+}
+
+TEST(SimulationTest, RunUntilAdvancesClock) {
+  Simulation sim(1, LatencyModel::Uniform(1, 1000));
+  sim.RunUntil(12345);
+  EXPECT_EQ(sim.Now(), 12345u);
+}
+
+TEST(SimulationTest, TieBreakByInsertionOrder) {
+  Simulation sim(1, LatencyModel::Uniform(1, 1000));
+  Recorder a;
+  sim.Register(&a, 0);
+  // Two timers at the same instant fire in creation order.
+  a.SetTimer(100, 10);
+  a.SetTimer(100, 20);
+  sim.RunUntilIdle();
+  ASSERT_EQ(a.timers.size(), 2u);
+  EXPECT_EQ(a.timers[0].second, 10u);
+  EXPECT_EQ(a.timers[1].second, 20u);
+}
+
+}  // namespace
+}  // namespace ziziphus::sim

@@ -1,0 +1,105 @@
+#include "gtest/gtest.h"
+#include "storage/checkpoint.h"
+#include "storage/kv_store.h"
+#include "storage/log.h"
+
+namespace ziziphus::storage {
+namespace {
+
+TEST(KvStoreTest, PutGetDelete) {
+  KvStore kv;
+  kv.Put("a", "1");
+  EXPECT_EQ(kv.Get("a").value(), "1");
+  kv.Put("a", "2");
+  EXPECT_EQ(kv.Get("a").value(), "2");
+  EXPECT_TRUE(kv.Delete("a"));
+  EXPECT_FALSE(kv.Get("a").has_value());
+  EXPECT_FALSE(kv.Delete("a"));
+}
+
+TEST(KvStoreTest, DigestIsContentDefined) {
+  KvStore a, b;
+  a.Put("x", "1");
+  a.Put("y", "2");
+  b.Put("y", "2");
+  b.Put("x", "1");
+  EXPECT_EQ(a.StateDigest(), b.StateDigest());  // order-insensitive
+  b.Put("x", "3");
+  EXPECT_NE(a.StateDigest(), b.StateDigest());
+  b.Put("x", "1");
+  EXPECT_EQ(a.StateDigest(), b.StateDigest());
+}
+
+TEST(KvStoreTest, DigestReturnsToEmptyAfterDeletes) {
+  KvStore kv;
+  std::uint64_t empty = kv.StateDigest();
+  kv.Put("a", "1");
+  kv.Put("b", "2");
+  kv.Delete("a");
+  kv.Delete("b");
+  EXPECT_EQ(kv.StateDigest(), empty);
+}
+
+TEST(KvStoreTest, SnapshotRestore) {
+  KvStore a;
+  a.Put("k1", "v1");
+  a.Put("k2", "v2");
+  auto snap = a.Snapshot();
+  KvStore b;
+  b.Put("junk", "x");
+  b.Restore(snap);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.StateDigest(), a.StateDigest());
+  EXPECT_EQ(b.Get("k1").value(), "v1");
+}
+
+TEST(KvStoreTest, VersionMonotonic) {
+  KvStore kv;
+  std::uint64_t v0 = kv.version();
+  kv.Put("a", "1");
+  kv.Delete("a");
+  EXPECT_GT(kv.version(), v0 + 1);
+}
+
+TEST(CommitLogTest, AppendAndFind) {
+  CommitLog log;
+  log.Append({1, 0x11, "a"});
+  log.Append({2, 0x22, "b"});
+  log.Append({5, 0x55, "gap"});
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.Find(2)->digest, 0x22u);
+  EXPECT_EQ(log.Find(5)->digest, 0x55u);
+  EXPECT_FALSE(log.Find(3).has_value());
+  EXPECT_FALSE(log.Find(9).has_value());
+}
+
+TEST(CommitLogTest, TruncatePrefix) {
+  CommitLog log;
+  for (SeqNum s = 1; s <= 10; ++s) log.Append({s, s, ""});
+  log.TruncatePrefix(7);
+  EXPECT_EQ(log.first_seq(), 8u);
+  EXPECT_EQ(log.last_seq(), 10u);
+  EXPECT_FALSE(log.Find(7).has_value());
+  EXPECT_TRUE(log.Find(8).has_value());
+}
+
+TEST(CheckpointStoreTest, InstallsNewerOnly) {
+  CheckpointStore store;
+  Checkpoint cp1;
+  cp1.seq = 10;
+  cp1.state_digest = 1;
+  EXPECT_TRUE(store.Install(0, cp1));
+  Checkpoint stale;
+  stale.seq = 5;
+  EXPECT_FALSE(store.Install(0, stale));
+  EXPECT_EQ(store.LatestSeq(0).value(), 10u);
+  Checkpoint cp2;
+  cp2.seq = 20;
+  cp2.state_digest = 2;
+  EXPECT_TRUE(store.Install(0, cp2));
+  EXPECT_EQ(store.Latest(0)->state_digest, 2u);
+  EXPECT_FALSE(store.LatestSeq(9).has_value());
+}
+
+}  // namespace
+}  // namespace ziziphus::storage

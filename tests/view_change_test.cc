@@ -1,0 +1,125 @@
+// Deeper PBFT view-change scenarios: cascading primary failures, larger f,
+// safety of committed prefixes across views, and checkpoints during churn.
+
+#include "gtest/gtest.h"
+#include "pbft/engine.h"
+#include "tests/test_util.h"
+
+namespace ziziphus {
+namespace {
+
+using testutil::PbftCluster;
+
+TEST(ViewChangeTest, CascadingPrimaryFailures) {
+  // f = 2: the group survives two successive primary crashes.
+  pbft::PbftConfig base;
+  base.request_timeout_us = Millis(250);
+  PbftCluster c(7, 2, /*seed=*/3, /*one_way_us=*/1000, base);
+  c.client->EnableRetry(c.members, Millis(500));
+
+  c.sim.faults().Crash(c.members[0]);  // primary of view 0
+  c.client->SubmitLocal(c.members[1], "first");
+  c.sim.RunFor(Seconds(4));
+  ASSERT_EQ(c.client->completed(), 1u);
+
+  // Now crash the new primary too.
+  NodeId new_primary = c.members[c.engine(1).view() % 7];
+  c.sim.faults().Crash(new_primary);
+  c.client->SubmitLocal(c.members[2], "second");
+  c.sim.RunFor(Seconds(6));
+  EXPECT_EQ(c.client->completed(), 2u);
+  // Live replicas agree.
+  std::set<std::uint64_t> digests;
+  for (std::size_t i = 0; i < 7; ++i) {
+    if (c.sim.faults().IsCrashed(c.members[i])) continue;
+    if (c.app(i).applied() == 2) digests.insert(c.app(i).StateDigest());
+  }
+  EXPECT_EQ(digests.size(), 1u);
+}
+
+TEST(ViewChangeTest, CommittedPrefixSurvivesViewChange) {
+  pbft::PbftConfig base;
+  base.request_timeout_us = Millis(250);
+  base.batch_max = 1;
+  base.batch_timeout_us = 100;
+  PbftCluster c(4, 1, /*seed=*/5, 1000, base);
+  c.client->EnableRetry(c.members, Millis(500));
+
+  // Commit a prefix in view 0.
+  c.client->SubmitLocalSequence(c.members[0], 5, "pre");
+  c.sim.RunFor(Seconds(2));
+  ASSERT_EQ(c.client->completed(), 5u);
+  std::uint64_t prefix_digest = c.app(1).StateDigest();
+
+  // Crash the primary; commit more in the new view.
+  c.sim.faults().Crash(c.members[0]);
+  c.client->SubmitLocalSequence(c.members[1], 3, "post");
+  c.sim.RunFor(Seconds(5));
+  EXPECT_EQ(c.client->completed(), 8u);
+
+  // The new-view log extends (never rewrites) the committed prefix: all
+  // live replicas applied exactly 8 ops and agree.
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(c.app(i).applied(), 8u) << i;
+    EXPECT_EQ(c.app(i).StateDigest(), c.app(1).StateDigest());
+  }
+  EXPECT_NE(c.app(1).StateDigest(), prefix_digest);  // it did extend
+}
+
+TEST(ViewChangeTest, CheckpointsContinueAfterViewChange) {
+  pbft::PbftConfig base;
+  base.request_timeout_us = Millis(250);
+  base.batch_max = 1;
+  base.batch_timeout_us = 100;
+  base.checkpoint_interval = 4;
+  PbftCluster c(4, 1, /*seed=*/9, 1000, base);
+  c.client->EnableRetry(c.members, Millis(500));
+
+  c.sim.faults().Crash(c.members[0]);
+  c.client->SubmitLocalSequence(c.members[1], 12, "op");
+  c.sim.RunFor(Seconds(8));
+  ASSERT_EQ(c.client->completed(), 12u);
+  // Stable checkpoints advanced in the new view despite the dead member
+  // (2f+1 = 3 live checkpoint votes available).
+  EXPECT_GE(c.engine(1).stable_seq(), 4u);
+}
+
+TEST(ViewChangeTest, NoViewChangeWithoutTimeouts) {
+  PbftCluster c(4, 1, /*seed=*/11);
+  c.client->SubmitLocalSequence(c.members[0], 20, "op");
+  c.sim.RunFor(Seconds(4));
+  EXPECT_EQ(c.client->completed(), 20u);
+  EXPECT_EQ(c.sim.counters().Get("pbft.view_changes_started"), 0u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(c.engine(i).view(), 0u);
+}
+
+TEST(ViewChangeTest, ViewChangeDisabledForBenchmarks) {
+  pbft::PbftConfig base;
+  base.request_timeout_us = Millis(100);
+  PbftCluster c(4, 1, /*seed=*/13, 1000, base);
+  for (int i = 0; i < 4; ++i) c.engine(i).set_view_changes_enabled(false);
+  c.sim.faults().Crash(c.members[0]);
+  c.client->SubmitLocal(c.members[1], "stuck");
+  c.sim.RunFor(Seconds(2));
+  // With the safety valve off, no churn — and of course no progress.
+  EXPECT_EQ(c.sim.counters().Get("pbft.view_changes_started"), 0u);
+  EXPECT_EQ(c.client->completed(), 0u);
+}
+
+TEST(ViewChangeTest, PartitionedPrimaryTreatedAsFaulty) {
+  pbft::PbftConfig base;
+  base.request_timeout_us = Millis(300);
+  PbftCluster c(4, 1, /*seed=*/17, 1000, base);
+  c.client->EnableRetry(c.members, Millis(600));
+  // The primary is alive but cut off from every backup.
+  for (int i = 1; i < 4; ++i) {
+    c.sim.faults().Partition(c.members[0], c.members[i]);
+  }
+  c.client->SubmitLocal(c.members[1], "isolated-primary");
+  c.sim.RunFor(Seconds(6));
+  EXPECT_EQ(c.client->completed(), 1u);
+  EXPECT_GE(c.engine(1).view(), 1u);
+}
+
+}  // namespace
+}  // namespace ziziphus
