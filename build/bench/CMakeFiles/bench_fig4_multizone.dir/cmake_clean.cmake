@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_multizone.dir/bench_fig4_multizone.cc.o"
+  "CMakeFiles/bench_fig4_multizone.dir/bench_fig4_multizone.cc.o.d"
+  "bench_fig4_multizone"
+  "bench_fig4_multizone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_multizone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_zonesize.dir/bench_fig7_zonesize.cc.o"
+  "CMakeFiles/bench_fig7_zonesize.dir/bench_fig7_zonesize.cc.o.d"
+  "bench_fig7_zonesize"
+  "bench_fig7_zonesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_zonesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banking_policies.dir/banking_policies.cpp.o"
+  "CMakeFiles/banking_policies.dir/banking_policies.cpp.o.d"
+  "banking_policies"
+  "banking_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banking_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_comparison.dir/geo_comparison.cpp.o"
+  "CMakeFiles/geo_comparison.dir/geo_comparison.cpp.o.d"
+  "geo_comparison"
+  "geo_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

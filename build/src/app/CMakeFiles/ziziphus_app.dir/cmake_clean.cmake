@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ziziphus_app.dir/bank.cc.o"
+  "CMakeFiles/ziziphus_app.dir/bank.cc.o.d"
+  "CMakeFiles/ziziphus_app.dir/client.cc.o"
+  "CMakeFiles/ziziphus_app.dir/client.cc.o.d"
+  "CMakeFiles/ziziphus_app.dir/experiment.cc.o"
+  "CMakeFiles/ziziphus_app.dir/experiment.cc.o.d"
+  "CMakeFiles/ziziphus_app.dir/health.cc.o"
+  "CMakeFiles/ziziphus_app.dir/health.cc.o.d"
+  "libziziphus_app.a"
+  "libziziphus_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ziziphus_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ziziphus_baselines.dir/two_level.cc.o"
+  "CMakeFiles/ziziphus_baselines.dir/two_level.cc.o.d"
+  "CMakeFiles/ziziphus_baselines.dir/two_level_system.cc.o"
+  "CMakeFiles/ziziphus_baselines.dir/two_level_system.cc.o.d"
+  "libziziphus_baselines.a"
+  "libziziphus_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ziziphus_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

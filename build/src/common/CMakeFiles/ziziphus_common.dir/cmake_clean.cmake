@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ziziphus_common.dir/hash.cc.o"
+  "CMakeFiles/ziziphus_common.dir/hash.cc.o.d"
+  "CMakeFiles/ziziphus_common.dir/logging.cc.o"
+  "CMakeFiles/ziziphus_common.dir/logging.cc.o.d"
+  "CMakeFiles/ziziphus_common.dir/metrics.cc.o"
+  "CMakeFiles/ziziphus_common.dir/metrics.cc.o.d"
+  "CMakeFiles/ziziphus_common.dir/random.cc.o"
+  "CMakeFiles/ziziphus_common.dir/random.cc.o.d"
+  "CMakeFiles/ziziphus_common.dir/status.cc.o"
+  "CMakeFiles/ziziphus_common.dir/status.cc.o.d"
+  "CMakeFiles/ziziphus_common.dir/types.cc.o"
+  "CMakeFiles/ziziphus_common.dir/types.cc.o.d"
+  "libziziphus_common.a"
+  "libziziphus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ziziphus_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

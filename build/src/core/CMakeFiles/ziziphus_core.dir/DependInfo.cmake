@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/data_sync.cc" "src/core/CMakeFiles/ziziphus_core.dir/data_sync.cc.o" "gcc" "src/core/CMakeFiles/ziziphus_core.dir/data_sync.cc.o.d"
+  "/root/repo/src/core/endorsement.cc" "src/core/CMakeFiles/ziziphus_core.dir/endorsement.cc.o" "gcc" "src/core/CMakeFiles/ziziphus_core.dir/endorsement.cc.o.d"
+  "/root/repo/src/core/lazy_sync.cc" "src/core/CMakeFiles/ziziphus_core.dir/lazy_sync.cc.o" "gcc" "src/core/CMakeFiles/ziziphus_core.dir/lazy_sync.cc.o.d"
+  "/root/repo/src/core/messages.cc" "src/core/CMakeFiles/ziziphus_core.dir/messages.cc.o" "gcc" "src/core/CMakeFiles/ziziphus_core.dir/messages.cc.o.d"
+  "/root/repo/src/core/metadata.cc" "src/core/CMakeFiles/ziziphus_core.dir/metadata.cc.o" "gcc" "src/core/CMakeFiles/ziziphus_core.dir/metadata.cc.o.d"
+  "/root/repo/src/core/migration.cc" "src/core/CMakeFiles/ziziphus_core.dir/migration.cc.o" "gcc" "src/core/CMakeFiles/ziziphus_core.dir/migration.cc.o.d"
+  "/root/repo/src/core/node.cc" "src/core/CMakeFiles/ziziphus_core.dir/node.cc.o" "gcc" "src/core/CMakeFiles/ziziphus_core.dir/node.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/ziziphus_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/ziziphus_core.dir/system.cc.o.d"
+  "/root/repo/src/core/topology.cc" "src/core/CMakeFiles/ziziphus_core.dir/topology.cc.o" "gcc" "src/core/CMakeFiles/ziziphus_core.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ziziphus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ziziphus_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ziziphus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ziziphus_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbft/CMakeFiles/ziziphus_pbft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ziziphus_core.dir/data_sync.cc.o"
+  "CMakeFiles/ziziphus_core.dir/data_sync.cc.o.d"
+  "CMakeFiles/ziziphus_core.dir/endorsement.cc.o"
+  "CMakeFiles/ziziphus_core.dir/endorsement.cc.o.d"
+  "CMakeFiles/ziziphus_core.dir/lazy_sync.cc.o"
+  "CMakeFiles/ziziphus_core.dir/lazy_sync.cc.o.d"
+  "CMakeFiles/ziziphus_core.dir/messages.cc.o"
+  "CMakeFiles/ziziphus_core.dir/messages.cc.o.d"
+  "CMakeFiles/ziziphus_core.dir/metadata.cc.o"
+  "CMakeFiles/ziziphus_core.dir/metadata.cc.o.d"
+  "CMakeFiles/ziziphus_core.dir/migration.cc.o"
+  "CMakeFiles/ziziphus_core.dir/migration.cc.o.d"
+  "CMakeFiles/ziziphus_core.dir/node.cc.o"
+  "CMakeFiles/ziziphus_core.dir/node.cc.o.d"
+  "CMakeFiles/ziziphus_core.dir/system.cc.o"
+  "CMakeFiles/ziziphus_core.dir/system.cc.o.d"
+  "CMakeFiles/ziziphus_core.dir/topology.cc.o"
+  "CMakeFiles/ziziphus_core.dir/topology.cc.o.d"
+  "libziziphus_core.a"
+  "libziziphus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ziziphus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

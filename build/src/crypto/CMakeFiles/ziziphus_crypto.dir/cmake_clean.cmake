@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ziziphus_crypto.dir/certificate.cc.o"
+  "CMakeFiles/ziziphus_crypto.dir/certificate.cc.o.d"
+  "libziziphus_crypto.a"
+  "libziziphus_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ziziphus_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

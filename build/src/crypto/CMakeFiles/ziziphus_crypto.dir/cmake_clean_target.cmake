@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libziziphus_crypto.a"
+)

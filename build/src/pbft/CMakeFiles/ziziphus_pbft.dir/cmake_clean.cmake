@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ziziphus_pbft.dir/engine.cc.o"
+  "CMakeFiles/ziziphus_pbft.dir/engine.cc.o.d"
+  "libziziphus_pbft.a"
+  "libziziphus_pbft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ziziphus_pbft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

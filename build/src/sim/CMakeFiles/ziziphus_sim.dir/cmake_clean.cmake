@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ziziphus_sim.dir/latency_model.cc.o"
+  "CMakeFiles/ziziphus_sim.dir/latency_model.cc.o.d"
+  "CMakeFiles/ziziphus_sim.dir/simulation.cc.o"
+  "CMakeFiles/ziziphus_sim.dir/simulation.cc.o.d"
+  "libziziphus_sim.a"
+  "libziziphus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ziziphus_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

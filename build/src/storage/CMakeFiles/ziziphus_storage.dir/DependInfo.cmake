@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/checkpoint.cc" "src/storage/CMakeFiles/ziziphus_storage.dir/checkpoint.cc.o" "gcc" "src/storage/CMakeFiles/ziziphus_storage.dir/checkpoint.cc.o.d"
+  "/root/repo/src/storage/kv_store.cc" "src/storage/CMakeFiles/ziziphus_storage.dir/kv_store.cc.o" "gcc" "src/storage/CMakeFiles/ziziphus_storage.dir/kv_store.cc.o.d"
+  "/root/repo/src/storage/log.cc" "src/storage/CMakeFiles/ziziphus_storage.dir/log.cc.o" "gcc" "src/storage/CMakeFiles/ziziphus_storage.dir/log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ziziphus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ziziphus_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ziziphus_storage.dir/checkpoint.cc.o"
+  "CMakeFiles/ziziphus_storage.dir/checkpoint.cc.o.d"
+  "CMakeFiles/ziziphus_storage.dir/kv_store.cc.o"
+  "CMakeFiles/ziziphus_storage.dir/kv_store.cc.o.d"
+  "CMakeFiles/ziziphus_storage.dir/log.cc.o"
+  "CMakeFiles/ziziphus_storage.dir/log.cc.o.d"
+  "libziziphus_storage.a"
+  "libziziphus_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ziziphus_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

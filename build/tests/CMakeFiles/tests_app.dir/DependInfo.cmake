@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/app_test.cc" "tests/CMakeFiles/tests_app.dir/app_test.cc.o" "gcc" "tests/CMakeFiles/tests_app.dir/app_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/ziziphus_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ziziphus_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ziziphus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbft/CMakeFiles/ziziphus_pbft.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ziziphus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ziziphus_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ziziphus_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ziziphus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_app.dir/app_test.cc.o"
+  "CMakeFiles/tests_app.dir/app_test.cc.o.d"
+  "tests_app"
+  "tests_app.pdb"
+  "tests_app[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_core.dir/core_test.cc.o"
+  "CMakeFiles/tests_core.dir/core_test.cc.o.d"
+  "CMakeFiles/tests_core.dir/cross_cluster_test.cc.o"
+  "CMakeFiles/tests_core.dir/cross_cluster_test.cc.o.d"
+  "CMakeFiles/tests_core.dir/cross_zone_test.cc.o"
+  "CMakeFiles/tests_core.dir/cross_zone_test.cc.o.d"
+  "CMakeFiles/tests_core.dir/data_sync_unit_test.cc.o"
+  "CMakeFiles/tests_core.dir/data_sync_unit_test.cc.o.d"
+  "CMakeFiles/tests_core.dir/endorsement_test.cc.o"
+  "CMakeFiles/tests_core.dir/endorsement_test.cc.o.d"
+  "CMakeFiles/tests_core.dir/failure_test.cc.o"
+  "CMakeFiles/tests_core.dir/failure_test.cc.o.d"
+  "CMakeFiles/tests_core.dir/metadata_test.cc.o"
+  "CMakeFiles/tests_core.dir/metadata_test.cc.o.d"
+  "tests_core"
+  "tests_core.pdb"
+  "tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

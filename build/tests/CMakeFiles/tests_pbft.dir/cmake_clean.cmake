@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_pbft.dir/pbft_test.cc.o"
+  "CMakeFiles/tests_pbft.dir/pbft_test.cc.o.d"
+  "CMakeFiles/tests_pbft.dir/view_change_test.cc.o"
+  "CMakeFiles/tests_pbft.dir/view_change_test.cc.o.d"
+  "tests_pbft"
+  "tests_pbft.pdb"
+  "tests_pbft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_pbft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

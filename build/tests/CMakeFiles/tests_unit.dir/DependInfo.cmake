@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/tests_unit.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/tests_unit.dir/common_test.cc.o.d"
+  "/root/repo/tests/crypto_test.cc" "tests/CMakeFiles/tests_unit.dir/crypto_test.cc.o" "gcc" "tests/CMakeFiles/tests_unit.dir/crypto_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/tests_unit.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/tests_unit.dir/sim_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/tests_unit.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/tests_unit.dir/storage_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ziziphus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ziziphus_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ziziphus_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ziziphus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_unit.dir/common_test.cc.o"
+  "CMakeFiles/tests_unit.dir/common_test.cc.o.d"
+  "CMakeFiles/tests_unit.dir/crypto_test.cc.o"
+  "CMakeFiles/tests_unit.dir/crypto_test.cc.o.d"
+  "CMakeFiles/tests_unit.dir/sim_test.cc.o"
+  "CMakeFiles/tests_unit.dir/sim_test.cc.o.d"
+  "CMakeFiles/tests_unit.dir/storage_test.cc.o"
+  "CMakeFiles/tests_unit.dir/storage_test.cc.o.d"
+  "tests_unit"
+  "tests_unit.pdb"
+  "tests_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tests_unit[1]_include.cmake")
+include("/root/repo/build/tests/tests_pbft[1]_include.cmake")
+include("/root/repo/build/tests/tests_core[1]_include.cmake")
+include("/root/repo/build/tests/tests_app[1]_include.cmake")
+include("/root/repo/build/tests/tests_baselines[1]_include.cmake")
+include("/root/repo/build/tests/tests_properties[1]_include.cmake")
