@@ -1,0 +1,693 @@
+#include "app/chaos.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "app/bank.h"
+#include "baselines/two_level.h"
+#include "baselines/two_level_system.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "core/messages.h"
+#include "core/system.h"
+#include "pbft/messages.h"
+#include "sim/byzantine.h"
+#include "sim/latency_model.h"
+#include "storage/kv_store.h"
+
+namespace ziziphus::app {
+
+namespace {
+
+/// Closed-loop scripted client for chaos runs: one outstanding request at a
+/// time, PBFT client retransmission (multicast to the retry group on
+/// timeout), f+1 matching replies to complete. Survives crashed primaries,
+/// partitions, loss and duplication — exactly the client model the paper
+/// assumes (Section V-A).
+class ChaosClient : public sim::Process {
+ public:
+  ChaosClient(const crypto::KeyRegistry* keys, std::size_t f,
+              Duration retry_timeout, Duration think_time)
+      : keys_(keys),
+        f_(f),
+        retry_timeout_(retry_timeout),
+        think_time_(think_time) {}
+
+  /// `count` same-zone transfers of `amount` to `peer` (pair workload:
+  /// the pair's combined balance is conserved at every committed prefix).
+  void ScriptXfers(NodeId target, std::vector<NodeId> retry_group,
+                   ClientId peer, std::size_t count, std::int64_t amount) {
+    mode_ = Mode::kLocal;
+    target_ = target;
+    retry_group_ = std::move(retry_group);
+    peer_ = peer;
+    remaining_ = count;
+    amount_ = amount;
+  }
+
+  /// `count` migrations hopping home -> home+1 -> ... (mod `num_zones`),
+  /// each submitted to the stable leader zone.
+  void ScriptMigrations(NodeId target, std::vector<NodeId> retry_group,
+                        ZoneId home, std::size_t num_zones,
+                        std::size_t count) {
+    mode_ = Mode::kGlobal;
+    target_ = target;
+    retry_group_ = std::move(retry_group);
+    home_ = home;
+    num_zones_ = num_zones;
+    remaining_ = count;
+  }
+
+  void Kick() { SubmitNext(); }
+
+  bool done() const { return remaining_ == 0 && !in_flight_; }
+  std::uint64_t completed() const { return completed_; }
+  std::size_t scripted() const { return remaining_ + completed_ +
+                                        (in_flight_ ? 1 : 0); }
+
+ protected:
+  void OnMessage(const sim::MessagePtr& msg) override {
+    switch (msg->type()) {
+      case pbft::kClientReply: {
+        auto r = std::static_pointer_cast<const pbft::ClientReplyMsg>(msg);
+        if (!in_flight_ || r->timestamp != current_ts_) break;
+        votes_.insert(r->replica);
+        if (votes_.size() >= f_ + 1) Complete();
+        break;
+      }
+      case core::kMigrationDone: {
+        auto r = std::static_pointer_cast<const core::MigrationReplyMsg>(msg);
+        if (!in_flight_ || r->timestamp != current_ts_) break;
+        votes_.insert(r->replica);
+        if (votes_.size() >= f_ + 1) {
+          home_ = pending_dest_;
+          Complete();
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  void OnTimer(std::uint64_t ts) override {
+    if (ts == kThinkTag) {
+      SubmitNext();
+      return;
+    }
+    if (!in_flight_ || ts != current_ts_) return;
+    Multicast(retry_group_, request_);
+    SetTimer(retry_timeout_, ts);
+  }
+
+ private:
+  enum class Mode { kLocal, kGlobal };
+
+  // Timestamps start at 1, so 0 is free to tag the think-time timer.
+  static constexpr std::uint64_t kThinkTag = 0;
+
+  void Complete() {
+    in_flight_ = false;
+    ++completed_;
+    votes_.clear();
+    // Paced submission: without a think gap the whole workload completes
+    // inside the first few hundred milliseconds and most of the fault
+    // window hits an idle system.
+    if (think_time_ == 0) {
+      SubmitNext();
+    } else {
+      SetTimer(think_time_, kThinkTag);
+    }
+  }
+
+  void SubmitNext() {
+    if (remaining_ == 0) return;
+    --remaining_;
+    in_flight_ = true;
+    current_ts_ = next_ts_++;
+    if (mode_ == Mode::kLocal) {
+      pbft::Operation op;
+      op.client = id();
+      op.timestamp = current_ts_;
+      op.command =
+          "XFER " + std::to_string(peer_) + " " + std::to_string(amount_);
+      auto req = std::make_shared<pbft::ClientRequestMsg>();
+      req->op = op;
+      req->client_sig = keys_->Sign(id(), op.ComputeDigest());
+      request_ = req;
+    } else {
+      core::MigrationOp op;
+      op.client = id();
+      op.timestamp = current_ts_;
+      pending_dest_ = static_cast<ZoneId>((home_ + 1) % num_zones_);
+      op.source = home_;
+      op.destination = pending_dest_;
+      auto req = std::make_shared<core::MigrationRequestMsg>();
+      req->op = op;
+      req->client_sig = keys_->Sign(id(), req->ComputeDigest());
+      request_ = req;
+    }
+    Send(target_, request_);
+    SetTimer(retry_timeout_, current_ts_);
+  }
+
+  const crypto::KeyRegistry* keys_;
+  std::size_t f_;
+  Duration retry_timeout_;
+  Duration think_time_ = 0;
+  Mode mode_ = Mode::kLocal;
+  NodeId target_ = kInvalidNode;
+  std::vector<NodeId> retry_group_;
+  ClientId peer_ = kInvalidClient;
+  std::int64_t amount_ = 1;
+  ZoneId home_ = 0;
+  ZoneId pending_dest_ = 0;
+  std::size_t num_zones_ = 1;
+  std::size_t remaining_ = 0;
+  bool in_flight_ = false;
+  RequestTimestamp current_ts_ = 0;
+  RequestTimestamp next_ts_ = 1;
+  sim::MessagePtr request_;
+  std::set<NodeId> votes_;
+  std::uint64_t completed_ = 0;
+};
+
+constexpr std::int64_t kInitialBalance = 1000;
+constexpr std::int64_t kXferAmount = 5;
+
+storage::KvStore::Map SeedBalance(ClientId id) {
+  return {{BankStateMachine::AccountKey(id),
+           std::to_string(kInitialBalance)}};
+}
+
+/// Appends a randomized fault timeline to `schedule`, all derived from
+/// `rng`. Every injected fault is healed no later than `window` (the
+/// terminal ResetAllAt recovers crashed nodes and clears network faults),
+/// after which the system must converge. Crash targets may coincide with
+/// Byzantine replicas — the invariants only promise safety, and liveness is
+/// restored once the window closes.
+std::size_t GenerateFaultTimeline(sim::FaultSchedule& schedule, Rng& rng,
+                                  const std::vector<NodeId>& replicas,
+                                  Duration window) {
+  const SimTime lo = Millis(500);
+  if (window <= lo + Millis(500) || replicas.size() < 2) {
+    schedule.ResetAllAt(window);
+    return 1;
+  }
+  auto pick_node = [&] {
+    return replicas[rng.NextBounded(replicas.size())];
+  };
+  auto pick_time = [&] { return rng.NextRange(lo, window - Millis(500)); };
+
+  std::size_t n_events = 4 + rng.NextBounded(5);
+  for (std::size_t i = 0; i < n_events; ++i) {
+    SimTime at = pick_time();
+    switch (rng.NextBounded(7)) {
+      case 0: {  // crash, recover mid-window or at the reset
+        NodeId victim = pick_node();
+        schedule.CrashAt(at, victim);
+        if (rng.NextBool(0.6)) {
+          schedule.RecoverAt(
+              std::min<SimTime>(at + rng.NextRange(Seconds(1), Seconds(3)),
+                                window),
+              victim);
+        }
+        break;
+      }
+      case 1: {  // two-way partition between two replicas
+        NodeId a = pick_node();
+        NodeId b = pick_node();
+        if (a != b) schedule.PartitionAt(at, a, b);
+        break;
+      }
+      case 2: {  // asymmetric cut
+        NodeId a = pick_node();
+        NodeId b = pick_node();
+        if (a != b) schedule.CutOneWayAt(at, a, b);
+        break;
+      }
+      case 3: {  // congested link
+        NodeId a = pick_node();
+        NodeId b = pick_node();
+        if (a != b) {
+          schedule.LinkDelayAt(at, a, b,
+                               rng.NextRange(Millis(20), Millis(200)));
+        }
+        break;
+      }
+      case 4: {  // lossy link
+        NodeId a = pick_node();
+        NodeId b = pick_node();
+        if (a != b) {
+          schedule.LinkLossAt(at, a, b, 0.05 + 0.35 * rng.NextDouble());
+        }
+        break;
+      }
+      case 5:  // network-wide loss + duplication storm
+        schedule.GlobalLossAt(at, 0.01 + 0.07 * rng.NextDouble());
+        schedule.DuplicationAt(at, 0.05 + 0.2 * rng.NextDouble());
+        break;
+      default:  // gray failure: slow CPU
+        schedule.CpuFactorAt(at, pick_node(),
+                             2.0 + 6.0 * rng.NextDouble());
+        break;
+    }
+  }
+  schedule.ResetAllAt(window);
+  return schedule.size();
+}
+
+std::uint64_t FingerprintCounters(const CounterSet& counters) {
+  Hasher h(0xf19e);
+  for (const auto& [name, value] : counters.All()) {
+    h.Add(name);
+    h.Add(value);
+  }
+  return h.Finish();
+}
+
+/// The Byzantine behaviours safe at <= f per zone. The equivocating engine
+/// is installed via the PBFT engine factory; the rest are outbound
+/// interceptors.
+enum class ByzKind {
+  kMutePrimary,
+  kCommitWithhold,
+  kEquivocateEngine,
+  kCorruptSignature,
+  kStaleReplay,
+  kLyingStateResponder,
+};
+
+const char* KindName(ByzKind k) {
+  switch (k) {
+    case ByzKind::kMutePrimary: return "mute-primary";
+    case ByzKind::kCommitWithhold: return "commit-withhold";
+    case ByzKind::kEquivocateEngine: return "equivocating-primary";
+    case ByzKind::kCorruptSignature: return "corrupt-signature";
+    case ByzKind::kStaleReplay: return "stale-cert-replay";
+    default: return "lying-state-responder";
+  }
+}
+
+struct ByzPick {
+  ZoneId zone;
+  std::size_t member_index;
+  ByzKind kind;
+};
+
+}  // namespace
+
+std::string ChaosReport::Summary() const {
+  std::ostringstream os;
+  os << "local " << local_completed << "/" << local_expected << ", global "
+     << global_completed << "/" << global_expected << ", "
+     << violations.size() << " violation(s), " << byzantine_roster.size()
+     << " byzantine, " << events << " events, t=" << end_time / 1000
+     << "ms, fp=" << fingerprint;
+  for (const auto& v : violations) {
+    os << "\n  [" << v.invariant << "] " << v.detail;
+  }
+  return os.str();
+}
+
+ChaosReport RunZiziphusChaos(const ChaosOptions& opt) {
+  ChaosReport report;
+  core::ZiziphusSystem sys(opt.seed, sim::LatencyModel::PaperGeoMatrix());
+  const std::size_t n_per_zone = 3 * opt.f + 1;
+  for (std::size_t z = 0; z < opt.zones; ++z) {
+    sys.AddZone(0, static_cast<RegionId>(z % 7), opt.f, n_per_zone);
+  }
+
+  // All chaos decisions flow from this generator (independent of the
+  // simulation's own stream), so the run is a pure function of the seed.
+  Rng rng(Mix64(opt.seed) ^ 0xc4a05eedULL);
+
+  // --- Byzantine roster: member indices chosen before node ids exist. ---
+  std::size_t byz_count = opt.byzantine_per_zone;
+  if (!opt.allow_over_budget) byz_count = std::min(byz_count, opt.f);
+  std::vector<ByzPick> roster;
+  for (std::size_t z = 0; z < opt.zones; ++z) {
+    std::vector<std::size_t> indices(n_per_zone);
+    for (std::size_t i = 0; i < n_per_zone; ++i) indices[i] = i;
+    for (std::size_t i = indices.size(); i > 1; --i) {
+      std::swap(indices[i - 1], indices[rng.NextBounded(i)]);
+    }
+    for (std::size_t i = 0; i < byz_count && i < indices.size(); ++i) {
+      ByzKind kind = static_cast<ByzKind>(rng.NextBounded(6));
+      roster.push_back({static_cast<ZoneId>(z), indices[i], kind});
+    }
+  }
+
+  core::NodeConfig cfg;
+  cfg.pbft.request_timeout_us = Millis(400);
+  cfg.sync.retry_timeout_us = Millis(1500);
+  cfg.sync.response_query_timeout_us = Millis(800);
+  cfg.sync.relay_watch_timeout_us = Millis(1200);
+
+  // Equivocating engines must be installed at Init; the tweaker maps each
+  // node to its member index by counting registrations per zone.
+  std::map<ZoneId, std::size_t> next_index;
+  sys.Finalize(
+      cfg, [](ZoneId) { return std::make_unique<BankStateMachine>(); },
+      [&](NodeId /*id*/, ZoneId zone, core::NodeConfig& node_cfg) {
+        std::size_t idx = next_index[zone]++;
+        for (const ByzPick& p : roster) {
+          if (p.zone == zone && p.member_index == idx &&
+              p.kind == ByzKind::kEquivocateEngine) {
+            node_cfg.pbft_factory =
+                [](sim::Transport* t, const crypto::KeyRegistry* k,
+                   pbft::PbftConfig c, pbft::StateMachine* s) {
+                  return std::make_unique<sim::EquivocatingPbftEngine>(
+                      t, k, std::move(c), s);
+                };
+          }
+        }
+      });
+
+  // --- Attach interceptor behaviours now that node ids are known. ---
+  std::set<NodeId> byz_nodes;
+  std::vector<std::unique_ptr<sim::ByzantineBehavior>> behaviors;
+  for (const ByzPick& p : roster) {
+    NodeId id = sys.topology().zone(p.zone).members[p.member_index];
+    byz_nodes.insert(id);
+    std::ostringstream entry;
+    entry << "node " << id << " (zone " << p.zone
+          << "): " << KindName(p.kind);
+    report.byzantine_roster.push_back(entry.str());
+    std::unique_ptr<sim::ByzantineBehavior> b;
+    switch (p.kind) {
+      case ByzKind::kMutePrimary:
+        b = std::make_unique<sim::MutePrimaryBehavior>(&sys.sim(), id);
+        break;
+      case ByzKind::kCommitWithhold:
+        b = std::make_unique<sim::CommitWithholdingBehavior>(&sys.sim(), id);
+        break;
+      case ByzKind::kEquivocateEngine:
+        break;  // engine-level, installed via the factory above
+      case ByzKind::kCorruptSignature:
+        b = std::make_unique<sim::CorruptSignatureBehavior>(&sys.sim(), id);
+        break;
+      case ByzKind::kStaleReplay:
+        b = std::make_unique<sim::StaleCertificateReplayBehavior>(&sys.sim(),
+                                                                  id);
+        break;
+      case ByzKind::kLyingStateResponder:
+        b = std::make_unique<sim::LyingStateResponderBehavior>(
+            &sys.sim(), id, BankStateMachine::AccountKey(999999), "31337");
+        break;
+    }
+    if (b != nullptr) {
+      b->Attach();
+      behaviors.push_back(std::move(b));
+    }
+  }
+
+  // --- Clients + conservation bookkeeping. ---
+  sim::InvariantChecker::Accounts accounts;
+  std::vector<std::unique_ptr<ChaosClient>> clients;
+  const Duration retry = Millis(1100);
+
+  for (std::size_t z = 0; z < opt.zones; ++z) {
+    ZoneId zone = static_cast<ZoneId>(z);
+    const std::vector<NodeId>& members = sys.topology().zone(zone).members;
+    NodeId primary = sys.PrimaryOf(zone)->id();
+    for (std::size_t p = 0; p < opt.pairs_per_zone; ++p) {
+      auto a = std::make_unique<ChaosClient>(&sys.keys(), opt.f, retry,
+                                           opt.client_think);
+      auto b = std::make_unique<ChaosClient>(&sys.keys(), opt.f, retry,
+                                           opt.client_think);
+      ClientId ca = sys.sim().Register(a.get(), static_cast<RegionId>(z % 7));
+      ClientId cb = sys.sim().Register(b.get(), static_cast<RegionId>(z % 7));
+      a->ScriptXfers(primary, members, cb, opt.xfers_per_client, kXferAmount);
+      b->ScriptXfers(primary, members, ca, opt.xfers_per_client, kXferAmount);
+      accounts.load_clients[zone].push_back(ca);
+      accounts.load_clients[zone].push_back(cb);
+      accounts.zone_load_totals[zone] += 2 * kInitialBalance;
+      clients.push_back(std::move(a));
+      clients.push_back(std::move(b));
+    }
+  }
+  NodeId leader_primary = sys.PrimaryOf(0)->id();
+  const std::vector<NodeId>& leader_members = sys.topology().zone(0).members;
+  for (std::size_t m = 0; m < opt.migrators; ++m) {
+    ZoneId home = static_cast<ZoneId>(m % opt.zones);
+    auto c = std::make_unique<ChaosClient>(&sys.keys(), opt.f, retry,
+                                           opt.client_think);
+    ClientId cid =
+        sys.sim().Register(c.get(), static_cast<RegionId>(home % 7));
+    c->ScriptMigrations(leader_primary, leader_members, home, opt.zones,
+                        opt.migrations_per_client);
+    accounts.fixed_balance_clients[cid] = kInitialBalance;
+    clients.push_back(std::move(c));
+  }
+  if (opt.migrators == 0) {
+    // Migration-free run: every zone's total across *all* accounts is
+    // pinned, catching minted accounts the workload knows nothing about.
+    accounts.strict_zone_totals = accounts.zone_load_totals;
+  }
+
+  std::size_t ci = 0;
+  for (std::size_t z = 0; z < opt.zones; ++z) {
+    for (std::size_t p = 0; p < 2 * opt.pairs_per_zone; ++p, ++ci) {
+      sys.BootstrapClient(clients[ci]->id(), static_cast<ZoneId>(z),
+                          SeedBalance);
+    }
+  }
+  for (std::size_t m = 0; m < opt.migrators; ++m, ++ci) {
+    sys.BootstrapClient(clients[ci]->id(),
+                        static_cast<ZoneId>(m % opt.zones), SeedBalance);
+  }
+
+  // --- Fault timeline + run. ---
+  report.events = GenerateFaultTimeline(sys.sim().schedule(), rng,
+                                        sys.topology().AllNodes(),
+                                        opt.fault_window);
+  for (auto& c : clients) c->Kick();
+  sys.sim().RunUntil(opt.fault_window + opt.drain);
+
+  auto all_done = [&] {
+    for (const auto& c : clients) {
+      if (!c->done()) return false;
+    }
+    return true;
+  };
+  SimTime deadline = opt.fault_window + opt.drain + opt.completion_wait;
+  while (!all_done() && sys.sim().Now() < deadline) {
+    sys.sim().RunFor(Seconds(1));
+  }
+  report.all_done = all_done();
+  report.end_time = sys.sim().Now();
+
+  if (std::getenv("CHAOS_DEBUG") != nullptr) {
+    for (const auto& node : sys.nodes()) {
+      const auto& e = node->pbft();
+      std::fprintf(stderr,
+                   "node %llu zone %u view %llu active %d primary %llu "
+                   "last_exec %llu stable %llu\n",
+                   (unsigned long long)node->id(), (unsigned)node->zone(),
+                   (unsigned long long)e.view(), (int)e.view_active(),
+                   (unsigned long long)e.primary(),
+                   (unsigned long long)e.last_executed(),
+                   (unsigned long long)e.stable_seq());
+    }
+    for (const auto& c : clients) {
+      if (!c->done())
+        std::fprintf(stderr, "client %llu NOT DONE completed %llu\n",
+                     (unsigned long long)c->id(),
+                     (unsigned long long)c->completed());
+    }
+  }
+
+  for (const auto& c : clients) {
+    bool global = accounts.fixed_balance_clients.count(c->id()) > 0;
+    (global ? report.global_completed : report.local_completed) +=
+        c->completed();
+    (global ? report.global_expected : report.local_expected) +=
+        c->scripted();
+  }
+
+  sim::InvariantChecker::Options iopt;
+  iopt.byzantine = byz_nodes;
+  iopt.accounts = std::move(accounts);
+  iopt.balance_of = [](const core::ZoneStateMachine& app, ClientId c) {
+    return static_cast<const BankStateMachine&>(app).BalanceOf(c);
+  };
+  iopt.total_balance = [](const core::ZoneStateMachine& app) {
+    return static_cast<const BankStateMachine&>(app).TotalBalance();
+  };
+  sim::InvariantChecker checker(std::move(iopt));
+  report.violations = checker.Check(sys);
+  report.fingerprint = FingerprintCounters(sys.sim().counters());
+  report.counters = sys.sim().counters().All();
+  return report;
+}
+
+ChaosReport RunTwoLevelChaos(const ChaosOptions& opt) {
+  ChaosReport report;
+  // Witness zones bring the top level to 3F+1 participants, mirroring
+  // app::RunTwoLevel.
+  std::size_t big_f = (opt.zones - 1) / 2;
+  std::size_t participants = 3 * big_f + 1;
+  std::size_t witnesses =
+      participants > opt.zones ? participants - opt.zones : 0;
+
+  baselines::TwoLevelSystem sys(opt.seed, sim::LatencyModel::PaperGeoMatrix());
+  for (std::size_t z = 0; z < opt.zones; ++z) {
+    sys.AddZone(0, static_cast<RegionId>(z % 7), opt.f, 3 * opt.f + 1);
+  }
+  for (std::size_t w = 0; w < witnesses; ++w) {
+    sys.AddWitness(0, sim::kCalifornia);
+  }
+
+  Rng rng(Mix64(opt.seed) ^ 0xc4a05eedULL);
+
+  baselines::TwoLevelNode::Config cfg;
+  cfg.pbft.request_timeout_us = Millis(400);
+  cfg.two_level.leader_zone = 0;
+  cfg.two_level.big_f = big_f;
+  cfg.two_level.costs.crypto.threshold_signatures = false;
+  cfg.migration.costs.crypto.threshold_signatures = false;
+  sys.Finalize(cfg,
+               [](ZoneId) { return std::make_unique<BankStateMachine>(); });
+
+  sim::InvariantChecker::Accounts accounts;
+  std::vector<std::unique_ptr<ChaosClient>> clients;
+  const Duration retry = Millis(1100);
+
+  for (std::size_t z = 0; z < opt.zones; ++z) {
+    ZoneId zone = static_cast<ZoneId>(z);
+    const std::vector<NodeId>& members = sys.topology().zone(zone).members;
+    NodeId primary = sys.PrimaryOf(zone)->id();
+    for (std::size_t p = 0; p < opt.pairs_per_zone; ++p) {
+      auto a = std::make_unique<ChaosClient>(&sys.keys(), opt.f, retry,
+                                           opt.client_think);
+      auto b = std::make_unique<ChaosClient>(&sys.keys(), opt.f, retry,
+                                           opt.client_think);
+      ClientId ca = sys.sim().Register(a.get(), static_cast<RegionId>(z % 7));
+      ClientId cb = sys.sim().Register(b.get(), static_cast<RegionId>(z % 7));
+      a->ScriptXfers(primary, members, cb, opt.xfers_per_client, kXferAmount);
+      b->ScriptXfers(primary, members, ca, opt.xfers_per_client, kXferAmount);
+      accounts.load_clients[zone].push_back(ca);
+      accounts.load_clients[zone].push_back(cb);
+      accounts.zone_load_totals[zone] += 2 * kInitialBalance;
+      clients.push_back(std::move(a));
+      clients.push_back(std::move(b));
+    }
+  }
+  NodeId leader_primary = sys.PrimaryOf(0)->id();
+  const std::vector<NodeId>& leader_members = sys.topology().zone(0).members;
+  for (std::size_t m = 0; m < opt.migrators; ++m) {
+    ZoneId home = static_cast<ZoneId>(m % opt.zones);
+    auto c = std::make_unique<ChaosClient>(&sys.keys(), opt.f, retry,
+                                           opt.client_think);
+    ClientId cid =
+        sys.sim().Register(c.get(), static_cast<RegionId>(home % 7));
+    c->ScriptMigrations(leader_primary, leader_members, home, opt.zones,
+                        opt.migrations_per_client);
+    accounts.fixed_balance_clients[cid] = kInitialBalance;
+    clients.push_back(std::move(c));
+  }
+
+  std::size_t ci = 0;
+  for (std::size_t z = 0; z < opt.zones; ++z) {
+    for (std::size_t p = 0; p < 2 * opt.pairs_per_zone; ++p, ++ci) {
+      sys.BootstrapClient(clients[ci]->id(), static_cast<ZoneId>(z),
+                          SeedBalance);
+    }
+  }
+  for (std::size_t m = 0; m < opt.migrators; ++m, ++ci) {
+    sys.BootstrapClient(clients[ci]->id(),
+                        static_cast<ZoneId>(m % opt.zones), SeedBalance);
+  }
+
+  // Crash-fault chaos only: the baseline runs no Byzantine roster.
+  std::vector<NodeId> replicas;
+  for (ZoneId z = 0; z < sys.topology().num_zones(); ++z) {
+    for (NodeId id : sys.topology().zone(z).members) replicas.push_back(id);
+  }
+  report.events = GenerateFaultTimeline(sys.sim().schedule(), rng, replicas,
+                                        opt.fault_window);
+  for (auto& c : clients) c->Kick();
+  sys.sim().RunUntil(opt.fault_window + opt.drain);
+
+  auto all_done = [&] {
+    for (const auto& c : clients) {
+      if (!c->done()) return false;
+    }
+    return true;
+  };
+  SimTime deadline = opt.fault_window + opt.drain + opt.completion_wait;
+  while (!all_done() && sys.sim().Now() < deadline) {
+    sys.sim().RunFor(Seconds(1));
+  }
+  report.all_done = all_done();
+  report.end_time = sys.sim().Now();
+  for (const auto& c : clients) {
+    bool global = accounts.fixed_balance_clients.count(c->id()) > 0;
+    (global ? report.global_completed : report.local_completed) +=
+        c->completed();
+    (global ? report.global_expected : report.local_expected) +=
+        c->scripted();
+  }
+
+  // Inline safety checks (InvariantChecker is bound to ZiziphusSystem):
+  // per-zone commit-log agreement and the balance conservations.
+  auto honest = [&](NodeId id) {
+    return !sys.sim().faults().IsCrashed(id);
+  };
+  for (ZoneId z = 0; z < sys.topology().num_zones(); ++z) {
+    std::map<SeqNum, std::pair<std::uint64_t, NodeId>> reference;
+    for (NodeId id : sys.topology().zone(z).members) {
+      if (!honest(id)) continue;
+      for (const storage::LogEntry& e :
+           sys.node(id)->pbft().commit_log().entries()) {
+        auto [it, inserted] = reference.try_emplace(e.seq, e.digest, id);
+        if (!inserted && it->second.first != e.digest) {
+          std::ostringstream detail;
+          detail << "zone " << z << " seq " << e.seq << ": node "
+                 << it->second.second << " committed " << it->second.first
+                 << " but node " << id << " committed " << e.digest;
+          report.violations.push_back({"zone-agreement", detail.str()});
+        }
+      }
+    }
+  }
+  for (const auto& [zone, load_ids] : accounts.load_clients) {
+    std::int64_t expected = accounts.zone_load_totals[zone];
+    for (NodeId id : sys.topology().zone(zone).members) {
+      if (!honest(id)) continue;
+      auto& bank = static_cast<BankStateMachine&>(sys.node(id)->app());
+      std::int64_t sum = 0;
+      for (ClientId c : load_ids) sum += std::max<std::int64_t>(
+          0, bank.BalanceOf(c));
+      if (sum != expected) {
+        std::ostringstream detail;
+        detail << "node " << id << " (zone " << zone << ") holds " << sum
+               << " across load accounts, expected " << expected;
+        report.violations.push_back({"balance-conservation", detail.str()});
+      }
+    }
+  }
+  for (const auto& [client, expected] : accounts.fixed_balance_clients) {
+    for (NodeId id : replicas) {
+      if (!honest(id)) continue;
+      auto& bank = static_cast<BankStateMachine&>(sys.node(id)->app());
+      std::int64_t b = bank.BalanceOf(client);
+      if (b >= 0 && b != expected) {
+        std::ostringstream detail;
+        detail << "node " << id << " holds " << b << " for migrating client "
+               << client << ", expected " << expected;
+        report.violations.push_back({"balance-conservation", detail.str()});
+      }
+    }
+  }
+
+  report.fingerprint = FingerprintCounters(sys.sim().counters());
+  report.counters = sys.sim().counters().All();
+  return report;
+}
+
+}  // namespace ziziphus::app

@@ -1,6 +1,7 @@
 #ifndef ZIZIPHUS_BASELINES_PBFT_PROCESS_H_
 #define ZIZIPHUS_BASELINES_PBFT_PROCESS_H_
 
+#include <functional>
 #include <memory>
 
 #include "pbft/engine.h"
@@ -14,14 +15,22 @@ namespace ziziphus::baselines {
 /// processing every transaction) and by the PBFT unit tests.
 class PbftReplicaProcess : public sim::Process, public sim::Transport {
  public:
+  /// Builds the replica's engine; tests pass one to run a Byzantine
+  /// PbftEngine subclass on selected replicas.
+  using EngineFactory = std::function<std::unique_ptr<pbft::PbftEngine>(
+      sim::Transport*, const crypto::KeyRegistry*, pbft::PbftConfig,
+      pbft::StateMachine*)>;
+
   PbftReplicaProcess() = default;
 
   /// Two-phase init after registration (NodeIds must exist for `config`).
   void Init(const crypto::KeyRegistry* keys, pbft::PbftConfig config,
-            std::unique_ptr<pbft::StateMachine> app) {
+            std::unique_ptr<pbft::StateMachine> app,
+            const EngineFactory& factory = nullptr) {
     app_ = std::move(app);
-    engine_ = std::make_unique<pbft::PbftEngine>(this, keys, std::move(config),
-                                                 app_.get());
+    engine_ = factory ? factory(this, keys, std::move(config), app_.get())
+                      : std::make_unique<pbft::PbftEngine>(
+                            this, keys, std::move(config), app_.get());
   }
 
   pbft::PbftEngine& engine() { return *engine_; }

@@ -720,9 +720,13 @@ void DataSyncEngine::HandleAccept(
   req.initiator_zone = msg->initiator_zone;
   if (!IsZonePrimary()) return;
   if (req.commit_msg != nullptr) return;
-  if (req.phase == Phase::kAccepted || req.phase == Phase::kAccepting) {
+  if ((req.phase == Phase::kAccepted || req.phase == Phase::kAccepting) &&
+      msg->ballot <= req.ballot) {
     // Duplicate (leader retransmission). If our ACCEPTED was lost, re-send
-    // it from the completed endorsement certificate.
+    // it from the completed endorsement certificate. A *higher* ballot is
+    // not a duplicate: a new leader re-led the request after a view change
+    // and needs a fresh endorsement at its ballot (the old-ballot ACCEPTED
+    // is useless to it), so that case falls through below.
     const crypto::Certificate* cert =
         endorser_->CertFor({req.id, EndorsePhase::kAccepted});
     if (cert != nullptr) {
@@ -906,6 +910,10 @@ void DataSyncEngine::ExecuteCommit(RequestState& req) {
     }
   }
   executed_ballots_.insert(req.exec_ballot);
+  Hasher digest(0xe4ec);
+  digest.Add(req.id);
+  for (const MigrationOp& op : req.ops) digest.Add(op.RequestId());
+  executed_digests_[req.exec_ballot] = digest.Finish();
   Ballot& chain = chain_executed_[req.exec_ballot.zone];
   if (req.exec_ballot > chain) chain = req.exec_ballot;
   FlushWaiters(req.exec_ballot);

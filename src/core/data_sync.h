@@ -124,6 +124,14 @@ class DataSyncEngine {
   Ballot last_executed_ballot(ZoneId initiator) const;
   const GlobalMetadata& metadata() const { return *metadata_; }
 
+  /// Digest of the request executed under each ballot (request id + op
+  /// ids). The InvariantChecker compares these across zones: two honest
+  /// nodes executing different requests under one ballot is a global
+  /// safety violation.
+  const std::map<Ballot, std::uint64_t>& executed_digests() const {
+    return executed_digests_;
+  }
+
  private:
   enum class Phase {
     kIdle,
@@ -264,6 +272,7 @@ class DataSyncEngine {
   Ballot last_accepted_ballot_ = kNullBallot;
   std::map<ZoneId, Ballot> chain_executed_;
   std::set<Ballot> executed_ballots_;
+  std::map<Ballot, std::uint64_t> executed_digests_;
   std::map<Ballot, std::vector<std::uint64_t>> waiting_on_;
   std::map<std::uint64_t, std::uint64_t> relay_watch_;
   std::unordered_map<std::uint64_t, std::pair<std::uint64_t, int>> timers_;

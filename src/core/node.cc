@@ -19,8 +19,10 @@ void ZiziphusNode::Init(const crypto::KeyRegistry* keys,
   config_.pbft.members = zi.members;
   config_.pbft.f = zi.f;
 
-  pbft_ = std::make_unique<pbft::PbftEngine>(this, keys_, config_.pbft,
-                                             app_.get());
+  pbft_ = config_.pbft_factory
+              ? config_.pbft_factory(this, keys_, config_.pbft, app_.get())
+              : std::make_unique<pbft::PbftEngine>(this, keys_, config_.pbft,
+                                                   app_.get());
 
   ZoneEndorser::Callbacks cbs;
   cbs.validate = [this](const EndorsePrePrepareMsg& pp) {

@@ -1,6 +1,7 @@
 #ifndef ZIZIPHUS_CORE_NODE_H_
 #define ZIZIPHUS_CORE_NODE_H_
 
+#include <functional>
 #include <memory>
 
 #include "core/data_sync.h"
@@ -18,6 +19,14 @@
 
 namespace ziziphus::core {
 
+/// Builds the local PBFT engine for one replica. Lets chaos tests
+/// substitute a Byzantine PbftEngine subclass on selected replicas: the
+/// factory sees the transport and can key off transport->self(). A null
+/// factory means the stock engine.
+using PbftEngineFactory = std::function<std::unique_ptr<pbft::PbftEngine>(
+    sim::Transport* transport, const crypto::KeyRegistry* keys,
+    pbft::PbftConfig config, pbft::StateMachine* state_machine)>;
+
 /// Configuration shared by all engines on one Ziziphus replica.
 struct NodeConfig {
   pbft::PbftConfig pbft;     // members filled in by Init from the topology
@@ -26,6 +35,7 @@ struct NodeConfig {
   PolicyConfig policy;
   /// Enables lazy checkpoint sharing across zones (Section V-B).
   bool lazy_sync = true;
+  PbftEngineFactory pbft_factory;
 };
 
 /// One Ziziphus edge replica: a single simulated core running

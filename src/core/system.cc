@@ -16,7 +16,8 @@ ZoneId ZiziphusSystem::AddZone(ClusterId cluster, RegionId region,
 }
 
 void ZiziphusSystem::Finalize(const NodeConfig& config,
-                              const AppFactory& app_factory) {
+                              const AppFactory& app_factory,
+                              const NodeConfigTweaker& tweak) {
   ZCHECK(!finalized_);
   finalized_ = true;
   // Pass 1: create and register all replicas so NodeIds exist.
@@ -38,8 +39,11 @@ void ZiziphusSystem::Finalize(const NodeConfig& config,
   // Pass 3: initialize every node against the finished topology.
   for (std::size_t z = 0; z < pending_.size(); ++z) {
     for (NodeId id : members[z]) {
+      NodeConfig node_config = config;
+      if (tweak) tweak(id, static_cast<ZoneId>(z), node_config);
       node_by_id_[id]->Init(&keys_, &topology_, static_cast<ZoneId>(z),
-                            app_factory(static_cast<ZoneId>(z)), config);
+                            app_factory(static_cast<ZoneId>(z)),
+                            std::move(node_config));
     }
   }
 }

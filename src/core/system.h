@@ -35,8 +35,14 @@ class ZiziphusSystem {
   ZoneId AddZone(ClusterId cluster, RegionId region, std::size_t f,
                  std::size_t n_nodes);
 
+  /// Called per replica just before Init; may tweak the node's config
+  /// (e.g. install a Byzantine PBFT engine factory on selected nodes).
+  using NodeConfigTweaker =
+      std::function<void(NodeId id, ZoneId zone, NodeConfig& config)>;
+
   /// Creates, registers and initializes every replica.
-  void Finalize(const NodeConfig& config, const AppFactory& app_factory);
+  void Finalize(const NodeConfig& config, const AppFactory& app_factory,
+                const NodeConfigTweaker& tweak = nullptr);
 
   /// Registers a client's home: metadata on all nodes, lock bit and initial
   /// records on the home zone's nodes. `client` is the client process's

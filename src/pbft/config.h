@@ -28,6 +28,13 @@ struct PbftConfig {
   /// configure their own).
   Duration request_timeout_us = Millis(600);
 
+  /// Hard ceiling on the view-change retransmission backoff. The classic
+  /// doubling rule alone lets a lossy zone inflate the timeout without
+  /// bound; the cap bounds recovery time once the network heals. A small
+  /// deterministic per-replica jitter (up to 1/8 of the backoff) is added
+  /// on top to de-synchronize concurrent view changes.
+  Duration view_change_backoff_cap_us = Seconds(8);
+
   /// Checkpoint every this many sequence numbers.
   SeqNum checkpoint_interval = 128;
 

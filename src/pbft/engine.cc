@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
 #include "common/logging.h"
 
 namespace ziziphus::pbft {
@@ -137,7 +138,14 @@ void PbftEngine::HandleClientRequest(
 
 void PbftEngine::EnqueueOp(const Operation& op) {
   std::uint64_t d = op.ComputeDigest();
-  if (seen_ops_.count(d) > 0) return;
+  if (seen_ops_.count(d) > 0) {
+    // Queued or sitting in an unexecuted slot. A client retransmission is
+    // evidence the op is stuck, so backups keep the suspicion timer running
+    // rather than silently swallowing the duplicate — otherwise a slot
+    // wedged after a view change can never trigger another one.
+    if (!IsPrimary() && progress_timer_ == 0) ArmProgressTimer();
+    return;
+  }
   auto it = clients_.find(op.client);
   if (it != clients_.end() && op.timestamp <= it->second.last_executed_ts) {
     return;
@@ -241,7 +249,10 @@ void PbftEngine::HandlePrePrepare(
 void PbftEngine::HandlePrepare(const std::shared_ptr<const PrepareMsg>& msg) {
   if (!view_active_ || msg->view != view_) return;
   if (!IsMember(msg->replica) || msg->replica != msg->from()) return;
-  if (!keys_->Verify(msg->sig, msg->ComputeDigest())) return;
+  if (!keys_->Verify(msg->sig, msg->ComputeDigest())) {
+    transport_->counters().Inc("pbft.bad_sig");
+    return;
+  }
   Slot& slot = slots_[msg->seq];
   if (slot.pre_prepare != nullptr &&
       slot.pre_prepare->batch_digest != msg->batch_digest) {
@@ -263,6 +274,9 @@ void PbftEngine::TryPrepare(SeqNum seq) {
   if (!slot.prepares.count(slot.pre_prepare->from())) votes += 1;
   if (votes < Quorum()) return;
   slot.prepared = true;
+  prepared_proofs_[seq] =
+      PreparedProof{slot.pre_prepare->view, seq,
+                    slot.pre_prepare->batch_digest, slot.pre_prepare->batch};
 
   auto commit = std::make_shared<CommitMsg>();
   commit->view = slot.pre_prepare->view;
@@ -279,7 +293,10 @@ void PbftEngine::TryPrepare(SeqNum seq) {
 void PbftEngine::HandleCommit(const std::shared_ptr<const CommitMsg>& msg) {
   if (msg->view > view_ || (!view_active_ && msg->view == view_)) return;
   if (!IsMember(msg->replica) || msg->replica != msg->from()) return;
-  if (!keys_->Verify(msg->sig, msg->ComputeDigest())) return;
+  if (!keys_->Verify(msg->sig, msg->ComputeDigest())) {
+    transport_->counters().Inc("pbft.bad_sig");
+    return;
+  }
   if (msg->seq <= stable_seq_) return;
   Slot& slot = slots_[msg->seq];
   if (slot.pre_prepare != nullptr &&
@@ -387,7 +404,10 @@ void PbftEngine::MaybeCheckpoint() {
 void PbftEngine::HandleCheckpoint(
     const std::shared_ptr<const CheckpointMsg>& msg) {
   if (!IsMember(msg->replica) || msg->replica != msg->from()) return;
-  if (!keys_->Verify(msg->sig, msg->ComputeDigest())) return;
+  if (!keys_->Verify(msg->sig, msg->ComputeDigest())) {
+    transport_->counters().Inc("pbft.bad_sig");
+    return;
+  }
   if (msg->seq <= stable_seq_) return;
   auto& votes = checkpoint_votes_[msg->seq];
   votes[msg->replica] = msg;
@@ -428,6 +448,8 @@ void PbftEngine::AdvanceStable(SeqNum seq, const crypto::Certificate& cert) {
   last_stable_checkpoint_.certificate = cert;
   // Garbage-collect the log below the stable point.
   slots_.erase(slots_.begin(), slots_.upper_bound(seq));
+  prepared_proofs_.erase(prepared_proofs_.begin(),
+                         prepared_proofs_.upper_bound(seq));
   checkpoint_votes_.erase(checkpoint_votes_.begin(),
                           checkpoint_votes_.upper_bound(seq));
   commit_log_.TruncatePrefix(seq);
@@ -500,6 +522,8 @@ void PbftEngine::HandleStateResponse(
   last_executed_ = std::max(last_executed_, msg->seq);
   stable_seq_ = std::max(stable_seq_, msg->seq);
   slots_.erase(slots_.begin(), slots_.upper_bound(stable_seq_));
+  prepared_proofs_.erase(prepared_proofs_.begin(),
+                         prepared_proofs_.upper_bound(stable_seq_));
   pending_transfer_seq_ = 0;
   pending_transfer_digest_ = 0;
   transfer_votes_.clear();
@@ -534,12 +558,9 @@ void PbftEngine::StartViewChange(ViewId new_view) {
   auto msg = std::make_shared<ViewChangeMsg>();
   msg->new_view = new_view;
   msg->stable_seq = stable_seq_;
-  for (const auto& [seq, slot] : slots_) {
-    if (slot.prepared && slot.pre_prepare != nullptr) {
-      msg->prepared.push_back(PreparedProof{slot.pre_prepare->view, seq,
-                                            slot.pre_prepare->batch_digest,
-                                            slot.pre_prepare->batch});
-    }
+  for (const auto& [seq, proof] : prepared_proofs_) {
+    if (seq <= stable_seq_) continue;
+    msg->prepared.push_back(proof);
   }
   msg->replica = transport_->self();
   msg->sig = keys_->Sign(transport_->self(), msg->ComputeDigest());
@@ -549,17 +570,39 @@ void PbftEngine::StartViewChange(ViewId new_view) {
 
   if (view_change_timer_ != 0) transport_->CancelTimer(view_change_timer_);
   // Exponential backoff (classic PBFT liveness argument: timeouts grow
-  // until correct replicas overlap in one view long enough to agree).
-  std::uint64_t shift = std::min<std::uint64_t>(view_change_attempts_++, 5);
-  view_change_timer_ =
-      transport_->SetTimer(config_.request_timeout_us * 2 * (1ULL << shift),
-                           kTimerBase | kViewChangeTimer);
+  // until correct replicas overlap in one view long enough to agree),
+  // capped and jittered so a lossy zone cannot grow timeouts unboundedly
+  // and concurrent view changes de-synchronize.
+  view_change_timer_ = transport_->SetTimer(
+      ViewChangeBackoff(config_, view_change_attempts_++, transport_->self(),
+                        new_view),
+      kTimerBase | kViewChangeTimer);
+}
+
+Duration PbftEngine::ViewChangeBackoff(const PbftConfig& config,
+                                       std::uint64_t attempt, NodeId replica,
+                                       ViewId view) {
+  const Duration base = config.request_timeout_us * 2;
+  const Duration cap = std::max<Duration>(config.view_change_backoff_cap_us,
+                                          base);
+  Duration backoff = base;
+  for (; attempt > 0 && backoff < cap; --attempt) backoff *= 2;
+  backoff = std::min(backoff, cap);
+  Duration jitter_span = backoff / 8;
+  Duration jitter =
+      jitter_span == 0
+          ? 0
+          : Hasher(0x7a17).Add(replica).Add(view).Finish() % (jitter_span + 1);
+  return backoff + jitter;
 }
 
 void PbftEngine::HandleViewChange(
     const std::shared_ptr<const ViewChangeMsg>& msg) {
   if (!IsMember(msg->replica) || msg->replica != msg->from()) return;
-  if (!keys_->Verify(msg->sig, msg->ComputeDigest())) return;
+  if (!keys_->Verify(msg->sig, msg->ComputeDigest())) {
+    transport_->counters().Inc("pbft.bad_sig");
+    return;
+  }
   if (msg->new_view < view_ || (msg->new_view == view_ && view_active_)) {
     return;
   }
@@ -639,36 +682,68 @@ void PbftEngine::EnterNewView(const std::shared_ptr<const NewViewMsg>& msg) {
   view_change_votes_.erase(view_change_votes_.begin(),
                            view_change_votes_.upper_bound(msg->new_view));
 
+  // Uncommitted slot state from earlier views is obsolete: anything safety
+  // relevant (prepared certificates) traveled in the view-change messages
+  // and comes back as a reproposal below. Keeping stale pre-prepares would
+  // also poison sequence numbers above the reproposal range — next_seq_
+  // rolls back to the reproposal max, and when this view's primary reuses a
+  // freed seq, a leftover same-digest pre-prepare makes HandlePrePrepare
+  // drop the fresh one without ever re-preparing it in this view.
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    if (!it->second.committed) {
+      it = slots_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
   SeqNum max_seq = msg->stable_seq;
   for (const auto& proof : msg->reproposals) {
     max_seq = std::max(max_seq, proof.seq);
     if (proof.seq <= stable_seq_) continue;
     Slot& slot = slots_[proof.seq];
-    auto pp = std::make_shared<PrePrepareMsg>();
-    pp->view = msg->new_view;
-    pp->seq = proof.seq;
-    pp->batch_digest = proof.batch_digest;
-    pp->batch = proof.batch;
-    pp->sig = keys_->Sign(msg->from(), pp->ComputeDigest());
-    pp->set_from(msg->from());
-    // Replace any old-view slot contents; commit votes must be re-collected
-    // in the new view.
-    slot.pre_prepare = pp;
-    slot.prepares.clear();
-    slot.commits.clear();
-    slot.prepared = false;
-    // Slots already committed locally stay committed; only uncommitted ones
-    // re-run the prepare/commit phases in the new view.
     if (!slot.committed) {
-      auto prep = std::make_shared<PrepareMsg>();
-      prep->view = msg->new_view;
-      prep->seq = proof.seq;
-      prep->batch_digest = proof.batch_digest;
-      prep->replica = transport_->self();
-      prep->sig = keys_->Sign(transport_->self(), prep->ComputeDigest());
+      // Adopt the reproposal; prepare and commit votes are re-collected in
+      // the new view.
+      auto pp = std::make_shared<PrePrepareMsg>();
+      pp->view = msg->new_view;
+      pp->seq = proof.seq;
+      pp->batch_digest = proof.batch_digest;
+      pp->batch = proof.batch;
+      pp->sig = keys_->Sign(msg->from(), pp->ComputeDigest());
+      pp->set_from(msg->from());
+      slot.pre_prepare = pp;
+      slot.prepares.clear();
+      slot.commits.clear();
+      slot.prepared = false;
+    }
+    // Every replica re-affirms its prepare for every reproposal — including
+    // slots it already committed. Skipping committed slots starves replicas
+    // that missed the commit: with only the laggards re-preparing, a gap
+    // slot can never reach 2f prepares again and the laggard stays wedged
+    // until a checkpoint (possibly never) rescues it via state transfer.
+    auto prep = std::make_shared<PrepareMsg>();
+    prep->view = msg->new_view;
+    prep->seq = proof.seq;
+    prep->batch_digest = slot.committed ? slot.pre_prepare->batch_digest
+                                        : proof.batch_digest;
+    prep->replica = transport_->self();
+    prep->sig = keys_->Sign(transport_->self(), prep->ComputeDigest());
+    transport_->ChargeCpu(config_.costs.crypto.sign_us +
+                          config_.costs.send_us * config_.members.size());
+    transport_->Multicast(config_.members, prep);
+    if (slot.committed) {
+      // Re-announce the commit in the new view so laggards can assemble a
+      // fresh commit quorum for the slot they missed.
+      auto commit = std::make_shared<CommitMsg>();
+      commit->view = msg->new_view;
+      commit->seq = proof.seq;
+      commit->batch_digest = slot.pre_prepare->batch_digest;
+      commit->replica = transport_->self();
+      commit->sig = keys_->Sign(transport_->self(), commit->ComputeDigest());
       transport_->ChargeCpu(config_.costs.crypto.sign_us +
                             config_.costs.send_us * config_.members.size());
-      transport_->Multicast(config_.members, prep);
+      transport_->Multicast(config_.members, commit);
     }
   }
   next_seq_ = std::max(max_seq, stable_seq_);

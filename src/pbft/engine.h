@@ -101,6 +101,15 @@ class PbftEngine {
   /// layered on top of PBFT handle their own replies).
   void set_send_replies(bool v) { send_replies_ = v; }
 
+  /// View-change retransmission delay for the given attempt: exponential
+  /// doubling capped at config.view_change_backoff_cap_us, plus a
+  /// deterministic per-(replica, view) jitter of up to 1/8 of the backoff.
+  /// Exposed as a pure function so the cap and jitter bounds are unit
+  /// testable.
+  static Duration ViewChangeBackoff(const PbftConfig& config,
+                                    std::uint64_t attempt, NodeId replica,
+                                    ViewId view);
+
   /// Disables the progress timer (used in micro-benchmarks).
   void set_view_changes_enabled(bool v) { view_changes_enabled_ = v; }
 
@@ -192,6 +201,15 @@ class PbftEngine {
   // View change.
   std::map<ViewId, std::map<NodeId, std::shared_ptr<const ViewChangeMsg>>>
       view_change_votes_;
+  // Prepared certificates that must survive view changes: once a slot
+  // prepares in some view, its proof stays eligible for inclusion in
+  // view-change messages until the slot is covered by a stable checkpoint.
+  // Slot state alone cannot serve this role — entering a new view resets
+  // `Slot::prepared` so the slot can re-run the prepare phase, and a second
+  // view change arriving before re-preparation completes would otherwise
+  // lose the certificate and let the new primary no-op-fill a sequence
+  // number that another replica already committed.
+  std::map<SeqNum, PreparedProof> prepared_proofs_;
   std::uint64_t batch_timer_ = 0;
   std::uint64_t progress_timer_ = 0;
   std::uint64_t view_change_timer_ = 0;

@@ -1,0 +1,156 @@
+#include "sim/byzantine.h"
+
+#include <utility>
+
+#include "core/lazy_sync.h"
+#include "core/messages.h"
+#include "storage/kv_store.h"
+
+namespace ziziphus::sim {
+
+// ------------------------------------------------------------ mute primary
+
+MessagePtr MutePrimaryBehavior::OnSend(NodeId /*from*/, NodeId /*to*/,
+                                       const MessagePtr& msg) {
+  if (msg->type() == pbft::kPrePrepare || msg->type() == pbft::kNewView) {
+    return nullptr;
+  }
+  return msg;
+}
+
+// ------------------------------------------------------- commit withholding
+
+MessagePtr CommitWithholdingBehavior::OnSend(NodeId /*from*/, NodeId to,
+                                             const MessagePtr& msg) {
+  // Keeps its own commit (its local state stays consistent) but starves
+  // everyone else of the vote.
+  if (msg->type() == pbft::kCommit && to != self_) return nullptr;
+  return msg;
+}
+
+// ------------------------------------------------------------- equivocation
+
+std::shared_ptr<pbft::PrePrepareMsg> ForgeConflictingPrePrepare(
+    const pbft::PrePrepareMsg& original, const crypto::KeyRegistry& keys,
+    NodeId signer) {
+  auto forged = std::make_shared<pbft::PrePrepareMsg>(original);
+  pbft::Operation noop;
+  noop.client = kInvalidClient;
+  noop.timestamp = original.seq;
+  noop.command = "byz-noop";
+  forged->batch.ops.push_back(noop);
+  forged->batch_digest = forged->batch.ComputeDigest();
+  forged->sig = keys.Sign(signer, forged->ComputeDigest());
+  return forged;
+}
+
+MessagePtr EquivocatingPrimaryBehavior::OnSend(NodeId from, NodeId to,
+                                               const MessagePtr& msg) {
+  if (msg->type() != pbft::kPrePrepare) return msg;
+  // Second half of the destination id space gets the conflicting twin.
+  if (to % 2 == 0) return msg;
+  const auto* pp = static_cast<const pbft::PrePrepareMsg*>(msg.get());
+  auto key = std::make_pair(pp->view, pp->seq);
+  auto it = forged_.find(key);
+  if (it == forged_.end()) {
+    auto twin = ForgeConflictingPrePrepare(*pp, *keys_, from);
+    twin->set_from(from);
+    sim_->counters().Inc("byz.equivocations_emitted");
+    it = forged_.emplace(key, std::move(twin)).first;
+  }
+  return it->second;
+}
+
+void EquivocatingPbftEngine::EmitPrePrepare(
+    const std::shared_ptr<pbft::PrePrepareMsg>& msg) {
+  const std::vector<NodeId>& members = config_.members;
+  auto forged =
+      ForgeConflictingPrePrepare(*msg, *keys_, transport_->self());
+  equivocations_++;
+  transport_->counters().Inc("byz.equivocations_emitted");
+  std::vector<NodeId> truth_half, lie_half;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    (i < (members.size() + 1) / 2 ? truth_half : lie_half)
+        .push_back(members[i]);
+  }
+  transport_->Multicast(truth_half, msg);
+  transport_->Multicast(lie_half, forged);
+}
+
+// ------------------------------------------------------- signature garbling
+
+namespace {
+template <typename M>
+MessagePtr GarbleSignature(const MessagePtr& msg) {
+  auto copy = std::make_shared<M>(static_cast<const M&>(*msg));
+  copy->sig.tag ^= 0xbad5eedbad5eedULL;
+  return copy;
+}
+}  // namespace
+
+MessagePtr CorruptSignatureBehavior::OnSend(NodeId /*from*/, NodeId to,
+                                            const MessagePtr& msg) {
+  if (to == self_) return msg;  // keep its own bookkeeping intact
+  switch (msg->type()) {
+    case pbft::kPrepare:
+      return GarbleSignature<pbft::PrepareMsg>(msg);
+    case pbft::kCommit:
+      return GarbleSignature<pbft::CommitMsg>(msg);
+    case pbft::kCheckpoint:
+      return GarbleSignature<pbft::CheckpointMsg>(msg);
+    case pbft::kViewChange:
+      return GarbleSignature<pbft::ViewChangeMsg>(msg);
+    default:
+      return msg;
+  }
+}
+
+// -------------------------------------------------- stale-certificate replay
+
+MessagePtr StaleCertificateReplayBehavior::OnSend(NodeId /*from*/,
+                                                  NodeId /*to*/,
+                                                  const MessagePtr& msg) {
+  switch (msg->type()) {
+    case core::kAccepted:
+    case core::kGlobalCommit:
+    case core::kPrepared:
+    case core::kZoneCheckpoint:
+      break;
+    default:
+      return msg;
+  }
+  MessageType t = msg->type();
+  std::uint64_t n = sends_[t]++;
+  auto it = first_sent_.find(t);
+  if (it == first_sent_.end()) {
+    first_sent_[t] = msg;
+    return msg;
+  }
+  // Every other send ships the stale original instead of the fresh message.
+  if (n % 2 == 1) {
+    replayed_++;
+    sim_->counters().Inc("byz.stale_replays");
+    return it->second;
+  }
+  return msg;
+}
+
+// -------------------------------------------------- lying state responder
+
+MessagePtr LyingStateResponderBehavior::OnSend(NodeId /*from*/, NodeId /*to*/,
+                                               const MessagePtr& msg) {
+  if (msg->type() != pbft::kStateResponse) return msg;
+  auto copy = std::make_shared<pbft::StateResponseMsg>(
+      static_cast<const pbft::StateResponseMsg&>(*msg));
+  copy->snapshot[forged_key_] = forged_value_;
+  // Recompute the claimed digest over the forged snapshot so the receiver's
+  // re-hash check passes; only quorum rules can catch this lie.
+  storage::KvStore scratch;
+  scratch.Restore(copy->snapshot);
+  copy->state_digest = scratch.StateDigest();
+  lies_++;
+  sim_->counters().Inc("byz.state_lies");
+  return copy;
+}
+
+}  // namespace ziziphus::sim

@@ -1,0 +1,203 @@
+#include "sim/invariants.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/hash.h"
+#include "crypto/certificate.h"
+
+namespace ziziphus::sim {
+
+namespace {
+
+std::string NodeName(NodeId id) { return "node " + std::to_string(id); }
+
+/// Digest the PBFT checkpoint certificate signs (same construction as
+/// pbft::CheckpointMsg / core::ZoneCheckpointMsg::ComputeDigest).
+crypto::Digest CheckpointDigest(SeqNum seq, std::uint64_t state_digest) {
+  return Hasher(0x0f).Add(seq).Add(state_digest).Finish();
+}
+
+}  // namespace
+
+bool InvariantChecker::Honest(core::ZiziphusSystem& system, NodeId id) const {
+  return opt_.byzantine.count(id) == 0 && !system.sim().faults().IsCrashed(id);
+}
+
+std::vector<InvariantViolation> InvariantChecker::Check(
+    core::ZiziphusSystem& system) {
+  std::vector<InvariantViolation> out;
+  CheckZoneAgreement(system, &out);
+  CheckCheckpoints(system, &out);
+  CheckGlobalAgreement(system, &out);
+  CheckBalances(system, &out);
+  system.sim().counters().Inc("invariants.checks_run");
+  if (!out.empty()) {
+    system.sim().counters().Inc("invariants.violations", out.size());
+  }
+  return out;
+}
+
+void InvariantChecker::CheckZoneAgreement(
+    core::ZiziphusSystem& system, std::vector<InvariantViolation>* out) {
+  const core::Topology& topo = system.topology();
+  for (ZoneId z = 0; z < topo.num_zones(); ++z) {
+    // First honest holder of each sequence number sets the reference; any
+    // honest replica later found with a different digest diverged.
+    std::map<SeqNum, std::pair<std::uint64_t, NodeId>> reference;
+    for (NodeId id : topo.zone(z).members) {
+      if (!Honest(system, id)) continue;
+      core::ZiziphusNode* node = system.node(id);
+      for (const storage::LogEntry& e : node->pbft().commit_log().entries()) {
+        auto [it, inserted] =
+            reference.try_emplace(e.seq, e.digest, id);
+        if (!inserted && it->second.first != e.digest) {
+          std::ostringstream detail;
+          detail << "zone " << z << " seq " << e.seq << ": "
+                 << NodeName(it->second.second) << " committed digest "
+                 << it->second.first << " but " << NodeName(id)
+                 << " committed " << e.digest;
+          out->push_back({"zone-agreement", detail.str()});
+        }
+      }
+    }
+  }
+}
+
+void InvariantChecker::CheckCheckpoints(
+    core::ZiziphusSystem& system, std::vector<InvariantViolation>* out) {
+  const core::Topology& topo = system.topology();
+  const crypto::KeyRegistry& keys = system.keys();
+  // (producing zone, seq) -> (state digest, first honest holder).
+  std::map<std::pair<ZoneId, SeqNum>,
+           std::pair<std::uint64_t, NodeId>> reference;
+
+  auto check_one = [&](NodeId holder, ZoneId producer,
+                       const storage::Checkpoint& cp) {
+    if (cp.seq == 0 && cp.certificate.empty()) return;  // genesis
+    const core::ZoneInfo& zi = topo.zone(producer);
+    auto is_member = [&zi](NodeId n) {
+      return std::find(zi.members.begin(), zi.members.end(), n) !=
+             zi.members.end();
+    };
+    Status st = crypto::VerifyCertificate(
+        keys, cp.certificate, CheckpointDigest(cp.seq, cp.state_digest),
+        zi.quorum(), is_member);
+    if (!st.ok()) {
+      std::ostringstream detail;
+      detail << NodeName(holder) << " holds checkpoint (zone " << producer
+             << ", seq " << cp.seq << ") with invalid certificate: "
+             << st.message();
+      out->push_back({"checkpoint-validity", detail.str()});
+      return;
+    }
+    auto [it, inserted] = reference.try_emplace(
+        std::make_pair(producer, cp.seq), cp.state_digest, holder);
+    if (!inserted && it->second.first != cp.state_digest) {
+      std::ostringstream detail;
+      detail << "zone " << producer << " checkpoint seq " << cp.seq << ": "
+             << NodeName(it->second.second) << " has digest "
+             << it->second.first << " but " << NodeName(holder) << " has "
+             << cp.state_digest;
+      out->push_back({"checkpoint-validity", detail.str()});
+    }
+  };
+
+  for (const auto& node : system.nodes()) {
+    if (!Honest(system, node->id())) continue;
+    check_one(node->id(), node->zone(), node->pbft().last_stable_checkpoint());
+    for (ZoneId producer = 0; producer < topo.num_zones(); ++producer) {
+      const storage::Checkpoint* remote =
+          node->lazy_sync().remote_checkpoints().Latest(producer);
+      if (remote != nullptr) check_one(node->id(), producer, *remote);
+    }
+  }
+}
+
+void InvariantChecker::CheckGlobalAgreement(
+    core::ZiziphusSystem& system, std::vector<InvariantViolation>* out) {
+  // ballot -> (request digest, first honest executor).
+  std::map<Ballot, std::pair<std::uint64_t, NodeId>> reference;
+  for (const auto& node : system.nodes()) {
+    if (!Honest(system, node->id())) continue;
+    for (const auto& [ballot, digest] : node->sync().executed_digests()) {
+      auto [it, inserted] = reference.try_emplace(ballot, digest, node->id());
+      if (!inserted && it->second.first != digest) {
+        std::ostringstream detail;
+        detail << "ballot " << ToString(ballot) << ": "
+               << NodeName(it->second.second) << " executed request digest "
+               << it->second.first << " but " << NodeName(node->id())
+               << " executed " << digest;
+        out->push_back({"global-agreement", detail.str()});
+      }
+    }
+  }
+}
+
+void InvariantChecker::CheckBalances(core::ZiziphusSystem& system,
+                                     std::vector<InvariantViolation>* out) {
+  if (!opt_.balance_of) return;
+  const core::Topology& topo = system.topology();
+  const Accounts& acc = opt_.accounts;
+
+  for (const auto& [zone, clients] : acc.load_clients) {
+    auto expected_it = acc.zone_load_totals.find(zone);
+    if (expected_it == acc.zone_load_totals.end()) continue;
+    for (NodeId id : topo.zone(zone).members) {
+      if (!Honest(system, id)) continue;
+      core::ZiziphusNode* node = system.node(id);
+      std::int64_t sum = 0;
+      bool missing = false;
+      for (ClientId c : clients) {
+        std::int64_t b = opt_.balance_of(node->app(), c);
+        if (b < 0) {
+          std::ostringstream detail;
+          detail << NodeName(id) << " (zone " << zone
+                 << ") lost the account of load client " << c;
+          out->push_back({"balance-conservation", detail.str()});
+          missing = true;
+          continue;
+        }
+        sum += b;
+      }
+      if (!missing && sum != expected_it->second) {
+        std::ostringstream detail;
+        detail << NodeName(id) << " (zone " << zone << ") holds " << sum
+               << " across load accounts, expected " << expected_it->second;
+        out->push_back({"balance-conservation", detail.str()});
+      }
+    }
+  }
+
+  for (const auto& [client, expected] : acc.fixed_balance_clients) {
+    for (const auto& node : system.nodes()) {
+      if (!Honest(system, node->id())) continue;
+      std::int64_t b = opt_.balance_of(node->app(), client);
+      if (b >= 0 && b != expected) {
+        std::ostringstream detail;
+        detail << NodeName(node->id()) << " holds balance " << b
+               << " for migrating client " << client << ", expected "
+               << expected;
+        out->push_back({"balance-conservation", detail.str()});
+      }
+    }
+  }
+
+  if (opt_.total_balance) {
+    for (const auto& [zone, expected] : acc.strict_zone_totals) {
+      for (NodeId id : topo.zone(zone).members) {
+        if (!Honest(system, id)) continue;
+        std::int64_t total = opt_.total_balance(system.node(id)->app());
+        if (total != expected) {
+          std::ostringstream detail;
+          detail << NodeName(id) << " (zone " << zone << ") holds total "
+                 << total << ", expected " << expected
+                 << " (money minted or destroyed)";
+          out->push_back({"balance-conservation", detail.str()});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ziziphus::sim

@@ -1,0 +1,98 @@
+#ifndef ZIZIPHUS_SIM_INVARIANTS_H_
+#define ZIZIPHUS_SIM_INVARIANTS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/system.h"
+#include "core/zone_app.h"
+
+namespace ziziphus::sim {
+
+/// One detected safety violation: which invariant broke and a
+/// human-readable description naming the nodes and values involved.
+struct InvariantViolation {
+  std::string invariant;
+  std::string detail;
+};
+
+/// Run-time safety checker for a Ziziphus deployment. Called after (or
+/// during) a chaos run, it sweeps every replica's externally observable
+/// state and asserts the paper's safety claims:
+///
+///   1. zone-agreement: honest replicas of one zone never commit different
+///      batches at the same PBFT sequence number;
+///   2. checkpoint-validity: every stable checkpoint held anywhere (own or
+///      lazily replicated) carries a valid 2f+1 certificate of its
+///      producing zone, and honest replicas agree on the digest per
+///      (zone, seq);
+///   3. global-agreement: no two honest nodes (any zone) execute different
+///      global requests under the same data-synchronization ballot;
+///   4. balance-conservation: the bank totals honest replicas hold match
+///      the funds ever minted (prefix-safe formulations, see Accounts).
+///
+/// Every check skips nodes listed as Byzantine or currently crashed —
+/// the paper's guarantees only cover honest replicas, and a crashed
+/// node's state is legitimately stale.
+class InvariantChecker {
+ public:
+  /// Workload knowledge for the balance-conservation check. All three
+  /// formulations are prefix-safe: they hold at every honest replica at any
+  /// moment, regardless of in-flight transactions, as long as the workload
+  /// obeys the stated discipline.
+  struct Accounts {
+    /// Clients that never migrate and only transfer among same-zone peers:
+    /// each zone's replicas must hold exactly `zone_load_totals[zone]`
+    /// across these accounts (XFER conserves the pair sum atomically).
+    std::map<ZoneId, std::vector<ClientId>> load_clients;
+    std::map<ZoneId, std::int64_t> zone_load_totals;
+    /// Clients that only migrate (no deposits/transfers): every copy of
+    /// their account anywhere must show exactly this balance.
+    std::map<ClientId, std::int64_t> fixed_balance_clients;
+    /// Strict mode for migration-free runs: each zone replica's total
+    /// across *all* accounts must equal this — catches minted accounts the
+    /// workload knows nothing about. Empty disables.
+    std::map<ZoneId, std::int64_t> strict_zone_totals;
+  };
+
+  struct Options {
+    /// Nodes under adversarial control; excluded from all honest checks.
+    std::set<NodeId> byzantine;
+    Accounts accounts;
+    /// App hooks (the checker is app-agnostic): balance of one client at a
+    /// replica's state (-1 if absent) and total across all accounts.
+    std::function<std::int64_t(const core::ZoneStateMachine&, ClientId)>
+        balance_of;
+    std::function<std::int64_t(const core::ZoneStateMachine&)> total_balance;
+  };
+
+  explicit InvariantChecker(Options options) : opt_(std::move(options)) {}
+
+  /// Sweeps the whole deployment; returns every violation found.
+  std::vector<InvariantViolation> Check(core::ZiziphusSystem& system);
+
+  const Options& options() const { return opt_; }
+
+ private:
+  bool Honest(core::ZiziphusSystem& system, NodeId id) const;
+
+  void CheckZoneAgreement(core::ZiziphusSystem& system,
+                          std::vector<InvariantViolation>* out);
+  void CheckCheckpoints(core::ZiziphusSystem& system,
+                        std::vector<InvariantViolation>* out);
+  void CheckGlobalAgreement(core::ZiziphusSystem& system,
+                            std::vector<InvariantViolation>* out);
+  void CheckBalances(core::ZiziphusSystem& system,
+                     std::vector<InvariantViolation>* out);
+
+  Options opt_;
+};
+
+}  // namespace ziziphus::sim
+
+#endif  // ZIZIPHUS_SIM_INVARIANTS_H_

@@ -1,5 +1,7 @@
 #include "sim/simulation.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace ziziphus::sim {
@@ -24,6 +26,10 @@ void Process::DeliverTimer(SimTime arrival, std::uint64_t timer_id) {
 
 SimTime Process::Now() const {
   return sim_ == nullptr ? logical_now_ : std::max(logical_now_, sim_->Now());
+}
+
+void Process::ChargeCpu(Duration cost) {
+  logical_now_ += sim_ == nullptr ? cost : sim_->faults().ScaleCpu(id_, cost);
 }
 
 void Process::Send(NodeId dst, MessagePtr msg) {
@@ -52,6 +58,100 @@ void Process::CancelTimer(std::uint64_t timer_id) {
   active_timers_.erase(timer_id);
 }
 
+// ---------------------------------------------------------- FaultSchedule
+
+void FaultSchedule::At(SimTime at, Action action) {
+  // Keep entries_ sorted by (at, insertion order): insert after every
+  // already-scheduled entry with the same or earlier timestamp, but never
+  // before the apply cursor (a past timestamp becomes "due now").
+  auto pos = std::upper_bound(
+      entries_.begin() + static_cast<std::ptrdiff_t>(next_), entries_.end(),
+      at, [](SimTime t, const Entry& e) { return t < e.at; });
+  entries_.insert(pos, Entry{at, std::move(action)});
+}
+
+void FaultSchedule::ApplyNext(Simulation& sim) {
+  ZCHECK(next_ < entries_.size());
+  // Move the action out first: it may append new entries and reallocate.
+  Action action = std::move(entries_[next_].action);
+  next_++;
+  sim.counters().Inc("faults.schedule_applied");
+  action(sim);
+}
+
+void FaultSchedule::CrashAt(SimTime at, NodeId node) {
+  At(at, [node](Simulation& s) {
+    s.counters().Inc("faults.crashes");
+    s.faults().Crash(node);
+  });
+}
+
+void FaultSchedule::RecoverAt(SimTime at, NodeId node) {
+  At(at, [node](Simulation& s) {
+    s.counters().Inc("faults.recoveries");
+    s.faults().Recover(node);
+  });
+}
+
+void FaultSchedule::PartitionAt(SimTime at, NodeId a, NodeId b) {
+  At(at, [a, b](Simulation& s) {
+    s.counters().Inc("faults.partitions");
+    s.faults().Partition(a, b);
+  });
+}
+
+void FaultSchedule::HealAt(SimTime at, NodeId a, NodeId b) {
+  At(at, [a, b](Simulation& s) { s.faults().Heal(a, b); });
+}
+
+void FaultSchedule::CutOneWayAt(SimTime at, NodeId from, NodeId to) {
+  At(at, [from, to](Simulation& s) {
+    s.counters().Inc("faults.one_way_cuts");
+    s.faults().CutOneWay(from, to);
+  });
+}
+
+void FaultSchedule::HealOneWayAt(SimTime at, NodeId from, NodeId to) {
+  At(at, [from, to](Simulation& s) { s.faults().HealOneWay(from, to); });
+}
+
+void FaultSchedule::LinkDelayAt(SimTime at, NodeId from, NodeId to,
+                                Duration extra) {
+  At(at, [from, to, extra](Simulation& s) {
+    if (extra != 0) s.counters().Inc("faults.link_delays");
+    s.faults().SetLinkDelay(from, to, extra);
+  });
+}
+
+void FaultSchedule::LinkLossAt(SimTime at, NodeId from, NodeId to, double p) {
+  At(at, [from, to, p](Simulation& s) {
+    if (p > 0) s.counters().Inc("faults.link_loss");
+    s.faults().SetLinkLoss(from, to, p);
+  });
+}
+
+void FaultSchedule::GlobalLossAt(SimTime at, double p) {
+  At(at, [p](Simulation& s) { s.faults().set_loss_probability(p); });
+}
+
+void FaultSchedule::DuplicationAt(SimTime at, double p) {
+  At(at, [p](Simulation& s) { s.faults().set_duplication_probability(p); });
+}
+
+void FaultSchedule::CpuFactorAt(SimTime at, NodeId node, double factor) {
+  At(at, [node, factor](Simulation& s) {
+    if (factor > 1.0) s.counters().Inc("faults.cpu_slowdowns");
+    s.faults().SetCpuFactor(node, factor);
+  });
+}
+
+void FaultSchedule::ResetAllAt(SimTime at) {
+  At(at, [](Simulation& s) {
+    s.faults().ResetNetworkFaults();
+    s.faults().RecoverAll();
+  });
+}
+
 // ------------------------------------------------------------- Simulation
 
 Simulation::Simulation(std::uint64_t seed, LatencyModel latency)
@@ -72,17 +172,42 @@ NodeId Simulation::Register(Process* process, RegionId region) {
   return id;
 }
 
+void Simulation::SetInterceptor(NodeId node, OutboundInterceptor* interceptor) {
+  if (interceptor == nullptr) {
+    interceptors_.erase(node);
+  } else {
+    interceptors_[node] = interceptor;
+  }
+}
+
 void Simulation::SendMessage(NodeId from, SimTime depart, NodeId to,
                              MessagePtr msg) {
   ZCHECK(to < processes_.size());
+  if (!interceptors_.empty()) {
+    auto it = interceptors_.find(from);
+    if (it != interceptors_.end()) {
+      msg = it->second->OnSend(from, to, msg);
+      if (msg == nullptr) {
+        counters_.Inc("byz.msgs_suppressed");
+        return;
+      }
+    }
+  }
   counters_.Inc("net.msgs_sent");
   counters_.Inc("net.bytes_sent", msg->WireSize());
   if (!faults_.AllowDelivery(from, to)) {
     counters_.Inc("net.msgs_dropped");
     return;
   }
-  Duration lat = latency_.Sample(region_of(from), region_of(to),
-                                 msg->WireSize(), jitter_rng_);
+  Duration extra = faults_.ExtraDelay(from, to);
+  Duration lat = extra + latency_.Sample(region_of(from), region_of(to),
+                                         msg->WireSize(), jitter_rng_);
+  if (faults_.ShouldDuplicate()) {
+    counters_.Inc("net.msgs_duplicated");
+    Duration lat2 = extra + latency_.Sample(region_of(from), region_of(to),
+                                            msg->WireSize(), jitter_rng_);
+    queue_.push(Event{depart + lat2, next_seq_++, to, msg, 0, from});
+  }
   queue_.push(Event{depart + lat, next_seq_++, to, std::move(msg), 0, from});
 }
 
@@ -110,7 +235,21 @@ void Simulation::Dispatch(const Event& e) {
   }
 }
 
+void Simulation::PumpSchedule(SimTime horizon) {
+  // Apply every schedule entry that is due no later than both the horizon
+  // and the next queued event (actions win ties against events, so a crash
+  // scheduled at t drops messages arriving at t).
+  for (;;) {
+    SimTime next_action = schedule_.NextTime();
+    if (next_action == kSimTimeMax || next_action > horizon) return;
+    if (!queue_.empty() && queue_.top().time < next_action) return;
+    now_ = std::max(now_, next_action);
+    schedule_.ApplyNext(*this);
+  }
+}
+
 bool Simulation::Step() {
+  PumpSchedule(queue_.empty() ? schedule_.NextTime() : queue_.top().time);
   if (queue_.empty()) return false;
   Event e = queue_.top();
   queue_.pop();
@@ -119,7 +258,11 @@ bool Simulation::Step() {
 }
 
 void Simulation::RunUntil(SimTime t) {
-  while (!queue_.empty() && queue_.top().time <= t) {
+  for (;;) {
+    PumpSchedule(t);
+    // An applied action (or an earlier dispatch) may have enqueued new
+    // events, so re-read the queue head each iteration.
+    if (queue_.empty() || queue_.top().time > t) break;
     Event e = queue_.top();
     queue_.pop();
     Dispatch(e);
@@ -129,7 +272,12 @@ void Simulation::RunUntil(SimTime t) {
 
 void Simulation::RunUntilIdle(std::uint64_t max_events) {
   std::uint64_t n = 0;
-  while (!queue_.empty()) {
+  for (;;) {
+    PumpSchedule(kSimTimeMax);
+    if (queue_.empty()) {
+      if (schedule_.done()) return;
+      continue;  // the pump applies the remaining actions
+    }
     if (max_events != 0 && ++n > max_events) {
       ZLOG(Warn) << "RunUntilIdle: hit max_events=" << max_events;
       return;

@@ -2,6 +2,7 @@
 #define ZIZIPHUS_SIM_SIMULATION_H_
 
 #include <cstdint>
+#include <functional>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
@@ -24,14 +25,16 @@ enum class NodeHealth {
   kCrashed,
 };
 
-/// Injects failures into the network: crashes, link partitions, and
-/// probabilistic message loss. Consulted on every delivery.
+/// Injects failures into the network: crashes, link partitions (two-way or
+/// one-way), uniform and per-link message loss, message duplication, and
+/// gray-failure CPU slowdown. Consulted on every delivery.
 class FaultInjector {
  public:
   explicit FaultInjector(Rng rng) : rng_(rng) {}
 
   void Crash(NodeId node) { health_[node] = NodeHealth::kCrashed; }
   void Recover(NodeId node) { health_.erase(node); }
+  void RecoverAll() { health_.clear(); }
   bool IsCrashed(NodeId node) const {
     auto it = health_.find(node);
     return it != health_.end() && it->second == NodeHealth::kCrashed;
@@ -46,6 +49,14 @@ class FaultInjector {
     cut_links_.erase(LinkKey(a, b));
     cut_links_.erase(LinkKey(b, a));
   }
+  /// Cuts only messages flowing `from` -> `to` (asymmetric partition; the
+  /// reverse direction keeps working).
+  void CutOneWay(NodeId from, NodeId to) {
+    cut_links_.insert(LinkKey(from, to));
+  }
+  void HealOneWay(NodeId from, NodeId to) {
+    cut_links_.erase(LinkKey(from, to));
+  }
   bool IsCut(NodeId from, NodeId to) const {
     return cut_links_.count(LinkKey(from, to)) > 0;
   }
@@ -53,10 +64,72 @@ class FaultInjector {
   /// Uniform probability that any message is silently dropped.
   void set_loss_probability(double p) { loss_probability_ = p; }
 
+  /// Per-link loss probability (overlays the uniform probability; the
+  /// larger of the two applies on that link).
+  void SetLinkLoss(NodeId from, NodeId to, double p) {
+    if (p <= 0) {
+      link_loss_.erase(LinkKey(from, to));
+    } else {
+      link_loss_[LinkKey(from, to)] = p;
+    }
+  }
+
+  /// Extra one-way latency added to every message on `from` -> `to`
+  /// (congested or degraded link).
+  void SetLinkDelay(NodeId from, NodeId to, Duration extra) {
+    if (extra == 0) {
+      link_delay_.erase(LinkKey(from, to));
+    } else {
+      link_delay_[LinkKey(from, to)] = extra;
+    }
+  }
+  Duration ExtraDelay(NodeId from, NodeId to) const {
+    auto it = link_delay_.find(LinkKey(from, to));
+    return it == link_delay_.end() ? 0 : it->second;
+  }
+
+  /// Probability that a delivered message is delivered twice (duplicate
+  /// arrives after an independently sampled latency).
+  void set_duplication_probability(double p) { duplication_probability_ = p; }
+  bool ShouldDuplicate() {
+    return duplication_probability_ > 0 &&
+           rng_.NextBool(duplication_probability_);
+  }
+
+  /// Gray failure: node's CPU runs `factor`x slower (factor 1 clears).
+  void SetCpuFactor(NodeId node, double factor) {
+    if (factor <= 1.0) {
+      cpu_factor_.erase(node);
+    } else {
+      cpu_factor_[node] = factor;
+    }
+  }
+  Duration ScaleCpu(NodeId node, Duration cost) const {
+    auto it = cpu_factor_.find(node);
+    if (it == cpu_factor_.end()) return cost;
+    return static_cast<Duration>(static_cast<double>(cost) * it->second);
+  }
+
+  /// Heals every network-level fault (cuts, loss, delay, duplication, CPU
+  /// slowdown). Crashed nodes stay crashed; use RecoverAll for those.
+  void ResetNetworkFaults() {
+    cut_links_.clear();
+    link_loss_.clear();
+    link_delay_.clear();
+    cpu_factor_.clear();
+    loss_probability_ = 0.0;
+    duplication_probability_ = 0.0;
+  }
+
   /// Returns true if the message should be delivered.
   bool AllowDelivery(NodeId from, NodeId to) {
     if (IsCrashed(from) || IsCrashed(to) || IsCut(from, to)) return false;
-    if (loss_probability_ > 0 && rng_.NextBool(loss_probability_)) return false;
+    double p = loss_probability_;
+    if (!link_loss_.empty()) {
+      auto it = link_loss_.find(LinkKey(from, to));
+      if (it != link_loss_.end() && it->second > p) p = it->second;
+    }
+    if (p > 0 && rng_.NextBool(p)) return false;
     return true;
   }
 
@@ -68,7 +141,75 @@ class FaultInjector {
   Rng rng_;
   std::unordered_map<NodeId, NodeHealth> health_;
   std::unordered_set<std::uint64_t> cut_links_;
+  std::unordered_map<std::uint64_t, double> link_loss_;
+  std::unordered_map<std::uint64_t, Duration> link_delay_;
+  std::unordered_map<NodeId, double> cpu_factor_;
   double loss_probability_ = 0.0;
+  double duplication_probability_ = 0.0;
+};
+
+/// A scriptable, deterministic timeline of fault actions. Entries are
+/// applied when the simulation clock reaches their timestamps, interleaved
+/// with event dispatch; ties at one timestamp apply in insertion order and
+/// actions at a timestamp run before events at that same timestamp. New
+/// entries may be added while the simulation runs (e.g. from a callback).
+class FaultSchedule {
+ public:
+  using Action = std::function<void(Simulation&)>;
+
+  /// Schedules an arbitrary action at absolute simulation time `at`. The
+  /// action runs outside any process handler and may touch the fault
+  /// injector, processes, or the schedule itself.
+  void At(SimTime at, Action action);
+
+  // Convenience builders wrapping the FaultInjector controls.
+  void CrashAt(SimTime at, NodeId node);
+  void RecoverAt(SimTime at, NodeId node);
+  void PartitionAt(SimTime at, NodeId a, NodeId b);
+  void HealAt(SimTime at, NodeId a, NodeId b);
+  void CutOneWayAt(SimTime at, NodeId from, NodeId to);
+  void HealOneWayAt(SimTime at, NodeId from, NodeId to);
+  void LinkDelayAt(SimTime at, NodeId from, NodeId to, Duration extra);
+  void LinkLossAt(SimTime at, NodeId from, NodeId to, double p);
+  void GlobalLossAt(SimTime at, double p);
+  void DuplicationAt(SimTime at, double p);
+  void CpuFactorAt(SimTime at, NodeId node, double factor);
+  /// Heals all network faults and recovers all crashed nodes.
+  void ResetAllAt(SimTime at);
+
+  /// Time of the next unapplied entry, or kSimTimeMax if none remain.
+  SimTime NextTime() const {
+    return next_ < entries_.size() ? entries_[next_].at : kSimTimeMax;
+  }
+  bool done() const { return next_ >= entries_.size(); }
+  std::size_t applied() const { return next_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Applies the next due entry. Called by the Simulation run loop.
+  void ApplyNext(Simulation& sim);
+
+ private:
+  struct Entry {
+    SimTime at;
+    Action action;
+  };
+
+  std::vector<Entry> entries_;  // sorted by (at, insertion order)
+  std::size_t next_ = 0;
+};
+
+/// Intercepts every outbound message of one node before it enters the
+/// network: the hook Byzantine behaviours attach through. Because
+/// multicasts fan out into per-destination sends, an interceptor may give
+/// different destinations different messages (equivocation), corrupt or
+/// substitute them, or suppress them entirely.
+class OutboundInterceptor {
+ public:
+  virtual ~OutboundInterceptor() = default;
+
+  /// Returns the message to put on the wire toward `to`: `msg` unchanged,
+  /// a substitute, or nullptr to suppress the send.
+  virtual MessagePtr OnSend(NodeId from, NodeId to, const MessagePtr& msg) = 0;
 };
 
 /// One record of a delivered message, for tests that assert protocol flow.
@@ -108,8 +249,9 @@ class Process {
   /// Current logical time inside a handler (arrival + CPU charged so far).
   SimTime Now() const;
 
-  /// Occupies this process's core for `cost` microseconds.
-  void ChargeCpu(Duration cost) { logical_now_ += cost; }
+  /// Occupies this process's core for `cost` microseconds (inflated by any
+  /// gray-failure CPU factor the fault injector holds for this node).
+  void ChargeCpu(Duration cost);
 
   /// Sends `msg` to `dst`, departing at the current logical time.
   void Send(NodeId dst, MessagePtr msg);
@@ -159,7 +301,8 @@ class Simulation {
   /// Schedules a timer event for `owner`.
   void PostTimer(NodeId owner, SimTime at, std::uint64_t timer_id);
 
-  /// Dispatches the next event. Returns false if the queue is empty.
+  /// Dispatches the next event (applying any fault-schedule entries due
+  /// first). Returns false if the queue is empty.
   bool Step();
 
   /// Runs until the clock reaches `t` (events at exactly `t` included) or
@@ -172,9 +315,17 @@ class Simulation {
   void RunUntilIdle(std::uint64_t max_events = 0);
 
   FaultInjector& faults() { return faults_; }
+  FaultSchedule& schedule() { return schedule_; }
   LatencyModel& latency() { return latency_; }
   CounterSet& counters() { return counters_; }
   Rng& rng() { return rng_; }
+
+  /// Attaches (or, with nullptr, detaches) a Byzantine outbound
+  /// interceptor to `node`. Not owned.
+  void SetInterceptor(NodeId node, OutboundInterceptor* interceptor);
+  bool HasInterceptor(NodeId node) const {
+    return interceptors_.count(node) > 0;
+  }
 
   /// Message-flow tracing (off by default; costs memory).
   void EnableTrace(bool on) { trace_enabled_ = on; }
@@ -200,14 +351,19 @@ class Simulation {
   };
 
   void Dispatch(const Event& e);
+  /// Applies fault-schedule entries due at or before `horizon` and before
+  /// the next queued event.
+  void PumpSchedule(SimTime horizon);
 
   LatencyModel latency_;
   Rng rng_;
   Rng jitter_rng_;
   FaultInjector faults_;
+  FaultSchedule schedule_;
   CounterSet counters_;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   std::vector<Process*> processes_;
+  std::unordered_map<NodeId, OutboundInterceptor*> interceptors_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_timer_id_ = 1;

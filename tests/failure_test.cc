@@ -210,5 +210,33 @@ TEST(FailureTest, ChainSkipGuardPreventsWedge) {
   EXPECT_EQ(fx.sys.sim().counters().Get("sync.chain_skip"), 0u);
 }
 
+TEST(FailureTest, ResponseQueriesSuspectUnresponsiveGlobalPrimary) {
+  // Section V-A response-query path with the initiator zone's primary
+  // effectively partitioned: the leader-zone primary can send (Accepts go
+  // out, the global transaction reaches the accepted phase everywhere) but
+  // never hears back, so it cannot assemble the commit. Follower-zone
+  // nodes' commit-wait timers fire and they multicast RESPONSE-QUERY to the
+  // initiator zone; once 2f+1 distinct queriers accumulate, the leader
+  // zone's backups suspect their own primary, a view change elects a new
+  // one, and the retried global transaction commits in the new view.
+  FailFixture fx;
+  ClientId c = fx.client->id();
+  fx.Bootstrap(c, 1);
+  NodeId gp = fx.sys.PrimaryOf(0)->id();
+  for (ZoneId z = 1; z <= 2; ++z) {
+    for (NodeId n : fx.sys.topology().zone(z).members) {
+      fx.sys.sim().faults().CutOneWay(n, gp);
+    }
+  }
+  fx.client->EnableRetry(fx.sys.topology().zone(0).members, Millis(1500));
+  auto ts = fx.client->SubmitGlobal(gp, 1, 2);
+  fx.sys.sim().RunFor(Seconds(20));
+
+  EXPECT_TRUE(fx.client->MigrationDone(ts));
+  EXPECT_GE(fx.sys.sim().counters().Get("sync.response_queries_sent"), 1u);
+  EXPECT_GE(fx.sys.sim().counters().Get("sync.primary_suspected"), 1u);
+  EXPECT_GE(fx.sys.sim().counters().Get("pbft.new_views_entered"), 1u);
+}
+
 }  // namespace
 }  // namespace ziziphus

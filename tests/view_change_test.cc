@@ -121,5 +121,59 @@ TEST(ViewChangeTest, PartitionedPrimaryTreatedAsFaulty) {
   EXPECT_GE(c.engine(1).view(), 1u);
 }
 
+TEST(ViewChangeBackoffTest, DoublesUntilCapAndStaysBounded) {
+  pbft::PbftConfig cfg;
+  cfg.request_timeout_us = Millis(100);
+  cfg.view_change_backoff_cap_us = Millis(800);
+  const Duration base = cfg.request_timeout_us * 2;
+  const Duration cap = cfg.view_change_backoff_cap_us;
+
+  Duration prev = 0;
+  for (std::uint64_t attempt = 0; attempt < 40; ++attempt) {
+    Duration d = pbft::PbftEngine::ViewChangeBackoff(cfg, attempt, 1, 1);
+    // Monotone non-decreasing: doubling outruns the <= 1/8 jitter.
+    EXPECT_GE(d, prev) << "attempt " << attempt;
+    // Never below the base timeout, never above the cap plus its jitter.
+    EXPECT_GE(d, base);
+    EXPECT_LE(d, cap + cap / 8) << "attempt " << attempt;
+    prev = d;
+  }
+  // The cap actually binds: a huge attempt count lands at cap (+ jitter),
+  // not at base << attempts.
+  Duration capped = pbft::PbftEngine::ViewChangeBackoff(cfg, 63, 1, 1);
+  EXPECT_GE(capped, cap);
+  EXPECT_LE(capped, cap + cap / 8);
+}
+
+TEST(ViewChangeBackoffTest, JitterIsDeterministicAndDesynchronizes) {
+  pbft::PbftConfig cfg;
+  cfg.request_timeout_us = Millis(100);
+  cfg.view_change_backoff_cap_us = Millis(800);
+  // Deterministic: same (attempt, replica, view) gives the same delay.
+  EXPECT_EQ(pbft::PbftEngine::ViewChangeBackoff(cfg, 2, 3, 5),
+            pbft::PbftEngine::ViewChangeBackoff(cfg, 2, 3, 5));
+  // Replicas starting the same view-change attempt spread out: at least two
+  // distinct delays among a group of seven.
+  std::set<Duration> delays;
+  for (NodeId r = 0; r < 7; ++r) {
+    delays.insert(pbft::PbftEngine::ViewChangeBackoff(cfg, 2, r, 5));
+  }
+  EXPECT_GE(delays.size(), 2u);
+}
+
+TEST(ViewChangeBackoffTest, CapBelowBaseClampsToBase) {
+  // A misconfigured cap smaller than the doubled request timeout must not
+  // shrink the delay below the liveness-critical base.
+  pbft::PbftConfig cfg;
+  cfg.request_timeout_us = Millis(500);
+  cfg.view_change_backoff_cap_us = Millis(100);
+  const Duration base = cfg.request_timeout_us * 2;
+  for (std::uint64_t attempt : {0u, 1u, 7u}) {
+    Duration d = pbft::PbftEngine::ViewChangeBackoff(cfg, attempt, 0, 1);
+    EXPECT_GE(d, base);
+    EXPECT_LE(d, base + base / 8);
+  }
+}
+
 }  // namespace
 }  // namespace ziziphus
