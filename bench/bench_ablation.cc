@@ -16,9 +16,12 @@
 namespace ziziphus::bench {
 namespace {
 
+const char* const kKnobNames[] = {"prepare-skip", "stable-leader",
+                                  "threshold-sigs", "global-batching"};
+
 app::WorkloadSpec AblationWorkload() {
   app::WorkloadSpec wl = BaseWorkload();
-  wl.clients_per_zone = FullSweep() ? 400 : 200;
+  wl.clients_per_zone = ClientsPerZone(400, 200);
   wl.global_fraction = 0.1;
   return wl;
 }
@@ -52,18 +55,14 @@ void BM_Ablation(benchmark::State& state) {
                                      app::PaperDeployment(3),
                                      AblationWorkload(), cfg);
   }
-  state.counters["tput_ktps"] = r.throughput_tps / 1000.0;
-  state.counters["lat_avg_ms"] = r.avg_latency_ms;
-  state.counters["lat_p99_ms"] = r.p99_ms;
-  state.counters["global_ms"] = r.global_avg_ms;
+  ReportResult(state,
+               std::string(kKnobNames[knob]) + (enabled ? "/on" : "/off"), r);
 }
 
 void RegisterAll() {
-  const char* knob_names[] = {"prepare-skip", "stable-leader",
-                              "threshold-sigs", "global-batching"};
   for (int knob = 0; knob < 4; ++knob) {
     for (int enabled : {1, 0}) {
-      std::string name = std::string("Ablation/") + knob_names[knob] +
+      std::string name = std::string("Ablation/") + kKnobNames[knob] +
                          (enabled ? "/on" : "/off");
       benchmark::RegisterBenchmark(name.c_str(), BM_Ablation)
           ->Args({knob, enabled})
@@ -78,4 +77,4 @@ void RegisterAll() {
 }  // namespace
 }  // namespace ziziphus::bench
 
-BENCHMARK_MAIN();
+ZIZIPHUS_BENCH_MAIN("ablation");

@@ -13,6 +13,7 @@
 #include <cstdlib>
 
 #include "app/chaos.h"
+#include "bench/bench_util.h"
 #include "benchmark/benchmark.h"
 
 namespace ziziphus {
@@ -23,7 +24,27 @@ app::ChaosOptions OptionsFor(std::uint64_t seed, const benchmark::State& st) {
   opt.seed = seed;
   opt.zones = static_cast<std::size_t>(st.range(0));
   opt.byzantine_per_zone = static_cast<std::size_t>(st.range(1));
+  if (bench::SmokeSweep()) {
+    opt.pairs_per_zone = 1;
+    opt.xfers_per_client = 2;
+    opt.migrators = 1;
+    opt.migrations_per_client = 1;
+    opt.client_think = Millis(200);
+    opt.fault_window = Seconds(2);
+    opt.drain = Seconds(2);
+  }
   return opt;
+}
+
+/// Copies the summed run counters into the JSON collector.
+void CollectCell(benchmark::State& state, const char* proto) {
+  bench::BenchCell cell;
+  cell.name = std::string(proto) + "/zones:" + std::to_string(state.range(0)) +
+              "/byz:" + std::to_string(state.range(1));
+  for (const auto& [key, counter] : state.counters) {
+    cell.metrics[key] = static_cast<double>(counter);
+  }
+  bench::CollectedCells().push_back(std::move(cell));
 }
 
 void Tally(benchmark::State& state, const app::ChaosReport& r) {
@@ -52,6 +73,7 @@ void BM_ZiziphusChaos(benchmark::State& state) {
     Tally(state, r);
     benchmark::DoNotOptimize(r.fingerprint);
   }
+  CollectCell(state, "ziziphus");
 }
 BENCHMARK(BM_ZiziphusChaos)
     ->ArgNames({"zones", "byz"})
@@ -67,6 +89,7 @@ void BM_TwoLevelChaos(benchmark::State& state) {
     Tally(state, r);
     benchmark::DoNotOptimize(r.fingerprint);
   }
+  CollectCell(state, "two-level-pbft");
 }
 BENCHMARK(BM_TwoLevelChaos)
     ->ArgNames({"zones", "byz"})
@@ -77,4 +100,4 @@ BENCHMARK(BM_TwoLevelChaos)
 }  // namespace
 }  // namespace ziziphus
 
-BENCHMARK_MAIN();
+ZIZIPHUS_BENCH_MAIN("chaos");

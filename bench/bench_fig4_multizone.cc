@@ -21,7 +21,7 @@ void BM_Fig4(benchmark::State& state) {
   std::size_t clients = static_cast<std::size_t>(state.range(3));
 
   app::WorkloadSpec wl = BaseWorkload();
-  wl.clients_per_zone = clients;
+  wl.clients_per_zone = SmokeSweep() ? 10 : clients;
   wl.global_fraction = global_pct / 100.0;
   ReportCell(state, proto, app::PaperDeployment(zones), wl);
 }
@@ -63,4 +63,4 @@ void RegisterAll() {
 }  // namespace
 }  // namespace ziziphus::bench
 
-BENCHMARK_MAIN();
+ZIZIPHUS_BENCH_MAIN("fig4");

@@ -20,9 +20,14 @@ void BM_Fig5(benchmark::State& state) {
   double global_pct = static_cast<double>(state.range(2));
 
   app::WorkloadSpec wl = BaseWorkload();
-  wl.clients_per_zone = FullSweep() ? 400 : 200;
+  wl.clients_per_zone = ClientsPerZone(400, 200);
   wl.global_fraction = global_pct / 100.0;
-  ReportCell(state, proto, app::PaperDeployment(zones), wl);
+  // Fig. 5 is the latency figure: trace every client operation so the JSON
+  // export carries the per-phase critical-path decomposition alongside the
+  // end-to-end numbers.
+  app::ObsSpec obs;
+  obs.trace = true;
+  ReportCell(state, proto, app::PaperDeployment(zones), wl, {}, obs);
 }
 
 void RegisterAll() {
@@ -54,4 +59,4 @@ void RegisterAll() {
 }  // namespace
 }  // namespace ziziphus::bench
 
-BENCHMARK_MAIN();
+ZIZIPHUS_BENCH_MAIN("fig5");

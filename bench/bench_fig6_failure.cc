@@ -20,7 +20,7 @@ void BM_Fig6(benchmark::State& state) {
   bool faulty = state.range(3) != 0;
 
   app::WorkloadSpec wl = BaseWorkload();
-  wl.clients_per_zone = FullSweep() ? 400 : 200;
+  wl.clients_per_zone = ClientsPerZone(400, 200);
   wl.global_fraction = global_pct / 100.0;
   app::FaultSpec faults;
   faults.crashed_backups_per_zone = faulty ? 1 : 0;
@@ -57,4 +57,4 @@ void RegisterAll() {
 }  // namespace
 }  // namespace ziziphus::bench
 
-BENCHMARK_MAIN();
+ZIZIPHUS_BENCH_MAIN("fig6");

@@ -22,7 +22,7 @@ void BM_Fig7(benchmark::State& state) {
   double global_pct = static_cast<double>(state.range(2));
 
   app::WorkloadSpec wl = BaseWorkload();
-  wl.clients_per_zone = FullSweep() ? 400 : 150;
+  wl.clients_per_zone = ClientsPerZone(400, 150);
   wl.global_fraction = global_pct / 100.0;
   ReportCell(state, proto, app::PaperDeployment(3, f), wl);
 }
@@ -66,4 +66,4 @@ void RegisterAll() {
 }  // namespace
 }  // namespace ziziphus::bench
 
-BENCHMARK_MAIN();
+ZIZIPHUS_BENCH_MAIN("fig7");

@@ -21,7 +21,7 @@ void BM_Fig8(benchmark::State& state) {
   double cross_pct = static_cast<double>(state.range(2));
 
   app::WorkloadSpec wl = BaseWorkload();
-  wl.clients_per_zone = FullSweep() ? 150 : 60;
+  wl.clients_per_zone = ClientsPerZone(150, 60);
   wl.global_fraction = global_pct / 100.0;
   wl.cross_cluster_fraction = cross_pct / 100.0;
   ReportCell(state, app::Protocol::kZiziphus,
@@ -52,4 +52,4 @@ void RegisterAll() {
 }  // namespace
 }  // namespace ziziphus::bench
 
-BENCHMARK_MAIN();
+ZIZIPHUS_BENCH_MAIN("fig8");

@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "bench/bench_util.h"
 #include "benchmark/benchmark.h"
 #include "common/hash.h"
 #include "common/metrics.h"
@@ -112,4 +113,4 @@ BENCHMARK(BM_SimEventLoop)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace ziziphus
 
-BENCHMARK_MAIN();
+ZIZIPHUS_BENCH_MAIN("micro");

@@ -1,9 +1,16 @@
 #ifndef ZIZIPHUS_BENCH_BENCH_UTIL_H_
 #define ZIZIPHUS_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
 
-#include "app/experiment.h"
+#include "app/experiment_config.h"
 #include "benchmark/benchmark.h"
 
 namespace ziziphus::bench {
@@ -16,34 +23,145 @@ inline bool FullSweep() {
   return env != nullptr && env[0] == '1';
 }
 
+/// Set ZIZIPHUS_BENCH_SMOKE=1 for the ctest `bench_smoke` suite: tiny
+/// workloads so a filtered bench binary finishes in about a second while
+/// still exercising the full run-and-export path.
+inline bool SmokeSweep() {
+  const char* env = std::getenv("ZIZIPHUS_BENCH_SMOKE");
+  return env != nullptr && env[0] == '1';
+}
+
 inline app::WorkloadSpec BaseWorkload() {
   app::WorkloadSpec wl;
   wl.warmup = FullSweep() ? Millis(800) : Millis(500);
   wl.measure = FullSweep() ? Seconds(2) : Millis(800);
+  if (SmokeSweep()) {
+    wl.warmup = Millis(200);
+    wl.measure = Millis(250);
+  }
   wl.seed = 42;
   return wl;
 }
 
-/// Runs one experiment cell and publishes the figure's series as counters.
+/// Sweep-scaled clients per zone (smoke mode clamps hard).
+inline std::size_t ClientsPerZone(std::size_t full, std::size_t quick) {
+  if (SmokeSweep()) return 10;
+  return FullSweep() ? full : quick;
+}
+
+// ---- Machine-readable export (schema "ziziphus.bench.v1") --------------
+
+/// One completed cell: its identity string plus every published metric.
+struct BenchCell {
+  std::string name;
+  std::map<std::string, double> metrics;  // ordered => deterministic JSON
+};
+
+inline std::vector<BenchCell>& CollectedCells() {
+  static std::vector<BenchCell> cells;
+  return cells;
+}
+
+/// Publishes one experiment result both to google-benchmark's counters and
+/// to the JSON collector.
+inline void ReportResult(benchmark::State& state, std::string name,
+                         const app::ExperimentResult& r) {
+  BenchCell cell;
+  cell.name = std::move(name);
+  auto put = [&](const char* key, double v) {
+    state.counters[key] = v;
+    cell.metrics[key] = v;
+  };
+  put("tput_ktps", r.throughput_tps / 1000.0);
+  put("lat_avg_ms", r.avg_latency_ms);
+  put("lat_p50_ms", r.p50_ms);
+  put("lat_p99_ms", r.p99_ms);
+  put("local_ms", r.local_avg_ms);
+  put("global_ms", r.global_avg_ms);
+  put("local_ops", static_cast<double>(r.local_ops));
+  put("global_ops", static_cast<double>(r.global_ops));
+  put("timeouts", static_cast<double>(r.timeouts));
+  if (r.traces_completed > 0) {
+    put("traces", static_cast<double>(r.traces_completed));
+    put("trace_total_ms", r.trace_total_ms);
+    put("trace_wan_ms", r.trace_wan_ms);
+    put("trace_lan_ms", r.trace_lan_ms);
+    put("trace_queue_ms", r.trace_queue_ms);
+    put("trace_crypto_ms", r.trace_crypto_ms);
+    for (const auto& [label, ms] : r.trace_phase_ms) {
+      cell.metrics["phase." + label] = ms;
+    }
+  }
+  CollectedCells().push_back(std::move(cell));
+}
+
+/// Runs one experiment cell and publishes the figure's series as counters
+/// and as a collected JSON cell.
 inline void ReportCell(benchmark::State& state, app::Protocol proto,
                        const app::DeploymentSpec& dep,
                        const app::WorkloadSpec& wl,
-                       const app::FaultSpec& faults = {}) {
+                       const app::FaultSpec& faults = {},
+                       const app::ObsSpec& obs = {}) {
   app::ExperimentResult r;
   for (auto _ : state) {
-    r = app::RunExperiment(proto, dep, wl, faults);
+    r = app::RunExperiment(proto, dep, wl, faults, obs);
   }
-  state.counters["tput_ktps"] = r.throughput_tps / 1000.0;
-  state.counters["lat_avg_ms"] = r.avg_latency_ms;
-  state.counters["lat_p50_ms"] = r.p50_ms;
-  state.counters["lat_p99_ms"] = r.p99_ms;
-  state.counters["local_ms"] = r.local_avg_ms;
-  state.counters["global_ms"] = r.global_avg_ms;
-  state.counters["local_ops"] = static_cast<double>(r.local_ops);
-  state.counters["global_ops"] = static_cast<double>(r.global_ops);
-  state.counters["timeouts"] = static_cast<double>(r.timeouts);
+  std::ostringstream name;
+  name << app::ProtocolName(proto) << "/zones:" << dep.zones.size()
+       << "/f:" << dep.f << "/clients:" << wl.clients_per_zone
+       << "/global:" << std::lround(wl.global_fraction * 100);
+  if (wl.cross_cluster_fraction > 0) {
+    name << "/cross:" << std::lround(wl.cross_cluster_fraction * 100);
+  }
+  if (dep.num_clusters() > 1) name << "/clusters:" << dep.num_clusters();
+  if (faults.crashed_backups_per_zone > 0) {
+    name << "/crashed:" << faults.crashed_backups_per_zone;
+  }
+  ReportResult(state, name.str(), r);
+}
+
+/// Writes the collected cells as one deterministic JSON document to the
+/// path in ZIZIPHUS_BENCH_JSON (no-op when unset). Schema:
+///   {"schema":"ziziphus.bench.v1","bench":"<name>","cells":[
+///     {"name":"...","metrics":{"lat_avg_ms":1.5,...}}, ...]}
+inline void WriteBenchJson(const char* bench_name) {
+  const char* path = std::getenv("ZIZIPHUS_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  std::ofstream out(path);
+  out << "{\"schema\":\"ziziphus.bench.v1\",\"bench\":\"" << bench_name
+      << "\",\"cells\":[";
+  bool first_cell = true;
+  for (const BenchCell& cell : CollectedCells()) {
+    out << (first_cell ? "" : ",") << "\n {\"name\":\"" << cell.name
+        << "\",\"metrics\":{";
+    first_cell = false;
+    bool first = true;
+    for (const auto& [key, value] : cell.metrics) {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g",
+                    std::isfinite(value) ? value : 0.0);
+      out << (first ? "" : ",") << "\"" << key << "\":" << buf;
+      first = false;
+    }
+    out << "}}";
+  }
+  out << "\n]}\n";
+  std::fprintf(stderr, "bench json: %s (%zu cells)\n", path,
+               CollectedCells().size());
 }
 
 }  // namespace ziziphus::bench
+
+/// BENCHMARK_MAIN plus the ZIZIPHUS_BENCH_JSON export hook.
+#define ZIZIPHUS_BENCH_MAIN(bench_name)                                 \
+  int main(int argc, char** argv) {                                     \
+    ::benchmark::Initialize(&argc, argv);                               \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                              \
+    ::benchmark::Shutdown();                                            \
+    ::ziziphus::bench::WriteBenchJson(bench_name);                      \
+    return 0;                                                           \
+  }                                                                     \
+  int zz_bench_main_anchor_ [[maybe_unused]] = 0
 
 #endif  // ZIZIPHUS_BENCH_BENCH_UTIL_H_

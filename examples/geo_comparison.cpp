@@ -3,35 +3,42 @@
 // protocol (a miniature of Figures 4/5; the bench/ binaries produce the
 // full sweeps).
 //
-//   $ ./build/examples/geo_comparison [clients_per_zone] [global_percent]
+//   $ ./build/examples/geo_comparison [--clients=N] [--global=F]
+//         [--zones=N] [--seed=N] [--trace]
 
 #include <cstdio>
-#include <cstdlib>
 
-#include "app/experiment.h"
+#include "app/experiment_config.h"
 
 using namespace ziziphus;
 using namespace ziziphus::app;
 
 int main(int argc, char** argv) {
-  WorkloadSpec wl;
-  wl.clients_per_zone = argc > 1 ? std::atoi(argv[1]) : 200;
-  wl.global_fraction = (argc > 2 ? std::atof(argv[2]) : 10.0) / 100.0;
-  wl.warmup = Millis(600);
-  wl.measure = Seconds(1);
+  ExperimentConfig cfg = ExperimentConfig::FromFlags(argc, argv)
+                             .WithWarmup(Millis(600))
+                             .WithMeasure(Seconds(1));
+  if (argc <= 1) cfg.WithClients(200).WithGlobalFraction(0.1);
 
   std::printf(
-      "3 zones (CA/OH/QC), %zu clients/zone, %.0f%% global transactions\n\n",
-      wl.clients_per_zone, wl.global_fraction * 100);
+      "%zu zones, %zu clients/zone, %.0f%% global transactions\n\n",
+      cfg.zones, cfg.workload.clients_per_zone,
+      cfg.workload.global_fraction * 100);
   std::printf("%-16s %10s %10s %10s %12s %12s\n", "protocol", "ktps",
               "avg ms", "p99 ms", "local ms", "global ms");
 
   for (Protocol p : {Protocol::kZiziphus, Protocol::kTwoLevelPbft,
                      Protocol::kSteward, Protocol::kFlatPbft}) {
-    ExperimentResult r = RunExperiment(p, PaperDeployment(3), wl);
+    ExperimentResult r = cfg.WithProtocol(p).Run();
     std::printf("%-16s %10.1f %10.1f %10.1f %12.1f %12.1f\n",
                 ProtocolName(p), r.throughput_tps / 1000.0, r.avg_latency_ms,
                 r.p99_ms, r.local_avg_ms, r.global_avg_ms);
+    if (r.traces_completed > 0) {
+      std::printf("  traced %llu ops: %.2f ms = wan %.2f + lan %.2f + queue "
+                  "%.2f + crypto %.2f + phases\n",
+                  static_cast<unsigned long long>(r.traces_completed),
+                  r.trace_total_ms, r.trace_wan_ms, r.trace_lan_ms,
+                  r.trace_queue_ms, r.trace_crypto_ms);
+    }
   }
   std::printf(
       "\nExpected shape (paper Fig. 4/5): ziziphus best, two-level-pbft\n"

@@ -1,12 +1,13 @@
 // Scenario CLI: run a configurable Ziziphus (or baseline) deployment from
-// the command line and print throughput/latency plus protocol counters —
-// handy for exploring the design space beyond the fixed paper figures.
+// the command line and print throughput/latency plus, when tracing is on,
+// the critical-path decomposition of the traced operations — handy for
+// exploring the design space beyond the fixed paper figures.
 //
 //   $ ./build/examples/scenario_cli --protocol=ziziphus --zones=5
 //         --clients=200 --global=0.3 --clusters=1 --cross=0.0
-//         --measure-ms=1500 --seed=7 --faults=1 --counters
+//         --measure-ms=1500 --seed=7 --faults=1 --trace --json-out=obs.json
 //
-// Flags (all optional):
+// Flags (all optional; the shared ExperimentConfig::FromFlags vocabulary):
 //   --protocol=ziziphus|two-level-pbft|steward|flat-pbft
 //   --zones=N           zones per cluster placement (paper regions)
 //   --clusters=N        >1 switches to the clustered (Fig. 8) placement
@@ -17,125 +18,48 @@
 //   --warmup-ms=N --measure-ms=N --seed=N
 //   --faults=N          crashed backups per zone
 //   --no-stable-leader  per-request leader election (Alg. 1 full form)
-//   --counters          dump protocol counters after the run
+//   --trace             causal tracing over the measurement window
+//   --sample-every=N    trace every n-th client operation (default: all)
+//   --json-out=PATH     write the Recorder's JSON export to PATH
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
-#include <string>
 
-#include "app/experiment.h"
+#include "app/experiment_config.h"
 
 using namespace ziziphus;
 using namespace ziziphus::app;
 
-namespace {
-
-bool FlagValue(const char* arg, const char* name, std::string* out) {
-  std::string prefix = std::string("--") + name + "=";
-  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
-  *out = arg + prefix.size();
-  return true;
-}
-
-void Usage() {
-  std::fprintf(stderr,
-               "usage: scenario_cli [--protocol=P] [--zones=N] [--clusters=N]"
-               " [--f=N]\n  [--clients=N] [--global=F] [--cross=F]"
-               " [--warmup-ms=N] [--measure-ms=N]\n  [--seed=N] [--faults=N]"
-               " [--no-stable-leader] [--counters]\n");
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  Protocol protocol = Protocol::kZiziphus;
-  std::size_t zones = 3, clusters = 1, f = 1;
-  WorkloadSpec wl;
-  wl.clients_per_zone = 100;
-  wl.warmup = Millis(600);
-  wl.measure = Seconds(1);
-  FaultSpec faults;
-  bool stable_leader = true;
-  bool dump_counters = false;
-
   for (int i = 1; i < argc; ++i) {
-    std::string v;
-    if (FlagValue(argv[i], "protocol", &v)) {
-      if (v == "ziziphus") {
-        protocol = Protocol::kZiziphus;
-      } else if (v == "two-level-pbft") {
-        protocol = Protocol::kTwoLevelPbft;
-      } else if (v == "steward") {
-        protocol = Protocol::kSteward;
-      } else if (v == "flat-pbft") {
-        protocol = Protocol::kFlatPbft;
-      } else {
-        std::fprintf(stderr, "unknown protocol %s\n", v.c_str());
-        Usage();
-        return 2;
-      }
-    } else if (FlagValue(argv[i], "zones", &v)) {
-      zones = std::strtoul(v.c_str(), nullptr, 10);
-    } else if (FlagValue(argv[i], "clusters", &v)) {
-      clusters = std::strtoul(v.c_str(), nullptr, 10);
-    } else if (FlagValue(argv[i], "f", &v)) {
-      f = std::strtoul(v.c_str(), nullptr, 10);
-    } else if (FlagValue(argv[i], "clients", &v)) {
-      wl.clients_per_zone = std::strtoul(v.c_str(), nullptr, 10);
-    } else if (FlagValue(argv[i], "global", &v)) {
-      wl.global_fraction = std::strtod(v.c_str(), nullptr);
-    } else if (FlagValue(argv[i], "cross", &v)) {
-      wl.cross_cluster_fraction = std::strtod(v.c_str(), nullptr);
-    } else if (FlagValue(argv[i], "warmup-ms", &v)) {
-      wl.warmup = Millis(std::strtoul(v.c_str(), nullptr, 10));
-    } else if (FlagValue(argv[i], "measure-ms", &v)) {
-      wl.measure = Millis(std::strtoul(v.c_str(), nullptr, 10));
-    } else if (FlagValue(argv[i], "seed", &v)) {
-      wl.seed = std::strtoull(v.c_str(), nullptr, 10);
-    } else if (FlagValue(argv[i], "faults", &v)) {
-      faults.crashed_backups_per_zone = std::strtoul(v.c_str(), nullptr, 10);
-    } else if (std::strcmp(argv[i], "--no-stable-leader") == 0) {
-      stable_leader = false;
-    } else if (std::strcmp(argv[i], "--counters") == 0) {
-      dump_counters = true;
-    } else if (std::strcmp(argv[i], "--help") == 0) {
-      Usage();
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::fprintf(stderr,
+                   "usage: scenario_cli [--key=value ...] (see the header "
+                   "comment for the flag vocabulary)\n");
       return 0;
-    } else {
-      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
-      Usage();
-      return 2;
     }
   }
+  ExperimentConfig cfg = ExperimentConfig::FromFlags(argc, argv);
+  std::printf("%s\n", cfg.ToString().c_str());
 
-  DeploymentSpec dep = clusters > 1 ? ClusteredDeployment(clusters, zones, f)
-                                    : PaperDeployment(zones, f);
-  std::printf(
-      "protocol=%s zones=%zu clusters=%zu f=%zu clients/zone=%zu "
-      "global=%.0f%% cross=%.0f%% faults=%zu stable-leader=%s seed=%llu\n",
-      ProtocolName(protocol), dep.zones.size(), dep.num_clusters(), f,
-      wl.clients_per_zone, wl.global_fraction * 100,
-      wl.cross_cluster_fraction * 100, faults.crashed_backups_per_zone,
-      stable_leader ? "yes" : "no",
-      static_cast<unsigned long long>(wl.seed));
-
-  ExperimentResult r;
-  if (!stable_leader &&
-      (protocol == Protocol::kZiziphus || protocol == Protocol::kSteward)) {
-    core::NodeConfig cfg = DefaultNodeConfig();
-    cfg.sync.stable_leader = false;
-    r = RunExperimentWithConfig(protocol, dep, wl, cfg, faults);
-  } else {
-    r = RunExperiment(protocol, dep, wl, faults);
-  }
+  ExperimentResult r = cfg.Run();
 
   std::printf("\n  %s\n", r.ToString().c_str());
   std::printf("  messages during measurement: %llu\n",
               static_cast<unsigned long long>(r.messages_sent));
-  if (dump_counters) {
-    std::printf("\n(protocol counters are per-run; re-run a scenario with a "
-                "fixed seed for exact reproduction)\n");
+  if (r.traces_completed > 0) {
+    std::printf("\n  critical path over %llu traced ops (avg ms):\n",
+                static_cast<unsigned long long>(r.traces_completed));
+    std::printf("    total %.3f = wan %.3f + lan %.3f + queue %.3f + "
+                "crypto %.3f\n",
+                r.trace_total_ms, r.trace_wan_ms, r.trace_lan_ms,
+                r.trace_queue_ms, r.trace_crypto_ms);
+    for (const auto& [label, ms] : r.trace_phase_ms) {
+      std::printf("      + %-22s %.3f\n", label.c_str(), ms);
+    }
+  }
+  if (!cfg.obs.json_out.empty()) {
+    std::printf("  observability export: %s\n", cfg.obs.json_out.c_str());
   }
   return 0;
 }

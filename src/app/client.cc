@@ -89,6 +89,8 @@ void MobileClient::IssueLocal() {
   reply_zone_ = home_;
   reply_replicas_.clear();
   current_request_ = req;
+  root_ctx_ = simulation()->recorder().tracer().StartTrace(id(), Now(), 0);
+  set_trace_context(root_ctx_);
   Send(GuessPrimary(home_), req);
   ArmTimeout();
 }
@@ -133,6 +135,8 @@ void MobileClient::IssueGlobal() {
   reply_replicas_.clear();
   rejected_replicas_.clear();
   current_request_ = req;
+  root_ctx_ = simulation()->recorder().tracer().StartTrace(id(), Now(), 1);
+  set_trace_context(root_ctx_);
   Send(GuessPrimary(target), req);
   ArmTimeout();
 }
@@ -140,6 +144,20 @@ void MobileClient::IssueGlobal() {
 void MobileClient::CompleteOp(Histogram* hist, std::uint64_t* counter) {
   hist->Record(Now() - issued_at_);
   (*counter)++;
+  obs::Recorder& recorder = simulation()->recorder();
+  recorder.Record(is_global_ ? obs::HistogramId::kClientGlobalLatencyUs
+                             : obs::HistogramId::kClientLocalLatencyUs,
+                  Now() - issued_at_);
+  if (root_ctx_.active()) {
+    // The span handling the quorum-completing reply (if it belongs to this
+    // operation's trace) is what semantically finished the operation.
+    obs::SpanId completing =
+        trace_context().trace_id == root_ctx_.trace_id
+            ? trace_context().parent_span
+            : 0;
+    recorder.tracer().CompleteTrace(root_ctx_, completing, Now());
+    root_ctx_ = {};
+  }
   in_flight_ = false;
   if (timeout_timer_ != 0) {
     CancelTimer(timeout_timer_);
@@ -269,6 +287,8 @@ void FlatClient::IssueNext() {
   issued_at_ = Now();
   reply_replicas_.clear();
   current_request_ = req;
+  root_ctx_ = simulation()->recorder().tracer().StartTrace(id(), Now(), 0);
+  set_trace_context(root_ctx_);
   Send(cfg_.group[view_guess_ % cfg_.group.size()], req);
   if (timeout_timer_ != 0) CancelTimer(timeout_timer_);
   timeout_timer_ = SetTimer(cfg_.retry_timeout, kTimeout);
@@ -283,6 +303,17 @@ void FlatClient::OnMessage(const sim::MessagePtr& msg) {
   if (reply_replicas_.size() >= cfg_.f + 1) {
     stats_.local_latency_us.Record(Now() - issued_at_);
     stats_.local_completed++;
+    obs::Recorder& recorder = simulation()->recorder();
+    recorder.Record(obs::HistogramId::kClientLocalLatencyUs,
+                    Now() - issued_at_);
+    if (root_ctx_.active()) {
+      obs::SpanId completing =
+          trace_context().trace_id == root_ctx_.trace_id
+              ? trace_context().parent_span
+              : 0;
+      recorder.tracer().CompleteTrace(root_ctx_, completing, Now());
+      root_ctx_ = {};
+    }
     in_flight_ = false;
     if (timeout_timer_ != 0) {
       CancelTimer(timeout_timer_);

@@ -101,6 +101,7 @@ class MobileClient : public sim::Process {
   ClientStats stats_;
   ZoneId home_ = 0;
   bool started_ = false;
+  obs::TraceContext root_ctx_;  // root span of the in-flight operation
 
   RequestTimestamp next_ts_ = 1;
   bool in_flight_ = false;
@@ -151,6 +152,7 @@ class FlatClient : public sim::Process {
   Config cfg_;
   ClientStats stats_;
   bool started_ = false;
+  obs::TraceContext root_ctx_;
   RequestTimestamp next_ts_ = 1;
   bool in_flight_ = false;
   RequestTimestamp cur_ts_ = 0;

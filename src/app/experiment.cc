@@ -6,6 +6,7 @@
 
 #include "app/bank.h"
 #include "app/client.h"
+#include "app/experiment_config.h"
 #include "baselines/pbft_process.h"
 #include "baselines/steward.h"
 #include "baselines/two_level_system.h"
@@ -97,6 +98,14 @@ std::string ExperimentResult::ToString() const {
      << p99_ms << "), local " << local_ops << " ops @" << local_avg_ms
      << " ms, global " << global_ops << " ops @" << global_avg_ms
      << " ms, timeouts " << timeouts;
+  if (traces_completed > 0) {
+    os << "; traced " << traces_completed << " ops: " << trace_total_ms
+       << " ms = wan " << trace_wan_ms << " + lan " << trace_lan_ms
+       << " + queue " << trace_queue_ms << " + crypto " << trace_crypto_ms;
+    for (const auto& [label, ms] : trace_phase_ms) {
+      os << " + " << label << " " << ms;
+    }
+  }
   return os.str();
 }
 
@@ -147,6 +156,16 @@ ExperimentResult Collect(Protocol protocol, const ClientPool& pool,
   return out;
 }
 
+/// Turns the causal tracer on at the measurement boundary. Warmup traffic
+/// is never traced, so the warmup event schedule is byte-identical with
+/// observability on or off.
+void EnableTracing(sim::Simulation& sim, const ObsSpec& ospec) {
+  if (!ospec.trace) return;
+  obs::Tracer& tracer = sim.recorder().tracer();
+  tracer.set_enabled(true);
+  tracer.set_sample_every(ospec.sample_every == 0 ? 1 : ospec.sample_every);
+}
+
 void CrashBackups(sim::Simulation& sim, const core::Topology& topo,
                   std::size_t per_zone) {
   for (const auto& z : topo.zones()) {
@@ -162,7 +181,8 @@ ExperimentResult RunZiziphusLike(Protocol protocol,
                                  const DeploymentSpec& dep,
                                  const WorkloadSpec& wl,
                                  const FaultSpec& faults,
-                                 core::NodeConfig cfg) {
+                                 core::NodeConfig cfg,
+                                 const ObsSpec& ospec) {
 
   core::ZiziphusSystem sys(wl.seed, sim::LatencyModel::PaperGeoMatrix());
   for (const auto& z : dep.zones) {
@@ -219,15 +239,19 @@ ExperimentResult RunZiziphusLike(Protocol protocol,
 
   sys.sim().RunUntil(wl.warmup);
   pool.ResetStats();
+  EnableTracing(sys.sim(), ospec);
   std::uint64_t msgs0 = sys.sim().counters().Get("net.msgs_sent");
   sys.sim().RunUntil(wl.warmup + wl.measure);
   std::uint64_t msgs =
       sys.sim().counters().Get("net.msgs_sent") - msgs0;
-  return Collect(protocol, pool, wl.measure, msgs);
+  ExperimentResult r = Collect(protocol, pool, wl.measure, msgs);
+  if (ospec.trace) FinishObservedRun(sys.sim().recorder(), ospec, &r);
+  return r;
 }
 
 ExperimentResult RunTwoLevel(const DeploymentSpec& dep,
-                             const WorkloadSpec& wl, const FaultSpec& faults) {
+                             const WorkloadSpec& wl, const FaultSpec& faults,
+                             const ObsSpec& ospec) {
   // Real zones plus witness zones in CA so the top level has 3F+1
   // participants (F = (Z-1)/2, matching the zone-failure tolerance of
   // Ziziphus's majority quorum).
@@ -297,14 +321,17 @@ ExperimentResult RunTwoLevel(const DeploymentSpec& dep,
 
   sys.sim().RunUntil(wl.warmup);
   pool.ResetStats();
+  EnableTracing(sys.sim(), ospec);
   std::uint64_t msgs0 = sys.sim().counters().Get("net.msgs_sent");
   sys.sim().RunUntil(wl.warmup + wl.measure);
   std::uint64_t msgs = sys.sim().counters().Get("net.msgs_sent") - msgs0;
-  return Collect(Protocol::kTwoLevelPbft, pool, wl.measure, msgs);
+  ExperimentResult r = Collect(Protocol::kTwoLevelPbft, pool, wl.measure, msgs);
+  if (ospec.trace) FinishObservedRun(sys.sim().recorder(), ospec, &r);
+  return r;
 }
 
 ExperimentResult RunFlat(const DeploymentSpec& dep, const WorkloadSpec& wl,
-                         const FaultSpec& faults) {
+                         const FaultSpec& faults, const ObsSpec& ospec) {
   // "PBFT runs on 4 nodes in CA and 3 nodes in other data centers": 3f
   // replicas per zone-region plus one extra in the first region, a single
   // group tolerating Z*f faults.
@@ -377,37 +404,42 @@ ExperimentResult RunFlat(const DeploymentSpec& dep, const WorkloadSpec& wl,
 
   sim.RunUntil(wl.warmup);
   pool.ResetStats();
+  EnableTracing(sim, ospec);
   std::uint64_t msgs0 = sim.counters().Get("net.msgs_sent");
   sim.RunUntil(wl.warmup + wl.measure);
   std::uint64_t msgs = sim.counters().Get("net.msgs_sent") - msgs0;
-  return Collect(Protocol::kFlatPbft, pool, wl.measure, msgs);
+  ExperimentResult r = Collect(Protocol::kFlatPbft, pool, wl.measure, msgs);
+  if (ospec.trace) FinishObservedRun(sim.recorder(), ospec, &r);
+  return r;
 }
 
 }  // namespace
 
 ExperimentResult RunExperiment(Protocol protocol, const DeploymentSpec& dep,
                                const WorkloadSpec& workload,
-                               const FaultSpec& faults) {
+                               const FaultSpec& faults, const ObsSpec& obs) {
   core::NodeConfig cfg = DefaultNodeConfig();
   if (protocol == Protocol::kSteward) {
     cfg.lazy_sync = false;  // every transaction is already global
   }
-  return RunExperimentWithConfig(protocol, dep, workload, cfg, faults);
+  return RunExperimentWithConfig(protocol, dep, workload, cfg, faults, obs);
 }
 
 ExperimentResult RunExperimentWithConfig(Protocol protocol,
                                          const DeploymentSpec& dep,
                                          const WorkloadSpec& workload,
                                          const core::NodeConfig& node_config,
-                                         const FaultSpec& faults) {
+                                         const FaultSpec& faults,
+                                         const ObsSpec& obs) {
   switch (protocol) {
     case Protocol::kZiziphus:
     case Protocol::kSteward:
-      return RunZiziphusLike(protocol, dep, workload, faults, node_config);
+      return RunZiziphusLike(protocol, dep, workload, faults, node_config,
+                             obs);
     case Protocol::kTwoLevelPbft:
-      return RunTwoLevel(dep, workload, faults);
+      return RunTwoLevel(dep, workload, faults, obs);
     case Protocol::kFlatPbft:
-      return RunFlat(dep, workload, faults);
+      return RunFlat(dep, workload, faults, obs);
   }
   return {};
 }

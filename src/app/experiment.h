@@ -1,6 +1,8 @@
 #ifndef ZIZIPHUS_APP_EXPERIMENT_H_
 #define ZIZIPHUS_APP_EXPERIMENT_H_
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -62,6 +64,15 @@ struct FaultSpec {
   std::size_t crashed_backups_per_zone = 0;
 };
 
+/// Observability knobs for one run. Tracing turns on at the measurement
+/// boundary (warmup traffic is never traced), so the cost model and the
+/// event schedule of the warmup are identical with tracing on or off.
+struct ObsSpec {
+  bool trace = false;              // enable the causal tracer
+  std::uint64_t sample_every = 1;  // trace every n-th client op (1 = all)
+  std::string json_out;            // write Recorder::ExportJson here ("")
+};
+
 struct ExperimentResult {
   Protocol protocol = Protocol::kZiziphus;
   double throughput_tps = 0;
@@ -75,6 +86,19 @@ struct ExperimentResult {
   std::uint64_t timeouts = 0;
   std::uint64_t messages_sent = 0;
 
+  // ---- Critical-path decomposition (filled when ObsSpec.trace) ----------
+  // Means over traced operations whose causal chain resolved completely;
+  // by the cost model's construction, for each trace
+  //   total == wan + lan + queue + crypto + sum(phases).
+  std::uint64_t traces_completed = 0;
+  double trace_total_ms = 0;
+  double trace_wan_ms = 0;     // inter-region wire time
+  double trace_lan_ms = 0;     // intra-region wire time
+  double trace_queue_ms = 0;   // waiting for a busy core
+  double trace_crypto_ms = 0;  // critical-path sign/verify/digest
+  /// Non-crypto handler time keyed by phase label ("pbft.prepare", ...).
+  std::map<std::string, double> trace_phase_ms;
+
   std::string ToString() const;
 };
 
@@ -86,7 +110,8 @@ core::NodeConfig DefaultNodeConfig();
 /// reports aggregate throughput and latency over the measurement window.
 ExperimentResult RunExperiment(Protocol protocol, const DeploymentSpec& dep,
                                const WorkloadSpec& workload,
-                               const FaultSpec& faults = {});
+                               const FaultSpec& faults = {},
+                               const ObsSpec& obs = {});
 
 /// Variant with an explicit node configuration (ablation studies: stable
 /// leader off, prepare-phase skip off, threshold signatures off, global
@@ -95,7 +120,8 @@ ExperimentResult RunExperimentWithConfig(Protocol protocol,
                                          const DeploymentSpec& dep,
                                          const WorkloadSpec& workload,
                                          const core::NodeConfig& node_config,
-                                         const FaultSpec& faults = {});
+                                         const FaultSpec& faults = {},
+                                         const ObsSpec& obs = {});
 
 }  // namespace ziziphus::app
 

@@ -1,0 +1,138 @@
+#ifndef ZIZIPHUS_APP_EXPERIMENT_CONFIG_H_
+#define ZIZIPHUS_APP_EXPERIMENT_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "app/chaos.h"
+#include "app/experiment.h"
+#include "obs/recorder.h"
+
+namespace ziziphus::app {
+
+/// One experiment cell — protocol, deployment shape, workload, faults,
+/// chaos and observability knobs — as a single value shared by the bench/
+/// and examples/ binaries. Build fluently:
+///
+///   ExperimentResult r = ExperimentConfig{}
+///                            .WithProtocol(Protocol::kZiziphus)
+///                            .WithZones(5)
+///                            .WithGlobalFraction(0.3)
+///                            .WithTracing()
+///                            .Run();
+///
+/// or from the command line: FromFlags(argc, argv) understands the
+/// `--key=value` vocabulary below and ignores flags it does not know
+/// (google-benchmark's `--benchmark_*`, binary-specific extras), so every
+/// binary can share one flag language.
+struct ExperimentConfig {
+  Protocol protocol = Protocol::kZiziphus;
+  std::size_t zones = 3;     // zones (per cluster when clusters > 1)
+  std::size_t clusters = 1;  // > 1 selects the Fig. 8 clustered placement
+  std::size_t f = 1;         // per-zone fault tolerance (3f+1 nodes)
+  bool stable_leader = true;  // Alg. 1 stable-leader optimization
+  WorkloadSpec workload;
+  FaultSpec faults;
+  ChaosOptions chaos;  // chaos-schedule knobs (chaos binaries only)
+  ObsSpec obs;
+
+  // ---- Fluent builder --------------------------------------------------
+
+  ExperimentConfig& WithProtocol(Protocol p) {
+    protocol = p;
+    return *this;
+  }
+  ExperimentConfig& WithZones(std::size_t z) {
+    zones = z;
+    return *this;
+  }
+  ExperimentConfig& WithClusters(std::size_t c) {
+    clusters = c;
+    return *this;
+  }
+  ExperimentConfig& WithFaultTolerance(std::size_t per_zone_f) {
+    f = per_zone_f;
+    return *this;
+  }
+  ExperimentConfig& WithStableLeader(bool on) {
+    stable_leader = on;
+    return *this;
+  }
+  ExperimentConfig& WithClients(std::size_t per_zone) {
+    workload.clients_per_zone = per_zone;
+    return *this;
+  }
+  ExperimentConfig& WithGlobalFraction(double frac) {
+    workload.global_fraction = frac;
+    return *this;
+  }
+  ExperimentConfig& WithCrossClusterFraction(double frac) {
+    workload.cross_cluster_fraction = frac;
+    return *this;
+  }
+  ExperimentConfig& WithWarmup(Duration d) {
+    workload.warmup = d;
+    return *this;
+  }
+  ExperimentConfig& WithMeasure(Duration d) {
+    workload.measure = d;
+    return *this;
+  }
+  ExperimentConfig& WithSeed(std::uint64_t seed) {
+    workload.seed = seed;
+    return *this;
+  }
+  ExperimentConfig& WithCrashedBackups(std::size_t per_zone) {
+    faults.crashed_backups_per_zone = per_zone;
+    return *this;
+  }
+  ExperimentConfig& WithTracing(bool on = true) {
+    obs.trace = on;
+    return *this;
+  }
+  ExperimentConfig& WithTraceSampling(std::uint64_t every) {
+    obs.sample_every = every;
+    return *this;
+  }
+  ExperimentConfig& WithJsonOut(std::string path) {
+    obs.json_out = std::move(path);
+    return *this;
+  }
+
+  // ---- Derived views ---------------------------------------------------
+
+  /// The deployment implied by zones / clusters / f.
+  DeploymentSpec Deployment() const;
+
+  /// Chaos options with the shared knobs (seed, zones, f) applied on top
+  /// of the chaos-specific ones.
+  ChaosOptions ChaosFor() const;
+
+  /// One-line human-readable description of the cell.
+  std::string ToString() const;
+
+  /// Runs this cell (RunExperimentWithConfig under the hood); trace
+  /// aggregates are filled when `obs.trace` is set.
+  ExperimentResult Run() const;
+
+  /// Parses `--key=value` flags: --protocol= --zones= --clusters= --f=
+  /// --clients= --global= --cross= --warmup-ms= --measure-ms= --seed=
+  /// --faults= --no-stable-leader --trace[=0|1] --sample-every= --json-out=
+  /// --byzantine= --think-ms= --fault-window-ms=. Unknown flags are
+  /// ignored so binary-specific extras can ride along.
+  static ExperimentConfig FromFlags(int argc, char** argv);
+};
+
+/// Maps the simulator's message-type tags to critical-path phase labels
+/// ("pbft.prepare", "sync.accept", "tl.commit", ...). The obs layer cannot
+/// see protocol headers, so the app layer owns this mapping.
+obs::Tracer::TypeLabeler PhaseLabeler();
+
+/// Folds every completed causal trace into the result's trace_* aggregate
+/// fields and writes Recorder::ExportJson to `spec.json_out` when set.
+void FinishObservedRun(const obs::Recorder& recorder, const ObsSpec& spec,
+                       ExperimentResult* result);
+
+}  // namespace ziziphus::app
+
+#endif  // ZIZIPHUS_APP_EXPERIMENT_CONFIG_H_

@@ -229,7 +229,7 @@ void TwoLevelGlobalEngine::HandleGPrePrepare(
   }
   if (!VerifyZoneCert(msg->cert, msg->ComputeDigest(), msg->initiator_zone)
            .ok()) {
-    transport_->counters().Inc("tl.bad_gpreprepare_cert");
+    transport_->counters().Inc(obs::CounterId::kTlBadGPrePrepareCert);
     return;
   }
   for (const auto& op : req.ops) {
@@ -251,7 +251,7 @@ void TwoLevelGlobalEngine::HandleGPrepare(
     req.id = msg->request_id;
   }
   if (!VerifyZoneCert(msg->cert, msg->ComputeDigest(), msg->zone).ok()) {
-    transport_->counters().Inc("tl.bad_gprepare_cert");
+    transport_->counters().Inc(obs::CounterId::kTlBadGPrepareCert);
     return;
   }
   req.gprepares.insert(msg->zone);
@@ -275,7 +275,7 @@ void TwoLevelGlobalEngine::HandleGCommit(
   TLRequest& req = requests_[msg->request_id];
   if (req.id == 0) req.id = msg->request_id;
   if (!VerifyZoneCert(msg->cert, msg->ComputeDigest(), msg->zone).ok()) {
-    transport_->counters().Inc("tl.bad_gcommit_cert");
+    transport_->counters().Inc(obs::CounterId::kTlBadGCommitCert);
     return;
   }
   req.gcommits.insert(msg->zone);
@@ -286,7 +286,7 @@ void TwoLevelGlobalEngine::TryCommit(TLRequest& req) {
   if (req.committed || req.gseq == 0) return;
   if (req.gcommits.size() < ZoneQuorum()) return;
   req.committed = true;
-  transport_->counters().Inc("tl.committed");
+  transport_->counters().Inc(obs::CounterId::kTlCommitted);
   ExecuteReady();
 }
 
@@ -421,7 +421,7 @@ void TwoLevelNode::OnMessage(const sim::MessagePtr& msg) {
   if (t == pbft::kClientRequest) {
     auto req = std::static_pointer_cast<const pbft::ClientRequestMsg>(msg);
     if (!locks_.IsLocked(req->op.client)) {
-      counters().Inc("node.unlocked_client_rejected");
+      counters().Inc(obs::CounterId::kNodeUnlockedClientRejected);
       return;
     }
     pbft_->HandleMessage(msg);
@@ -444,7 +444,7 @@ void TwoLevelNode::OnMessage(const sim::MessagePtr& msg) {
     global_->HandleMessage(msg);
     return;
   }
-  counters().Inc("node.unroutable_message");
+  counters().Inc(obs::CounterId::kNodeUnroutableMessage);
 }
 
 void TwoLevelNode::OnTimer(std::uint64_t tag) {

@@ -1,10 +1,13 @@
 #ifndef ZIZIPHUS_COMMON_METRICS_H_
 #define ZIZIPHUS_COMMON_METRICS_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
+
+#include "obs/metric_ids.h"
 
 namespace ziziphus {
 
@@ -41,22 +44,83 @@ class Histogram {
   std::uint64_t max_ = 0;
 };
 
-/// Named counters for protocol events (messages sent, commits, view
-/// changes, rejected certificates, ...).
+/// Typed counters for protocol events (messages sent, commits, view
+/// changes, rejected certificates, ...). Every in-tree counter is declared
+/// once in obs/metric_ids.h and addressed by obs::CounterId — a flat array
+/// increment, no hashing.
+///
+/// Scoping: a CounterSet may be chained to a parent (node -> zone -> root,
+/// wired by obs::Recorder); increments propagate up the chain so the root
+/// always holds system-wide totals.
+///
+/// The string overloads are the transition shim for out-of-registry names
+/// (ad-hoc test counters); registered names resolve to their typed slot so
+/// mixed call sites agree. Prefer the typed ids in new code.
 class CounterSet {
  public:
+  void Inc(obs::CounterId id, std::uint64_t by = 1) {
+    for (CounterSet* c = this; c != nullptr; c = c->parent_) {
+      c->typed_[static_cast<std::size_t>(id)] += by;
+    }
+  }
+  std::uint64_t Get(obs::CounterId id) const {
+    return typed_[static_cast<std::size_t>(id)];
+  }
+
+  /// Deprecated shim: resolves registered names to their typed slot,
+  /// otherwise falls back to a dynamic string-keyed counter.
   void Inc(const std::string& name, std::uint64_t by = 1) {
-    counters_[name] += by;
+    if (auto id = obs::FindCounterId(name)) {
+      Inc(*id, by);
+      return;
+    }
+    for (CounterSet* c = this; c != nullptr; c = c->parent_) {
+      c->dynamic_[name] += by;
+    }
   }
   std::uint64_t Get(const std::string& name) const {
-    auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+    if (auto id = obs::FindCounterId(name)) return Get(*id);
+    auto it = dynamic_.find(name);
+    return it == dynamic_.end() ? 0 : it->second;
   }
-  const std::map<std::string, std::uint64_t>& All() const { return counters_; }
-  void Reset() { counters_.clear(); }
+
+  /// Snapshot of every non-zero counter by name (registered + dynamic).
+  std::map<std::string, std::uint64_t> All() const {
+    std::map<std::string, std::uint64_t> out = dynamic_;
+    for (std::size_t i = 0; i < obs::kNumCounters; ++i) {
+      if (typed_[i] != 0) {
+        out.emplace(obs::CounterName(static_cast<obs::CounterId>(i)),
+                    typed_[i]);
+      }
+    }
+    return out;
+  }
+
+  /// Adds another set's counts into this one (cross-node aggregation).
+  /// Does not propagate to this set's parent chain.
+  void Merge(const CounterSet& other) {
+    for (std::size_t i = 0; i < obs::kNumCounters; ++i) {
+      typed_[i] += other.typed_[i];
+    }
+    for (const auto& [name, value] : other.dynamic_) {
+      dynamic_[name] += value;
+    }
+  }
+
+  /// Zeroes this set only (parents keep their aggregates).
+  void Reset() {
+    typed_.fill(0);
+    dynamic_.clear();
+  }
+
+  /// Chains this scope under `parent`; subsequent increments roll up.
+  void set_parent(CounterSet* parent) { parent_ = parent; }
+  CounterSet* parent() const { return parent_; }
 
  private:
-  std::map<std::string, std::uint64_t> counters_;
+  std::array<std::uint64_t, obs::kNumCounters> typed_{};
+  std::map<std::string, std::uint64_t> dynamic_;
+  CounterSet* parent_ = nullptr;
 };
 
 }  // namespace ziziphus

@@ -57,13 +57,16 @@ Status DataSyncEngine::VerifyZoneCert(const crypto::Certificate& cert,
                                       crypto::Digest expected,
                                       ZoneId zone) const {
   const ZoneInfo& zi = topology_->zone(zone);
-  transport_->ChargeCpu(
+  obs::SpanId span = transport_->BeginSpan(obs::SpanKind::kCertVerify);
+  transport_->ChargeCrypto(
       config_.costs.crypto.CertificateVerifyCost(cert.size()));
-  return crypto::VerifyCertificate(
+  Status status = crypto::VerifyCertificate(
       *keys_, cert, expected, zi.quorum(), [&zi](NodeId n) {
         return std::find(zi.members.begin(), zi.members.end(), n) !=
                zi.members.end();
       });
+  transport_->EndSpan(span);
+  return status;
 }
 
 Ballot DataSyncEngine::last_executed_ballot(ZoneId initiator) const {
@@ -77,7 +80,8 @@ bool DataSyncEngine::HandleMessage(const sim::MessagePtr& msg) {
   const auto& costs = config_.costs;
   switch (msg->type()) {
     case kMigrationRequest:
-      transport_->ChargeCpu(costs.base_handle_us + costs.mac_us);
+      transport_->ChargeCpu(costs.base_handle_us);
+      transport_->ChargeCrypto(costs.mac_us);
       HandleMigrationRequest(
           std::static_pointer_cast<const MigrationRequestMsg>(msg));
       return true;
@@ -102,7 +106,8 @@ bool DataSyncEngine::HandleMessage(const sim::MessagePtr& msg) {
       HandleGlobalCommit(std::static_pointer_cast<const GlobalCommitMsg>(msg));
       return true;
     case kResponseQuery:
-      transport_->ChargeCpu(costs.base_handle_us + costs.mac_us);
+      transport_->ChargeCpu(costs.base_handle_us);
+      transport_->ChargeCrypto(costs.mac_us);
       HandleResponseQuery(
           std::static_pointer_cast<const ResponseQueryMsg>(msg));
       return true;
@@ -154,9 +159,9 @@ bool DataSyncEngine::HandleTimer(std::uint64_t tag) {
         query->replica = transport_->self();
         query->sig = keys_->Sign(transport_->self(), query->ComputeDigest());
         const auto& members = topology_->zone(req.initiator_zone).members;
-        transport_->ChargeCpu(config_.costs.crypto.sign_us +
-                              config_.costs.send_us * members.size());
-        transport_->counters().Inc("sync.response_queries_sent");
+        transport_->ChargeCrypto(config_.costs.crypto.sign_us);
+        transport_->ChargeCpu(config_.costs.send_us * members.size());
+        transport_->counters().Inc(obs::CounterId::kSyncResponseQueriesSent);
         transport_->Multicast(members, query);
         if (++req.commit_wait_rounds < 5) {
           req.commit_wait_timer =
@@ -172,7 +177,7 @@ bool DataSyncEngine::HandleTimer(std::uint64_t tag) {
           req.commit_msg == nullptr &&
           executed_op_ids_.count(request_id) == 0) {
         // The primary ignored a relayed migration request: suspect it.
-        transport_->counters().Inc("sync.relay_watch_expired");
+        transport_->counters().Inc(obs::CounterId::kSyncRelayWatchExpired);
         relay_watch_.erase(wit);
         if (suspect_primary_callback_) suspect_primary_callback_();
       }
@@ -180,7 +185,7 @@ bool DataSyncEngine::HandleTimer(std::uint64_t tag) {
     }
     case kChainSkip:
       if (!req.executed && req.commit_msg != nullptr) {
-        transport_->counters().Inc("sync.chain_skip");
+        transport_->counters().Inc(obs::CounterId::kSyncChainSkip);
         ExecuteCommit(req);
       }
       break;
@@ -195,7 +200,7 @@ bool DataSyncEngine::HandleTimer(std::uint64_t tag) {
 void DataSyncEngine::HandleMigrationRequest(
     const std::shared_ptr<const MigrationRequestMsg>& msg) {
   if (!keys_->Verify(msg->client_sig, msg->ComputeDigest())) {
-    transport_->counters().Inc("sync.bad_client_sig");
+    transport_->counters().Inc(obs::CounterId::kSyncBadClientSig);
     return;
   }
   const MigrationOp& op = msg->op;
@@ -260,6 +265,9 @@ void DataSyncEngine::QueueOrLead(const MigrationOp& op) {
     LeadRequest(req);
     return;
   }
+  if (obs::TraceContext ctx = transport_->trace_context(); ctx.active()) {
+    pending_traces_.emplace(op_id, ctx);
+  }
   queued_op_ids_.insert(op_id);
   pending_ops_.push_back(op);
   if (pending_ops_.size() >= config_.batch_max) {
@@ -286,12 +294,33 @@ void DataSyncEngine::FlushBatch() {
     req.id = batch_id;
     req.ops = std::move(ops);
     req.initiator_zone = my_zone_;
-    transport_->counters().Inc("sync.batches_formed");
+    // The batch inherits the causal trace of its first traced operation;
+    // the other parked traces are dropped (one chain per ballot).
+    for (const auto& op : req.ops) {
+      auto tit = pending_traces_.find(op.RequestId());
+      if (tit == pending_traces_.end()) continue;
+      if (!req.trace.active()) req.trace = tit->second;
+      pending_traces_.erase(tit);
+    }
+    transport_->counters().Inc(obs::CounterId::kSyncBatchesFormed);
     LeadRequest(req);
   }
 }
 
 void DataSyncEngine::LeadRequest(RequestState& req) {
+  // Bridge the causal trace: when led from a timer or a view-change
+  // (inactive context), resume the chain parked on the request; when led
+  // inside a traced handler, remember the context for later re-leads. The
+  // previous context is restored on exit so loops over many requests do not
+  // leak one request's trace into the next one's sends.
+  obs::TraceContext saved_ctx = transport_->trace_context();
+  if (!saved_ctx.active() && req.trace.active()) {
+    transport_->set_trace_context(req.trace);
+  } else if (saved_ctx.active() && !req.trace.active()) {
+    req.trace = saved_ctx;
+  }
+  transport_->EndSpan(req.ballot_span);  // re-led: close the stale round
+  req.ballot_span = transport_->BeginSpan(obs::SpanKind::kSyncBallot);
   req.i_am_leader = true;
   bool cross_chain = req.cross || req.is_source_leg || req.cross_zone;
   ZoneId chain_zone =
@@ -304,7 +333,7 @@ void DataSyncEngine::LeadRequest(RequestState& req) {
   req.initiator_zone = my_zone_;
   req.exec_ballot = req.ballot;
   req.exec_prev = req.prev;
-  transport_->counters().Inc("sync.requests_led");
+  transport_->counters().Inc(obs::CounterId::kSyncRequestsLed);
 
   if (config_.stable_leader || req.is_source_leg) {
     // Stable leader: no propose/promise phases. The first endorsement both
@@ -325,6 +354,7 @@ void DataSyncEngine::LeadRequest(RequestState& req) {
   }
   if (req.retry_timer != 0) transport_->CancelTimer(req.retry_timer);
   req.retry_timer = ArmTimer(req.id, kRetry, config_.retry_timeout_us);
+  transport_->set_trace_context(saved_ctx);
 }
 
 void DataSyncEngine::RetryRequest(std::uint64_t request_id) {
@@ -333,7 +363,7 @@ void DataSyncEngine::RetryRequest(std::uint64_t request_id) {
   RequestState& req = it->second;
   if (req.retries >= 8 || !IsZonePrimary()) return;
   req.retries++;
-  transport_->counters().Inc("sync.retries");
+  transport_->counters().Inc(obs::CounterId::kSyncRetries);
 
   if (config_.stable_leader && req.sent_accept != nullptr) {
     // Retransmit; followers deduplicate by request id.
@@ -371,6 +401,11 @@ bool DataSyncEngine::ValidateEndorse(const EndorsePrePrepareMsg& pp) {
     req.ops = ops;
   }
   req.saw_endorse = true;
+  if (!req.trace.active()) {
+    // Remember the trace at every node: if this node becomes primary after
+    // a view change, the re-led request continues the client's chain.
+    req.trace = transport_->trace_context();
+  }
   req.ballot = pp.ballot;
   req.prev = pp.prev;
   req.is_source_leg = req.is_source_leg || is_source_leg;
@@ -417,7 +452,7 @@ bool DataSyncEngine::ValidateEndorse(const EndorsePrePrepareMsg& pp) {
       return false;  // not a data-sync phase
   }
   if (expect != pp.content_digest) {
-    transport_->counters().Inc("sync.bad_endorse_digest");
+    transport_->counters().Inc(obs::CounterId::kSyncBadEndorseDigest);
     return false;
   }
 
@@ -500,6 +535,7 @@ void DataSyncEngine::OnEndorseQuorum(const EndorseKey& key,
       // Cross-cluster: the f+1 proxies of the destination zone forward the
       // certified request to the source zone (Section VI).
       if (req.cross && !req.is_source_leg && IAmProxy()) {
+        obs::SpanId relay = transport_->BeginSpan(obs::SpanKind::kProxyRelay);
         auto cp = std::make_shared<CrossProposeMsg>();
         cp->request_id = req.id;
         cp->ballot = pp.ballot;
@@ -509,8 +545,9 @@ void DataSyncEngine::OnEndorseQuorum(const EndorseKey& key,
         cp->cert = cert;
         const auto& members = topology_->zone(req.op0().source).members;
         transport_->ChargeCpu(config_.costs.send_us * members.size());
-        transport_->counters().Inc("sync.cross_proposes_sent");
+        transport_->counters().Inc(obs::CounterId::kSyncCrossProposesSent);
         transport_->Multicast(members, cp);
+        transport_->EndSpan(relay);
       }
       if (!IsZonePrimary() || !req.i_am_leader) break;
       SendAccept(req, cert);
@@ -541,6 +578,8 @@ void DataSyncEngine::OnEndorseQuorum(const EndorseKey& key,
         // Source-cluster leg finished: proxies of the source zone inform
         // the destination zone with a PREPARED message.
         if (IAmProxy()) {
+          obs::SpanId relay =
+              transport_->BeginSpan(obs::SpanKind::kProxyRelay);
           auto prep = std::make_shared<PreparedMsg>();
           prep->request_id = req.peer_request_id;
           prep->source_ballot = req.ballot;
@@ -555,8 +594,9 @@ void DataSyncEngine::OnEndorseQuorum(const EndorseKey& key,
                   : topology_->zone(req.op0().destination).id;
           const auto& members = topology_->zone(dest_zone).members;
           transport_->ChargeCpu(config_.costs.send_us * members.size());
-          transport_->counters().Inc("sync.prepared_sent");
+          transport_->counters().Inc(obs::CounterId::kSyncPreparedSent);
           transport_->Multicast(members, prep);
+          transport_->EndSpan(relay);
         }
         break;
       }
@@ -656,8 +696,10 @@ void DataSyncEngine::SendCommit(RequestState& req) {
     targets.insert(targets.end(), src.begin(), src.end());
   }
   transport_->ChargeCpu(config_.costs.send_us * targets.size());
-  transport_->counters().Inc("sync.commits_sent");
+  transport_->counters().Inc(obs::CounterId::kSyncCommitsSent);
   transport_->Multicast(targets, commit);
+  transport_->EndSpan(req.ballot_span);  // ballot round: led -> commit sent
+  req.ballot_span = 0;
 }
 
 // --------------------------------------------------- top-level reception
@@ -673,13 +715,13 @@ void DataSyncEngine::HandlePropose(
 
   if (!VerifyZoneCert(msg->cert, msg->ComputeDigest(), msg->initiator_zone)
            .ok()) {
-    transport_->counters().Inc("sync.bad_propose_cert");
+    transport_->counters().Inc(obs::CounterId::kSyncBadProposeCert);
     return;
   }
   // Paxos promise rule, scoped per instance: only promise ballots above
   // anything promised for this request.
   if (!(msg->ballot > req.promised)) {
-    transport_->counters().Inc("sync.propose_rejected_stale");
+    transport_->counters().Inc(obs::CounterId::kSyncProposeRejectedStale);
     return;
   }
   req.promised = msg->ballot;
@@ -702,7 +744,7 @@ void DataSyncEngine::HandlePromise(
   if (!req.i_am_leader || req.phase != Phase::kPromised) return;
   if (msg->ballot != req.ballot) return;
   if (!VerifyZoneCert(msg->cert, msg->ComputeDigest(), msg->zone).ok()) {
-    transport_->counters().Inc("sync.bad_promise_cert");
+    transport_->counters().Inc(obs::CounterId::kSyncBadPromiseCert);
     return;
   }
   req.promises[msg->zone] = msg;
@@ -744,13 +786,13 @@ void DataSyncEngine::HandleAccept(
   }
   if (!VerifyZoneCert(msg->cert, msg->ComputeDigest(), msg->initiator_zone)
            .ok()) {
-    transport_->counters().Inc("sync.bad_accept_cert");
+    transport_->counters().Inc(obs::CounterId::kSyncBadAcceptCert);
     return;
   }
   // Paxos accept rule (non-stable mode): reject ballots below this
   // instance's promise.
   if (!config_.stable_leader && msg->ballot < req.promised) {
-    transport_->counters().Inc("sync.accept_rejected_stale");
+    transport_->counters().Inc(obs::CounterId::kSyncAcceptRejectedStale);
     return;
   }
   req.ballot = msg->ballot;
@@ -775,7 +817,7 @@ void DataSyncEngine::HandleAccepted(
   if (msg->ballot != req.ballot) return;
   if (req.phase != Phase::kAccepted && req.phase != Phase::kAccepting) return;
   if (!VerifyZoneCert(msg->cert, msg->ComputeDigest(), msg->zone).ok()) {
-    transport_->counters().Inc("sync.bad_accepted_cert");
+    transport_->counters().Inc(obs::CounterId::kSyncBadAcceptedCert);
     return;
   }
   req.accepteds[msg->zone] = msg;
@@ -802,7 +844,7 @@ void DataSyncEngine::HandleGlobalCommit(
   if (req.commit_msg != nullptr) return;  // duplicate
   if (!VerifyZoneCert(msg->cert, msg->ComputeDigest(), msg->initiator_zone)
            .ok()) {
-    transport_->counters().Inc("sync.bad_commit_cert");
+    transport_->counters().Inc(obs::CounterId::kSyncBadCommitCert);
     return;
   }
   if (msg->cross_cluster) {
@@ -812,7 +854,7 @@ void DataSyncEngine::HandleGlobalCommit(
                                               msg->source_zone),
                         msg->source_zone)
              .ok()) {
-      transport_->counters().Inc("sync.bad_commit_source_cert");
+      transport_->counters().Inc(obs::CounterId::kSyncBadCommitSourceCert);
       return;
     }
   }
@@ -932,7 +974,7 @@ void DataSyncEngine::FlushWaiters(Ballot ballot) {
 void DataSyncEngine::HandleResponseQuery(
     const std::shared_ptr<const ResponseQueryMsg>& msg) {
   if (!keys_->Verify(msg->sig, msg->ComputeDigest())) return;
-  transport_->counters().Inc("sync.response_queries_received");
+  transport_->counters().Inc(obs::CounterId::kSyncResponseQueriesReceived);
   auto it = requests_.find(msg->request_id);
   if (it != requests_.end() && it->second.commit_msg != nullptr) {
     // Already processed: re-send the response (Section V-A), and log the
@@ -946,7 +988,7 @@ void DataSyncEngine::HandleResponseQuery(
   req.response_queries.insert(msg->replica);
   std::size_t suspicion_quorum = topology_->zone(msg->zone).quorum();
   if (req.response_queries.size() >= suspicion_quorum && !IsZonePrimary()) {
-    transport_->counters().Inc("sync.primary_suspected");
+    transport_->counters().Inc(obs::CounterId::kSyncPrimarySuspected);
     req.response_queries.clear();
     if (suspect_primary_callback_) suspect_primary_callback_();
   }
@@ -963,7 +1005,7 @@ void DataSyncEngine::HandleCrossPropose(
   if (leg.id != 0 && leg.phase != Phase::kIdle) return;  // already running
   if (!VerifyZoneCert(msg->cert, msg->ComputeDigest(), msg->initiator_zone)
            .ok()) {
-    transport_->counters().Inc("sync.bad_cross_propose_cert");
+    transport_->counters().Inc(obs::CounterId::kSyncBadCrossProposeCert);
     return;
   }
   leg.id = leg_id;
@@ -982,7 +1024,7 @@ void DataSyncEngine::HandleCrossPropose(
 
   if (!IsZonePrimary()) return;  // backups track; primary leads the leg
   leg.initiator_zone = my_zone_;
-  transport_->counters().Inc("sync.source_legs_started");
+  transport_->counters().Inc(obs::CounterId::kSyncSourceLegsStarted);
   LeadRequest(leg);
 }
 
@@ -994,11 +1036,11 @@ void DataSyncEngine::HandlePrepared(
   if (req.prepared != nullptr) return;
   if (!VerifyZoneCert(msg->cert, msg->ComputeDigest(), msg->source_zone)
            .ok()) {
-    transport_->counters().Inc("sync.bad_prepared_cert");
+    transport_->counters().Inc(obs::CounterId::kSyncBadPreparedCert);
     return;
   }
   req.prepared = msg;
-  transport_->counters().Inc("sync.prepared_received");
+  transport_->counters().Inc(obs::CounterId::kSyncPreparedReceived);
   if (req.i_am_leader && req.commit_cert_ready && req.commit_msg == nullptr) {
     SendCommit(req);
   }
@@ -1036,7 +1078,7 @@ void DataSyncEngine::OnViewChange(ViewId view) {
     req.commit_cert_ready = false;
     req.sent_propose = nullptr;
     req.sent_accept = nullptr;
-    transport_->counters().Inc("sync.releads_after_view_change");
+    transport_->counters().Inc(obs::CounterId::kSyncReleadsAfterViewChange);
     LeadRequest(req);
   }
   // Relayed-but-never-endorsed ops queue for a fresh batch.

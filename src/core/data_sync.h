@@ -190,6 +190,11 @@ class DataSyncEngine {
     std::uint64_t commit_wait_timer = 0;
     std::uint64_t retry_timer = 0;
     int commit_wait_rounds = 0;
+    // Causal trace of the client operation that started this request,
+    // bridged across batch timers, retries, and view-change re-leads.
+    obs::TraceContext trace;
+    // Open ballot-round span on the leader (0 when untraced / not leader).
+    obs::SpanId ballot_span = 0;
 
     const MigrationOp& op0() const { return ops.front(); }
   };
@@ -256,6 +261,9 @@ class DataSyncEngine {
   /// Leader-side batching queue.
   std::vector<MigrationOp> pending_ops_;
   std::unordered_set<std::uint64_t> queued_op_ids_;
+  // Trace contexts parked while their operation waits in `pending_ops_`
+  // (the batch timer, not the request handler, often forms the batch).
+  std::unordered_map<std::uint64_t, obs::TraceContext> pending_traces_;
   bool batch_timer_armed_ = false;
   /// Per-operation execution dedup (re-led instances, chain skips).
   std::unordered_set<std::uint64_t> executed_op_ids_;

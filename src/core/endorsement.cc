@@ -57,27 +57,30 @@ void ZoneEndorser::Start(EndorsePhase phase, std::uint64_t request_id,
   msg->records = std::move(records);
   msg->full_prepare = full_prepare;
   msg->sig = keys_->Sign(transport_->self(), msg->ComputeDigest());
-  transport_->ChargeCpu(costs_.crypto.sign_us +
-                        costs_.send_us * zone_->members.size());
+  transport_->ChargeCrypto(costs_.crypto.sign_us);
+  transport_->ChargeCpu(costs_.send_us * zone_->members.size());
   transport_->Multicast(zone_->members, msg);
 }
 
 bool ZoneEndorser::HandleMessage(const sim::MessagePtr& msg) {
   switch (msg->type()) {
     case kEndorsePrePrepare:
-      transport_->ChargeCpu(costs_.base_handle_us + costs_.crypto.verify_us);
+      transport_->ChargeCpu(costs_.base_handle_us);
+      transport_->ChargeCrypto(costs_.crypto.verify_us);
       HandlePrePrepare(
           std::static_pointer_cast<const EndorsePrePrepareMsg>(msg));
       return true;
     case kEndorsePrepare:
-      transport_->ChargeCpu(costs_.base_handle_us + costs_.mac_us);
+      transport_->ChargeCpu(costs_.base_handle_us);
+      transport_->ChargeCrypto(costs_.mac_us);
       HandlePrepare(std::static_pointer_cast<const EndorsePrepareMsg>(msg));
       return true;
     case kEndorseVote:
       // Vote tags are threshold-signature shares: cheap to check
       // individually; the assembled certificate costs one full verify at
       // its consumer.
-      transport_->ChargeCpu(costs_.base_handle_us + costs_.mac_us);
+      transport_->ChargeCpu(costs_.base_handle_us);
+      transport_->ChargeCrypto(costs_.mac_us);
       HandleVote(std::static_pointer_cast<const EndorseVoteMsg>(msg));
       return true;
     default:
@@ -90,7 +93,7 @@ void ZoneEndorser::HandlePrePrepare(
   if (m->view != view_) return;
   if (m->from() != primary()) return;
   if (!keys_->Verify(m->sig, m->ComputeDigest())) {
-    transport_->counters().Inc("endorse.bad_sig");
+    transport_->counters().Inc(obs::CounterId::kEndorseBadSig);
     return;
   }
   EndorseKey key{m->request_id, m->phase};
@@ -103,16 +106,17 @@ void ZoneEndorser::HandlePrePrepare(
       st = State{};
     } else {
       // Same ballot, different content: the primary is equivocating.
-      transport_->counters().Inc("endorse.equivocation_detected");
+      transport_->counters().Inc(obs::CounterId::kEndorseEquivocationDetected);
       return;
     }
   }
   if (callbacks_.validate && !callbacks_.validate(*m)) {
-    transport_->counters().Inc("endorse.rejected");
+    transport_->counters().Inc(obs::CounterId::kEndorseRejected);
     states_.erase(key);
     return;
   }
   st.pre_prepare = m;
+  st.round_span = transport_->BeginSpan(obs::SpanKind::kEndorseRound);
   st.builder.Reset(m->content_digest, zone_->quorum());
   for (const auto& [sig, digest] : st.early_votes) {
     st.builder.Add(sig, digest);
@@ -127,8 +131,8 @@ void ZoneEndorser::HandlePrePrepare(
     prep->content_digest = m->content_digest;
     prep->replica = transport_->self();
     prep->sig = keys_->Sign(transport_->self(), prep->ComputeDigest());
-    transport_->ChargeCpu(costs_.mac_us +
-                          costs_.send_us * zone_->members.size());
+    transport_->ChargeCrypto(costs_.mac_us);
+    transport_->ChargeCpu(costs_.send_us * zone_->members.size());
     transport_->Multicast(zone_->members, prep);
     // Prepares recorded so far may already satisfy the quorum.
     std::size_t have = st.prepares.size();
@@ -161,6 +165,7 @@ void ZoneEndorser::HandlePrepare(
 void ZoneEndorser::CastVote(const EndorseKey& key, State& st) {
   if (st.voted || st.pre_prepare == nullptr) return;
   st.voted = true;
+  st.build_span = transport_->BeginSpan(obs::SpanKind::kCertBuild);
   auto vote = std::make_shared<EndorseVoteMsg>();
   vote->phase = key.phase;
   vote->request_id = key.request_id;
@@ -168,8 +173,8 @@ void ZoneEndorser::CastVote(const EndorseKey& key, State& st) {
   vote->content_digest = st.pre_prepare->content_digest;
   vote->replica = transport_->self();
   vote->sig = keys_->Sign(transport_->self(), vote->content_digest);
-  transport_->ChargeCpu(costs_.crypto.sign_us +
-                        costs_.send_us * zone_->members.size());
+  transport_->ChargeCrypto(costs_.crypto.sign_us);
+  transport_->ChargeCpu(costs_.send_us * zone_->members.size());
   transport_->Multicast(zone_->members, vote);
 }
 
@@ -178,7 +183,7 @@ void ZoneEndorser::HandleVote(
   if (m->view != view_) return;
   if (!IsMember(m->replica) || m->replica != m->from()) return;
   if (!keys_->Verify(m->sig, m->content_digest)) {
-    transport_->counters().Inc("endorse.bad_vote");
+    transport_->counters().Inc(obs::CounterId::kEndorseBadVote);
     return;
   }
   EndorseKey key{m->request_id, m->phase};
@@ -200,6 +205,10 @@ void ZoneEndorser::MaybeFinish(const EndorseKey& key, State& st) {
   if (st.done || st.pre_prepare == nullptr) return;
   if (!st.builder.Complete()) return;
   st.done = true;
+  transport_->EndSpan(st.build_span);
+  st.build_span = 0;
+  transport_->EndSpan(st.round_span);
+  st.round_span = 0;
   if (callbacks_.on_quorum) {
     callbacks_.on_quorum(key, *st.pre_prepare, st.builder.certificate());
   }

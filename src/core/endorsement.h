@@ -92,6 +92,11 @@ class ZoneEndorser {
     /// Votes that arrived before the pre-prepare fixed the digest.
     std::vector<std::pair<crypto::Signature, crypto::Digest>> early_votes;
     bool done = false;
+    /// Trace spans (0 when untraced): the endorsement round as seen by this
+    /// node (pre-prepare accepted -> certificate complete) and the
+    /// certificate assembly (own vote cast -> certificate complete).
+    obs::SpanId round_span = 0;
+    obs::SpanId build_span = 0;
   };
 
   bool IsMember(NodeId n) const;

@@ -27,7 +27,7 @@ void LazySyncEngine::OnLocalStableCheckpoint(const storage::Checkpoint& cp,
     targets.insert(targets.end(), m.begin(), m.end());
   }
   transport_->ChargeCpu(costs_.send_us * targets.size());
-  transport_->counters().Inc("lazy.checkpoints_shared");
+  transport_->counters().Inc(obs::CounterId::kLazyCheckpointsShared);
   transport_->Multicast(targets, msg);
 }
 
@@ -46,7 +46,7 @@ bool LazySyncEngine::HandleMessage(const sim::MessagePtr& msg) {
                zi.members.end();
       });
   if (!s.ok()) {
-    transport_->counters().Inc("lazy.bad_checkpoint_cert");
+    transport_->counters().Inc(obs::CounterId::kLazyBadCheckpointCert);
     return true;
   }
   storage::Checkpoint cp;
@@ -55,7 +55,7 @@ bool LazySyncEngine::HandleMessage(const sim::MessagePtr& msg) {
   cp.snapshot = m->snapshot;
   cp.certificate = m->cert;
   if (remote_.Install(m->zone, std::move(cp))) {
-    transport_->counters().Inc("lazy.checkpoints_installed");
+    transport_->counters().Inc(obs::CounterId::kLazyCheckpointsInstalled);
   }
   return true;
 }

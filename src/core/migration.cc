@@ -32,13 +32,16 @@ Status MigrationEngine::VerifyZoneCert(const crypto::Certificate& cert,
                                        crypto::Digest expected,
                                        ZoneId zone) const {
   const ZoneInfo& zi = topology_->zone(zone);
-  transport_->ChargeCpu(
+  obs::SpanId span = transport_->BeginSpan(obs::SpanKind::kCertVerify);
+  transport_->ChargeCrypto(
       config_.costs.crypto.CertificateVerifyCost(cert.size()));
-  return crypto::VerifyCertificate(
+  Status status = crypto::VerifyCertificate(
       *keys_, cert, expected, zi.quorum(), [&zi](NodeId n) {
         return std::find(zi.members.begin(), zi.members.end(), n) !=
                zi.members.end();
       });
+  transport_->EndSpan(span);
+  return status;
 }
 
 void MigrationEngine::OnGlobalExecuted(const MigrationOp& op, Ballot ballot) {
@@ -64,10 +67,11 @@ void MigrationEngine::OnGlobalExecuted(const MigrationOp& op, Ballot ballot) {
 
 void MigrationEngine::StartRecordGeneration(MigState& st) {
   ZCHECK(provider_ != nullptr);
+  st.source_span = transport_->BeginSpan(obs::SpanKind::kMigSourceRead);
   st.records = provider_(st.op.client);
   st.records_digest = RecordsDigest(st.records);
   std::uint64_t id = st.op.RequestId();
-  transport_->counters().Inc("mig.record_generations");
+  transport_->counters().Inc(obs::CounterId::kMigRecordGenerations);
   endorser_->Start(
       EndorsePhase::kMigrationState, id, st.ballot, kNullBallot,
       StateContentDigest(id, st.op.client, st.records_digest), nullptr, st.op,
@@ -92,7 +96,8 @@ bool MigrationEngine::HandleMessage(const sim::MessagePtr& msg) {
         }
       }
       if (!known) return false;
-      transport_->ChargeCpu(config_.costs.base_handle_us + config_.costs.mac_us);
+      transport_->ChargeCpu(config_.costs.base_handle_us);
+      transport_->ChargeCrypto(config_.costs.mac_us);
       HandleResponseQuery(q);
       return true;
     }
@@ -122,9 +127,9 @@ bool MigrationEngine::HandleTimer(std::uint64_t tag) {
   query->replica = transport_->self();
   query->sig = keys_->Sign(transport_->self(), query->ComputeDigest());
   const auto& members = topology_->zone(st.op.source).members;
-  transport_->ChargeCpu(config_.costs.crypto.sign_us +
-                        config_.costs.send_us * members.size());
-  transport_->counters().Inc("mig.state_queries_sent");
+  transport_->ChargeCrypto(config_.costs.crypto.sign_us);
+  transport_->ChargeCpu(config_.costs.send_us * members.size());
+  transport_->counters().Inc(obs::CounterId::kMigStateQueriesSent);
   transport_->Multicast(members, query);
   if (++st.wait_rounds < 5) {
     std::uint64_t token2 = next_timer_token_++;
@@ -147,14 +152,14 @@ bool MigrationEngine::ValidateEndorse(const EndorsePrePrepareMsg& pp) {
       std::uint64_t claimed = RecordsDigest(pp.records);
       if (StateContentDigest(id, pp.op.client, claimed) !=
           pp.content_digest) {
-        transport_->counters().Inc("mig.bad_state_digest");
+        transport_->counters().Inc(obs::CounterId::kMigBadStateDigest);
         return false;
       }
       if (provider_ != nullptr) {
-        transport_->ChargeCpu(config_.costs.crypto.digest_us);
+        transport_->ChargeCrypto(config_.costs.crypto.digest_us);
         std::uint64_t own = RecordsDigest(provider_(pp.op.client));
         if (own != claimed) {
-          transport_->counters().Inc("mig.state_mismatch_rejected");
+          transport_->counters().Inc(obs::CounterId::kMigStateMismatchRejected);
           return false;
         }
       }
@@ -169,7 +174,7 @@ bool MigrationEngine::ValidateEndorse(const EndorsePrePrepareMsg& pp) {
       std::uint64_t claimed = RecordsDigest(pp.records);
       if (StateContentDigest(id, pp.op.client, claimed) !=
           pp.content_digest) {
-        transport_->counters().Inc("mig.bad_append_digest");
+        transport_->counters().Inc(obs::CounterId::kMigBadAppendDigest);
         return false;
       }
       // The embedded STATE message's certificate proves 2f+1 source-zone
@@ -180,11 +185,11 @@ bool MigrationEngine::ValidateEndorse(const EndorsePrePrepareMsg& pp) {
           !VerifyZoneCert(state->cert, state->ComputeDigest(),
                           state->source_zone)
                .ok()) {
-        transport_->counters().Inc("mig.bad_state_cert");
+        transport_->counters().Inc(obs::CounterId::kMigBadStateCert);
         return false;
       }
       if (state->records_digest != claimed) {
-        transport_->counters().Inc("mig.append_digest_mismatch");
+        transport_->counters().Inc(obs::CounterId::kMigAppendDigestMismatch);
         return false;
       }
       MigState& st = states_[id];
@@ -220,8 +225,10 @@ void MigrationEngine::OnEndorseQuorum(const EndorseKey& key,
       st.state_msg = msg;
       const auto& members = topology_->zone(st.op.destination).members;
       transport_->ChargeCpu(config_.costs.send_us * members.size());
-      transport_->counters().Inc("mig.states_sent");
+      transport_->counters().Inc(obs::CounterId::kMigStatesSent);
       transport_->Multicast(members, msg);
+      transport_->EndSpan(st.source_span);  // record read -> STATE shipped
+      st.source_span = 0;
       break;
     }
     case EndorsePhase::kMigrationAppend: {
@@ -232,7 +239,9 @@ void MigrationEngine::OnEndorseQuorum(const EndorseKey& key,
       transport_->ChargeCpu(config_.costs.apply_us);
       if (installer_ != nullptr) installer_(st.op.client, st.records);
       locks_->SetLocked(st.op.client, true);
-      transport_->counters().Inc("mig.appends");
+      transport_->EndSpan(st.install_span);  // STATE received -> installed
+      st.install_span = 0;
+      transport_->counters().Inc(obs::CounterId::kMigAppends);
       if (st.wait_timer != 0) {
         // Timer cancellation happens lazily (token map erased on fire).
         st.wait_timer = 0;
@@ -262,9 +271,10 @@ void MigrationEngine::HandleStateTransfer(
   }
   if (!VerifyZoneCert(msg->cert, msg->ComputeDigest(), msg->source_zone)
            .ok()) {
-    transport_->counters().Inc("mig.bad_state_cert");
+    transport_->counters().Inc(obs::CounterId::kMigBadStateCert);
     return;
   }
+  st.install_span = transport_->BeginSpan(obs::SpanKind::kMigDestInstall);
   endorser_->Start(
       EndorsePhase::kMigrationAppend, id, msg->ballot, kNullBallot,
       StateContentDigest(id, msg->client, msg->records_digest), msg,
@@ -281,7 +291,7 @@ void MigrationEngine::HandleResponseQuery(
     if (QueryId(id) != msg->request_id) continue;
     if (st.state_msg != nullptr) {
       transport_->ChargeCpu(config_.costs.send_us);
-      transport_->counters().Inc("mig.states_resent");
+      transport_->counters().Inc(obs::CounterId::kMigStatesResent);
       transport_->Send(msg->replica, st.state_msg);
     }
     return;

@@ -84,6 +84,10 @@ class MigrationEngine {
     bool appended = false;
     std::uint64_t wait_timer = 0;
     int wait_rounds = 0;
+    /// Trace spans (0 when untraced): source primary's record read ->
+    /// STATE shipped, and destination primary's STATE received -> installed.
+    obs::SpanId source_span = 0;
+    obs::SpanId install_span = 0;
   };
 
   void StartRecordGeneration(MigState& st);

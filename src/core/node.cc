@@ -139,7 +139,7 @@ void ZiziphusNode::OnMessage(const sim::MessagePtr& msg) {
   if (t == pbft::kClientRequest) {
     auto req = std::static_pointer_cast<const pbft::ClientRequestMsg>(msg);
     if (!locks_.IsLocked(req->op.client)) {
-      counters().Inc("node.unlocked_client_rejected");
+      counters().Inc(obs::CounterId::kNodeUnlockedClientRejected);
       return;
     }
     pbft_->HandleMessage(msg);
@@ -171,7 +171,7 @@ void ZiziphusNode::OnMessage(const sim::MessagePtr& msg) {
     sync_->HandleMessage(msg);
     return;
   }
-  counters().Inc("node.unroutable_message");
+  counters().Inc(obs::CounterId::kNodeUnroutableMessage);
 }
 
 void ZiziphusNode::OnTimer(std::uint64_t tag) {

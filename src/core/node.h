@@ -75,7 +75,20 @@ class ZiziphusNode : public sim::Process, public sim::Transport {
     Process::CancelTimer(timer_id);
   }
   void ChargeCpu(Duration cost) override { Process::ChargeCpu(cost); }
-  CounterSet& counters() override { return simulation()->counters(); }
+  void ChargeCrypto(Duration cost) override { Process::ChargeCrypto(cost); }
+  /// Node-scoped counters: increments roll up zone -> simulation totals.
+  CounterSet& counters() override { return Process::scoped_counters(); }
+  obs::Recorder& recorder() override { return simulation()->recorder(); }
+  obs::TraceContext trace_context() const override {
+    return Process::trace_context();
+  }
+  void set_trace_context(const obs::TraceContext& ctx) override {
+    Process::set_trace_context(ctx);
+  }
+  obs::SpanId BeginSpan(obs::SpanKind kind) override {
+    return Process::BeginSpan(kind);
+  }
+  void EndSpan(obs::SpanId span) override { Process::EndSpan(span); }
 
   // ---- Introspection ---------------------------------------------------
   ZoneId zone() const { return zone_; }

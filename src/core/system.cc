@@ -26,6 +26,7 @@ void ZiziphusSystem::Finalize(const NodeConfig& config,
     for (std::size_t i = 0; i < pending_[z].n_nodes; ++i) {
       auto node = std::make_unique<ZiziphusNode>();
       NodeId id = sim_.Register(node.get(), pending_[z].region);
+      sim_.recorder().RegisterNode(id, static_cast<ZoneId>(z));
       members[z].push_back(id);
       node_by_id_[id] = node.get();
       nodes_.push_back(std::move(node));

@@ -1,0 +1,30 @@
+#ifndef ZIZIPHUS_OBS_CONTEXT_H_
+#define ZIZIPHUS_OBS_CONTEXT_H_
+
+#include <cstdint>
+
+namespace ziziphus::obs {
+
+using TraceId = std::uint64_t;
+using SpanId = std::uint64_t;
+
+/// Causal trace coordinates carried on every simulated message. A zero
+/// trace_id means "not traced" — the default, and what untraced senders
+/// stamp, so the cost of disabled tracing is two stored zeros per message.
+///
+/// This lives apart from trace.h so sim::Message can embed it without
+/// pulling the tracer machinery into every translation unit.
+struct TraceContext {
+  TraceId trace_id = 0;
+  /// Span at the sender under which the receive-side span is parented
+  /// (the sender's innermost open span at Send time).
+  SpanId parent_span = 0;
+
+  bool active() const { return trace_id != 0; }
+
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+}  // namespace ziziphus::obs
+
+#endif  // ZIZIPHUS_OBS_CONTEXT_H_

@@ -1,0 +1,316 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "obs/recorder.h"
+
+namespace ziziphus::obs {
+
+std::string_view SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kClientOp: return "client_op";
+    case SpanKind::kTransit: return "transit";
+    case SpanKind::kHandle: return "handle";
+    case SpanKind::kPbftConsensus: return "pbft.consensus";
+    case SpanKind::kPbftPreparePhase: return "pbft.prepare_phase";
+    case SpanKind::kPbftCommitPhase: return "pbft.commit_phase";
+    case SpanKind::kPbftExecute: return "pbft.execute";
+    case SpanKind::kEndorseRound: return "endorse.round";
+    case SpanKind::kCertBuild: return "cert.build";
+    case SpanKind::kCertVerify: return "cert.verify";
+    case SpanKind::kSyncBallot: return "sync.ballot";
+    case SpanKind::kProxyRelay: return "proxy.relay";
+    case SpanKind::kMigSourceRead: return "mig.source_read";
+    case SpanKind::kMigDestInstall: return "mig.dest_install";
+    case SpanKind::kViewChange: return "view_change";
+    case SpanKind::kCount: break;
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Histogram fed when a span of this kind closes (nullopt = none; transit
+/// picks wan/lan at close time).
+std::optional<HistogramId> HistogramFor(SpanKind kind, bool wan) {
+  switch (kind) {
+    case SpanKind::kClientOp: return HistogramId::kSpanClientOpUs;
+    case SpanKind::kTransit:
+      return wan ? HistogramId::kSpanTransitWanUs
+                 : HistogramId::kSpanTransitLanUs;
+    case SpanKind::kHandle: return HistogramId::kSpanHandleUs;
+    case SpanKind::kPbftConsensus: return HistogramId::kSpanPbftConsensusUs;
+    case SpanKind::kPbftPreparePhase:
+      return HistogramId::kSpanPbftPreparePhaseUs;
+    case SpanKind::kPbftCommitPhase:
+      return HistogramId::kSpanPbftCommitPhaseUs;
+    case SpanKind::kPbftExecute: return HistogramId::kSpanPbftExecuteUs;
+    case SpanKind::kEndorseRound: return HistogramId::kSpanEndorseRoundUs;
+    case SpanKind::kCertBuild: return HistogramId::kSpanCertBuildUs;
+    case SpanKind::kCertVerify: return HistogramId::kSpanCertVerifyUs;
+    case SpanKind::kSyncBallot: return HistogramId::kSpanSyncBallotUs;
+    case SpanKind::kProxyRelay: return HistogramId::kSpanProxyRelayUs;
+    case SpanKind::kMigSourceRead: return HistogramId::kSpanMigSourceReadUs;
+    case SpanKind::kMigDestInstall:
+      return HistogramId::kSpanMigDestInstallUs;
+    case SpanKind::kViewChange: return HistogramId::kSpanViewChangeUs;
+    case SpanKind::kCount: break;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+TraceContext Tracer::StartTrace(NodeId node, SimTime now, std::uint64_t attr) {
+  if (!enabled_ || sample_every_ == 0) return {};
+  if (sample_counter_++ % sample_every_ != 0) return {};
+  if (max_spans_ != 0 && spans_.size() >= max_spans_) {
+    if (recorder_ != nullptr) {
+      recorder_->counters().Inc(CounterId::kObsSpansDropped);
+    }
+    return {};
+  }
+  TraceId trace = next_trace_++;
+  spans_.push_back(Span{.id = spans_.size() + 1,
+                        .trace = trace,
+                        .parent = 0,
+                        .kind = SpanKind::kClientOp,
+                        .node = node,
+                        .start = now,
+                        .arrival = now,
+                        .attr = attr});
+  open_count_++;
+  roots_[trace] = spans_.back().id;
+  if (recorder_ != nullptr) {
+    recorder_->counters().Inc(CounterId::kObsTracesStarted);
+    recorder_->counters().Inc(CounterId::kObsSpansOpened);
+  }
+  return TraceContext{trace, spans_.back().id};
+}
+
+SpanId Tracer::OpenChild(const TraceContext& ctx, SpanKind kind, NodeId node,
+                         SimTime start) {
+  if (!enabled_ || !ctx.active()) return 0;
+  if (max_spans_ != 0 && spans_.size() >= max_spans_) {
+    if (recorder_ != nullptr) {
+      recorder_->counters().Inc(CounterId::kObsSpansDropped);
+    }
+    return 0;
+  }
+  spans_.push_back(Span{.id = spans_.size() + 1,
+                        .trace = ctx.trace_id,
+                        .parent = ctx.parent_span,
+                        .kind = kind,
+                        .node = node,
+                        .start = start,
+                        .arrival = start});
+  open_count_++;
+  if (recorder_ != nullptr) {
+    recorder_->counters().Inc(CounterId::kObsSpansOpened);
+  }
+  return spans_.back().id;
+}
+
+bool Tracer::Close(SpanId id, SimTime end) {
+  if (id == 0 || !valid(id)) return false;
+  Span& s = spans_[id - 1];
+  if (!s.open) return false;
+  s.open = false;
+  s.end = std::max(end, s.start);
+  ZCHECK(open_count_ > 0);
+  open_count_--;
+  RecordClose(s);
+  return true;
+}
+
+void Tracer::CompleteTrace(const TraceContext& ctx, SpanId completing_span,
+                           SimTime end) {
+  if (!ctx.active()) return;
+  auto it = roots_.find(ctx.trace_id);
+  if (it == roots_.end()) return;
+  if (completing_span != 0 && valid(completing_span) &&
+      at(completing_span).trace == ctx.trace_id) {
+    completions_[ctx.trace_id] = completing_span;
+  }
+  if (Close(it->second, end) && recorder_ != nullptr) {
+    recorder_->counters().Inc(CounterId::kObsTracesCompleted);
+  }
+}
+
+void Tracer::AddCpu(SpanId id, Duration cost, bool crypto) {
+  if (id == 0 || !valid(id)) return;
+  Span& s = spans_[id - 1];
+  s.cpu_us += cost;
+  if (crypto) s.crypto_us += cost;
+}
+
+void Tracer::SetTransitInfo(SpanId id, std::uint64_t msg_type,
+                            std::uint64_t bytes, bool wan) {
+  if (id == 0 || !valid(id)) return;
+  Span& s = spans_[id - 1];
+  s.attr = msg_type;
+  s.bytes = bytes;
+  s.wan = wan;
+}
+
+void Tracer::SetArrival(SpanId id, SimTime arrival) {
+  if (id == 0 || !valid(id)) return;
+  spans_[id - 1].arrival = arrival;
+}
+
+void Tracer::SetAttr(SpanId id, std::uint64_t attr) {
+  if (id == 0 || !valid(id)) return;
+  spans_[id - 1].attr = attr;
+}
+
+void Tracer::RecordClose(const Span& span) {
+  if (recorder_ == nullptr) return;
+  if (auto hist = HistogramFor(span.kind, span.wan)) {
+    recorder_->Record(*hist, span.duration());
+  }
+}
+
+std::vector<SpanId> Tracer::OpenSpans() const {
+  std::vector<SpanId> out;
+  for (const Span& s : spans_) {
+    if (s.open) out.push_back(s.id);
+  }
+  return out;
+}
+
+std::vector<SpanId> Tracer::Orphans() const {
+  std::vector<SpanId> out;
+  for (const Span& s : spans_) {
+    if (s.parent == 0) continue;
+    if (!valid(s.parent) || at(s.parent).trace != s.trace) {
+      out.push_back(s.id);
+    }
+  }
+  return out;
+}
+
+std::vector<SpanId> Tracer::SpansOf(TraceId trace) const {
+  std::vector<SpanId> out;
+  for (const Span& s : spans_) {
+    if (s.trace == trace) out.push_back(s.id);
+  }
+  return out;
+}
+
+const Span* Tracer::Root(TraceId trace) const {
+  auto it = roots_.find(trace);
+  return it == roots_.end() ? nullptr : &at(it->second);
+}
+
+SpanId Tracer::CompletionOf(TraceId trace) const {
+  auto it = completions_.find(trace);
+  return it == completions_.end() ? 0 : it->second;
+}
+
+std::vector<TraceId> Tracer::CompletedTraces() const {
+  std::vector<TraceId> out;
+  for (const auto& [trace, span] : completions_) {
+    const Span* root = Root(trace);
+    if (root != nullptr && !root->open) out.push_back(trace);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Duration Tracer::Breakdown::Sum() const {
+  Duration total = wan_us + lan_us + queue_us + crypto_us;
+  for (const auto& [label, us] : phase_us) total += us;
+  return total;
+}
+
+std::string Tracer::Breakdown::ToString() const {
+  std::ostringstream os;
+  os << "total=" << total_us << "us wan=" << wan_us << " lan=" << lan_us
+     << " queue=" << queue_us << " crypto=" << crypto_us;
+  for (const auto& [label, us] : phase_us) os << " " << label << "=" << us;
+  if (!complete) os << " (incomplete)";
+  return os.str();
+}
+
+Tracer::Breakdown Tracer::CriticalPath(TraceId trace,
+                                       const TypeLabeler& labeler) const {
+  Breakdown b;
+  const Span* root = Root(trace);
+  if (root == nullptr || root->open) return b;
+  b.total_us = root->duration();
+  SpanId completion = CompletionOf(trace);
+  if (completion == 0) return b;
+
+  // Collect the causal chain completion -> root via parent links.
+  std::vector<const Span*> chain;
+  SpanId id = completion;
+  while (id != 0) {
+    if (!valid(id)) return b;
+    const Span& s = at(id);
+    if (s.trace != trace || s.open) return b;
+    chain.push_back(&s);
+    if (s.id == root->id) break;
+    id = s.parent;
+  }
+  if (chain.empty() || chain.back()->id != root->id) return b;
+  std::reverse(chain.begin(), chain.end());
+
+  // Walk forward, attributing every microsecond between root->start and
+  // root->end to exactly one component. `t` is the accounted-up-to time;
+  // `crypto_budget` is how much of the current node's charged crypto time
+  // can still be carved out of sender-side gaps.
+  SimTime t = root->start;
+  std::string label = "client";
+  Duration crypto_budget = root->crypto_us;
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    const Span& s = *chain[i];
+    if (s.kind == SpanKind::kTransit) {
+      // Gap before departure: time at the sender in phase `label`.
+      if (s.start > t) {
+        Duration gap = s.start - t;
+        Duration crypto = std::min(crypto_budget, gap);
+        crypto_budget -= crypto;
+        b.crypto_us += crypto;
+        if (gap > crypto) b.phase_us[label] += gap - crypto;
+        t = s.start;
+      }
+      if (s.end > t) {
+        (s.wan ? b.wan_us : b.lan_us) += s.end - t;
+        t = s.end;
+      }
+    } else if (s.kind == SpanKind::kHandle) {
+      // Gap before handling begins: receiver core was busy.
+      if (s.start > t) {
+        b.queue_us += s.start - t;
+        t = s.start;
+      }
+      label = labeler ? labeler(s.attr) : std::string(SpanKindName(s.kind));
+      crypto_budget = s.crypto_us;
+    } else {
+      // Protocol span on the chain (rare): refines the label only.
+      label = std::string(SpanKindName(s.kind));
+    }
+  }
+  // Tail: completion handling up to the root's close.
+  if (root->end > t) {
+    Duration gap = root->end - t;
+    Duration crypto = std::min(crypto_budget, gap);
+    b.crypto_us += crypto;
+    if (gap > crypto) b.phase_us[label] += gap - crypto;
+  }
+  b.complete = true;
+  return b;
+}
+
+void Tracer::Clear() {
+  spans_.clear();
+  roots_.clear();
+  completions_.clear();
+  open_count_ = 0;
+  // next_trace_ / sample_counter_ keep running: a Clear at the measurement
+  // boundary must not re-align the sampling phase.
+}
+
+}  // namespace ziziphus::obs

@@ -1,0 +1,188 @@
+#ifndef ZIZIPHUS_OBS_TRACE_H_
+#define ZIZIPHUS_OBS_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/context.h"
+
+namespace ziziphus::obs {
+
+class Recorder;
+
+/// What a span measures. kTransit and kHandle are opened by the simulator
+/// itself (wire time and handler occupancy); everything else is opened by a
+/// protocol engine at a semantic boundary.
+enum class SpanKind : std::uint8_t {
+  /// Root: one client operation, open from issue to reply quorum.
+  kClientOp,
+  /// One message on the wire: send departure to delivery.
+  kTransit,
+  /// One delivery being handled at a node (starts at max(arrival, busy)).
+  kHandle,
+  // ---- Protocol phases -------------------------------------------------
+  kPbftConsensus,     // pre-prepare received -> executed (per slot)
+  kPbftPreparePhase,  // pre-prepare received -> prepared
+  kPbftCommitPhase,   // prepared -> committed
+  kPbftExecute,       // commit quorum -> execution done
+  kEndorseRound,      // endorsement start -> quorum certificate built
+  kCertBuild,         // assembling a certificate (threshold/vector sigs)
+  kCertVerify,        // verifying a received certificate
+  kSyncBallot,        // data-sync ballot led -> global commit sent
+  kProxyRelay,        // cross-cluster proxy receives -> forwards
+  kMigSourceRead,     // migration: source zone read/state assembly
+  kMigDestInstall,    // migration: destination install/append
+  kViewChange,        // view change start -> new view active
+  kCount
+};
+
+std::string_view SpanKindName(SpanKind kind);
+
+/// One interval in a trace. Spans form a tree per trace via `parent`;
+/// cross-node edges alternate kTransit (on the wire) and kHandle (at the
+/// receiver), so walking parents from any span reaches the root kClientOp
+/// through every hop that causally produced it.
+struct Span {
+  SpanId id = 0;
+  TraceId trace = 0;
+  SpanId parent = 0;  // 0 = root
+  SpanKind kind = SpanKind::kClientOp;
+  NodeId node = kInvalidNode;
+  SimTime start = 0;
+  SimTime end = 0;
+  /// kHandle: wire arrival (start may be later if the core was busy).
+  SimTime arrival = 0;
+  /// CPU charged while this span was the node's innermost open span.
+  Duration cpu_us = 0;
+  /// Portion of cpu_us that was cryptography (sign/verify/digest).
+  Duration crypto_us = 0;
+  /// kTransit / kHandle: message type tag. kClientOp: workload class.
+  std::uint64_t attr = 0;
+  /// kTransit: wire bytes.
+  std::uint64_t bytes = 0;
+  /// kTransit: crossed a region boundary (WAN link).
+  bool wan = false;
+  bool open = true;
+
+  Duration duration() const { return end - start; }
+};
+
+/// Deterministic causal tracer. Spans are stored in one flat arena indexed
+/// by SpanId (1-based, 0 = none); ids are assigned in open order, so two
+/// same-seed runs produce identical arenas.
+///
+/// Sampling: StartTrace grants a trace to every `sample_every`-th request
+/// (deterministic modulo counter, no RNG). Disabled => every call returns
+/// an inactive context and the per-message cost is a branch.
+class Tracer {
+ public:
+  explicit Tracer(Recorder* recorder = nullptr) : recorder_(recorder) {}
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+  /// Grant a root trace to every n-th StartTrace call (1 = all, 0 = none).
+  void set_sample_every(std::uint64_t n) { sample_every_ = n; }
+  /// Stop admitting new traces once the arena holds this many spans
+  /// (in-flight traces still complete). 0 = unlimited.
+  void set_max_spans(std::size_t n) { max_spans_ = n; }
+
+  /// Root entry point for client operations. Returns an inactive context
+  /// when tracing is off or this request is not sampled; otherwise opens a
+  /// kClientOp root span and returns its coordinates.
+  TraceContext StartTrace(NodeId node, SimTime now, std::uint64_t attr = 0);
+
+  /// Opens a child span under `ctx`; no-op (returns 0) for inactive
+  /// contexts. The returned context for further propagation is
+  /// {ctx.trace_id, returned id}.
+  SpanId OpenChild(const TraceContext& ctx, SpanKind kind, NodeId node,
+                   SimTime start);
+
+  /// Closes an open span. Tolerates id 0 and double-close (returns false)
+  /// so call sites don't need to mirror the sampling decision.
+  bool Close(SpanId id, SimTime end);
+
+  /// Marks the span that semantically completed its trace (the reply whose
+  /// quorum released the client); closes the root at `end`.
+  void CompleteTrace(const TraceContext& ctx, SpanId completing_span,
+                     SimTime end);
+
+  /// Attributes CPU time to an open span (crypto=true for sign/verify).
+  void AddCpu(SpanId id, Duration cost, bool crypto);
+
+  /// Transit-span details, set by the simulator at send time.
+  void SetTransitInfo(SpanId id, std::uint64_t msg_type, std::uint64_t bytes,
+                      bool wan);
+  void SetArrival(SpanId id, SimTime arrival);
+  void SetAttr(SpanId id, std::uint64_t attr);
+
+  // ---- Introspection ---------------------------------------------------
+
+  std::size_t size() const { return spans_.size(); }
+  std::size_t open_count() const { return open_count_; }
+  const Span& at(SpanId id) const { return spans_[id - 1]; }
+  bool valid(SpanId id) const { return id >= 1 && id <= spans_.size(); }
+
+  std::vector<SpanId> OpenSpans() const;
+  /// Spans whose parent id does not reference a valid span of the same
+  /// trace (broken causal links; should be empty in a healthy run).
+  std::vector<SpanId> Orphans() const;
+  std::vector<SpanId> SpansOf(TraceId trace) const;
+  const Span* Root(TraceId trace) const;
+  SpanId CompletionOf(TraceId trace) const;
+  std::vector<TraceId> CompletedTraces() const;
+
+  // ---- Critical-path analysis ------------------------------------------
+
+  /// Maps a message type tag to a phase label ("pbft.prepare", ...). The
+  /// obs layer cannot see protocol headers, so the app layer supplies this.
+  using TypeLabeler = std::function<std::string(std::uint64_t msg_type)>;
+
+  /// Where one traced operation's latency went, decomposed along the causal
+  /// chain from the root to the completing span. By construction of the
+  /// simulator's CPU/latency model the components sum exactly:
+  ///   total_us == wan_us + lan_us + queue_us + crypto_us + sum(phase_us).
+  struct Breakdown {
+    Duration total_us = 0;
+    Duration wan_us = 0;    // transit time on inter-region links
+    Duration lan_us = 0;    // transit time inside a region
+    Duration queue_us = 0;  // waiting for a busy core
+    Duration crypto_us = 0; // critical-path cryptography
+    /// Non-crypto time spent at a node between receiving a phase message
+    /// and emitting the next one (handler CPU plus batching waits), keyed
+    /// by the phase label of the message being handled.
+    std::map<std::string, Duration> phase_us;
+    bool complete = false;  // chain resolved root -> completion
+
+    Duration Sum() const;
+    std::string ToString() const;
+  };
+
+  Breakdown CriticalPath(TraceId trace, const TypeLabeler& labeler) const;
+
+  void Clear();
+
+ private:
+  friend class Recorder;
+
+  void RecordClose(const Span& span);
+
+  Recorder* recorder_;
+  bool enabled_ = false;
+  std::uint64_t sample_every_ = 1;
+  std::uint64_t sample_counter_ = 0;
+  std::size_t max_spans_ = 1u << 20;
+  TraceId next_trace_ = 1;
+  std::vector<Span> spans_;
+  std::unordered_map<TraceId, SpanId> roots_;
+  std::unordered_map<TraceId, SpanId> completions_;
+  std::size_t open_count_ = 0;
+};
+
+}  // namespace ziziphus::obs
+
+#endif  // ZIZIPHUS_OBS_TRACE_H_

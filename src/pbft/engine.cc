@@ -33,36 +33,43 @@ bool PbftEngine::HandleMessage(const sim::MessagePtr& msg) {
   const auto& costs = config_.costs;
   switch (msg->type()) {
     case kClientRequest:
-      transport_->ChargeCpu(costs.base_handle_us + costs.mac_us);
+      transport_->ChargeCpu(costs.base_handle_us);
+      transport_->ChargeCrypto(costs.mac_us);
       HandleClientRequest(
           std::static_pointer_cast<const ClientRequestMsg>(msg));
       return true;
     case kPrePrepare: {
       auto m = std::static_pointer_cast<const PrePrepareMsg>(msg);
       // Verify the primary's signature plus the client MACs in the batch.
-      transport_->ChargeCpu(costs.base_handle_us + costs.crypto.verify_us +
-                            costs.mac_us * m->batch.ops.size());
+      transport_->ChargeCpu(costs.base_handle_us);
+      transport_->ChargeCrypto(costs.crypto.verify_us +
+                               costs.mac_us * m->batch.ops.size());
       HandlePrePrepare(m);
       return true;
     }
     case kPrepare:
-      transport_->ChargeCpu(costs.base_handle_us + costs.crypto.verify_us);
+      transport_->ChargeCpu(costs.base_handle_us);
+      transport_->ChargeCrypto(costs.crypto.verify_us);
       HandlePrepare(std::static_pointer_cast<const PrepareMsg>(msg));
       return true;
     case kCommit:
-      transport_->ChargeCpu(costs.base_handle_us + costs.crypto.verify_us);
+      transport_->ChargeCpu(costs.base_handle_us);
+      transport_->ChargeCrypto(costs.crypto.verify_us);
       HandleCommit(std::static_pointer_cast<const CommitMsg>(msg));
       return true;
     case kCheckpoint:
-      transport_->ChargeCpu(costs.base_handle_us + costs.crypto.verify_us);
+      transport_->ChargeCpu(costs.base_handle_us);
+      transport_->ChargeCrypto(costs.crypto.verify_us);
       HandleCheckpoint(std::static_pointer_cast<const CheckpointMsg>(msg));
       return true;
     case kViewChange:
-      transport_->ChargeCpu(costs.base_handle_us + costs.crypto.verify_us);
+      transport_->ChargeCpu(costs.base_handle_us);
+      transport_->ChargeCrypto(costs.crypto.verify_us);
       HandleViewChange(std::static_pointer_cast<const ViewChangeMsg>(msg));
       return true;
     case kNewView:
-      transport_->ChargeCpu(costs.base_handle_us + costs.crypto.verify_us);
+      transport_->ChargeCpu(costs.base_handle_us);
+      transport_->ChargeCrypto(costs.crypto.verify_us);
       HandleNewView(std::static_pointer_cast<const NewViewMsg>(msg));
       return true;
     case kStateRequest:
@@ -70,7 +77,8 @@ bool PbftEngine::HandleMessage(const sim::MessagePtr& msg) {
       HandleStateRequest(std::static_pointer_cast<const StateRequestMsg>(msg));
       return true;
     case kStateResponse:
-      transport_->ChargeCpu(costs.base_handle_us + costs.crypto.digest_us);
+      transport_->ChargeCpu(costs.base_handle_us);
+      transport_->ChargeCrypto(costs.crypto.digest_us);
       HandleStateResponse(
           std::static_pointer_cast<const StateResponseMsg>(msg));
       return true;
@@ -89,7 +97,7 @@ bool PbftEngine::HandleTimer(std::uint64_t tag) {
     case kProgressTimer:
       progress_timer_ = 0;
       if (view_changes_enabled_) {
-        transport_->counters().Inc("pbft.progress_timeout");
+        transport_->counters().Inc(obs::CounterId::kPbftProgressTimeout);
         StartViewChange(view_ + 1);
       }
       break;
@@ -113,7 +121,7 @@ void PbftEngine::HandleClientRequest(
     const std::shared_ptr<const ClientRequestMsg>& msg) {
   // Authenticate the client.
   if (!keys_->Verify(msg->client_sig, msg->op.ComputeDigest())) {
-    transport_->counters().Inc("pbft.bad_client_sig");
+    transport_->counters().Inc(obs::CounterId::kPbftBadClientSig);
     return;
   }
   auto it = clients_.find(msg->op.client);
@@ -151,6 +159,9 @@ void PbftEngine::EnqueueOp(const Operation& op) {
     return;
   }
   seen_ops_[d] = true;
+  if (obs::TraceContext ctx = transport_->trace_context(); ctx.active()) {
+    pending_traces_.emplace(d, ctx);
+  }
   pending_.push_back(op);
   if (IsPrimary() && view_active_) {
     MaybeProposeBatch(/*timer_fired=*/false);
@@ -189,15 +200,28 @@ void PbftEngine::ProposeBatch(Batch batch) {
     return;
   }
   next_seq_ = seq;
+  // Bridge the causal trace across the batching boundary: when the batch
+  // timer (not the tipping request) triggers this proposal, adopt the trace
+  // of the first traced operation in the batch so its chain continues
+  // through the pre-prepare. The other traces stay un-bridged — one batch
+  // carries at most one causal chain.
+  for (const auto& op : batch.ops) {
+    auto it = pending_traces_.find(op.ComputeDigest());
+    if (it == pending_traces_.end()) continue;
+    if (!transport_->trace_context().active()) {
+      transport_->set_trace_context(it->second);
+    }
+    pending_traces_.erase(it);
+  }
   auto msg = std::make_shared<PrePrepareMsg>();
   msg->view = view_;
   msg->seq = seq;
   msg->batch_digest = batch.ComputeDigest();
   msg->batch = std::move(batch);
   msg->sig = keys_->Sign(transport_->self(), msg->ComputeDigest());
-  transport_->ChargeCpu(config_.costs.crypto.sign_us +
-                        config_.costs.send_us * config_.members.size());
-  transport_->counters().Inc("pbft.batches_proposed");
+  transport_->ChargeCrypto(config_.costs.crypto.sign_us);
+  transport_->ChargeCpu(config_.costs.send_us * config_.members.size());
+  transport_->counters().Inc(obs::CounterId::kPbftBatchesProposed);
   EmitPrePrepare(msg);
 }
 
@@ -210,28 +234,30 @@ void PbftEngine::HandlePrePrepare(
   if (!view_active_ || msg->view != view_) return;
   if (msg->from() != primary()) return;
   if (!keys_->Verify(msg->sig, msg->ComputeDigest())) {
-    transport_->counters().Inc("pbft.bad_sig");
+    transport_->counters().Inc(obs::CounterId::kPbftBadSig);
     return;
   }
   if (msg->batch_digest != msg->batch.ComputeDigest()) {
-    transport_->counters().Inc("pbft.bad_batch_digest");
+    transport_->counters().Inc(obs::CounterId::kPbftBadBatchDigest);
     return;
   }
   if (msg->seq <= stable_seq_ ||
       msg->seq > stable_seq_ + config_.watermark_window) {
-    transport_->counters().Inc("pbft.out_of_window");
+    transport_->counters().Inc(obs::CounterId::kPbftOutOfWindow);
     return;
   }
   Slot& slot = slots_[msg->seq];
   if (slot.pre_prepare != nullptr) {
     if (slot.pre_prepare->batch_digest != msg->batch_digest) {
       // Equivocating primary: keep the first, suspect the primary.
-      transport_->counters().Inc("pbft.equivocation_detected");
+      transport_->counters().Inc(obs::CounterId::kPbftEquivocationDetected);
       if (view_changes_enabled_) StartViewChange(view_ + 1);
     }
     return;
   }
   slot.pre_prepare = msg;
+  slot.consensus_span = transport_->BeginSpan(obs::SpanKind::kPbftConsensus);
+  slot.prepare_span = transport_->BeginSpan(obs::SpanKind::kPbftPreparePhase);
   ArmProgressTimer();
 
   auto prep = std::make_shared<PrepareMsg>();
@@ -240,8 +266,8 @@ void PbftEngine::HandlePrePrepare(
   prep->batch_digest = msg->batch_digest;
   prep->replica = transport_->self();
   prep->sig = keys_->Sign(transport_->self(), prep->ComputeDigest());
-  transport_->ChargeCpu(config_.costs.crypto.sign_us +
-                        config_.costs.send_us * config_.members.size());
+  transport_->ChargeCrypto(config_.costs.crypto.sign_us);
+  transport_->ChargeCpu(config_.costs.send_us * config_.members.size());
   transport_->Multicast(config_.members, prep);
   TryPrepare(msg->seq);
 }
@@ -250,7 +276,7 @@ void PbftEngine::HandlePrepare(const std::shared_ptr<const PrepareMsg>& msg) {
   if (!view_active_ || msg->view != view_) return;
   if (!IsMember(msg->replica) || msg->replica != msg->from()) return;
   if (!keys_->Verify(msg->sig, msg->ComputeDigest())) {
-    transport_->counters().Inc("pbft.bad_sig");
+    transport_->counters().Inc(obs::CounterId::kPbftBadSig);
     return;
   }
   Slot& slot = slots_[msg->seq];
@@ -274,6 +300,9 @@ void PbftEngine::TryPrepare(SeqNum seq) {
   if (!slot.prepares.count(slot.pre_prepare->from())) votes += 1;
   if (votes < Quorum()) return;
   slot.prepared = true;
+  transport_->EndSpan(slot.prepare_span);
+  slot.prepare_span = 0;
+  slot.commit_span = transport_->BeginSpan(obs::SpanKind::kPbftCommitPhase);
   prepared_proofs_[seq] =
       PreparedProof{slot.pre_prepare->view, seq,
                     slot.pre_prepare->batch_digest, slot.pre_prepare->batch};
@@ -284,8 +313,8 @@ void PbftEngine::TryPrepare(SeqNum seq) {
   commit->batch_digest = slot.pre_prepare->batch_digest;
   commit->replica = transport_->self();
   commit->sig = keys_->Sign(transport_->self(), commit->ComputeDigest());
-  transport_->ChargeCpu(config_.costs.crypto.sign_us +
-                        config_.costs.send_us * config_.members.size());
+  transport_->ChargeCrypto(config_.costs.crypto.sign_us);
+  transport_->ChargeCpu(config_.costs.send_us * config_.members.size());
   transport_->Multicast(config_.members, commit);
   TryCommit(seq);
 }
@@ -294,7 +323,7 @@ void PbftEngine::HandleCommit(const std::shared_ptr<const CommitMsg>& msg) {
   if (msg->view > view_ || (!view_active_ && msg->view == view_)) return;
   if (!IsMember(msg->replica) || msg->replica != msg->from()) return;
   if (!keys_->Verify(msg->sig, msg->ComputeDigest())) {
-    transport_->counters().Inc("pbft.bad_sig");
+    transport_->counters().Inc(obs::CounterId::kPbftBadSig);
     return;
   }
   if (msg->seq <= stable_seq_) return;
@@ -314,7 +343,9 @@ void PbftEngine::TryCommit(SeqNum seq) {
   if (slot.committed || !slot.prepared) return;
   if (slot.commits.size() < Quorum()) return;
   slot.committed = true;
-  transport_->counters().Inc("pbft.batches_committed");
+  transport_->EndSpan(slot.commit_span);
+  slot.commit_span = 0;
+  transport_->counters().Inc(obs::CounterId::kPbftBatchesCommitted);
   ExecuteReady();
 }
 
@@ -328,9 +359,13 @@ void PbftEngine::ExecuteReady() {
     Slot& slot = it->second;
     slot.executed = true;
     SeqNum seq = it->first;
+    obs::SpanId exec_span = transport_->BeginSpan(obs::SpanKind::kPbftExecute);
     for (const auto& op : slot.pre_prepare->batch.ops) {
       ExecuteOp(seq, op);
     }
+    transport_->EndSpan(exec_span);
+    transport_->EndSpan(slot.consensus_span);
+    slot.consensus_span = 0;
     commit_log_.Append(storage::LogEntry{
         seq, slot.pre_prepare->batch_digest,
         "batch:" + std::to_string(slot.pre_prepare->batch.ops.size())});
@@ -359,6 +394,7 @@ void PbftEngine::ExecuteReady() {
 void PbftEngine::ExecuteOp(SeqNum seq, const Operation& op) {
   std::uint64_t digest = op.ComputeDigest();
   seen_ops_.erase(digest);
+  pending_traces_.erase(digest);
   // Drop the request from the backlog kept for view changes.
   std::erase_if(pending_, [digest](const Operation& p) {
     return p.ComputeDigest() == digest;
@@ -378,7 +414,8 @@ void PbftEngine::ExecuteOp(SeqNum seq, const Operation& op) {
     reply->replica = transport_->self();
     reply->result = result;
     cs.last_reply = reply;
-    transport_->ChargeCpu(config_.costs.mac_us + config_.costs.send_us);
+    transport_->ChargeCrypto(config_.costs.mac_us);
+    transport_->ChargeCpu(config_.costs.send_us);
     transport_->Send(op.client, reply);
   }
   if (executed_callback_) executed_callback_(seq, op, result);
@@ -396,8 +433,8 @@ void PbftEngine::MaybeCheckpoint() {
   msg->state_digest = state_machine_->StateDigest();
   msg->replica = transport_->self();
   msg->sig = keys_->Sign(transport_->self(), msg->ComputeDigest());
-  transport_->ChargeCpu(config_.costs.crypto.sign_us +
-                        config_.costs.send_us * config_.members.size());
+  transport_->ChargeCrypto(config_.costs.crypto.sign_us);
+  transport_->ChargeCpu(config_.costs.send_us * config_.members.size());
   transport_->Multicast(config_.members, msg);
 }
 
@@ -405,7 +442,7 @@ void PbftEngine::HandleCheckpoint(
     const std::shared_ptr<const CheckpointMsg>& msg) {
   if (!IsMember(msg->replica) || msg->replica != msg->from()) return;
   if (!keys_->Verify(msg->sig, msg->ComputeDigest())) {
-    transport_->counters().Inc("pbft.bad_sig");
+    transport_->counters().Inc(obs::CounterId::kPbftBadSig);
     return;
   }
   if (msg->seq <= stable_seq_) return;
@@ -453,7 +490,7 @@ void PbftEngine::AdvanceStable(SeqNum seq, const crypto::Certificate& cert) {
   checkpoint_votes_.erase(checkpoint_votes_.begin(),
                           checkpoint_votes_.upper_bound(seq));
   commit_log_.TruncatePrefix(seq);
-  transport_->counters().Inc("pbft.stable_checkpoints");
+  transport_->counters().Inc(obs::CounterId::kPbftStableCheckpoints);
   if (stable_checkpoint_callback_) {
     stable_checkpoint_callback_(last_stable_checkpoint_);
   }
@@ -486,7 +523,8 @@ void PbftEngine::HandleStateRequest(
   resp->seq = last_executed_;
   resp->state_digest = state_machine_->StateDigest();
   resp->snapshot = state_machine_->Snapshot();
-  transport_->ChargeCpu(config_.costs.send_us + config_.costs.crypto.digest_us);
+  transport_->ChargeCrypto(config_.costs.crypto.digest_us);
+  transport_->ChargeCpu(config_.costs.send_us);
   transport_->Send(msg->replica, resp);
 }
 
@@ -500,7 +538,7 @@ void PbftEngine::HandleStateResponse(
   if (pending_transfer_digest_ != 0 && msg->seq == pending_transfer_seq_) {
     // Digest certified by 2f+1 checkpoint votes: one matching copy suffices.
     if (msg->state_digest != pending_transfer_digest_) {
-      transport_->counters().Inc("pbft.bad_state_transfer");
+      transport_->counters().Inc(obs::CounterId::kPbftBadStateTransfer);
       return;
     }
     install = true;
@@ -516,7 +554,7 @@ void PbftEngine::HandleStateResponse(
   state_machine_->Restore(msg->snapshot);
   if (state_machine_->StateDigest() != msg->state_digest) {
     // Snapshot does not hash to the claimed digest: reject and keep waiting.
-    transport_->counters().Inc("pbft.bad_state_transfer");
+    transport_->counters().Inc(obs::CounterId::kPbftBadStateTransfer);
     return;
   }
   last_executed_ = std::max(last_executed_, msg->seq);
@@ -527,7 +565,7 @@ void PbftEngine::HandleStateResponse(
   pending_transfer_seq_ = 0;
   pending_transfer_digest_ = 0;
   transfer_votes_.clear();
-  transport_->counters().Inc("pbft.state_transfers");
+  transport_->counters().Inc(obs::CounterId::kPbftStateTransfers);
   ExecuteReady();
 }
 
@@ -552,7 +590,10 @@ void PbftEngine::StartViewChange(ViewId new_view) {
   view_ = new_view;
   view_active_ = false;
   DisarmProgressTimer();
-  transport_->counters().Inc("pbft.view_changes_started");
+  if (view_change_started_at_ == 0) {
+    view_change_started_at_ = transport_->Now();
+  }
+  transport_->counters().Inc(obs::CounterId::kPbftViewChangesStarted);
   if (view_callback_) view_callback_(view_, false);
 
   auto msg = std::make_shared<ViewChangeMsg>();
@@ -564,8 +605,8 @@ void PbftEngine::StartViewChange(ViewId new_view) {
   }
   msg->replica = transport_->self();
   msg->sig = keys_->Sign(transport_->self(), msg->ComputeDigest());
-  transport_->ChargeCpu(config_.costs.crypto.sign_us +
-                        config_.costs.send_us * config_.members.size());
+  transport_->ChargeCrypto(config_.costs.crypto.sign_us);
+  transport_->ChargeCpu(config_.costs.send_us * config_.members.size());
   transport_->Multicast(config_.members, msg);
 
   if (view_change_timer_ != 0) transport_->CancelTimer(view_change_timer_);
@@ -600,7 +641,7 @@ void PbftEngine::HandleViewChange(
     const std::shared_ptr<const ViewChangeMsg>& msg) {
   if (!IsMember(msg->replica) || msg->replica != msg->from()) return;
   if (!keys_->Verify(msg->sig, msg->ComputeDigest())) {
-    transport_->counters().Inc("pbft.bad_sig");
+    transport_->counters().Inc(obs::CounterId::kPbftBadSig);
     return;
   }
   if (msg->new_view < view_ || (msg->new_view == view_ && view_active_)) {
@@ -653,9 +694,9 @@ void PbftEngine::MaybeSendNewView(ViewId v) {
     }
   }
   msg->sig = keys_->Sign(transport_->self(), msg->ComputeDigest());
-  transport_->ChargeCpu(config_.costs.crypto.sign_us +
-                        config_.costs.send_us * config_.members.size());
-  transport_->counters().Inc("pbft.new_views_sent");
+  transport_->ChargeCrypto(config_.costs.crypto.sign_us);
+  transport_->ChargeCpu(config_.costs.send_us * config_.members.size());
+  transport_->counters().Inc(obs::CounterId::kPbftNewViewsSent);
   transport_->Multicast(config_.members, msg);
 }
 
@@ -673,7 +714,13 @@ void PbftEngine::EnterNewView(const std::shared_ptr<const NewViewMsg>& msg) {
   view_ = msg->new_view;
   view_active_ = true;
   view_change_attempts_ = 0;
-  transport_->counters().Inc("pbft.new_views_entered");
+  if (view_change_started_at_ != 0) {
+    transport_->recorder().Record(
+        obs::HistogramId::kSpanViewChangeUs,
+        static_cast<double>(transport_->Now() - view_change_started_at_));
+    view_change_started_at_ = 0;
+  }
+  transport_->counters().Inc(obs::CounterId::kPbftNewViewsEntered);
   if (view_callback_) view_callback_(view_, true);
   if (view_change_timer_ != 0) {
     transport_->CancelTimer(view_change_timer_);
@@ -729,8 +776,8 @@ void PbftEngine::EnterNewView(const std::shared_ptr<const NewViewMsg>& msg) {
                                         : proof.batch_digest;
     prep->replica = transport_->self();
     prep->sig = keys_->Sign(transport_->self(), prep->ComputeDigest());
-    transport_->ChargeCpu(config_.costs.crypto.sign_us +
-                          config_.costs.send_us * config_.members.size());
+    transport_->ChargeCrypto(config_.costs.crypto.sign_us);
+    transport_->ChargeCpu(config_.costs.send_us * config_.members.size());
     transport_->Multicast(config_.members, prep);
     if (slot.committed) {
       // Re-announce the commit in the new view so laggards can assemble a
@@ -741,8 +788,8 @@ void PbftEngine::EnterNewView(const std::shared_ptr<const NewViewMsg>& msg) {
       commit->batch_digest = slot.pre_prepare->batch_digest;
       commit->replica = transport_->self();
       commit->sig = keys_->Sign(transport_->self(), commit->ComputeDigest());
-      transport_->ChargeCpu(config_.costs.crypto.sign_us +
-                            config_.costs.send_us * config_.members.size());
+      transport_->ChargeCrypto(config_.costs.crypto.sign_us);
+      transport_->ChargeCpu(config_.costs.send_us * config_.members.size());
       transport_->Multicast(config_.members, commit);
     }
   }

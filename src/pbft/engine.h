@@ -129,6 +129,12 @@ class PbftEngine {
     bool prepared = false;
     bool committed = false;
     bool executed = false;
+    // Phase spans for the causal trace (0 when the slot is untraced):
+    // consensus covers pre-prepare accept -> execution, the others one
+    // protocol phase each. Closed from whichever handler flips the flag.
+    obs::SpanId consensus_span = 0;
+    obs::SpanId prepare_span = 0;
+    obs::SpanId commit_span = 0;
   };
   struct ClientState {
     RequestTimestamp last_executed_ts = 0;
@@ -191,6 +197,13 @@ class PbftEngine {
   std::vector<Operation> pending_;
   std::unordered_map<std::uint64_t, bool> seen_ops_;  // digest -> queued
   std::unordered_map<ClientId, ClientState> clients_;
+  // Trace contexts parked while their operation waits in `pending_`: the
+  // batch timer (not the request handler) often triggers the proposal, so
+  // the causal chain must be bridged across the batching boundary.
+  std::unordered_map<std::uint64_t, obs::TraceContext> pending_traces_;
+  // Start of the in-progress view change (0 = none); feeds the
+  // span.view_change_us histogram when the new view is installed.
+  SimTime view_change_started_at_ = 0;
 
   // Checkpointing.
   std::map<SeqNum, std::map<NodeId, std::shared_ptr<const CheckpointMsg>>>

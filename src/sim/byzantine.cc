@@ -55,7 +55,7 @@ MessagePtr EquivocatingPrimaryBehavior::OnSend(NodeId from, NodeId to,
   if (it == forged_.end()) {
     auto twin = ForgeConflictingPrePrepare(*pp, *keys_, from);
     twin->set_from(from);
-    sim_->counters().Inc("byz.equivocations_emitted");
+    sim_->counters().Inc(obs::CounterId::kByzEquivocationsEmitted);
     it = forged_.emplace(key, std::move(twin)).first;
   }
   return it->second;
@@ -67,7 +67,7 @@ void EquivocatingPbftEngine::EmitPrePrepare(
   auto forged =
       ForgeConflictingPrePrepare(*msg, *keys_, transport_->self());
   equivocations_++;
-  transport_->counters().Inc("byz.equivocations_emitted");
+  transport_->counters().Inc(obs::CounterId::kByzEquivocationsEmitted);
   std::vector<NodeId> truth_half, lie_half;
   for (std::size_t i = 0; i < members.size(); ++i) {
     (i < (members.size() + 1) / 2 ? truth_half : lie_half)
@@ -129,7 +129,7 @@ MessagePtr StaleCertificateReplayBehavior::OnSend(NodeId /*from*/,
   // Every other send ships the stale original instead of the fresh message.
   if (n % 2 == 1) {
     replayed_++;
-    sim_->counters().Inc("byz.stale_replays");
+    sim_->counters().Inc(obs::CounterId::kByzStaleReplays);
     return it->second;
   }
   return msg;
@@ -149,7 +149,7 @@ MessagePtr LyingStateResponderBehavior::OnSend(NodeId /*from*/, NodeId /*to*/,
   scratch.Restore(copy->snapshot);
   copy->state_digest = scratch.StateDigest();
   lies_++;
-  sim_->counters().Inc("byz.state_lies");
+  sim_->counters().Inc(obs::CounterId::kByzStateLies);
   return copy;
 }
 

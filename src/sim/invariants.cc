@@ -31,9 +31,9 @@ std::vector<InvariantViolation> InvariantChecker::Check(
   CheckCheckpoints(system, &out);
   CheckGlobalAgreement(system, &out);
   CheckBalances(system, &out);
-  system.sim().counters().Inc("invariants.checks_run");
+  system.sim().counters().Inc(obs::CounterId::kInvariantsChecksRun);
   if (!out.empty()) {
-    system.sim().counters().Inc("invariants.violations", out.size());
+    system.sim().counters().Inc(obs::CounterId::kInvariantsViolations, out.size());
   }
   return out;
 }

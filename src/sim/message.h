@@ -6,6 +6,7 @@
 
 #include "common/types.h"
 #include "crypto/signature.h"
+#include "obs/context.h"
 
 namespace ziziphus::sim {
 
@@ -32,6 +33,12 @@ class Message {
   NodeId from() const { return from_; }
   void set_from(NodeId n) { from_ = n; }
 
+  /// Causal trace coordinates, stamped by Process::Send from the sender's
+  /// current context (inactive when tracing is off — the common case).
+  /// Like `from`, this is envelope metadata, not signed content.
+  const obs::TraceContext& trace() const { return trace_; }
+  void set_trace(const obs::TraceContext& ctx) { trace_ = ctx; }
+
   /// Digest over the message's semantic content, used for signatures and
   /// certificates. Implementations must cover every field that affects
   /// protocol decisions.
@@ -43,6 +50,7 @@ class Message {
  private:
   MessageType type_;
   NodeId from_ = kInvalidNode;
+  obs::TraceContext trace_;
 };
 
 using MessagePtr = std::shared_ptr<const Message>;

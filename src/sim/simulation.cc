@@ -8,10 +8,30 @@ namespace ziziphus::sim {
 
 // ---------------------------------------------------------------- Process
 
-void Process::DeliverMessage(SimTime arrival, const MessagePtr& msg) {
+void Process::DeliverMessage(SimTime arrival, const MessagePtr& msg,
+                             obs::SpanId transit_span) {
   logical_now_ = std::max(arrival, busy_until_);
+  // A traced delivery runs under a kHandle span: its start is when the
+  // core actually picks the message up (queueing shows as start - arrival)
+  // and sends from the handler parent to it, chaining the causal path
+  // sender-span -> transit -> handle -> next transit.
+  obs::SpanId handle = 0;
+  const obs::TraceContext& mctx = msg->trace();
+  if (sim_ != nullptr && mctx.active()) {
+    obs::Tracer& tracer = sim_->recorder().tracer();
+    obs::TraceContext parent{
+        mctx.trace_id, transit_span != 0 ? transit_span : mctx.parent_span};
+    handle = tracer.OpenChild(parent, obs::SpanKind::kHandle, id_,
+                              logical_now_);
+    tracer.SetArrival(handle, arrival);
+    tracer.SetAttr(handle, msg->type());
+    trace_ctx_ = obs::TraceContext{
+        mctx.trace_id, handle != 0 ? handle : parent.parent_span};
+  }
   OnMessage(msg);
   busy_until_ = logical_now_;
+  if (handle != 0) sim_->recorder().tracer().Close(handle, logical_now_);
+  trace_ctx_ = {};
 }
 
 void Process::DeliverTimer(SimTime arrival, std::uint64_t timer_id) {
@@ -20,8 +40,11 @@ void Process::DeliverTimer(SimTime arrival, std::uint64_t timer_id) {
   std::uint64_t tag = it->second;
   active_timers_.erase(it);
   logical_now_ = std::max(arrival, busy_until_);
+  trace_ctx_ = {};  // timers are not causally traced unless a handler
+                    // bridges a stored context via set_trace_context
   OnTimer(tag);
   busy_until_ = logical_now_;
+  trace_ctx_ = {};
 }
 
 SimTime Process::Now() const {
@@ -29,18 +52,59 @@ SimTime Process::Now() const {
 }
 
 void Process::ChargeCpu(Duration cost) {
-  logical_now_ += sim_ == nullptr ? cost : sim_->faults().ScaleCpu(id_, cost);
+  Duration scaled =
+      sim_ == nullptr ? cost : sim_->faults().ScaleCpu(id_, cost);
+  logical_now_ += scaled;
+  if (scoped_counters_ != nullptr) {
+    scoped_counters_->Inc(obs::CounterId::kNodeCpuBusyUs, scaled);
+  }
+  if (trace_ctx_.active()) {
+    sim_->recorder().tracer().AddCpu(trace_ctx_.parent_span, scaled, false);
+  }
+}
+
+void Process::ChargeCrypto(Duration cost) {
+  Duration scaled =
+      sim_ == nullptr ? cost : sim_->faults().ScaleCpu(id_, cost);
+  logical_now_ += scaled;
+  if (scoped_counters_ != nullptr) {
+    scoped_counters_->Inc(obs::CounterId::kNodeCpuBusyUs, scaled);
+    scoped_counters_->Inc(obs::CounterId::kNodeCpuCryptoUs, scaled);
+  }
+  if (trace_ctx_.active()) {
+    sim_->recorder().tracer().AddCpu(trace_ctx_.parent_span, scaled, true);
+  }
+}
+
+obs::SpanId Process::BeginSpan(obs::SpanKind kind) {
+  if (sim_ == nullptr || !trace_ctx_.active()) return 0;
+  return sim_->recorder().tracer().OpenChild(trace_ctx_, kind, id_, Now());
+}
+
+void Process::EndSpan(obs::SpanId span) {
+  if (sim_ == nullptr || span == 0) return;
+  sim_->recorder().tracer().Close(span, Now());
+}
+
+CounterSet& Process::scoped_counters() {
+  if (scoped_counters_ != nullptr) return *scoped_counters_;
+  ZCHECK(sim_ != nullptr);
+  return sim_->counters();
 }
 
 void Process::Send(NodeId dst, MessagePtr msg) {
   ZCHECK(sim_ != nullptr);
-  const_cast<Message*>(msg.get())->set_from(id_);
+  Message* m = const_cast<Message*>(msg.get());
+  m->set_from(id_);
+  if (trace_ctx_.active() && !m->trace().active()) m->set_trace(trace_ctx_);
   sim_->SendMessage(id_, Now(), dst, std::move(msg));
 }
 
 void Process::Multicast(const std::vector<NodeId>& dsts, MessagePtr msg) {
   ZCHECK(sim_ != nullptr);
-  const_cast<Message*>(msg.get())->set_from(id_);
+  Message* m = const_cast<Message*>(msg.get());
+  m->set_from(id_);
+  if (trace_ctx_.active() && !m->trace().active()) m->set_trace(trace_ctx_);
   for (NodeId dst : dsts) {
     sim_->SendMessage(id_, Now(), dst, msg);
   }
@@ -75,27 +139,27 @@ void FaultSchedule::ApplyNext(Simulation& sim) {
   // Move the action out first: it may append new entries and reallocate.
   Action action = std::move(entries_[next_].action);
   next_++;
-  sim.counters().Inc("faults.schedule_applied");
+  sim.counters().Inc(obs::CounterId::kFaultsScheduleApplied);
   action(sim);
 }
 
 void FaultSchedule::CrashAt(SimTime at, NodeId node) {
   At(at, [node](Simulation& s) {
-    s.counters().Inc("faults.crashes");
+    s.counters().Inc(obs::CounterId::kFaultsCrashes);
     s.faults().Crash(node);
   });
 }
 
 void FaultSchedule::RecoverAt(SimTime at, NodeId node) {
   At(at, [node](Simulation& s) {
-    s.counters().Inc("faults.recoveries");
+    s.counters().Inc(obs::CounterId::kFaultsRecoveries);
     s.faults().Recover(node);
   });
 }
 
 void FaultSchedule::PartitionAt(SimTime at, NodeId a, NodeId b) {
   At(at, [a, b](Simulation& s) {
-    s.counters().Inc("faults.partitions");
+    s.counters().Inc(obs::CounterId::kFaultsPartitions);
     s.faults().Partition(a, b);
   });
 }
@@ -106,7 +170,7 @@ void FaultSchedule::HealAt(SimTime at, NodeId a, NodeId b) {
 
 void FaultSchedule::CutOneWayAt(SimTime at, NodeId from, NodeId to) {
   At(at, [from, to](Simulation& s) {
-    s.counters().Inc("faults.one_way_cuts");
+    s.counters().Inc(obs::CounterId::kFaultsOneWayCuts);
     s.faults().CutOneWay(from, to);
   });
 }
@@ -118,14 +182,14 @@ void FaultSchedule::HealOneWayAt(SimTime at, NodeId from, NodeId to) {
 void FaultSchedule::LinkDelayAt(SimTime at, NodeId from, NodeId to,
                                 Duration extra) {
   At(at, [from, to, extra](Simulation& s) {
-    if (extra != 0) s.counters().Inc("faults.link_delays");
+    if (extra != 0) s.counters().Inc(obs::CounterId::kFaultsLinkDelays);
     s.faults().SetLinkDelay(from, to, extra);
   });
 }
 
 void FaultSchedule::LinkLossAt(SimTime at, NodeId from, NodeId to, double p) {
   At(at, [from, to, p](Simulation& s) {
-    if (p > 0) s.counters().Inc("faults.link_loss");
+    if (p > 0) s.counters().Inc(obs::CounterId::kFaultsLinkLoss);
     s.faults().SetLinkLoss(from, to, p);
   });
 }
@@ -140,7 +204,7 @@ void FaultSchedule::DuplicationAt(SimTime at, double p) {
 
 void FaultSchedule::CpuFactorAt(SimTime at, NodeId node, double factor) {
   At(at, [node, factor](Simulation& s) {
-    if (factor > 1.0) s.counters().Inc("faults.cpu_slowdowns");
+    if (factor > 1.0) s.counters().Inc(obs::CounterId::kFaultsCpuSlowdowns);
     s.faults().SetCpuFactor(node, factor);
   });
 }
@@ -168,6 +232,7 @@ NodeId Simulation::Register(Process* process, RegionId region) {
   process->id_ = id;
   process->region_ = region;
   process->rng_ = rng_.Fork(0x1000 + id);
+  process->scoped_counters_ = &recorder_.node_counters(id);
   processes_.push_back(process);
   return id;
 }
@@ -183,52 +248,75 @@ void Simulation::SetInterceptor(NodeId node, OutboundInterceptor* interceptor) {
 void Simulation::SendMessage(NodeId from, SimTime depart, NodeId to,
                              MessagePtr msg) {
   ZCHECK(to < processes_.size());
+  CounterSet& sender = processes_[from]->scoped_counters();
   if (!interceptors_.empty()) {
     auto it = interceptors_.find(from);
     if (it != interceptors_.end()) {
       msg = it->second->OnSend(from, to, msg);
       if (msg == nullptr) {
-        counters_.Inc("byz.msgs_suppressed");
+        sender.Inc(obs::CounterId::kByzMsgsSuppressed);
         return;
       }
     }
   }
-  counters_.Inc("net.msgs_sent");
-  counters_.Inc("net.bytes_sent", msg->WireSize());
+  std::size_t wire_size = msg->WireSize();
+  sender.Inc(obs::CounterId::kNetMsgsSent);
+  sender.Inc(obs::CounterId::kNetBytesSent, wire_size);
+  RegionId from_region = region_of(from);
+  RegionId to_region = region_of(to);
+  recorder_.AddLinkTraffic(from_region, to_region, wire_size);
+  recorder_.Record(obs::HistogramId::kNetMsgBytes, wire_size);
   if (!faults_.AllowDelivery(from, to)) {
-    counters_.Inc("net.msgs_dropped");
+    sender.Inc(obs::CounterId::kNetMsgsDropped);
     return;
   }
   Duration extra = faults_.ExtraDelay(from, to);
-  Duration lat = extra + latency_.Sample(region_of(from), region_of(to),
-                                         msg->WireSize(), jitter_rng_);
+  Duration lat = extra + latency_.Sample(from_region, to_region, wire_size,
+                                         jitter_rng_);
+  // Every enqueued copy gets its own wire (kTransit) span parented to the
+  // sender's span recorded in the message context.
+  obs::Tracer& tracer = recorder_.tracer();
+  auto open_transit = [&]() -> obs::SpanId {
+    if (!msg->trace().active()) return 0;
+    obs::SpanId span = tracer.OpenChild(msg->trace(), obs::SpanKind::kTransit,
+                                        from, depart);
+    tracer.SetTransitInfo(span, msg->type(), wire_size,
+                          from_region != to_region);
+    return span;
+  };
   if (faults_.ShouldDuplicate()) {
-    counters_.Inc("net.msgs_duplicated");
-    Duration lat2 = extra + latency_.Sample(region_of(from), region_of(to),
-                                            msg->WireSize(), jitter_rng_);
-    queue_.push(Event{depart + lat2, next_seq_++, to, msg, 0, from});
+    sender.Inc(obs::CounterId::kNetMsgsDuplicated);
+    Duration lat2 = extra + latency_.Sample(from_region, to_region, wire_size,
+                                            jitter_rng_);
+    obs::SpanId dup_span = open_transit();
+    queue_.push(Event{depart + lat2, next_seq_++, to, msg, 0, from, dup_span});
   }
-  queue_.push(Event{depart + lat, next_seq_++, to, std::move(msg), 0, from});
+  obs::SpanId span = open_transit();
+  queue_.push(
+      Event{depart + lat, next_seq_++, to, std::move(msg), 0, from, span});
 }
 
 void Simulation::PostTimer(NodeId owner, SimTime at, std::uint64_t timer_id) {
-  queue_.push(Event{at, next_seq_++, owner, nullptr, timer_id, owner});
+  queue_.push(Event{at, next_seq_++, owner, nullptr, timer_id, owner, 0});
 }
 
 void Simulation::Dispatch(const Event& e) {
   now_ = std::max(now_, e.time);
   events_dispatched_++;
+  recorder_.RecordQueueDepth(queue_.size());
   Process* p = processes_[e.dst];
   if (e.msg != nullptr) {
+    // The wire span ends at arrival whether or not the receiver is alive.
+    recorder_.tracer().Close(e.transit_span, e.time);
     if (faults_.IsCrashed(e.dst)) {
-      counters_.Inc("net.msgs_dropped");
+      p->scoped_counters().Inc(obs::CounterId::kNetMsgsDropped);
       return;
     }
     if (trace_enabled_) {
       trace_.push_back(TraceEntry{e.time, e.from, e.dst, e.msg->type()});
     }
-    counters_.Inc("net.msgs_delivered");
-    p->DeliverMessage(e.time, e.msg);
+    p->scoped_counters().Inc(obs::CounterId::kNetMsgsDelivered);
+    p->DeliverMessage(e.time, e.msg, e.transit_span);
   } else {
     if (faults_.IsCrashed(e.dst)) return;
     p->DeliverTimer(e.time, e.timer_id);

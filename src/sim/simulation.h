@@ -11,6 +11,7 @@
 #include "common/metrics.h"
 #include "common/random.h"
 #include "common/types.h"
+#include "obs/recorder.h"
 #include "sim/latency_model.h"
 #include "sim/message.h"
 
@@ -237,7 +238,9 @@ class Process {
   void set_region(RegionId region) { region_ = region; }
 
   /// Called by the scheduler; runs the handler under the CPU model.
-  void DeliverMessage(SimTime arrival, const MessagePtr& msg);
+  /// `transit_span` is the wire span the delivery closes (0 = untraced).
+  void DeliverMessage(SimTime arrival, const MessagePtr& msg,
+                      obs::SpanId transit_span = 0);
   void DeliverTimer(SimTime arrival, std::uint64_t timer_id);
 
  protected:
@@ -252,6 +255,25 @@ class Process {
   /// Occupies this process's core for `cost` microseconds (inflated by any
   /// gray-failure CPU factor the fault injector holds for this node).
   void ChargeCpu(Duration cost);
+
+  /// ChargeCpu plus crypto attribution in the node profile and on the
+  /// current trace span (sign/verify/digest work).
+  void ChargeCrypto(Duration cost);
+
+  /// Trace context stamped onto outgoing messages. Set automatically for
+  /// the duration of a traced delivery; engines may override it to bridge
+  /// a trace across a timer/batching boundary, and clients set it to their
+  /// root span when issuing an operation.
+  const obs::TraceContext& trace_context() const { return trace_ctx_; }
+  void set_trace_context(const obs::TraceContext& ctx) { trace_ctx_ = ctx; }
+
+  /// Opens/closes a protocol-phase span under the current trace context.
+  obs::SpanId BeginSpan(obs::SpanKind kind);
+  void EndSpan(obs::SpanId span);
+
+  /// This node's counter scope (rolls up into the simulation totals), or
+  /// the simulation root before registration.
+  CounterSet& scoped_counters();
 
   /// Sends `msg` to `dst`, departing at the current logical time.
   void Send(NodeId dst, MessagePtr msg);
@@ -276,6 +298,8 @@ class Process {
   SimTime logical_now_ = 0;
   Rng rng_{0};
   std::unordered_map<std::uint64_t, std::uint64_t> active_timers_;
+  obs::TraceContext trace_ctx_;
+  CounterSet* scoped_counters_ = nullptr;  // owned by the Recorder
 };
 
 /// Deterministic discrete-event simulation: clock, event queue, network.
@@ -317,7 +341,12 @@ class Simulation {
   FaultInjector& faults() { return faults_; }
   FaultSchedule& schedule() { return schedule_; }
   LatencyModel& latency() { return latency_; }
-  CounterSet& counters() { return counters_; }
+  /// Run-wide counter totals (root scope of the recorder).
+  CounterSet& counters() { return recorder_.counters(); }
+  /// Observability front door: scoped counters, histograms, tracer,
+  /// profiling aggregates, ExportJson().
+  obs::Recorder& recorder() { return recorder_; }
+  const obs::Recorder& recorder() const { return recorder_; }
   Rng& rng() { return rng_; }
 
   /// Attaches (or, with nullptr, detaches) a Byzantine outbound
@@ -342,6 +371,7 @@ class Simulation {
     MessagePtr msg;            // null for timers
     std::uint64_t timer_id;    // valid when msg == nullptr
     NodeId from;               // message sender, for tracing
+    obs::SpanId transit_span;  // wire span of this delivery (0 = untraced)
   };
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {
@@ -360,7 +390,7 @@ class Simulation {
   Rng jitter_rng_;
   FaultInjector faults_;
   FaultSchedule schedule_;
-  CounterSet counters_;
+  obs::Recorder recorder_;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   std::vector<Process*> processes_;
   std::unordered_map<NodeId, OutboundInterceptor*> interceptors_;

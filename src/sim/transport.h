@@ -6,6 +6,7 @@
 
 #include "common/metrics.h"
 #include "common/types.h"
+#include "obs/recorder.h"
 #include "sim/message.h"
 
 namespace ziziphus::sim {
@@ -14,6 +15,10 @@ namespace ziziphus::sim {
 /// process (e.g., a Ziziphus node, which runs a PBFT engine *and* the global
 /// protocol engines on one simulated core) implements this and routes
 /// delivered messages/timers into its engines.
+///
+/// The observability hooks have no-op defaults so test transports stay
+/// minimal; real hosts forward them to sim::Process, which wires them to
+/// the simulation's obs::Recorder.
 class Transport {
  public:
   virtual ~Transport() = default;
@@ -26,6 +31,43 @@ class Transport {
   virtual void CancelTimer(std::uint64_t timer_id) = 0;
   virtual void ChargeCpu(Duration cost) = 0;
   virtual CounterSet& counters() = 0;
+
+  // ---- Observability (defaults: disabled) ------------------------------
+
+  /// The run's recorder. The default is a process-wide disabled instance,
+  /// so engines can always call `recorder().Record(...)` unconditionally.
+  virtual obs::Recorder& recorder() { return DisabledRecorder(); }
+
+  /// Like ChargeCpu, but the time is additionally attributed to crypto in
+  /// the node profile and on the current trace span.
+  virtual void ChargeCrypto(Duration cost) { ChargeCpu(cost); }
+
+  /// The trace context messages sent right now would be stamped with.
+  virtual obs::TraceContext trace_context() const { return {}; }
+
+  /// Overrides the ambient trace context — used by engines to bridge a
+  /// trace across a batching/timer boundary (the context captured when an
+  /// operation was queued is re-applied when the batch is proposed).
+  virtual void set_trace_context(const obs::TraceContext& ctx) { (void)ctx; }
+
+  /// Opens a protocol-phase span under the current trace context (0 when
+  /// untraced). Does not re-parent subsequent sends.
+  virtual obs::SpanId BeginSpan(obs::SpanKind kind) {
+    (void)kind;
+    return 0;
+  }
+  /// Closes a span from BeginSpan at the current logical time. Safe on 0.
+  virtual void EndSpan(obs::SpanId span) { (void)span; }
+
+ protected:
+  static obs::Recorder& DisabledRecorder() {
+    struct Holder {
+      obs::Recorder recorder;
+      Holder() { recorder.set_enabled(false); }
+    };
+    static Holder holder;
+    return holder.recorder;
+  }
 };
 
 }  // namespace ziziphus::sim
