@@ -31,17 +31,28 @@ inline bool SmokeSweep() {
   return env != nullptr && env[0] == '1';
 }
 
-inline app::WorkloadSpec BaseWorkload() {
-  app::WorkloadSpec wl;
-  wl.warmup = FullSweep() ? Millis(800) : Millis(500);
-  wl.measure = FullSweep() ? Seconds(2) : Millis(800);
-  if (SmokeSweep()) {
-    wl.warmup = Millis(200);
-    wl.measure = Millis(250);
-  }
-  wl.seed = 42;
-  return wl;
+/// Shared experiment knobs for this bench binary: sweep-scaled defaults
+/// overlaid with any `--key=value` flags (the ExperimentConfig vocabulary:
+/// --seed=, --measure-ms=, --queue=heap, ...) that ZIZIPHUS_BENCH_MAIN
+/// consumes out of argv before google-benchmark rejects them as unknown.
+/// Figure benches override the per-cell shape (zones, clients, global
+/// fraction) but take warmup/measure/seed/queue from here.
+inline app::ExperimentConfig& BenchConfig() {
+  static app::ExperimentConfig cfg = [] {
+    app::ExperimentConfig c;
+    c.workload.warmup = FullSweep() ? Millis(800) : Millis(500);
+    c.workload.measure = FullSweep() ? Seconds(2) : Millis(800);
+    if (SmokeSweep()) {
+      c.workload.warmup = Millis(200);
+      c.workload.measure = Millis(250);
+    }
+    c.workload.seed = 42;
+    return c;
+  }();
+  return cfg;
 }
+
+inline app::WorkloadSpec BaseWorkload() { return BenchConfig().workload; }
 
 /// Sweep-scaled clients per zone (smoke mode clamps hard).
 inline std::size_t ClientsPerZone(std::size_t full, std::size_t quick) {
@@ -152,9 +163,12 @@ inline void WriteBenchJson(const char* bench_name) {
 
 }  // namespace ziziphus::bench
 
-/// BENCHMARK_MAIN plus the ZIZIPHUS_BENCH_JSON export hook.
+/// BENCHMARK_MAIN plus the ZIZIPHUS_BENCH_JSON export hook. Experiment
+/// flags (--seed=, --queue=, ...) are consumed into BenchConfig() first so
+/// only --benchmark_* flags reach google-benchmark's strict parser.
 #define ZIZIPHUS_BENCH_MAIN(bench_name)                                 \
   int main(int argc, char** argv) {                                     \
+    ::ziziphus::bench::BenchConfig().ConsumeFlags(&argc, argv);         \
     ::benchmark::Initialize(&argc, argv);                               \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
     ::benchmark::RunSpecifiedBenchmarks();                              \

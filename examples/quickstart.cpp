@@ -73,6 +73,6 @@ int main() {
   std::printf("simulated time elapsed: %.1f ms, messages: %llu\n",
               ToMillis(system.sim().Now()),
               static_cast<unsigned long long>(
-                  system.sim().counters().Get("net.msgs_sent")));
+                  system.sim().counters().Get(obs::CounterId::kNetMsgsSent)));
   return 0;
 }

@@ -147,7 +147,7 @@ class ChaosClient : public sim::Process {
       op.destination = pending_dest_;
       auto req = std::make_shared<core::MigrationRequestMsg>();
       req->op = op;
-      req->client_sig = keys_->Sign(id(), req->ComputeDigest());
+      req->client_sig = keys_->Sign(id(), req->digest());
       request_ = req;
     }
     Send(target_, request_);
@@ -315,7 +315,8 @@ std::string ChaosReport::Summary() const {
 
 ChaosReport RunZiziphusChaos(const ChaosOptions& opt) {
   ChaosReport report;
-  core::ZiziphusSystem sys(opt.seed, sim::LatencyModel::PaperGeoMatrix());
+  core::ZiziphusSystem sys(opt.seed, sim::LatencyModel::PaperGeoMatrix(),
+                           opt.queue);
   const std::size_t n_per_zone = 3 * opt.f + 1;
   for (std::size_t z = 0; z < opt.zones; ++z) {
     sys.AddZone(0, static_cast<RegionId>(z % 7), opt.f, n_per_zone);
@@ -534,7 +535,8 @@ ChaosReport RunTwoLevelChaos(const ChaosOptions& opt) {
   std::size_t witnesses =
       participants > opt.zones ? participants - opt.zones : 0;
 
-  baselines::TwoLevelSystem sys(opt.seed, sim::LatencyModel::PaperGeoMatrix());
+  baselines::TwoLevelSystem sys(opt.seed, sim::LatencyModel::PaperGeoMatrix(),
+                                opt.queue);
   for (std::size_t z = 0; z < opt.zones; ++z) {
     sys.AddZone(0, static_cast<RegionId>(z % 7), opt.f, 3 * opt.f + 1);
   }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "sim/event_queue.h"
 #include "sim/invariants.h"
 
 namespace ziziphus::app {
@@ -18,6 +19,9 @@ struct ChaosOptions {
   std::uint64_t seed = 1;
   std::size_t zones = 3;
   std::size_t f = 1;
+  /// Event-scheduler implementation; both kinds replay the identical
+  /// schedule (same fingerprint), kept selectable for differential tests.
+  sim::EventQueueKind queue = sim::EventQueueKind::kCalendar;
 
   /// Same-zone XFER pairs per zone; each pair is two clients transferring
   /// back and forth (a conservation-friendly local workload).

@@ -10,7 +10,8 @@ void MobileClient::Start(Duration delay) {
   ZCHECK(cfg_.topology != nullptr && cfg_.keys != nullptr);
   home_ = cfg_.home;
   started_ = true;
-  SetTimer(delay, kIssue);
+  SetTimer(delay,
+           sim::PackTimer(sim::TimerEngine::kClient, kIssue));
 }
 
 NodeId MobileClient::GuessPrimary(ZoneId zone) const {
@@ -125,7 +126,7 @@ void MobileClient::IssueGlobal() {
   }
   auto req = std::make_shared<core::MigrationRequestMsg>();
   req->op = op;
-  req->client_sig = cfg_.keys->Sign(id(), req->ComputeDigest());
+  req->client_sig = cfg_.keys->Sign(id(), req->digest());
 
   in_flight_ = true;
   is_global_ = true;
@@ -170,7 +171,8 @@ void MobileClient::CompleteOp(Histogram* hist, std::uint64_t* counter) {
     set_region(cfg_.topology->zone(home_).region);
   }
   if (cfg_.think_time > 0) {
-    SetTimer(cfg_.think_time, kIssue);
+    SetTimer(cfg_.think_time,
+             sim::PackTimer(sim::TimerEngine::kClient, kIssue));
   } else {
     IssueNext();
   }
@@ -178,7 +180,8 @@ void MobileClient::CompleteOp(Histogram* hist, std::uint64_t* counter) {
 
 void MobileClient::ArmTimeout() {
   if (timeout_timer_ != 0) CancelTimer(timeout_timer_);
-  timeout_timer_ = SetTimer(cfg_.retry_timeout, kTimeout);
+  timeout_timer_ = SetTimer(
+      cfg_.retry_timeout, sim::PackTimer(sim::TimerEngine::kClient, kTimeout));
 }
 
 void MobileClient::OnMessage(const sim::MessagePtr& msg) {
@@ -237,7 +240,7 @@ void MobileClient::OnMessage(const sim::MessagePtr& msg) {
 }
 
 void MobileClient::OnTimer(std::uint64_t tag) {
-  switch (tag) {
+  switch (sim::TimerTag::Unpack(tag).kind) {
     case kIssue:
       IssueNext();
       break;
@@ -264,7 +267,8 @@ void MobileClient::OnTimer(std::uint64_t tag) {
 void FlatClient::Start(Duration delay) {
   ZCHECK(!cfg_.group.empty() && cfg_.keys != nullptr);
   started_ = true;
-  SetTimer(delay, kIssue);
+  SetTimer(delay,
+           sim::PackTimer(sim::TimerEngine::kClient, kIssue));
 }
 
 void FlatClient::IssueNext() {
@@ -291,7 +295,8 @@ void FlatClient::IssueNext() {
   set_trace_context(root_ctx_);
   Send(cfg_.group[view_guess_ % cfg_.group.size()], req);
   if (timeout_timer_ != 0) CancelTimer(timeout_timer_);
-  timeout_timer_ = SetTimer(cfg_.retry_timeout, kTimeout);
+  timeout_timer_ = SetTimer(
+      cfg_.retry_timeout, sim::PackTimer(sim::TimerEngine::kClient, kTimeout));
 }
 
 void FlatClient::OnMessage(const sim::MessagePtr& msg) {
@@ -320,7 +325,8 @@ void FlatClient::OnMessage(const sim::MessagePtr& msg) {
       timeout_timer_ = 0;
     }
     if (cfg_.think_time > 0) {
-      SetTimer(cfg_.think_time, kIssue);
+      SetTimer(cfg_.think_time,
+               sim::PackTimer(sim::TimerEngine::kClient, kIssue));
     } else {
       IssueNext();
     }
@@ -328,7 +334,7 @@ void FlatClient::OnMessage(const sim::MessagePtr& msg) {
 }
 
 void FlatClient::OnTimer(std::uint64_t tag) {
-  switch (tag) {
+  switch (sim::TimerTag::Unpack(tag).kind) {
     case kIssue:
       IssueNext();
       break;
@@ -337,7 +343,9 @@ void FlatClient::OnTimer(std::uint64_t tag) {
       if (!in_flight_ || current_request_ == nullptr) break;
       stats_.timeouts++;
       Multicast(cfg_.group, current_request_);
-      timeout_timer_ = SetTimer(cfg_.retry_timeout, kTimeout);
+      timeout_timer_ = SetTimer(
+          cfg_.retry_timeout,
+          sim::PackTimer(sim::TimerEngine::kClient, kTimeout));
       break;
     default:
       break;

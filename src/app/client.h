@@ -11,6 +11,7 @@
 #include "crypto/signature.h"
 #include "pbft/messages.h"
 #include "sim/simulation.h"
+#include "sim/timer_tag.h"
 
 namespace ziziphus::app {
 
@@ -86,7 +87,8 @@ class MobileClient : public sim::Process {
   void OnTimer(std::uint64_t tag) override;
 
  private:
-  enum TimerTag : std::uint64_t { kIssue = 1, kTimeout = 2 };
+  // Timer kinds, carried in sim::TimerTag{kClient, kind} (timer_tag.h).
+  enum TimerKind : std::uint8_t { kIssue = 1, kTimeout = 2 };
 
   void IssueNext();
   void IssueLocal();
@@ -145,7 +147,8 @@ class FlatClient : public sim::Process {
   void OnTimer(std::uint64_t tag) override;
 
  private:
-  enum TimerTag : std::uint64_t { kIssue = 1, kTimeout = 2 };
+  // Timer kinds, carried in sim::TimerTag{kClient, kind} (timer_tag.h).
+  enum TimerKind : std::uint8_t { kIssue = 1, kTimeout = 2 };
 
   void IssueNext();
 

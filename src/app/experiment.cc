@@ -184,7 +184,8 @@ ExperimentResult RunZiziphusLike(Protocol protocol,
                                  core::NodeConfig cfg,
                                  const ObsSpec& ospec) {
 
-  core::ZiziphusSystem sys(wl.seed, sim::LatencyModel::PaperGeoMatrix());
+  core::ZiziphusSystem sys(wl.seed, sim::LatencyModel::PaperGeoMatrix(),
+                           wl.queue);
   for (const auto& z : dep.zones) {
     sys.AddZone(z.cluster, z.region, dep.f, dep.nodes_per_zone());
   }
@@ -240,11 +241,12 @@ ExperimentResult RunZiziphusLike(Protocol protocol,
   sys.sim().RunUntil(wl.warmup);
   pool.ResetStats();
   EnableTracing(sys.sim(), ospec);
-  std::uint64_t msgs0 = sys.sim().counters().Get("net.msgs_sent");
+  std::uint64_t msgs0 = sys.sim().counters().Get(obs::CounterId::kNetMsgsSent);
   sys.sim().RunUntil(wl.warmup + wl.measure);
   std::uint64_t msgs =
-      sys.sim().counters().Get("net.msgs_sent") - msgs0;
+      sys.sim().counters().Get(obs::CounterId::kNetMsgsSent) - msgs0;
   ExperimentResult r = Collect(protocol, pool, wl.measure, msgs);
+  r.events_dispatched = sys.sim().events_dispatched();
   if (ospec.trace) FinishObservedRun(sys.sim().recorder(), ospec, &r);
   return r;
 }
@@ -260,7 +262,8 @@ ExperimentResult RunTwoLevel(const DeploymentSpec& dep,
   std::size_t participants = 3 * big_f + 1;
   std::size_t witnesses = participants > z_real ? participants - z_real : 0;
 
-  baselines::TwoLevelSystem sys(wl.seed, sim::LatencyModel::PaperGeoMatrix());
+  baselines::TwoLevelSystem sys(wl.seed, sim::LatencyModel::PaperGeoMatrix(),
+                                wl.queue);
   for (const auto& z : dep.zones) {
     sys.AddZone(z.cluster, z.region, dep.f, dep.nodes_per_zone());
   }
@@ -322,10 +325,11 @@ ExperimentResult RunTwoLevel(const DeploymentSpec& dep,
   sys.sim().RunUntil(wl.warmup);
   pool.ResetStats();
   EnableTracing(sys.sim(), ospec);
-  std::uint64_t msgs0 = sys.sim().counters().Get("net.msgs_sent");
+  std::uint64_t msgs0 = sys.sim().counters().Get(obs::CounterId::kNetMsgsSent);
   sys.sim().RunUntil(wl.warmup + wl.measure);
-  std::uint64_t msgs = sys.sim().counters().Get("net.msgs_sent") - msgs0;
+  std::uint64_t msgs = sys.sim().counters().Get(obs::CounterId::kNetMsgsSent) - msgs0;
   ExperimentResult r = Collect(Protocol::kTwoLevelPbft, pool, wl.measure, msgs);
+  r.events_dispatched = sys.sim().events_dispatched();
   if (ospec.trace) FinishObservedRun(sys.sim().recorder(), ospec, &r);
   return r;
 }
@@ -335,7 +339,7 @@ ExperimentResult RunFlat(const DeploymentSpec& dep, const WorkloadSpec& wl,
   // "PBFT runs on 4 nodes in CA and 3 nodes in other data centers": 3f
   // replicas per zone-region plus one extra in the first region, a single
   // group tolerating Z*f faults.
-  sim::Simulation sim(wl.seed, sim::LatencyModel::PaperGeoMatrix());
+  sim::Simulation sim(wl.seed, sim::LatencyModel::PaperGeoMatrix(), wl.queue);
   crypto::KeyRegistry keys(wl.seed ^ 0x5eedc0deULL);
 
   std::vector<std::unique_ptr<baselines::PbftReplicaProcess>> replicas;
@@ -405,10 +409,11 @@ ExperimentResult RunFlat(const DeploymentSpec& dep, const WorkloadSpec& wl,
   sim.RunUntil(wl.warmup);
   pool.ResetStats();
   EnableTracing(sim, ospec);
-  std::uint64_t msgs0 = sim.counters().Get("net.msgs_sent");
+  std::uint64_t msgs0 = sim.counters().Get(obs::CounterId::kNetMsgsSent);
   sim.RunUntil(wl.warmup + wl.measure);
-  std::uint64_t msgs = sim.counters().Get("net.msgs_sent") - msgs0;
+  std::uint64_t msgs = sim.counters().Get(obs::CounterId::kNetMsgsSent) - msgs0;
   ExperimentResult r = Collect(Protocol::kFlatPbft, pool, wl.measure, msgs);
+  r.events_dispatched = sim.events_dispatched();
   if (ospec.trace) FinishObservedRun(sim.recorder(), ospec, &r);
   return r;
 }

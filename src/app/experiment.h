@@ -8,6 +8,7 @@
 
 #include "common/types.h"
 #include "core/system.h"
+#include "sim/event_queue.h"
 #include "sim/latency_model.h"
 
 namespace ziziphus::app {
@@ -57,6 +58,10 @@ struct WorkloadSpec {
   Duration warmup = Millis(800);
   Duration measure = Seconds(2);
   std::uint64_t seed = 42;
+  /// Event-scheduler implementation. Both kinds dispatch the identical
+  /// (time, seq) order, so results are byte-identical; the heap is kept
+  /// selectable for differential testing and A/B benchmarking.
+  sim::EventQueueKind queue = sim::EventQueueKind::kCalendar;
 };
 
 /// Failure injection (Figure 6: one crashed backup per zone).
@@ -85,6 +90,9 @@ struct ExperimentResult {
   std::uint64_t global_ops = 0;
   std::uint64_t timeouts = 0;
   std::uint64_t messages_sent = 0;
+  /// Total simulator events dispatched over the whole run (warmup +
+  /// measurement); the denominator for scheduler-throughput benchmarks.
+  std::uint64_t events_dispatched = 0;
 
   // ---- Critical-path decomposition (filled when ObsSpec.trace) ----------
   // Means over traced operations whose causal chain resolved completely;

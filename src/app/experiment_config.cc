@@ -22,6 +22,7 @@ ChaosOptions ExperimentConfig::ChaosFor() const {
   c.seed = workload.seed;
   c.zones = zones;
   c.f = f;
+  c.queue = workload.queue;
   return c;
 }
 
@@ -39,6 +40,9 @@ std::string ExperimentConfig::ToString() const {
   }
   if (!stable_leader) os << " no-stable-leader";
   if (obs.trace) os << " traced(1/" << obs.sample_every << ")";
+  if (workload.queue != sim::EventQueueKind::kCalendar) {
+    os << " queue=" << sim::EventQueueKindName(workload.queue);
+  }
   os << " seed=" << workload.seed;
   return os.str();
 }
@@ -69,68 +73,92 @@ std::uint64_t ToU64(const std::string& v) {
 
 }  // namespace
 
+bool ExperimentConfig::ApplyFlag(const char* arg) {
+  std::string v;
+  if (FlagValue(arg, "protocol", &v)) {
+    if (v == "ziziphus") {
+      protocol = Protocol::kZiziphus;
+    } else if (v == "two-level-pbft" || v == "two-level" || v == "twolevel") {
+      protocol = Protocol::kTwoLevelPbft;
+    } else if (v == "steward") {
+      protocol = Protocol::kSteward;
+    } else if (v == "flat-pbft" || v == "flat") {
+      protocol = Protocol::kFlatPbft;
+    } else {
+      std::fprintf(stderr,
+                   "unknown --protocol=%s (want ziziphus | two-level-pbft | "
+                   "steward | flat-pbft)\n",
+                   v.c_str());
+      std::exit(2);
+    }
+  } else if (FlagValue(arg, "zones", &v)) {
+    zones = ToU64(v);
+  } else if (FlagValue(arg, "clusters", &v)) {
+    clusters = ToU64(v);
+  } else if (FlagValue(arg, "f", &v)) {
+    f = ToU64(v);
+  } else if (FlagValue(arg, "clients", &v)) {
+    workload.clients_per_zone = ToU64(v);
+  } else if (FlagValue(arg, "global", &v)) {
+    workload.global_fraction = std::strtod(v.c_str(), nullptr);
+  } else if (FlagValue(arg, "cross", &v)) {
+    workload.cross_cluster_fraction = std::strtod(v.c_str(), nullptr);
+  } else if (FlagValue(arg, "warmup-ms", &v)) {
+    workload.warmup = Millis(ToU64(v));
+  } else if (FlagValue(arg, "measure-ms", &v)) {
+    workload.measure = Millis(ToU64(v));
+  } else if (FlagValue(arg, "seed", &v)) {
+    workload.seed = ToU64(v);
+  } else if (FlagValue(arg, "queue", &v)) {
+    if (v == "calendar") {
+      workload.queue = sim::EventQueueKind::kCalendar;
+    } else if (v == "heap" || v == "binary-heap") {
+      workload.queue = sim::EventQueueKind::kBinaryHeap;
+    } else {
+      std::fprintf(stderr, "unknown --queue=%s (want calendar | heap)\n",
+                   v.c_str());
+      std::exit(2);
+    }
+  } else if (FlagValue(arg, "faults", &v)) {
+    faults.crashed_backups_per_zone = ToU64(v);
+  } else if (std::strcmp(arg, "--no-stable-leader") == 0) {
+    stable_leader = false;
+  } else if (std::strcmp(arg, "--trace") == 0) {
+    obs.trace = true;
+  } else if (FlagValue(arg, "trace", &v)) {
+    obs.trace = v != "0" && v != "false";
+  } else if (FlagValue(arg, "sample-every", &v)) {
+    obs.sample_every = ToU64(v);
+  } else if (FlagValue(arg, "json-out", &v)) {
+    obs.json_out = v;
+  } else if (FlagValue(arg, "byzantine", &v)) {
+    chaos.byzantine_per_zone = ToU64(v);
+  } else if (FlagValue(arg, "think-ms", &v)) {
+    chaos.client_think = Millis(ToU64(v));
+  } else if (FlagValue(arg, "fault-window-ms", &v)) {
+    chaos.fault_window = Millis(ToU64(v));
+  } else {
+    return false;
+  }
+  return true;
+}
+
 ExperimentConfig ExperimentConfig::FromFlags(int argc, char** argv) {
   ExperimentConfig cfg;
   for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    std::string v;
-    if (FlagValue(arg, "protocol", &v)) {
-      if (v == "ziziphus") {
-        cfg.protocol = Protocol::kZiziphus;
-      } else if (v == "two-level-pbft" || v == "two-level" ||
-                 v == "twolevel") {
-        cfg.protocol = Protocol::kTwoLevelPbft;
-      } else if (v == "steward") {
-        cfg.protocol = Protocol::kSteward;
-      } else if (v == "flat-pbft" || v == "flat") {
-        cfg.protocol = Protocol::kFlatPbft;
-      } else {
-        std::fprintf(stderr,
-                     "unknown --protocol=%s (want ziziphus | two-level-pbft | "
-                     "steward | flat-pbft)\n",
-                     v.c_str());
-        std::exit(2);
-      }
-    } else if (FlagValue(arg, "zones", &v)) {
-      cfg.zones = ToU64(v);
-    } else if (FlagValue(arg, "clusters", &v)) {
-      cfg.clusters = ToU64(v);
-    } else if (FlagValue(arg, "f", &v)) {
-      cfg.f = ToU64(v);
-    } else if (FlagValue(arg, "clients", &v)) {
-      cfg.workload.clients_per_zone = ToU64(v);
-    } else if (FlagValue(arg, "global", &v)) {
-      cfg.workload.global_fraction = std::strtod(v.c_str(), nullptr);
-    } else if (FlagValue(arg, "cross", &v)) {
-      cfg.workload.cross_cluster_fraction = std::strtod(v.c_str(), nullptr);
-    } else if (FlagValue(arg, "warmup-ms", &v)) {
-      cfg.workload.warmup = Millis(ToU64(v));
-    } else if (FlagValue(arg, "measure-ms", &v)) {
-      cfg.workload.measure = Millis(ToU64(v));
-    } else if (FlagValue(arg, "seed", &v)) {
-      cfg.workload.seed = ToU64(v);
-    } else if (FlagValue(arg, "faults", &v)) {
-      cfg.faults.crashed_backups_per_zone = ToU64(v);
-    } else if (std::strcmp(arg, "--no-stable-leader") == 0) {
-      cfg.stable_leader = false;
-    } else if (std::strcmp(arg, "--trace") == 0) {
-      cfg.obs.trace = true;
-    } else if (FlagValue(arg, "trace", &v)) {
-      cfg.obs.trace = v != "0" && v != "false";
-    } else if (FlagValue(arg, "sample-every", &v)) {
-      cfg.obs.sample_every = ToU64(v);
-    } else if (FlagValue(arg, "json-out", &v)) {
-      cfg.obs.json_out = v;
-    } else if (FlagValue(arg, "byzantine", &v)) {
-      cfg.chaos.byzantine_per_zone = ToU64(v);
-    } else if (FlagValue(arg, "think-ms", &v)) {
-      cfg.chaos.client_think = Millis(ToU64(v));
-    } else if (FlagValue(arg, "fault-window-ms", &v)) {
-      cfg.chaos.fault_window = Millis(ToU64(v));
-    }
     // Unknown flags (--benchmark_*, binary-specific extras) pass through.
+    cfg.ApplyFlag(argv[i]);
   }
   return cfg;
+}
+
+ExperimentConfig& ExperimentConfig::ConsumeFlags(int* argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (!ApplyFlag(argv[i])) argv[kept++] = argv[i];
+  }
+  *argc = kept;
+  return *this;
 }
 
 obs::Tracer::TypeLabeler PhaseLabeler() {

@@ -82,6 +82,10 @@ struct ExperimentConfig {
     workload.seed = seed;
     return *this;
   }
+  ExperimentConfig& WithQueue(sim::EventQueueKind kind) {
+    workload.queue = kind;
+    return *this;
+  }
   ExperimentConfig& WithCrashedBackups(std::size_t per_zone) {
     faults.crashed_backups_per_zone = per_zone;
     return *this;
@@ -115,12 +119,24 @@ struct ExperimentConfig {
   /// aggregates are filled when `obs.trace` is set.
   ExperimentResult Run() const;
 
+  /// Applies one `--key=value` argument to this config; returns false when
+  /// the flag is not part of the shared vocabulary (caller decides whether
+  /// to ignore, keep, or reject it).
+  bool ApplyFlag(const char* arg);
+
   /// Parses `--key=value` flags: --protocol= --zones= --clusters= --f=
   /// --clients= --global= --cross= --warmup-ms= --measure-ms= --seed=
-  /// --faults= --no-stable-leader --trace[=0|1] --sample-every= --json-out=
-  /// --byzantine= --think-ms= --fault-window-ms=. Unknown flags are
-  /// ignored so binary-specific extras can ride along.
+  /// --queue=calendar|heap --faults= --no-stable-leader --trace[=0|1]
+  /// --sample-every= --json-out= --byzantine= --think-ms=
+  /// --fault-window-ms=. Unknown flags are ignored so binary-specific
+  /// extras can ride along.
   static ExperimentConfig FromFlags(int argc, char** argv);
+
+  /// In-place variant for binaries whose flag framework rejects unknown
+  /// arguments (google-benchmark's ReportUnrecognizedArguments): applies
+  /// every recognized flag on top of the current values and compacts argv
+  /// so only the unrecognized ones remain.
+  ExperimentConfig& ConsumeFlags(int* argc, char** argv);
 };
 
 /// Maps the simulator's message-type tags to critical-path phase labels

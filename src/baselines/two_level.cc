@@ -85,7 +85,7 @@ bool TwoLevelGlobalEngine::HandleMessage(const sim::MessagePtr& msg) {
 }
 
 bool TwoLevelGlobalEngine::HandleTimer(std::uint64_t tag) {
-  if ((tag & kTimerMask) != kTimerBase) return false;
+  if (!sim::TimerTag::OwnedBy(tag, sim::TimerEngine::kTwoLevel)) return false;
   batch_timer_armed_ = false;
   FlushBatch();
   return true;
@@ -93,7 +93,7 @@ bool TwoLevelGlobalEngine::HandleTimer(std::uint64_t tag) {
 
 void TwoLevelGlobalEngine::HandleMigrationRequest(
     const std::shared_ptr<const core::MigrationRequestMsg>& msg) {
-  if (!keys_->Verify(msg->client_sig, msg->ComputeDigest())) return;
+  if (!keys_->Verify(msg->client_sig, msg->digest())) return;
   if (my_zone_ != config_.leader_zone) return;
   if (!endorser_->IsPrimary()) {
     transport_->ChargeCpu(config_.costs.send_us);
@@ -110,7 +110,9 @@ void TwoLevelGlobalEngine::HandleMigrationRequest(
     FlushBatch();
   } else if (!batch_timer_armed_) {
     batch_timer_armed_ = true;
-    transport_->SetTimer(config_.batch_timeout_us, kTimerBase | 1);
+    transport_->SetTimer(config_.batch_timeout_us,
+                         sim::PackTimer(sim::TimerEngine::kTwoLevel,
+                                        kBatchTimer));
   }
 }
 
@@ -227,7 +229,7 @@ void TwoLevelGlobalEngine::HandleGPrePrepare(
     TryPrepare(req);  // our pre-prepare endorsement is our prepare
     return;
   }
-  if (!VerifyZoneCert(msg->cert, msg->ComputeDigest(), msg->initiator_zone)
+  if (!VerifyZoneCert(msg->cert, msg->digest(), msg->initiator_zone)
            .ok()) {
     transport_->counters().Inc(obs::CounterId::kTlBadGPrePrepareCert);
     return;
@@ -250,7 +252,7 @@ void TwoLevelGlobalEngine::HandleGPrepare(
   if (req.id == 0) {
     req.id = msg->request_id;
   }
-  if (!VerifyZoneCert(msg->cert, msg->ComputeDigest(), msg->zone).ok()) {
+  if (!VerifyZoneCert(msg->cert, msg->digest(), msg->zone).ok()) {
     transport_->counters().Inc(obs::CounterId::kTlBadGPrepareCert);
     return;
   }
@@ -274,7 +276,7 @@ void TwoLevelGlobalEngine::HandleGCommit(
     const std::shared_ptr<const GCommitMsg>& msg) {
   TLRequest& req = requests_[msg->request_id];
   if (req.id == 0) req.id = msg->request_id;
-  if (!VerifyZoneCert(msg->cert, msg->ComputeDigest(), msg->zone).ok()) {
+  if (!VerifyZoneCert(msg->cert, msg->digest(), msg->zone).ok()) {
     transport_->counters().Inc(obs::CounterId::kTlBadGCommitCert);
     return;
   }

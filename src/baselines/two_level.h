@@ -17,6 +17,7 @@
 #include "core/zone_app.h"
 #include "pbft/engine.h"
 #include "sim/simulation.h"
+#include "sim/timer_tag.h"
 #include "sim/transport.h"
 
 namespace ziziphus::baselines {
@@ -140,8 +141,8 @@ class TwoLevelGlobalEngine {
     bool executed = false;
   };
 
-  static constexpr std::uint64_t kTimerBase = 0x0400000000ULL;
-  static constexpr std::uint64_t kTimerMask = 0xff00000000ULL;
+  // Timer kinds, carried in sim::TimerTag{kTwoLevel, kind} (timer_tag.h).
+  enum TimerKind : std::uint8_t { kBatchTimer = 1 };
 
   std::size_t ZoneQuorum() const { return 2 * config_.big_f + 1; }
   std::vector<NodeId> AllNodes() const { return topology_->AllNodes(); }

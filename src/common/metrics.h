@@ -45,17 +45,15 @@ class Histogram {
 };
 
 /// Typed counters for protocol events (messages sent, commits, view
-/// changes, rejected certificates, ...). Every in-tree counter is declared
-/// once in obs/metric_ids.h and addressed by obs::CounterId — a flat array
-/// increment, no hashing.
+/// changes, rejected certificates, ...). Every counter is declared once in
+/// obs/metric_ids.h and addressed by obs::CounterId — a flat array
+/// increment, no hashing. There is deliberately no string-keyed path:
+/// unregistered names are a compile error, so the registry stays the single
+/// source of truth for every exported metric.
 ///
 /// Scoping: a CounterSet may be chained to a parent (node -> zone -> root,
 /// wired by obs::Recorder); increments propagate up the chain so the root
 /// always holds system-wide totals.
-///
-/// The string overloads are the transition shim for out-of-registry names
-/// (ad-hoc test counters); registered names resolve to their typed slot so
-/// mixed call sites agree. Prefer the typed ids in new code.
 class CounterSet {
  public:
   void Inc(obs::CounterId id, std::uint64_t by = 1) {
@@ -67,26 +65,9 @@ class CounterSet {
     return typed_[static_cast<std::size_t>(id)];
   }
 
-  /// Deprecated shim: resolves registered names to their typed slot,
-  /// otherwise falls back to a dynamic string-keyed counter.
-  void Inc(const std::string& name, std::uint64_t by = 1) {
-    if (auto id = obs::FindCounterId(name)) {
-      Inc(*id, by);
-      return;
-    }
-    for (CounterSet* c = this; c != nullptr; c = c->parent_) {
-      c->dynamic_[name] += by;
-    }
-  }
-  std::uint64_t Get(const std::string& name) const {
-    if (auto id = obs::FindCounterId(name)) return Get(*id);
-    auto it = dynamic_.find(name);
-    return it == dynamic_.end() ? 0 : it->second;
-  }
-
-  /// Snapshot of every non-zero counter by name (registered + dynamic).
+  /// Snapshot of every non-zero counter by registered name.
   std::map<std::string, std::uint64_t> All() const {
-    std::map<std::string, std::uint64_t> out = dynamic_;
+    std::map<std::string, std::uint64_t> out;
     for (std::size_t i = 0; i < obs::kNumCounters; ++i) {
       if (typed_[i] != 0) {
         out.emplace(obs::CounterName(static_cast<obs::CounterId>(i)),
@@ -102,16 +83,10 @@ class CounterSet {
     for (std::size_t i = 0; i < obs::kNumCounters; ++i) {
       typed_[i] += other.typed_[i];
     }
-    for (const auto& [name, value] : other.dynamic_) {
-      dynamic_[name] += value;
-    }
   }
 
   /// Zeroes this set only (parents keep their aggregates).
-  void Reset() {
-    typed_.fill(0);
-    dynamic_.clear();
-  }
+  void Reset() { typed_.fill(0); }
 
   /// Chains this scope under `parent`; subsequent increments roll up.
   void set_parent(CounterSet* parent) { parent_ = parent; }
@@ -119,7 +94,6 @@ class CounterSet {
 
  private:
   std::array<std::uint64_t, obs::kNumCounters> typed_{};
-  std::map<std::string, std::uint64_t> dynamic_;
   CounterSet* parent_ = nullptr;
 };
 

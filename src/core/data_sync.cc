@@ -50,7 +50,9 @@ std::uint64_t DataSyncEngine::ArmTimer(std::uint64_t request_id,
                                        TimerKind kind, Duration delay) {
   std::uint64_t token = next_timer_token_++;
   timers_[token] = {request_id, kind};
-  return transport_->SetTimer(delay, kTimerBase | token);
+  return transport_->SetTimer(
+      delay, sim::PackTimer(sim::TimerEngine::kDataSync,
+                            static_cast<std::uint8_t>(kind), token));
 }
 
 Status DataSyncEngine::VerifyZoneCert(const crypto::Certificate& cert,
@@ -125,8 +127,8 @@ bool DataSyncEngine::HandleMessage(const sim::MessagePtr& msg) {
 }
 
 bool DataSyncEngine::HandleTimer(std::uint64_t tag) {
-  if ((tag & kTimerMask) != kTimerBase) return false;
-  std::uint64_t token = tag & ~kTimerMask;
+  if (!sim::TimerTag::OwnedBy(tag, sim::TimerEngine::kDataSync)) return false;
+  std::uint64_t token = sim::TimerTag::Unpack(tag).slot;
   auto it = timers_.find(token);
   if (it == timers_.end()) return true;
   auto [request_id, kind] = it->second;
@@ -157,7 +159,7 @@ bool DataSyncEngine::HandleTimer(std::uint64_t tag) {
         query->ballot = req.ballot;
         query->zone = my_zone_;
         query->replica = transport_->self();
-        query->sig = keys_->Sign(transport_->self(), query->ComputeDigest());
+        query->sig = keys_->Sign(transport_->self(), query->digest());
         const auto& members = topology_->zone(req.initiator_zone).members;
         transport_->ChargeCrypto(config_.costs.crypto.sign_us);
         transport_->ChargeCpu(config_.costs.send_us * members.size());
@@ -199,7 +201,7 @@ bool DataSyncEngine::HandleTimer(std::uint64_t tag) {
 
 void DataSyncEngine::HandleMigrationRequest(
     const std::shared_ptr<const MigrationRequestMsg>& msg) {
-  if (!keys_->Verify(msg->client_sig, msg->ComputeDigest())) {
+  if (!keys_->Verify(msg->client_sig, msg->digest())) {
     transport_->counters().Inc(obs::CounterId::kSyncBadClientSig);
     return;
   }
@@ -459,14 +461,14 @@ bool DataSyncEngine::ValidateEndorse(const EndorsePrePrepareMsg& pp) {
   // Validate the embedded top-level message's certificate, if any.
   if (pp.payload != nullptr) {
     if (const auto* prop = dynamic_cast<const ProposeMsg*>(pp.payload.get())) {
-      if (!VerifyZoneCert(prop->cert, prop->ComputeDigest(),
+      if (!VerifyZoneCert(prop->cert, prop->digest(),
                           prop->initiator_zone)
                .ok()) {
         return false;
       }
     } else if (const auto* acc =
                    dynamic_cast<const AcceptMsg*>(pp.payload.get())) {
-      if (!VerifyZoneCert(acc->cert, acc->ComputeDigest(), acc->initiator_zone)
+      if (!VerifyZoneCert(acc->cert, acc->digest(), acc->initiator_zone)
                .ok()) {
         return false;
       }
@@ -713,7 +715,7 @@ void DataSyncEngine::HandlePropose(
   if (!IsZonePrimary()) return;  // backups observe; primary acts
   if (req.commit_msg != nullptr) return;
 
-  if (!VerifyZoneCert(msg->cert, msg->ComputeDigest(), msg->initiator_zone)
+  if (!VerifyZoneCert(msg->cert, msg->digest(), msg->initiator_zone)
            .ok()) {
     transport_->counters().Inc(obs::CounterId::kSyncBadProposeCert);
     return;
@@ -743,7 +745,7 @@ void DataSyncEngine::HandlePromise(
   RequestState& req = it->second;
   if (!req.i_am_leader || req.phase != Phase::kPromised) return;
   if (msg->ballot != req.ballot) return;
-  if (!VerifyZoneCert(msg->cert, msg->ComputeDigest(), msg->zone).ok()) {
+  if (!VerifyZoneCert(msg->cert, msg->digest(), msg->zone).ok()) {
     transport_->counters().Inc(obs::CounterId::kSyncBadPromiseCert);
     return;
   }
@@ -784,7 +786,7 @@ void DataSyncEngine::HandleAccept(
     }
     return;
   }
-  if (!VerifyZoneCert(msg->cert, msg->ComputeDigest(), msg->initiator_zone)
+  if (!VerifyZoneCert(msg->cert, msg->digest(), msg->initiator_zone)
            .ok()) {
     transport_->counters().Inc(obs::CounterId::kSyncBadAcceptCert);
     return;
@@ -816,7 +818,7 @@ void DataSyncEngine::HandleAccepted(
   if (!req.i_am_leader || req.commit_msg != nullptr) return;
   if (msg->ballot != req.ballot) return;
   if (req.phase != Phase::kAccepted && req.phase != Phase::kAccepting) return;
-  if (!VerifyZoneCert(msg->cert, msg->ComputeDigest(), msg->zone).ok()) {
+  if (!VerifyZoneCert(msg->cert, msg->digest(), msg->zone).ok()) {
     transport_->counters().Inc(obs::CounterId::kSyncBadAcceptedCert);
     return;
   }
@@ -842,7 +844,7 @@ void DataSyncEngine::HandleGlobalCommit(
   req.id = msg->request_id;
   if (req.ops.empty()) req.ops = msg->ops;
   if (req.commit_msg != nullptr) return;  // duplicate
-  if (!VerifyZoneCert(msg->cert, msg->ComputeDigest(), msg->initiator_zone)
+  if (!VerifyZoneCert(msg->cert, msg->digest(), msg->initiator_zone)
            .ok()) {
     transport_->counters().Inc(obs::CounterId::kSyncBadCommitCert);
     return;
@@ -973,7 +975,7 @@ void DataSyncEngine::FlushWaiters(Ballot ballot) {
 
 void DataSyncEngine::HandleResponseQuery(
     const std::shared_ptr<const ResponseQueryMsg>& msg) {
-  if (!keys_->Verify(msg->sig, msg->ComputeDigest())) return;
+  if (!keys_->Verify(msg->sig, msg->digest())) return;
   transport_->counters().Inc(obs::CounterId::kSyncResponseQueriesReceived);
   auto it = requests_.find(msg->request_id);
   if (it != requests_.end() && it->second.commit_msg != nullptr) {
@@ -1003,7 +1005,7 @@ void DataSyncEngine::HandleCrossPropose(
   std::uint64_t leg_id = SourceLegId(msg->request_id);
   RequestState& leg = requests_[leg_id];
   if (leg.id != 0 && leg.phase != Phase::kIdle) return;  // already running
-  if (!VerifyZoneCert(msg->cert, msg->ComputeDigest(), msg->initiator_zone)
+  if (!VerifyZoneCert(msg->cert, msg->digest(), msg->initiator_zone)
            .ok()) {
     transport_->counters().Inc(obs::CounterId::kSyncBadCrossProposeCert);
     return;
@@ -1034,7 +1036,7 @@ void DataSyncEngine::HandlePrepared(
   if (it == requests_.end()) return;
   RequestState& req = it->second;
   if (req.prepared != nullptr) return;
-  if (!VerifyZoneCert(msg->cert, msg->ComputeDigest(), msg->source_zone)
+  if (!VerifyZoneCert(msg->cert, msg->digest(), msg->source_zone)
            .ok()) {
     transport_->counters().Inc(obs::CounterId::kSyncBadPreparedCert);
     return;

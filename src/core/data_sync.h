@@ -16,6 +16,7 @@
 #include "core/metadata.h"
 #include "core/topology.h"
 #include "crypto/certificate.h"
+#include "sim/timer_tag.h"
 #include "sim/transport.h"
 
 namespace ziziphus::core {
@@ -85,9 +86,6 @@ class DataSyncEngine {
                  const Topology* topology, ZoneId my_zone,
                  GlobalMetadata* metadata, LockTable* locks,
                  ZoneEndorser* endorser, SyncConfig config);
-
-  static constexpr std::uint64_t kTimerBase = 0x0200000000ULL;
-  static constexpr std::uint64_t kTimerMask = 0xff00000000ULL;
 
   /// Routes top-level protocol messages; returns true if consumed.
   bool HandleMessage(const sim::MessagePtr& msg);

@@ -56,7 +56,7 @@ void ZoneEndorser::Start(EndorsePhase phase, std::uint64_t request_id,
   msg->ops = std::move(ops);
   msg->records = std::move(records);
   msg->full_prepare = full_prepare;
-  msg->sig = keys_->Sign(transport_->self(), msg->ComputeDigest());
+  msg->sig = keys_->Sign(transport_->self(), msg->digest());
   transport_->ChargeCrypto(costs_.crypto.sign_us);
   transport_->ChargeCpu(costs_.send_us * zone_->members.size());
   transport_->Multicast(zone_->members, msg);
@@ -92,7 +92,7 @@ void ZoneEndorser::HandlePrePrepare(
     const std::shared_ptr<const EndorsePrePrepareMsg>& m) {
   if (m->view != view_) return;
   if (m->from() != primary()) return;
-  if (!keys_->Verify(m->sig, m->ComputeDigest())) {
+  if (!keys_->Verify(m->sig, m->digest())) {
     transport_->counters().Inc(obs::CounterId::kEndorseBadSig);
     return;
   }
@@ -130,7 +130,7 @@ void ZoneEndorser::HandlePrePrepare(
     prep->view = view_;
     prep->content_digest = m->content_digest;
     prep->replica = transport_->self();
-    prep->sig = keys_->Sign(transport_->self(), prep->ComputeDigest());
+    prep->sig = keys_->Sign(transport_->self(), prep->digest());
     transport_->ChargeCrypto(costs_.mac_us);
     transport_->ChargeCpu(costs_.send_us * zone_->members.size());
     transport_->Multicast(zone_->members, prep);
@@ -148,7 +148,7 @@ void ZoneEndorser::HandlePrepare(
     const std::shared_ptr<const EndorsePrepareMsg>& m) {
   if (m->view != view_) return;
   if (!IsMember(m->replica) || m->replica != m->from()) return;
-  if (!keys_->Verify(m->sig, m->ComputeDigest())) return;
+  if (!keys_->Verify(m->sig, m->digest())) return;
   EndorseKey key{m->request_id, m->phase};
   State& st = states_[key];
   if (st.pre_prepare != nullptr &&

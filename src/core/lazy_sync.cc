@@ -41,7 +41,7 @@ bool LazySyncEngine::HandleMessage(const sim::MessagePtr& msg) {
   // The certificate is the PBFT checkpoint proof: 2f+1 signatures over
   // H(seq, state_digest).
   Status s = crypto::VerifyCertificate(
-      *keys_, m->cert, m->ComputeDigest(), zi.quorum(), [&zi](NodeId n) {
+      *keys_, m->cert, m->digest(), zi.quorum(), [&zi](NodeId n) {
         return std::find(zi.members.begin(), zi.members.end(), n) !=
                zi.members.end();
       });

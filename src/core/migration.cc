@@ -60,8 +60,9 @@ void MigrationEngine::OnGlobalExecuted(const MigrationOp& op, Ballot ballot) {
     // state messages" — Section V-A).
     std::uint64_t token = next_timer_token_++;
     timers_[token] = id;
-    st.wait_timer =
-        transport_->SetTimer(config_.state_wait_timeout_us, kTimerBase | token);
+    st.wait_timer = transport_->SetTimer(
+        config_.state_wait_timeout_us,
+        sim::PackTimer(sim::TimerEngine::kMigration, kStateWaitTimer, token));
   }
 }
 
@@ -107,8 +108,8 @@ bool MigrationEngine::HandleMessage(const sim::MessagePtr& msg) {
 }
 
 bool MigrationEngine::HandleTimer(std::uint64_t tag) {
-  if ((tag & kTimerMask) != kTimerBase) return false;
-  std::uint64_t token = tag & ~kTimerMask;
+  if (!sim::TimerTag::OwnedBy(tag, sim::TimerEngine::kMigration)) return false;
+  std::uint64_t token = sim::TimerTag::Unpack(tag).slot;
   auto it = timers_.find(token);
   if (it == timers_.end()) return true;
   std::uint64_t id = it->second;
@@ -125,7 +126,7 @@ bool MigrationEngine::HandleTimer(std::uint64_t tag) {
   query->ballot = st.ballot;
   query->zone = my_zone_;
   query->replica = transport_->self();
-  query->sig = keys_->Sign(transport_->self(), query->ComputeDigest());
+  query->sig = keys_->Sign(transport_->self(), query->digest());
   const auto& members = topology_->zone(st.op.source).members;
   transport_->ChargeCrypto(config_.costs.crypto.sign_us);
   transport_->ChargeCpu(config_.costs.send_us * members.size());
@@ -136,7 +137,7 @@ bool MigrationEngine::HandleTimer(std::uint64_t tag) {
     timers_[token2] = id;
     st.wait_timer = transport_->SetTimer(
         config_.state_wait_timeout_us * (1ULL << st.wait_rounds),
-        kTimerBase | token2);
+        sim::PackTimer(sim::TimerEngine::kMigration, kStateWaitTimer, token2));
   }
   return true;
 }
@@ -182,7 +183,7 @@ bool MigrationEngine::ValidateEndorse(const EndorsePrePrepareMsg& pp) {
       const auto* state =
           dynamic_cast<const StateTransferMsg*>(pp.payload.get());
       if (state == nullptr ||
-          !VerifyZoneCert(state->cert, state->ComputeDigest(),
+          !VerifyZoneCert(state->cert, state->digest(),
                           state->source_zone)
                .ok()) {
         transport_->counters().Inc(obs::CounterId::kMigBadStateCert);
@@ -269,7 +270,7 @@ void MigrationEngine::HandleStateTransfer(
   if (st.op.destination != kInvalidZone && my_zone_ != st.op.destination) {
     return;
   }
-  if (!VerifyZoneCert(msg->cert, msg->ComputeDigest(), msg->source_zone)
+  if (!VerifyZoneCert(msg->cert, msg->digest(), msg->source_zone)
            .ok()) {
     transport_->counters().Inc(obs::CounterId::kMigBadStateCert);
     return;

@@ -9,6 +9,7 @@
 #include "core/lock_table.h"
 #include "core/messages.h"
 #include "core/topology.h"
+#include "sim/timer_tag.h"
 #include "sim/transport.h"
 
 namespace ziziphus::core {
@@ -41,8 +42,9 @@ class MigrationEngine {
                   const Topology* topology, ZoneId my_zone, LockTable* locks,
                   ZoneEndorser* endorser, MigrationConfig config);
 
-  static constexpr std::uint64_t kTimerBase = 0x0300000000ULL;
-  static constexpr std::uint64_t kTimerMask = 0xff00000000ULL;
+  /// Kind byte for the single timer this engine arms (state-wait probe),
+  /// carried in sim::TimerTag{kMigration, kStateWaitTimer, token}.
+  enum TimerKind : std::uint8_t { kStateWaitTimer = 1 };
 
   /// Request-id namespace for migration-related response queries, so they
   /// do not collide with data-synchronization queries.

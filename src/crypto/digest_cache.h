@@ -1,0 +1,45 @@
+#ifndef ZIZIPHUS_CRYPTO_DIGEST_CACHE_H_
+#define ZIZIPHUS_CRYPTO_DIGEST_CACHE_H_
+
+#include <utility>
+
+#include "crypto/signature.h"
+
+namespace ziziphus::crypto {
+
+/// Compute-once memo cell for a message digest.
+///
+/// Messages are immutable once sent and shared by every multicast recipient
+/// (the PBFT paper keeps crypto off the critical path the same way, by
+/// caching instead of recomputing), so the first digest() serves the sender's
+/// signature and all later verifications with zero recomputation and no
+/// invalidation protocol.
+///
+/// Copying deliberately does NOT copy the cached value: a copied message is
+/// a new object whose fields may diverge before re-signing (that is exactly
+/// what Byzantine forging helpers do), so the copy starts cold.
+class DigestCache {
+ public:
+  DigestCache() = default;
+  DigestCache(const DigestCache&) noexcept {}
+  DigestCache& operator=(const DigestCache&) noexcept { return *this; }
+
+  template <typename ComputeFn>
+  Digest GetOr(ComputeFn&& compute) const {
+    if (!valid_) {
+      value_ = std::forward<ComputeFn>(compute)();
+      valid_ = true;
+    }
+    return value_;
+  }
+
+  bool cached() const { return valid_; }
+
+ private:
+  mutable Digest value_ = 0;
+  mutable bool valid_ = false;
+};
+
+}  // namespace ziziphus::crypto
+
+#endif  // ZIZIPHUS_CRYPTO_DIGEST_CACHE_H_

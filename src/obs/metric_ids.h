@@ -3,9 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <optional>
 #include <string_view>
-#include <unordered_map>
 
 // Generated-style metric registry: the single grep-able definition of every
 // counter and histogram in the system. Call sites hold typed handles
@@ -188,34 +186,6 @@ inline constexpr std::string_view CounterName(CounterId id) {
 }
 inline constexpr std::string_view HistogramName(HistogramId id) {
   return detail::kHistogramNames[static_cast<std::size_t>(id)];
-}
-
-/// Reverse lookup for the transition shim (stringly-typed call sites in
-/// tests and out-of-tree code). Returns nullopt for unregistered names.
-inline std::optional<CounterId> FindCounterId(std::string_view name) {
-  static const std::unordered_map<std::string_view, CounterId>* index = [] {
-    auto* m = new std::unordered_map<std::string_view, CounterId>();
-    for (std::size_t i = 0; i < kNumCounters; ++i) {
-      m->emplace(detail::kCounterNames[i], static_cast<CounterId>(i));
-    }
-    return m;
-  }();
-  auto it = index->find(name);
-  if (it == index->end()) return std::nullopt;
-  return it->second;
-}
-
-inline std::optional<HistogramId> FindHistogramId(std::string_view name) {
-  static const std::unordered_map<std::string_view, HistogramId>* index = [] {
-    auto* m = new std::unordered_map<std::string_view, HistogramId>();
-    for (std::size_t i = 0; i < kNumHistograms; ++i) {
-      m->emplace(detail::kHistogramNames[i], static_cast<HistogramId>(i));
-    }
-    return m;
-  }();
-  auto it = index->find(name);
-  if (it == index->end()) return std::nullopt;
-  return it->second;
 }
 
 }  // namespace ziziphus::obs

@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 
 #include "common/logging.h"

@@ -88,8 +88,8 @@ bool PbftEngine::HandleMessage(const sim::MessagePtr& msg) {
 }
 
 bool PbftEngine::HandleTimer(std::uint64_t tag) {
-  if ((tag & kTimerMask) != kTimerBase) return false;
-  switch (tag & ~kTimerMask) {
+  if (!sim::TimerTag::OwnedBy(tag, sim::TimerEngine::kPbft)) return false;
+  switch (sim::TimerTag::Unpack(tag).kind) {
     case kBatchTimer:
       batch_timer_armed_ = false;
       MaybeProposeBatch(/*timer_fired=*/true);
@@ -187,8 +187,9 @@ void PbftEngine::MaybeProposeBatch(bool timer_fired) {
     ProposeBatch(std::move(batch));
   } else if (!batch_timer_armed_) {
     batch_timer_armed_ = true;
-    batch_timer_ = transport_->SetTimer(config_.batch_timeout_us,
-                                        kTimerBase | kBatchTimer);
+    batch_timer_ = transport_->SetTimer(
+        config_.batch_timeout_us,
+        sim::PackTimer(sim::TimerEngine::kPbft, kBatchTimer));
   }
 }
 
@@ -218,7 +219,7 @@ void PbftEngine::ProposeBatch(Batch batch) {
   msg->seq = seq;
   msg->batch_digest = batch.ComputeDigest();
   msg->batch = std::move(batch);
-  msg->sig = keys_->Sign(transport_->self(), msg->ComputeDigest());
+  msg->sig = keys_->Sign(transport_->self(), msg->digest());
   transport_->ChargeCrypto(config_.costs.crypto.sign_us);
   transport_->ChargeCpu(config_.costs.send_us * config_.members.size());
   transport_->counters().Inc(obs::CounterId::kPbftBatchesProposed);
@@ -233,7 +234,7 @@ void PbftEngine::HandlePrePrepare(
     const std::shared_ptr<const PrePrepareMsg>& msg) {
   if (!view_active_ || msg->view != view_) return;
   if (msg->from() != primary()) return;
-  if (!keys_->Verify(msg->sig, msg->ComputeDigest())) {
+  if (!keys_->Verify(msg->sig, msg->digest())) {
     transport_->counters().Inc(obs::CounterId::kPbftBadSig);
     return;
   }
@@ -265,7 +266,7 @@ void PbftEngine::HandlePrePrepare(
   prep->seq = msg->seq;
   prep->batch_digest = msg->batch_digest;
   prep->replica = transport_->self();
-  prep->sig = keys_->Sign(transport_->self(), prep->ComputeDigest());
+  prep->sig = keys_->Sign(transport_->self(), prep->digest());
   transport_->ChargeCrypto(config_.costs.crypto.sign_us);
   transport_->ChargeCpu(config_.costs.send_us * config_.members.size());
   transport_->Multicast(config_.members, prep);
@@ -275,7 +276,7 @@ void PbftEngine::HandlePrePrepare(
 void PbftEngine::HandlePrepare(const std::shared_ptr<const PrepareMsg>& msg) {
   if (!view_active_ || msg->view != view_) return;
   if (!IsMember(msg->replica) || msg->replica != msg->from()) return;
-  if (!keys_->Verify(msg->sig, msg->ComputeDigest())) {
+  if (!keys_->Verify(msg->sig, msg->digest())) {
     transport_->counters().Inc(obs::CounterId::kPbftBadSig);
     return;
   }
@@ -312,7 +313,7 @@ void PbftEngine::TryPrepare(SeqNum seq) {
   commit->seq = seq;
   commit->batch_digest = slot.pre_prepare->batch_digest;
   commit->replica = transport_->self();
-  commit->sig = keys_->Sign(transport_->self(), commit->ComputeDigest());
+  commit->sig = keys_->Sign(transport_->self(), commit->digest());
   transport_->ChargeCrypto(config_.costs.crypto.sign_us);
   transport_->ChargeCpu(config_.costs.send_us * config_.members.size());
   transport_->Multicast(config_.members, commit);
@@ -322,7 +323,7 @@ void PbftEngine::TryPrepare(SeqNum seq) {
 void PbftEngine::HandleCommit(const std::shared_ptr<const CommitMsg>& msg) {
   if (msg->view > view_ || (!view_active_ && msg->view == view_)) return;
   if (!IsMember(msg->replica) || msg->replica != msg->from()) return;
-  if (!keys_->Verify(msg->sig, msg->ComputeDigest())) {
+  if (!keys_->Verify(msg->sig, msg->digest())) {
     transport_->counters().Inc(obs::CounterId::kPbftBadSig);
     return;
   }
@@ -432,7 +433,7 @@ void PbftEngine::MaybeCheckpoint() {
   msg->seq = last_executed_;
   msg->state_digest = state_machine_->StateDigest();
   msg->replica = transport_->self();
-  msg->sig = keys_->Sign(transport_->self(), msg->ComputeDigest());
+  msg->sig = keys_->Sign(transport_->self(), msg->digest());
   transport_->ChargeCrypto(config_.costs.crypto.sign_us);
   transport_->ChargeCpu(config_.costs.send_us * config_.members.size());
   transport_->Multicast(config_.members, msg);
@@ -441,7 +442,7 @@ void PbftEngine::MaybeCheckpoint() {
 void PbftEngine::HandleCheckpoint(
     const std::shared_ptr<const CheckpointMsg>& msg) {
   if (!IsMember(msg->replica) || msg->replica != msg->from()) return;
-  if (!keys_->Verify(msg->sig, msg->ComputeDigest())) {
+  if (!keys_->Verify(msg->sig, msg->digest())) {
     transport_->counters().Inc(obs::CounterId::kPbftBadSig);
     return;
   }
@@ -457,7 +458,7 @@ void PbftEngine::HandleCheckpoint(
           Hasher(0x0f).Add(msg->seq).Add(digest).Finish(), Quorum());
       for (const auto& [node, cp] : votes) {
         if (cp->state_digest == digest) {
-          builder.Add(cp->sig, cp->ComputeDigest());
+          builder.Add(cp->sig, cp->digest());
         }
       }
       if (last_executed_ < msg->seq ||
@@ -574,8 +575,9 @@ void PbftEngine::HandleStateResponse(
 void PbftEngine::ArmProgressTimer() {
   if (!view_changes_enabled_) return;
   if (progress_timer_ != 0) transport_->CancelTimer(progress_timer_);
-  progress_timer_ = transport_->SetTimer(config_.request_timeout_us,
-                                         kTimerBase | kProgressTimer);
+  progress_timer_ = transport_->SetTimer(
+      config_.request_timeout_us,
+      sim::PackTimer(sim::TimerEngine::kPbft, kProgressTimer));
 }
 
 void PbftEngine::DisarmProgressTimer() {
@@ -604,7 +606,7 @@ void PbftEngine::StartViewChange(ViewId new_view) {
     msg->prepared.push_back(proof);
   }
   msg->replica = transport_->self();
-  msg->sig = keys_->Sign(transport_->self(), msg->ComputeDigest());
+  msg->sig = keys_->Sign(transport_->self(), msg->digest());
   transport_->ChargeCrypto(config_.costs.crypto.sign_us);
   transport_->ChargeCpu(config_.costs.send_us * config_.members.size());
   transport_->Multicast(config_.members, msg);
@@ -617,7 +619,7 @@ void PbftEngine::StartViewChange(ViewId new_view) {
   view_change_timer_ = transport_->SetTimer(
       ViewChangeBackoff(config_, view_change_attempts_++, transport_->self(),
                         new_view),
-      kTimerBase | kViewChangeTimer);
+      sim::PackTimer(sim::TimerEngine::kPbft, kViewChangeTimer));
 }
 
 Duration PbftEngine::ViewChangeBackoff(const PbftConfig& config,
@@ -640,7 +642,7 @@ Duration PbftEngine::ViewChangeBackoff(const PbftConfig& config,
 void PbftEngine::HandleViewChange(
     const std::shared_ptr<const ViewChangeMsg>& msg) {
   if (!IsMember(msg->replica) || msg->replica != msg->from()) return;
-  if (!keys_->Verify(msg->sig, msg->ComputeDigest())) {
+  if (!keys_->Verify(msg->sig, msg->digest())) {
     transport_->counters().Inc(obs::CounterId::kPbftBadSig);
     return;
   }
@@ -693,7 +695,7 @@ void PbftEngine::MaybeSendNewView(ViewId v) {
           PreparedProof{v, s, EmptyBatchDigest(), Batch{}});
     }
   }
-  msg->sig = keys_->Sign(transport_->self(), msg->ComputeDigest());
+  msg->sig = keys_->Sign(transport_->self(), msg->digest());
   transport_->ChargeCrypto(config_.costs.crypto.sign_us);
   transport_->ChargeCpu(config_.costs.send_us * config_.members.size());
   transport_->counters().Inc(obs::CounterId::kPbftNewViewsSent);
@@ -702,7 +704,7 @@ void PbftEngine::MaybeSendNewView(ViewId v) {
 
 void PbftEngine::HandleNewView(const std::shared_ptr<const NewViewMsg>& msg) {
   if (msg->from() != PrimaryOf(msg->new_view)) return;
-  if (!keys_->Verify(msg->sig, msg->ComputeDigest())) return;
+  if (!keys_->Verify(msg->sig, msg->digest())) return;
   if (msg->new_view < view_ || (msg->new_view == view_ && view_active_)) {
     return;
   }
@@ -757,7 +759,7 @@ void PbftEngine::EnterNewView(const std::shared_ptr<const NewViewMsg>& msg) {
       pp->seq = proof.seq;
       pp->batch_digest = proof.batch_digest;
       pp->batch = proof.batch;
-      pp->sig = keys_->Sign(msg->from(), pp->ComputeDigest());
+      pp->sig = keys_->Sign(msg->from(), pp->digest());
       pp->set_from(msg->from());
       slot.pre_prepare = pp;
       slot.prepares.clear();
@@ -775,7 +777,7 @@ void PbftEngine::EnterNewView(const std::shared_ptr<const NewViewMsg>& msg) {
     prep->batch_digest = slot.committed ? slot.pre_prepare->batch_digest
                                         : proof.batch_digest;
     prep->replica = transport_->self();
-    prep->sig = keys_->Sign(transport_->self(), prep->ComputeDigest());
+    prep->sig = keys_->Sign(transport_->self(), prep->digest());
     transport_->ChargeCrypto(config_.costs.crypto.sign_us);
     transport_->ChargeCpu(config_.costs.send_us * config_.members.size());
     transport_->Multicast(config_.members, prep);
@@ -787,7 +789,7 @@ void PbftEngine::EnterNewView(const std::shared_ptr<const NewViewMsg>& msg) {
       commit->seq = proof.seq;
       commit->batch_digest = slot.pre_prepare->batch_digest;
       commit->replica = transport_->self();
-      commit->sig = keys_->Sign(transport_->self(), commit->ComputeDigest());
+      commit->sig = keys_->Sign(transport_->self(), commit->digest());
       transport_->ChargeCrypto(config_.costs.crypto.sign_us);
       transport_->ChargeCpu(config_.costs.send_us * config_.members.size());
       transport_->Multicast(config_.members, commit);

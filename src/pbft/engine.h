@@ -14,6 +14,7 @@
 #include "pbft/config.h"
 #include "pbft/messages.h"
 #include "pbft/state_machine.h"
+#include "sim/timer_tag.h"
 #include "sim/transport.h"
 #include "storage/checkpoint.h"
 #include "storage/log.h"
@@ -49,11 +50,6 @@ class PbftEngine {
 
   PbftEngine(const PbftEngine&) = delete;
   PbftEngine& operator=(const PbftEngine&) = delete;
-
-  /// Timer tags used by this engine are offset by this base so one host can
-  /// run several engines.
-  static constexpr std::uint64_t kTimerBase = 0x0100000000ULL;
-  static constexpr std::uint64_t kTimerMask = 0xff00000000ULL;
 
   /// Feeds a delivered message. Returns true if it was a PBFT message
   /// (consumed), false if the host should route it elsewhere.
@@ -141,7 +137,8 @@ class PbftEngine {
     std::shared_ptr<ClientReplyMsg> last_reply;
   };
 
-  enum TimerTag : std::uint64_t {
+  // Timer kinds, carried in sim::TimerTag{kPbft, kind} (timer_tag.h).
+  enum TimerKind : std::uint8_t {
     kBatchTimer = 1,
     kProgressTimer = 2,
     kViewChangeTimer = 3,

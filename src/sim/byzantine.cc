@@ -40,7 +40,7 @@ std::shared_ptr<pbft::PrePrepareMsg> ForgeConflictingPrePrepare(
   noop.command = "byz-noop";
   forged->batch.ops.push_back(noop);
   forged->batch_digest = forged->batch.ComputeDigest();
-  forged->sig = keys.Sign(signer, forged->ComputeDigest());
+  forged->sig = keys.Sign(signer, forged->digest());
   return forged;
 }
 

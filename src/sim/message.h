@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/types.h"
+#include "crypto/digest_cache.h"
 #include "crypto/signature.h"
 #include "obs/context.h"
 
@@ -44,6 +45,16 @@ class Message {
   /// protocol decisions.
   virtual crypto::Digest ComputeDigest() const = 0;
 
+  /// Memoized ComputeDigest(). Because a message is immutable once sent and
+  /// one shared object reaches every multicast recipient, the sender's
+  /// signing digest and all later verifications hit the same cache entry —
+  /// no invalidation exists or is needed. Construct-then-mutate code must
+  /// finish mutating semantic fields before the first digest() call; copies
+  /// start with a cold cache (see crypto::DigestCache).
+  crypto::Digest digest() const {
+    return digest_cache_.GetOr([this] { return ComputeDigest(); });
+  }
+
   /// Approximate serialized size in bytes, used for bandwidth costs.
   virtual std::size_t WireSize() const { return 64; }
 
@@ -51,6 +62,7 @@ class Message {
   MessageType type_;
   NodeId from_ = kInvalidNode;
   obs::TraceContext trace_;
+  crypto::DigestCache digest_cache_;
 };
 
 using MessagePtr = std::shared_ptr<const Message>;

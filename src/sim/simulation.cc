@@ -105,9 +105,7 @@ void Process::Multicast(const std::vector<NodeId>& dsts, MessagePtr msg) {
   Message* m = const_cast<Message*>(msg.get());
   m->set_from(id_);
   if (trace_ctx_.active() && !m->trace().active()) m->set_trace(trace_ctx_);
-  for (NodeId dst : dsts) {
-    sim_->SendMessage(id_, Now(), dst, msg);
-  }
+  sim_->MulticastMessage(id_, Now(), dsts, std::move(msg));
 }
 
 std::uint64_t Process::SetTimer(Duration delay, std::uint64_t tag) {
@@ -218,11 +216,14 @@ void FaultSchedule::ResetAllAt(SimTime at) {
 
 // ------------------------------------------------------------- Simulation
 
-Simulation::Simulation(std::uint64_t seed, LatencyModel latency)
+Simulation::Simulation(std::uint64_t seed, LatencyModel latency,
+                       EventQueueKind queue)
     : latency_(std::move(latency)),
       rng_(seed),
       jitter_rng_(rng_.Fork(0xbeef)),
-      faults_(rng_.Fork(0xfa01)) {}
+      faults_(rng_.Fork(0xfa01)),
+      queue_kind_(queue),
+      queue_(EventQueue::Create(queue)) {}
 
 NodeId Simulation::Register(Process* process, RegionId region) {
   ZCHECK(process != nullptr);
@@ -245,24 +246,12 @@ void Simulation::SetInterceptor(NodeId node, OutboundInterceptor* interceptor) {
   }
 }
 
-void Simulation::SendMessage(NodeId from, SimTime depart, NodeId to,
-                             MessagePtr msg) {
+void Simulation::EnqueueWire(NodeId from, SimTime depart, NodeId to,
+                             MessagePtr msg, CounterSet& sender,
+                             std::size_t wire_size, RegionId from_region) {
   ZCHECK(to < processes_.size());
-  CounterSet& sender = processes_[from]->scoped_counters();
-  if (!interceptors_.empty()) {
-    auto it = interceptors_.find(from);
-    if (it != interceptors_.end()) {
-      msg = it->second->OnSend(from, to, msg);
-      if (msg == nullptr) {
-        sender.Inc(obs::CounterId::kByzMsgsSuppressed);
-        return;
-      }
-    }
-  }
-  std::size_t wire_size = msg->WireSize();
   sender.Inc(obs::CounterId::kNetMsgsSent);
   sender.Inc(obs::CounterId::kNetBytesSent, wire_size);
-  RegionId from_region = region_of(from);
   RegionId to_region = region_of(to);
   recorder_.AddLinkTraffic(from_region, to_region, wire_size);
   recorder_.Record(obs::HistogramId::kNetMsgBytes, wire_size);
@@ -289,21 +278,60 @@ void Simulation::SendMessage(NodeId from, SimTime depart, NodeId to,
     Duration lat2 = extra + latency_.Sample(from_region, to_region, wire_size,
                                             jitter_rng_);
     obs::SpanId dup_span = open_transit();
-    queue_.push(Event{depart + lat2, next_seq_++, to, msg, 0, from, dup_span});
+    queue_->Push(
+        SimEvent{depart + lat2, next_seq_++, to, msg, 0, from, dup_span});
   }
   obs::SpanId span = open_transit();
-  queue_.push(
-      Event{depart + lat, next_seq_++, to, std::move(msg), 0, from, span});
+  queue_->Push(
+      SimEvent{depart + lat, next_seq_++, to, std::move(msg), 0, from, span});
+}
+
+void Simulation::SendMessage(NodeId from, SimTime depart, NodeId to,
+                             MessagePtr msg) {
+  ZCHECK(to < processes_.size());
+  CounterSet& sender = processes_[from]->scoped_counters();
+  if (!interceptors_.empty()) {
+    auto it = interceptors_.find(from);
+    if (it != interceptors_.end()) {
+      msg = it->second->OnSend(from, to, msg);
+      if (msg == nullptr) {
+        sender.Inc(obs::CounterId::kByzMsgsSuppressed);
+        return;
+      }
+    }
+  }
+  std::size_t wire_size = msg->WireSize();
+  EnqueueWire(from, depart, to, std::move(msg), sender, wire_size,
+              region_of(from));
+}
+
+void Simulation::MulticastMessage(NodeId from, SimTime depart,
+                                  const std::vector<NodeId>& dsts,
+                                  MessagePtr msg) {
+  if (!interceptors_.empty() && interceptors_.count(from) > 0) {
+    // Byzantine senders may equivocate per destination; take the slow path
+    // so the interceptor sees every (from, to, msg) triple individually.
+    for (NodeId dst : dsts) SendMessage(from, depart, dst, msg);
+    return;
+  }
+  CounterSet& sender = processes_[from]->scoped_counters();
+  std::size_t wire_size = msg->WireSize();
+  RegionId from_region = region_of(from);
+  for (std::size_t i = 0; i < dsts.size(); ++i) {
+    MessagePtr copy = i + 1 == dsts.size() ? std::move(msg) : msg;
+    EnqueueWire(from, depart, dsts[i], std::move(copy), sender, wire_size,
+                from_region);
+  }
 }
 
 void Simulation::PostTimer(NodeId owner, SimTime at, std::uint64_t timer_id) {
-  queue_.push(Event{at, next_seq_++, owner, nullptr, timer_id, owner, 0});
+  queue_->Push(SimEvent{at, next_seq_++, owner, nullptr, timer_id, owner, 0});
 }
 
-void Simulation::Dispatch(const Event& e) {
+void Simulation::Dispatch(const SimEvent& e) {
   now_ = std::max(now_, e.time);
   events_dispatched_++;
-  recorder_.RecordQueueDepth(queue_.size());
+  recorder_.RecordQueueDepth(queue_->Size());
   Process* p = processes_[e.dst];
   if (e.msg != nullptr) {
     // The wire span ends at arrival whether or not the receiver is alive.
@@ -330,18 +358,16 @@ void Simulation::PumpSchedule(SimTime horizon) {
   for (;;) {
     SimTime next_action = schedule_.NextTime();
     if (next_action == kSimTimeMax || next_action > horizon) return;
-    if (!queue_.empty() && queue_.top().time < next_action) return;
+    if (queue_->MinTime() < next_action) return;
     now_ = std::max(now_, next_action);
     schedule_.ApplyNext(*this);
   }
 }
 
 bool Simulation::Step() {
-  PumpSchedule(queue_.empty() ? schedule_.NextTime() : queue_.top().time);
-  if (queue_.empty()) return false;
-  Event e = queue_.top();
-  queue_.pop();
-  Dispatch(e);
+  PumpSchedule(queue_->Empty() ? schedule_.NextTime() : queue_->MinTime());
+  if (queue_->Empty()) return false;
+  Dispatch(queue_->Pop());
   return true;
 }
 
@@ -350,10 +376,8 @@ void Simulation::RunUntil(SimTime t) {
     PumpSchedule(t);
     // An applied action (or an earlier dispatch) may have enqueued new
     // events, so re-read the queue head each iteration.
-    if (queue_.empty() || queue_.top().time > t) break;
-    Event e = queue_.top();
-    queue_.pop();
-    Dispatch(e);
+    if (queue_->Empty() || queue_->MinTime() > t) break;
+    Dispatch(queue_->Pop());
   }
   now_ = std::max(now_, t);
 }
@@ -362,7 +386,7 @@ void Simulation::RunUntilIdle(std::uint64_t max_events) {
   std::uint64_t n = 0;
   for (;;) {
     PumpSchedule(kSimTimeMax);
-    if (queue_.empty()) {
+    if (queue_->Empty()) {
       if (schedule_.done()) return;
       continue;  // the pump applies the remaining actions
     }
@@ -370,9 +394,7 @@ void Simulation::RunUntilIdle(std::uint64_t max_events) {
       ZLOG(Warn) << "RunUntilIdle: hit max_events=" << max_events;
       return;
     }
-    Event e = queue_.top();
-    queue_.pop();
-    Dispatch(e);
+    Dispatch(queue_->Pop());
   }
 }
 

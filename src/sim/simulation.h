@@ -3,7 +3,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -12,6 +12,7 @@
 #include "common/random.h"
 #include "common/types.h"
 #include "obs/recorder.h"
+#include "sim/event_queue.h"
 #include "sim/latency_model.h"
 #include "sim/message.h"
 
@@ -308,9 +309,11 @@ class Process {
 /// are exactly reproducible given a seed.
 class Simulation {
  public:
-  Simulation(std::uint64_t seed, LatencyModel latency);
+  Simulation(std::uint64_t seed, LatencyModel latency,
+             EventQueueKind queue = EventQueueKind::kCalendar);
 
   SimTime Now() const { return now_; }
+  EventQueueKind queue_kind() const { return queue_kind_; }
 
   /// Registers a process at a region; assigns and returns its NodeId.
   NodeId Register(Process* process, RegionId region);
@@ -321,6 +324,15 @@ class Simulation {
 
   /// Network send with latency, loss and partition handling.
   void SendMessage(NodeId from, SimTime depart, NodeId to, MessagePtr msg);
+
+  /// Fan-out send of one shared payload to every node in `dsts`. Per
+  /// destination this behaves exactly like SendMessage (same counters, same
+  /// rng consumption order, so schedules are bit-identical with a manual
+  /// loop) but stamps one event envelope per recipient around the same
+  /// payload, hoisting the interceptor lookup, wire sizing and sender
+  /// scope out of the loop.
+  void MulticastMessage(NodeId from, SimTime depart,
+                        const std::vector<NodeId>& dsts, MessagePtr msg);
 
   /// Schedules a timer event for `owner`.
   void PostTimer(NodeId owner, SimTime at, std::uint64_t timer_id);
@@ -364,23 +376,13 @@ class Simulation {
   std::uint64_t events_dispatched() const { return events_dispatched_; }
 
  private:
-  struct Event {
-    SimTime time;
-    std::uint64_t seq;
-    NodeId dst;
-    MessagePtr msg;            // null for timers
-    std::uint64_t timer_id;    // valid when msg == nullptr
-    NodeId from;               // message sender, for tracing
-    obs::SpanId transit_span;  // wire span of this delivery (0 = untraced)
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-
-  void Dispatch(const Event& e);
+  void Dispatch(const SimEvent& e);
+  /// Post-interceptor tail of SendMessage: counters, loss, latency
+  /// sampling, transit spans, enqueue. The rng consumption order per
+  /// destination is load-bearing for determinism — see MulticastMessage.
+  void EnqueueWire(NodeId from, SimTime depart, NodeId to, MessagePtr msg,
+                   CounterSet& sender, std::size_t wire_size,
+                   RegionId from_region);
   /// Applies fault-schedule entries due at or before `horizon` and before
   /// the next queued event.
   void PumpSchedule(SimTime horizon);
@@ -391,7 +393,8 @@ class Simulation {
   FaultInjector faults_;
   FaultSchedule schedule_;
   obs::Recorder recorder_;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  EventQueueKind queue_kind_;
+  std::unique_ptr<EventQueue> queue_;
   std::vector<Process*> processes_;
   std::unordered_map<NodeId, OutboundInterceptor*> interceptors_;
   SimTime now_ = 0;

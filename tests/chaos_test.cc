@@ -96,8 +96,8 @@ TEST(FaultScheduleTest, CrashAndRecoverControlDelivery) {
   ASSERT_EQ(b.received.size(), 2u);
   EXPECT_EQ(b.received[0].second, 1u);
   EXPECT_EQ(b.received[1].second, 3u);
-  EXPECT_EQ(s.counters().Get("faults.crashes"), 1u);
-  EXPECT_EQ(s.counters().Get("faults.recoveries"), 1u);
+  EXPECT_EQ(s.counters().Get(obs::CounterId::kFaultsCrashes), 1u);
+  EXPECT_EQ(s.counters().Get(obs::CounterId::kFaultsRecoveries), 1u);
 }
 
 TEST(FaultScheduleTest, LinkDelayDuplicationAndCpuFactor) {
@@ -123,7 +123,7 @@ TEST(FaultScheduleTest, LinkDelayDuplicationAndCpuFactor) {
   s.SendMessage(ida, s.Now(), idb, m2);
   s.RunUntilIdle();
   EXPECT_EQ(b.received.size(), 3u);
-  EXPECT_GE(s.counters().Get("net.msgs_duplicated"), 1u);
+  EXPECT_GE(s.counters().Get(obs::CounterId::kNetMsgsDuplicated), 1u);
 
   // Gray failure: CPU factor inflates ChargeCpu through the process.
   s.faults().SetCpuFactor(idb, 4.0);
@@ -173,8 +173,8 @@ TEST(InterceptorTest, SuppressedSendsNeverEnterTheNetwork) {
   s.RunUntilIdle();
   EXPECT_TRUE(b.received.empty());
   EXPECT_EQ(gag.suppressed, 1);
-  EXPECT_EQ(s.counters().Get("byz.msgs_suppressed"), 1u);
-  EXPECT_EQ(s.counters().Get("net.msgs_sent"), 0u);
+  EXPECT_EQ(s.counters().Get(obs::CounterId::kByzMsgsSuppressed), 1u);
+  EXPECT_EQ(s.counters().Get(obs::CounterId::kNetMsgsSent), 0u);
   // Detach restores normal delivery.
   s.SetInterceptor(ida, nullptr);
   s.SendMessage(ida, s.Now(), idb, std::make_shared<ProbeMsg>());
@@ -194,8 +194,8 @@ TEST(ByzantineBehaviorTest, MutePrimaryForcesViewChange) {
   c.client->SubmitLocal(c.members[0], "op");
   c.sim.RunFor(Seconds(6));
   EXPECT_EQ(c.client->completed(), 1u);
-  EXPECT_GE(c.sim.counters().Get("pbft.new_views_entered"), 1u);
-  EXPECT_GE(c.sim.counters().Get("byz.msgs_suppressed"), 1u);
+  EXPECT_GE(c.sim.counters().Get(obs::CounterId::kPbftNewViewsEntered), 1u);
+  EXPECT_GE(c.sim.counters().Get(obs::CounterId::kByzMsgsSuppressed), 1u);
 }
 
 TEST(ByzantineBehaviorTest, CommitWithholderCannotBlockQuorum) {
@@ -207,10 +207,10 @@ TEST(ByzantineBehaviorTest, CommitWithholderCannotBlockQuorum) {
   c.client->SubmitLocalSequence(c.members[0], 3, "op");
   c.sim.RunFor(Seconds(4));
   EXPECT_EQ(c.client->completed(), 3u);
-  EXPECT_GE(c.sim.counters().Get("byz.msgs_suppressed"), 1u);
+  EXPECT_GE(c.sim.counters().Get(obs::CounterId::kByzMsgsSuppressed), 1u);
   // The 2f+1 honest replicas (including the withholder's own execution,
   // which keeps its local commit) all applied the ops.
-  EXPECT_EQ(c.sim.counters().Get("pbft.new_views_entered"), 0u);
+  EXPECT_EQ(c.sim.counters().Get(obs::CounterId::kPbftNewViewsEntered), 0u);
 }
 
 TEST(ByzantineBehaviorTest, CorruptSignaturesAreDroppedNotFatal) {
@@ -222,7 +222,7 @@ TEST(ByzantineBehaviorTest, CorruptSignaturesAreDroppedNotFatal) {
   c.client->SubmitLocalSequence(c.members[0], 3, "op");
   c.sim.RunFor(Seconds(4));
   EXPECT_EQ(c.client->completed(), 3u);
-  EXPECT_GE(c.sim.counters().Get("pbft.bad_sig"), 1u);
+  EXPECT_GE(c.sim.counters().Get(obs::CounterId::kPbftBadSig), 1u);
 }
 
 TEST(ByzantineBehaviorTest, EquivocatingEngineStallsSlotUntilViewChange) {
@@ -263,8 +263,8 @@ TEST(ByzantineBehaviorTest, EquivocatingEngineStallsSlotUntilViewChange) {
   s.RunFor(Seconds(8));
 
   EXPECT_EQ(client.completed(), 1u);
-  EXPECT_GE(s.counters().Get("byz.equivocations_emitted"), 1u);
-  EXPECT_GE(s.counters().Get("pbft.new_views_entered"), 1u);
+  EXPECT_GE(s.counters().Get(obs::CounterId::kByzEquivocationsEmitted), 1u);
+  EXPECT_GE(s.counters().Get(obs::CounterId::kPbftNewViewsEntered), 1u);
   auto& byz =
       static_cast<sim::EquivocatingPbftEngine&>(replicas[0]->engine());
   EXPECT_GE(byz.equivocations(), 1u);
@@ -287,7 +287,7 @@ TEST(ByzantineBehaviorTest, EquivocatingInterceptorForgesPerDestination) {
   c.client->SubmitLocal(c.members[0], "op");
   c.sim.RunFor(Seconds(8));
   EXPECT_EQ(c.client->completed(), 1u);
-  EXPECT_GE(c.sim.counters().Get("byz.equivocations_emitted"), 1u);
+  EXPECT_GE(c.sim.counters().Get(obs::CounterId::kByzEquivocationsEmitted), 1u);
 }
 
 // ------------------------------------------------------------ chaos sweep
@@ -398,7 +398,7 @@ TEST(ChaosMisconfigTest, FPlusOneLyingRespondersTripTheChecker) {
   client.SubmitLocalSequence(sys.PrimaryOf(0)->id(), 10, "DEP ");
   sys.sim().RunFor(Seconds(8));
   ASSERT_EQ(client.completed(), 10u);
-  ASSERT_GE(sys.sim().counters().Get("pbft.stable_checkpoints"), 1u);
+  ASSERT_GE(sys.sim().counters().Get(obs::CounterId::kPbftStableCheckpoints), 1u);
 
   // The victim rejoins and is elected primary of view 1 (index 1): it must
   // catch up below the stable checkpoint via the f+1-matching path, and

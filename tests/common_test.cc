@@ -176,12 +176,22 @@ TEST(HistogramTest, EmptyQuantiles) {
 
 TEST(CounterSetTest, IncAndGet) {
   CounterSet c;
-  c.Inc("a");
-  c.Inc("a", 4);
-  EXPECT_EQ(c.Get("a"), 5u);
-  EXPECT_EQ(c.Get("missing"), 0u);
+  c.Inc(obs::CounterId::kNetMsgsSent);
+  c.Inc(obs::CounterId::kNetMsgsSent, 4);
+  EXPECT_EQ(c.Get(obs::CounterId::kNetMsgsSent), 5u);
+  EXPECT_EQ(c.Get(obs::CounterId::kNetMsgsDropped), 0u);
   c.Reset();
-  EXPECT_EQ(c.Get("a"), 0u);
+  EXPECT_EQ(c.Get(obs::CounterId::kNetMsgsSent), 0u);
+}
+
+TEST(CounterSetTest, ParentRollupAndAll) {
+  CounterSet root, child;
+  child.set_parent(&root);
+  child.Inc(obs::CounterId::kNetMsgsSent, 2);
+  EXPECT_EQ(root.Get(obs::CounterId::kNetMsgsSent), 2u);
+  auto all = child.All();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all.at("net.msgs_sent"), 2u);
 }
 
 }  // namespace

@@ -122,7 +122,7 @@ TEST(DataSyncTest, SourceZoneRejectsLocalRequestsAfterMigration) {
   auto stale = fx.client->SubmitLocal(fx.primary(0)->id(), "DEP 5");
   fx.sys.sim().RunFor(Seconds(1));
   EXPECT_FALSE(fx.client->IsComplete(stale));
-  EXPECT_GE(fx.sys.sim().counters().Get("node.unlocked_client_rejected"), 1u);
+  EXPECT_GE(fx.sys.sim().counters().Get(obs::CounterId::kNodeUnlockedClientRejected), 1u);
 
   auto fresh = fx.client->SubmitLocal(fx.primary(1)->id(), "DEP 5");
   fx.sys.sim().RunFor(Seconds(1));

@@ -67,7 +67,7 @@ TEST(CrossClusterTest, IntraClusterMigrationStaysLocal) {
       EXPECT_EQ(node->metadata().MigrationsOf(c), 0u);
     }
   }
-  EXPECT_EQ(fx.sys.sim().counters().Get("sync.cross_proposes_sent"), 0u);
+  EXPECT_EQ(fx.sys.sim().counters().Get(obs::CounterId::kSyncCrossProposesSent), 0u);
 }
 
 TEST(CrossClusterTest, CrossClusterMigrationCommitsOnBothClusters) {
@@ -82,8 +82,8 @@ TEST(CrossClusterTest, CrossClusterMigrationCommitsOnBothClusters) {
 
   EXPECT_TRUE(fx.client->Synced(ts));
   EXPECT_TRUE(fx.client->MigrationDone(ts));
-  EXPECT_GE(fx.sys.sim().counters().Get("sync.cross_proposes_sent"), 1u);
-  EXPECT_GE(fx.sys.sim().counters().Get("sync.prepared_sent"), 1u);
+  EXPECT_GE(fx.sys.sim().counters().Get(obs::CounterId::kSyncCrossProposesSent), 1u);
+  EXPECT_GE(fx.sys.sim().counters().Get(obs::CounterId::kSyncPreparedSent), 1u);
 
   // Both clusters executed the transaction on their regional meta-data.
   for (const auto& node : fx.sys.nodes()) {

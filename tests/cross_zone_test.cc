@@ -66,7 +66,7 @@ TEST(CrossZoneTest, TransferMovesMoneyBetweenZones) {
 
 TEST(CrossZoneTest, UninvolvedZoneSeesNoTraffic) {
   XZoneFixture fx;
-  std::uint64_t before = fx.sys.sim().counters().Get("net.msgs_delivered");
+  std::uint64_t before = fx.sys.sim().counters().Get(obs::CounterId::kNetMsgsDelivered);
   (void)before;
   std::string cmd = "XZFER " + std::to_string(fx.bob->id()) + " 50";
   auto ts = fx.alice->SubmitGlobal(fx.sys.PrimaryOf(1)->id(), 0, 1, cmd,

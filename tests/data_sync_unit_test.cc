@@ -52,7 +52,7 @@ TEST(DataSyncUnitTest, ConcurrentMigrationsShareBatches) {
     EXPECT_EQ(c->MigrationDone(1), true) << c->id();
   }
   // 12 concurrent requests rode far fewer data-sync instances.
-  std::uint64_t batches = fx.sys.sim().counters().Get("sync.batches_formed");
+  std::uint64_t batches = fx.sys.sim().counters().Get(obs::CounterId::kSyncBatchesFormed);
   EXPECT_GE(batches, 1u);
   EXPECT_LE(batches, 4u);
 }
@@ -65,7 +65,7 @@ TEST(DataSyncUnitTest, BatchSizeOneDisablesBatching) {
   for (int i = 0; i < 5; ++i) clients.push_back(fx.NewClient(0));
   for (auto& c : clients) c->SubmitGlobal(fx.sys.PrimaryOf(0)->id(), 0, 1);
   fx.sys.sim().RunFor(Seconds(4));
-  EXPECT_GE(fx.sys.sim().counters().Get("sync.batches_formed"), 5u);
+  EXPECT_GE(fx.sys.sim().counters().Get(obs::CounterId::kSyncBatchesFormed), 5u);
   for (auto& c : clients) EXPECT_TRUE(c->MigrationDone(1));
 }
 
@@ -79,7 +79,7 @@ TEST(DataSyncUnitTest, DuplicateRequestLedOnce) {
   op.destination = 1;
   auto req = std::make_shared<core::MigrationRequestMsg>();
   req->op = op;
-  req->client_sig = fx.sys.keys().Sign(c->id(), req->ComputeDigest());
+  req->client_sig = fx.sys.keys().Sign(c->id(), req->digest());
   NodeId primary = fx.sys.PrimaryOf(0)->id();
   c->Send(primary, req);
   c->Send(primary, req);  // duplicate in the same batch window
@@ -157,7 +157,7 @@ TEST(DataSyncUnitTest, ForgedClientSignatureNeverAdmitted) {
   req->client_sig = crypto::Signature{c->id(), 0xdead};
   c->Send(fx.sys.PrimaryOf(0)->id(), req);
   fx.sys.sim().RunFor(Seconds(2));
-  EXPECT_GE(fx.sys.sim().counters().Get("sync.bad_client_sig"), 1u);
+  EXPECT_GE(fx.sys.sim().counters().Get(obs::CounterId::kSyncBadClientSig), 1u);
   for (const auto& node : fx.sys.nodes()) {
     EXPECT_EQ(node->metadata().MigrationsOf(c->id()), 0u);
   }
@@ -170,7 +170,7 @@ TEST(DataSyncUnitTest, MalformedMigrationDropped) {
   auto ts = c->SubmitGlobal(fx.sys.PrimaryOf(0)->id(), 1, 1);
   fx.sys.sim().RunFor(Seconds(2));
   EXPECT_FALSE(c->Synced(ts));
-  EXPECT_EQ(fx.sys.sim().counters().Get("sync.requests_led"), 0u);
+  EXPECT_EQ(fx.sys.sim().counters().Get(obs::CounterId::kSyncRequestsLed), 0u);
 }
 
 }  // namespace

@@ -109,7 +109,7 @@ TEST(EndorsementTest, FullPrepareAlsoReachesQuorum) {
   fx.sim.RunUntilIdle();
   for (auto& h : fx.hosts) EXPECT_EQ(h->quorums.size(), 1u);
   // Full prepare costs one extra message round.
-  EXPECT_GT(fx.sim.counters().Get("net.msgs_sent"), 32u);
+  EXPECT_GT(fx.sim.counters().Get(obs::CounterId::kNetMsgsSent), 32u);
 }
 
 TEST(EndorsementTest, QuorumDespiteOneRefusingNode) {
@@ -120,7 +120,7 @@ TEST(EndorsementTest, QuorumDespiteOneRefusingNode) {
   for (std::size_t i = 0; i < 3; ++i) {
     EXPECT_EQ(fx.hosts[i]->quorums.size(), 1u) << i;
   }
-  EXPECT_GE(fx.sim.counters().Get("endorse.rejected"), 1u);
+  EXPECT_GE(fx.sim.counters().Get(obs::CounterId::kEndorseRejected), 1u);
 }
 
 TEST(EndorsementTest, QuorumFailsWithTwoCrashedNodes) {
@@ -142,7 +142,7 @@ TEST(EndorsementTest, NonPrimaryPrePrepareIgnored) {
   msg->request_id = 1;
   msg->view = 0;
   msg->content_digest = 0x99;
-  msg->sig = fx.keys.Sign(fx.zone.members[1], msg->ComputeDigest());
+  msg->sig = fx.keys.Sign(fx.zone.members[1], msg->digest());
   msg->set_from(fx.zone.members[1]);
   // Inject directly via the network from node 1.
   fx.sim.SendMessage(fx.zone.members[1], 0, fx.zone.members[2], msg);
@@ -161,7 +161,7 @@ TEST(EndorsementTest, HigherBallotSupersedesLowerAttempt) {
                                kNullBallot, 0x222, nullptr, MigrationOp{}, {},
                                {}, false);
   fx.sim.RunUntilIdle();
-  EXPECT_EQ(fx.sim.counters().Get("endorse.equivocation_detected"), 0u);
+  EXPECT_EQ(fx.sim.counters().Get(obs::CounterId::kEndorseEquivocationDetected), 0u);
   EXPECT_EQ(fx.hosts[1]->quorums.size(), 2u);
   EXPECT_EQ(fx.hosts[1]->last_digest, 0x222u);
 }

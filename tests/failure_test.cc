@@ -78,7 +78,7 @@ TEST(FailureTest, LocalPrimaryCrashRecoversViaViewChange) {
   fx.sys.sim().RunFor(Seconds(6));
   EXPECT_TRUE(fx.client->IsComplete(ts));
   EXPECT_EQ(fx.bank(0, 1).BalanceOf(c), 1007);
-  EXPECT_GE(fx.sys.sim().counters().Get("pbft.new_views_entered"), 1u);
+  EXPECT_GE(fx.sys.sim().counters().Get(obs::CounterId::kPbftNewViewsEntered), 1u);
 }
 
 TEST(FailureTest, GlobalPrimaryCrashMigrationStillCompletes) {
@@ -149,8 +149,8 @@ TEST(FailureTest, LazySyncReplicatesZoneStateElsewhere) {
   // Enough local traffic in zone 0 to cross a checkpoint boundary.
   fx.client->SubmitLocalSequence(fx.sys.PrimaryOf(0)->id(), 8, "DEP 1 #");
   fx.sys.sim().RunFor(Seconds(4));
-  EXPECT_GE(fx.sys.sim().counters().Get("lazy.checkpoints_shared"), 1u);
-  EXPECT_GE(fx.sys.sim().counters().Get("lazy.checkpoints_installed"), 1u);
+  EXPECT_GE(fx.sys.sim().counters().Get(obs::CounterId::kLazyCheckpointsShared), 1u);
+  EXPECT_GE(fx.sys.sim().counters().Get(obs::CounterId::kLazyCheckpointsInstalled), 1u);
   // Nodes of zone 1 hold zone 0's stable snapshot.
   const storage::Checkpoint* cp =
       fx.sys.Member(1, 0)->lazy_sync().remote_checkpoints().Latest(0);
@@ -189,7 +189,7 @@ TEST(FailureTest, ByzantineSourcePrimaryCannotForgeMigratedState) {
   auto ts = fx.client->SubmitGlobal(fx.sys.PrimaryOf(0)->id(), 0, 1);
   fx.sys.sim().RunFor(Seconds(5));
 
-  EXPECT_GE(fx.sys.sim().counters().Get("mig.state_mismatch_rejected"), 1u);
+  EXPECT_GE(fx.sys.sim().counters().Get(obs::CounterId::kMigStateMismatchRejected), 1u);
   // The forged balance must not appear at the destination.
   for (std::size_t m = 0; m < 4; ++m) {
     EXPECT_NE(fx.bank(1, m).BalanceOf(c), 999999);
@@ -207,7 +207,7 @@ TEST(FailureTest, ChainSkipGuardPreventsWedge) {
   ASSERT_TRUE(fx.client->MigrationDone(ts));
   // (The guard itself is exercised indirectly; this asserts no regression
   // in the normal path and that the counter stays clean.)
-  EXPECT_EQ(fx.sys.sim().counters().Get("sync.chain_skip"), 0u);
+  EXPECT_EQ(fx.sys.sim().counters().Get(obs::CounterId::kSyncChainSkip), 0u);
 }
 
 TEST(FailureTest, ResponseQueriesSuspectUnresponsiveGlobalPrimary) {
@@ -233,9 +233,9 @@ TEST(FailureTest, ResponseQueriesSuspectUnresponsiveGlobalPrimary) {
   fx.sys.sim().RunFor(Seconds(20));
 
   EXPECT_TRUE(fx.client->MigrationDone(ts));
-  EXPECT_GE(fx.sys.sim().counters().Get("sync.response_queries_sent"), 1u);
-  EXPECT_GE(fx.sys.sim().counters().Get("sync.primary_suspected"), 1u);
-  EXPECT_GE(fx.sys.sim().counters().Get("pbft.new_views_entered"), 1u);
+  EXPECT_GE(fx.sys.sim().counters().Get(obs::CounterId::kSyncResponseQueriesSent), 1u);
+  EXPECT_GE(fx.sys.sim().counters().Get(obs::CounterId::kSyncPrimarySuspected), 1u);
+  EXPECT_GE(fx.sys.sim().counters().Get(obs::CounterId::kPbftNewViewsEntered), 1u);
 }
 
 }  // namespace

@@ -83,7 +83,7 @@ TEST(PbftTest, BadClientSignatureRejected) {
   c.client->Send(c.members[0], req);
   c.sim.RunFor(Millis(500));
   EXPECT_EQ(c.app(0).applied(), 0u);
-  EXPECT_GE(c.sim.counters().Get("pbft.bad_client_sig"), 1u);
+  EXPECT_GE(c.sim.counters().Get(obs::CounterId::kPbftBadClientSig), 1u);
 }
 
 TEST(PbftTest, ToleratesBackupCrash) {
@@ -190,7 +190,7 @@ class EquivocatingEngine : public pbft::PbftEngine {
     other.ops.push_back(evil);
     forged->batch = other;
     forged->batch_digest = other.ComputeDigest();
-    forged->sig = keys_->Sign(transport_->self(), forged->ComputeDigest());
+    forged->sig = keys_->Sign(transport_->self(), forged->digest());
     const auto& members = config_.members;
     for (std::size_t i = 0; i < members.size(); ++i) {
       transport_->Send(members[i], i % 2 == 0 ? sim::MessagePtr(msg)

@@ -144,7 +144,7 @@ TEST(SimulationTest, CrashDropsTraffic) {
   sim.SendMessage(ida, 0, idb, std::make_shared<PingMsg>());
   sim.RunUntilIdle();
   EXPECT_TRUE(b.received.empty());
-  EXPECT_EQ(sim.counters().Get("net.msgs_dropped"), 1u);
+  EXPECT_EQ(sim.counters().Get(obs::CounterId::kNetMsgsDropped), 1u);
   sim.faults().Recover(idb);
   sim.SendMessage(ida, sim.Now(), idb, std::make_shared<PingMsg>());
   sim.RunUntilIdle();

@@ -60,7 +60,7 @@ class TestClient : public sim::Process {
     op.cross_zone = cross_zone;
     auto req = std::make_shared<core::MigrationRequestMsg>();
     req->op = op;
-    req->client_sig = keys_->Sign(id(), req->ComputeDigest());
+    req->client_sig = keys_->Sign(id(), req->digest());
     Send(target, req);
     if (!retry_group_.empty()) {
       outstanding_[op.timestamp] = req;

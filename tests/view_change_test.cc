@@ -89,7 +89,7 @@ TEST(ViewChangeTest, NoViewChangeWithoutTimeouts) {
   c.client->SubmitLocalSequence(c.members[0], 20, "op");
   c.sim.RunFor(Seconds(4));
   EXPECT_EQ(c.client->completed(), 20u);
-  EXPECT_EQ(c.sim.counters().Get("pbft.view_changes_started"), 0u);
+  EXPECT_EQ(c.sim.counters().Get(obs::CounterId::kPbftViewChangesStarted), 0u);
   for (int i = 0; i < 4; ++i) EXPECT_EQ(c.engine(i).view(), 0u);
 }
 
@@ -102,7 +102,7 @@ TEST(ViewChangeTest, ViewChangeDisabledForBenchmarks) {
   c.client->SubmitLocal(c.members[1], "stuck");
   c.sim.RunFor(Seconds(2));
   // With the safety valve off, no churn — and of course no progress.
-  EXPECT_EQ(c.sim.counters().Get("pbft.view_changes_started"), 0u);
+  EXPECT_EQ(c.sim.counters().Get(obs::CounterId::kPbftViewChangesStarted), 0u);
   EXPECT_EQ(c.client->completed(), 0u);
 }
 
