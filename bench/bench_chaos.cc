@@ -20,7 +20,11 @@ namespace ziziphus {
 namespace {
 
 app::ChaosOptions OptionsFor(std::uint64_t seed, const benchmark::State& st) {
-  app::ChaosOptions opt;
+  // Start from the shared flag vocabulary (--crash-amnesia=, --think-ms=,
+  // --fault-window-ms=, --queue=heap); the sweep's cell shape and seed
+  // progression override the per-cell knobs below.
+  app::ChaosOptions opt = bench::BenchConfig().chaos;
+  opt.queue = bench::BenchConfig().workload.queue;
   opt.seed = seed;
   opt.zones = static_cast<std::size_t>(st.range(0));
   opt.byzantine_per_zone = static_cast<std::size_t>(st.range(1));
@@ -64,6 +68,9 @@ void Tally(benchmark::State& state, const app::ChaosReport& r) {
   state.counters["msgs_dropped"] += get("net.msgs_dropped");
   state.counters["crashes"] += get("faults.crashes");
   state.counters["byz_suppressed"] += get("byz.msgs_suppressed");
+  state.counters["amnesia_crashes"] += get("faults.amnesia_crashes");
+  state.counters["rejoins"] += get("recovery.rejoins");
+  state.counters["st_retries"] += get("recovery.state_transfer_retries");
 }
 
 void BM_ZiziphusChaos(benchmark::State& state) {

@@ -191,7 +191,8 @@ storage::KvStore::Map SeedBalance(ClientId id) {
 /// restored once the window closes.
 std::size_t GenerateFaultTimeline(sim::FaultSchedule& schedule, Rng& rng,
                                   const std::vector<NodeId>& replicas,
-                                  Duration window) {
+                                  Duration window,
+                                  std::size_t amnesia_crashes = 0) {
   const SimTime lo = Millis(500);
   if (window <= lo + Millis(500) || replicas.size() < 2) {
     schedule.ResetAllAt(window);
@@ -255,6 +256,18 @@ std::size_t GenerateFaultTimeline(sim::FaultSchedule& schedule, Rng& rng,
                              2.0 + 6.0 * rng.NextDouble());
         break;
     }
+  }
+  // Amnesia crashes draw from the rng strictly after the base timeline, so
+  // a run with amnesia_crashes == 0 replays the base schedule bit-for-bit.
+  for (std::size_t i = 0; i < amnesia_crashes; ++i) {
+    SimTime at = pick_time();
+    NodeId victim = pick_node();
+    schedule.CrashAmnesiaAt(at, victim);
+    // Recover mid-window so the rejoin runs while faults are still live;
+    // the terminal ResetAllAt backstops a recovery clamped to the window.
+    schedule.RecoverAmnesiaAt(
+        std::min<SimTime>(at + rng.NextRange(Seconds(1), Seconds(3)), window),
+        victim);
   }
   schedule.ResetAllAt(window);
   return schedule.size();
@@ -465,7 +478,8 @@ ChaosReport RunZiziphusChaos(const ChaosOptions& opt) {
   // --- Fault timeline + run. ---
   report.events = GenerateFaultTimeline(sys.sim().schedule(), rng,
                                         sys.topology().AllNodes(),
-                                        opt.fault_window);
+                                        opt.fault_window,
+                                        opt.amnesia_crashes);
   for (auto& c : clients) c->Kick();
   sys.sim().RunUntil(opt.fault_window + opt.drain);
 
@@ -493,6 +507,8 @@ ChaosReport RunZiziphusChaos(const ChaosOptions& opt) {
                    (unsigned long long)e.primary(),
                    (unsigned long long)e.last_executed(),
                    (unsigned long long)e.stable_seq());
+      node->sync().DumpStuckRequests(stderr);
+      node->migration().DumpStuckStates(stderr);
     }
     for (const auto& c : clients) {
       if (!c->done())
@@ -523,6 +539,7 @@ ChaosReport RunZiziphusChaos(const ChaosOptions& opt) {
   report.violations = checker.Check(sys);
   report.fingerprint = FingerprintCounters(sys.sim().counters());
   report.counters = sys.sim().counters().All();
+  report.obs_json = sys.sim().recorder().ExportJson();
   return report;
 }
 

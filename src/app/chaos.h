@@ -41,6 +41,14 @@ struct ChaosOptions {
   std::size_t byzantine_per_zone = 1;
   bool allow_over_budget = false;
 
+  /// Amnesia crash/recover pairs appended to the fault timeline: each
+  /// victim loses all volatile state (RAM) and rejoins from its durable
+  /// store — WAL replay, checkpoint install, state-transfer catch-up.
+  /// Drawn from the rng *after* the base timeline, so enabling this never
+  /// perturbs a seed's base fault schedule. 0 disables (the default, which
+  /// keeps pre-existing seeds byte-identical).
+  std::size_t amnesia_crashes = 0;
+
   /// Randomized faults (crashes, partitions, loss, duplication, delays,
   /// CPU slowdown) are injected inside [500ms, fault_window] and all healed
   /// at fault_window; the run then drains and waits for client completion.
@@ -67,6 +75,10 @@ struct ChaosReport {
   /// Final snapshot of the simulation's counters ("faults.crashes",
   /// "byz.equivocations_emitted", "pbft.new_views_entered", ...).
   std::map<std::string, std::uint64_t> counters;
+  /// Full Recorder::ExportJson of the run ("ziziphus.obs.v1"). Two runs of
+  /// one seed must produce byte-identical exports on either event queue —
+  /// the recovery tests diff this directly.
+  std::string obs_json;
 
   bool ok() const { return violations.empty() && all_done; }
   std::string Summary() const;

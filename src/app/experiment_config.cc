@@ -137,6 +137,8 @@ bool ExperimentConfig::ApplyFlag(const char* arg) {
     chaos.client_think = Millis(ToU64(v));
   } else if (FlagValue(arg, "fault-window-ms", &v)) {
     chaos.fault_window = Millis(ToU64(v));
+  } else if (FlagValue(arg, "crash-amnesia", &v)) {
+    chaos.amnesia_crashes = ToU64(v);
   } else {
     return false;
   }

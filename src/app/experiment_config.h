@@ -128,7 +128,8 @@ struct ExperimentConfig {
   /// --clients= --global= --cross= --warmup-ms= --measure-ms= --seed=
   /// --queue=calendar|heap --faults= --no-stable-leader --trace[=0|1]
   /// --sample-every= --json-out= --byzantine= --think-ms=
-  /// --fault-window-ms=. Unknown flags are ignored so binary-specific
+  /// --fault-window-ms= --crash-amnesia=N (amnesia crash/recover pairs in
+  /// the chaos timeline). Unknown flags are ignored so binary-specific
   /// extras can ride along.
   static ExperimentConfig FromFlags(int argc, char** argv);
 

@@ -43,6 +43,7 @@ Ballot DataSyncEngine::NextBallot(ZoneId chain_zone) {
       std::max({highest_n_seen_, my_last_ballot_.n, my_last_cross_ballot_.n}) +
       1;
   highest_n_seen_ = n;
+  if (durable_ != nullptr) durable_->highest_n_seen = highest_n_seen_;
   return Ballot{n, chain_zone};
 }
 
@@ -165,11 +166,17 @@ bool DataSyncEngine::HandleTimer(std::uint64_t tag) {
         transport_->ChargeCpu(config_.costs.send_us * members.size());
         transport_->counters().Inc(obs::CounterId::kSyncResponseQueriesSent);
         transport_->Multicast(members, query);
-        if (++req.commit_wait_rounds < 5) {
+        // Capped exponential backoff with a generous round budget: the
+        // initiator zone may be unreachable (cuts, crashes, rejoining
+        // amnesiacs) for longer than a handful of rounds, and a follower
+        // zone that stops probing can never learn the commit it already
+        // accepted — wedging the migration that rides on it.
+        if (++req.commit_wait_rounds < 64) {
+          std::uint64_t mult = std::min<std::uint64_t>(
+              1ULL << std::min(req.commit_wait_rounds, 3), 8ULL);
           req.commit_wait_timer =
               ArmTimer(request_id, kCommitWait,
-                       config_.response_query_timeout_us *
-                           (1ULL << req.commit_wait_rounds));
+                       config_.response_query_timeout_us * mult);
         }
       }
       break;
@@ -332,6 +339,10 @@ void DataSyncEngine::LeadRequest(RequestState& req) {
   req.ballot = NextBallot(chain_zone);
   req.prev = tail;
   tail = req.ballot;
+  if (durable_ != nullptr) {
+    (cross_chain ? durable_->my_last_cross_ballot : durable_->my_last_ballot) =
+        tail;
+  }
   req.initiator_zone = my_zone_;
   req.exec_ballot = req.ballot;
   req.exec_prev = req.prev;
@@ -729,6 +740,12 @@ void DataSyncEngine::HandlePropose(
   req.promised = msg->ballot;
   req.ballot = msg->ballot;
   highest_n_seen_ = std::max(highest_n_seen_, msg->ballot.n);
+  if (durable_ != nullptr) {
+    // The promise must hit "disk" before the PROMISE message can leave this
+    // zone: a restarted replica that forgot it could double-vote the ballot.
+    durable_->promised[req.id] = msg->ballot;
+    durable_->highest_n_seen = highest_n_seen_;
+  }
 
   endorser_->Start(
       EndorsePhase::kPromise, req.id, msg->ballot, last_accepted_ballot_,
@@ -802,6 +819,10 @@ void DataSyncEngine::HandleAccept(
   req.phase = Phase::kAccepting;
   highest_n_seen_ = std::max(highest_n_seen_, msg->ballot.n);
   if (msg->ballot > last_accepted_ballot_) last_accepted_ballot_ = msg->ballot;
+  if (durable_ != nullptr) {
+    durable_->highest_n_seen = highest_n_seen_;
+    durable_->last_accepted_ballot = last_accepted_ballot_;
+  }
 
   endorser_->Start(
       EndorsePhase::kAccepted, req.id, msg->ballot, msg->prev,
@@ -875,12 +896,16 @@ void DataSyncEngine::HandleGlobalCommit(
   }
   if (msg->ballot.zone == my_zone_ && msg->ballot > my_last_ballot_) {
     my_last_ballot_ = msg->ballot;
+    if (durable_ != nullptr) durable_->my_last_ballot = my_last_ballot_;
   }
   ZoneId cross_chain_id =
       my_zone_ + static_cast<ZoneId>(topology_->num_zones());
   if (msg->ballot.zone == cross_chain_id &&
       msg->ballot > my_last_cross_ballot_) {
     my_last_cross_ballot_ = msg->ballot;
+    if (durable_ != nullptr) {
+      durable_->my_last_cross_ballot = my_last_cross_ballot_;
+    }
   }
 
   if (msg->cross_cluster) {
@@ -939,6 +964,7 @@ void DataSyncEngine::ExecuteCommit(RequestState& req) {
   for (const MigrationOp& op : req.ops) {
     std::uint64_t op_id = op.RequestId();
     if (!executed_op_ids_.insert(op_id).second) continue;  // re-led twin
+    if (durable_ != nullptr) durable_->executed_op_ids.insert(op_id);
     executed_count_++;
     transport_->ChargeCpu(config_.costs.apply_us);
     std::string result;
@@ -960,6 +986,12 @@ void DataSyncEngine::ExecuteCommit(RequestState& req) {
   executed_digests_[req.exec_ballot] = digest.Finish();
   Ballot& chain = chain_executed_[req.exec_ballot.zone];
   if (req.exec_ballot > chain) chain = req.exec_ballot;
+  if (durable_ != nullptr) {
+    durable_->executed_ballots.insert(req.exec_ballot);
+    durable_->executed_digests[req.exec_ballot] =
+        executed_digests_[req.exec_ballot];
+    durable_->chain_executed[req.exec_ballot.zone] = chain;
+  }
   FlushWaiters(req.exec_ballot);
 }
 
@@ -1092,6 +1124,77 @@ void DataSyncEngine::OnViewChange(ViewId view) {
       if (executed_op_ids_.count(op.RequestId()) == 0) QueueOrLead(op);
     }
     FlushBatch();
+  }
+}
+
+// -------------------------------------------------------------- recovery
+
+void DataSyncEngine::ReshipCommit(std::uint64_t request_id, ZoneId zone) {
+  // The op may have committed inside a batch whose sync-level request id
+  // differs from the per-op id; fall back to searching commit payloads.
+  const RequestState* found = nullptr;
+  auto it = requests_.find(request_id);
+  if (it != requests_.end() && it->second.commit_msg != nullptr) {
+    found = &it->second;
+  } else {
+    for (const auto& [id, req] : requests_) {
+      if (req.commit_msg == nullptr) continue;
+      for (const auto& op : req.ops) {
+        if (op.RequestId() == request_id) {
+          found = &req;
+          break;
+        }
+      }
+      if (found != nullptr) break;
+    }
+  }
+  if (found == nullptr) return;
+  const auto& members = topology_->zone(zone).members;
+  transport_->ChargeCpu(config_.costs.send_us * members.size());
+  transport_->counters().Inc(obs::CounterId::kSyncCommitsReshipped);
+  transport_->Multicast(members, found->commit_msg);
+}
+
+void DataSyncEngine::DumpStuckRequests(std::FILE* out) const {
+  for (const auto& [id, req] : requests_) {
+    if (req.executed) continue;
+    std::fprintf(out,
+                 "  sync req %llx phase %d leader %d init_zone %d commit %d "
+                 "cw_rounds %d cw_timer %d promises %zu accepteds %zu\n",
+                 (unsigned long long)id, (int)req.phase,
+                 req.i_am_leader ? 1 : 0, (int)req.initiator_zone,
+                 req.commit_msg != nullptr ? 1 : 0, req.commit_wait_rounds,
+                 req.commit_wait_timer != 0 ? 1 : 0, req.promises.size(),
+                 req.accepteds.size());
+  }
+}
+
+void DataSyncEngine::RestoreFromDurable() {
+  if (durable_ == nullptr) return;
+  // Scalar ballot bookkeeping: the floors NextBallot and the promise /
+  // accept rules climb from. Restoring them is what prevents a recovered
+  // replica from re-issuing or re-voting a ballot it already used.
+  highest_n_seen_ = durable_->highest_n_seen;
+  last_accepted_ballot_ = durable_->last_accepted_ballot;
+  my_last_ballot_ = durable_->my_last_ballot;
+  my_last_cross_ballot_ = durable_->my_last_cross_ballot;
+  // Execution bookkeeping: already-executed ballots and ops stay executed,
+  // so re-delivered commits (peer retransmissions, response-query answers)
+  // dedup instead of double-applying migrations.
+  chain_executed_ = durable_->chain_executed;
+  executed_ballots_ = durable_->executed_ballots;
+  executed_digests_ = durable_->executed_digests;
+  executed_op_ids_.clear();
+  executed_op_ids_.insert(durable_->executed_op_ids.begin(),
+                          durable_->executed_op_ids.end());
+  executed_count_ = durable_->executed_op_ids.size();
+  // Per-request promise bounds. Pre-create the request entry with only the
+  // bound set: HandlePropose tolerates such stubs (it fills `ops` when
+  // empty) and its promise rule then compares against the restored bound.
+  for (const auto& [id, ballot] : durable_->promised) {
+    RequestState& req = requests_[id];
+    req.id = id;
+    if (ballot > req.promised) req.promised = ballot;
   }
 }
 

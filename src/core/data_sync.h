@@ -1,6 +1,7 @@
 #ifndef ZIZIPHUS_CORE_DATA_SYNC_H_
 #define ZIZIPHUS_CORE_DATA_SYNC_H_
 
+#include <cstdio>
 #include <functional>
 #include <map>
 #include <memory>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "common/costs.h"
+#include "core/durable.h"
 #include "core/endorsement.h"
 #include "core/lock_table.h"
 #include "core/messages.h"
@@ -129,6 +131,32 @@ class DataSyncEngine {
   const std::map<Ballot, std::uint64_t>& executed_digests() const {
     return executed_digests_;
   }
+
+  // ---- Durability (amnesia crash recovery) ----------------------------
+  /// Attaches the durable write-through target. Ballot promises, accepted
+  /// ballots and execution bookkeeping are mirrored into `d` as they
+  /// change, so a restarted replica can never double-vote a global ballot.
+  void set_durable(SyncDurableState* d) { durable_ = d; }
+  /// Rebuilds the forget-proof slice from durable state: scalar ballot
+  /// bookkeeping plus promise bounds on (pre-created) request entries.
+  void RestoreFromDurable();
+  /// The live promise bound for a request (kNullBallot when none). The
+  /// recovery invariant compares this against the durable promise: a
+  /// recovered node must never report a lower bound than it persisted.
+  Ballot PromiseBoundFor(std::uint64_t request_id) const {
+    auto it = requests_.find(request_id);
+    return it == requests_.end() ? kNullBallot : it->second.promised;
+  }
+
+  /// Re-multicasts the stored commit for `request_id` to `zone`'s members.
+  /// Recovery aid: a zone that committed an op re-delivers the commit to a
+  /// participant zone whose members missed it (e.g. an amnesiac primary
+  /// that was down when the original commit broadcast went out). No-op if
+  /// this node never saw the commit itself.
+  void ReshipCommit(std::uint64_t request_id, ZoneId zone);
+
+  /// CHAOS_DEBUG introspection: one stderr line per unexecuted request.
+  void DumpStuckRequests(std::FILE* out) const;
 
  private:
   enum class Phase {
@@ -251,6 +279,7 @@ class DataSyncEngine {
   LockTable* locks_;
   ZoneEndorser* endorser_;
   SyncConfig config_;
+  SyncDurableState* durable_ = nullptr;
   ExecutedCallback executed_callback_;
   SuspectPrimaryCallback suspect_primary_callback_;
   GlobalApplyCallback global_apply_callback_;

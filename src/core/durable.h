@@ -1,0 +1,69 @@
+#ifndef ZIZIPHUS_CORE_DURABLE_H_
+#define ZIZIPHUS_CORE_DURABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "common/types.h"
+#include "core/messages.h"
+#include "pbft/durable.h"
+#include "storage/kv_store.h"
+
+namespace ziziphus::core {
+
+/// Durable slice of the data-synchronization engine — the ballot
+/// bookkeeping a restarted zone replica must never forget (Section V's
+/// failure handling assumes promises survive restarts; forgetting one would
+/// let the replica double-vote a global ballot).
+struct SyncDurableState {
+  /// Per-request promise bound (zone-primary path of HandlePropose).
+  std::map<std::uint64_t, Ballot> promised;
+  /// Latest migration ballot accepted by this zone (carried in promises).
+  Ballot last_accepted_ballot = kNullBallot;
+  /// Ballot-number floor: NextBallot must climb strictly above everything
+  /// this node ever saw or issued, across restarts.
+  std::uint64_t highest_n_seen = 0;
+  Ballot my_last_ballot = kNullBallot;
+  Ballot my_last_cross_ballot = kNullBallot;
+  /// Execution bookkeeping: which ballots ran and what they executed, so a
+  /// recovered node neither re-executes a migration nor breaks the
+  /// per-chain execution order.
+  std::map<ZoneId, Ballot> chain_executed;
+  std::set<Ballot> executed_ballots;
+  std::map<Ballot, std::uint64_t> executed_digests;
+  std::set<std::uint64_t> executed_op_ids;
+};
+
+/// Durable migration progress markers (Algorithm 2). One marker per
+/// in-flight or completed migration this node participates in: enough for
+/// the source to keep answering response-queries with the certified STATE
+/// message after a restart, and for the destination to resume waiting (or
+/// re-install an already-appended client's records into the rebuilt app).
+struct MigrationDurableState {
+  struct Marker {
+    MigrationOp op;
+    Ballot ballot;
+    bool appended = false;
+    storage::KvStore::Map records;  // destination side, once appended
+    std::shared_ptr<const StateTransferMsg> state_msg;  // source side cache
+  };
+  std::map<std::uint64_t, Marker> in_flight;  // request id -> marker
+};
+
+/// Everything one ZiziphusNode persists across an amnesia crash — what its
+/// storage layer would hold on disk. Owned by the node object (which
+/// survives the crash; only the engines are rebuilt) and handed to each
+/// engine as a write-through target. GlobalMetadata, the lock table and the
+/// bootstrap-provisioned records are also treated as durable but live on
+/// the node directly; see DESIGN.md's durable-vs-volatile table.
+struct DurableStore {
+  pbft::DurableState pbft;
+  SyncDurableState sync;
+  MigrationDurableState migration;
+};
+
+}  // namespace ziziphus::core
+
+#endif  // ZIZIPHUS_CORE_DURABLE_H_

@@ -99,7 +99,19 @@ void ZoneEndorser::HandlePrePrepare(
   EndorseKey key{m->request_id, m->phase};
   State& st = states_[key];
   if (st.pre_prepare != nullptr) {
-    if (st.pre_prepare->content_digest == m->content_digest) return;
+    if (st.pre_prepare->content_digest == m->content_digest) {
+      // Duplicate pre-prepare: the primary is re-driving a stalled
+      // endorsement (its vote tally may have been lost to an amnesia
+      // crash). Votes are idempotent — the certificate builder dedups
+      // signers — so re-cast ours to let a rebuilt tally reach quorum.
+      if (st.voted && !st.done) {
+        transport_->EndSpan(st.build_span);
+        st.build_span = 0;
+        st.voted = false;
+        CastVote(key, st);
+      }
+      return;
+    }
     if (m->ballot > st.pre_prepare->ballot) {
       // A re-led attempt (new leader or retry) with a higher ballot for the
       // same request: start a fresh endorsement instance.

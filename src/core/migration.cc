@@ -1,6 +1,7 @@
 #include "core/migration.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/logging.h"
 
@@ -49,6 +50,15 @@ void MigrationEngine::OnGlobalExecuted(const MigrationOp& op, Ballot ballot) {
   MigState& st = states_[id];
   st.op = op;
   st.ballot = ballot;
+  if (durable_ != nullptr &&
+      (my_zone_ == op.source || my_zone_ == op.destination)) {
+    // Progress marker: an amnesiac participant must remember it was part of
+    // this migration to resume (destination) or keep answering queries
+    // (source) after restart.
+    auto& marker = durable_->in_flight[id];
+    marker.op = op;
+    marker.ballot = ballot;
+  }
 
   if (my_zone_ == op.source && endorser_->IsPrimary() &&
       st.state_msg == nullptr) {
@@ -68,6 +78,7 @@ void MigrationEngine::OnGlobalExecuted(const MigrationOp& op, Ballot ballot) {
 
 void MigrationEngine::StartRecordGeneration(MigState& st) {
   ZCHECK(provider_ != nullptr);
+  if (st.source_span != 0) transport_->EndSpan(st.source_span);
   st.source_span = transport_->BeginSpan(obs::SpanKind::kMigSourceRead);
   st.records = provider_(st.op.client);
   st.records_digest = RecordsDigest(st.records);
@@ -132,11 +143,26 @@ bool MigrationEngine::HandleTimer(std::uint64_t tag) {
   transport_->ChargeCpu(config_.costs.send_us * members.size());
   transport_->counters().Inc(obs::CounterId::kMigStateQueriesSent);
   transport_->Multicast(members, query);
-  if (++st.wait_rounds < 5) {
+  // Probes keep going unanswered: the source zone may have missed the
+  // global commit entirely (its primary was amnesia-crashed when the
+  // commit broadcast went out), in which case no source node can generate
+  // the records. Re-deliver the commit we hold — idempotent for nodes
+  // that already executed it, bootstrapping for ones that never saw it.
+  if (st.wait_rounds >= 2 && reship_) {
+    reship_(id, st.op.source);
+  }
+  // Probe with capped exponential backoff. The round budget is generous:
+  // the source zone may need the full fault window plus a rejoin before it
+  // can re-form the STATE certificate (amnesia crashes), and a destination
+  // that stops probing wedges the migration permanently. The cap still
+  // bounds total events so idle-driven runs terminate.
+  if (++st.wait_rounds < 64) {
     std::uint64_t token2 = next_timer_token_++;
     timers_[token2] = id;
+    std::uint64_t mult = std::min<std::uint64_t>(
+        1ULL << std::min(st.wait_rounds, 3), 8ULL);
     st.wait_timer = transport_->SetTimer(
-        config_.state_wait_timeout_us * (1ULL << st.wait_rounds),
+        config_.state_wait_timeout_us * mult,
         sim::PackTimer(sim::TimerEngine::kMigration, kStateWaitTimer, token2));
   }
   return true;
@@ -224,6 +250,12 @@ void MigrationEngine::OnEndorseQuorum(const EndorseKey& key,
       msg->records_digest = st.records_digest;
       msg->cert = cert;
       st.state_msg = msg;
+      if (durable_ != nullptr) {
+        auto& marker = durable_->in_flight[key.request_id];
+        marker.op = st.op;
+        marker.ballot = st.ballot;
+        marker.state_msg = msg;
+      }
       const auto& members = topology_->zone(st.op.destination).members;
       transport_->ChargeCpu(config_.costs.send_us * members.size());
       transport_->counters().Inc(obs::CounterId::kMigStatesSent);
@@ -237,6 +269,13 @@ void MigrationEngine::OnEndorseQuorum(const EndorseKey& key,
       if (st.appended) break;
       st.appended = true;
       completed_++;
+      if (durable_ != nullptr) {
+        auto& marker = durable_->in_flight[key.request_id];
+        marker.op = st.op;
+        marker.ballot = st.ballot;
+        marker.appended = true;
+        marker.records = st.records;
+      }
       transport_->ChargeCpu(config_.costs.apply_us);
       if (installer_ != nullptr) installer_(st.op.client, st.records);
       locks_->SetLocked(st.op.client, true);
@@ -288,14 +327,69 @@ void MigrationEngine::HandleStateTransfer(
 
 void MigrationEngine::HandleResponseQuery(
     const std::shared_ptr<const ResponseQueryMsg>& msg) {
-  for (const auto& [id, st] : states_) {
+  for (auto& [id, st] : states_) {
     if (QueryId(id) != msg->request_id) continue;
     if (st.state_msg != nullptr) {
       transport_->ChargeCpu(config_.costs.send_us);
       transport_->counters().Inc(obs::CounterId::kMigStatesResent);
       transport_->Send(msg->replica, st.state_msg);
+    } else if (my_zone_ == st.op.source && endorser_->IsPrimary() &&
+               provider_ != nullptr && st.op.client != kInvalidClient) {
+      // No STATE certificate yet: the in-flight endorsement was dropped by
+      // a zone view change or lost to an amnesia crash. The destination's
+      // probe doubles as the re-initiation trigger the endorser expects —
+      // restart the record endorsement round (idempotent for replicas that
+      // already voted; a rejoined replica validates from the fresh
+      // pre-prepare and supplies the missing vote).
+      StartRecordGeneration(st);
     }
     return;
+  }
+}
+
+void MigrationEngine::DumpStuckStates(std::FILE* out) const {
+  for (const auto& [id, st] : states_) {
+    if (st.appended) continue;
+    std::fprintf(out,
+                 "  mig id %llx client %llu src %u dst %u state_msg %d "
+                 "wait_rounds %d\n",
+                 (unsigned long long)id, (unsigned long long)st.op.client,
+                 (unsigned)st.op.source, (unsigned)st.op.destination,
+                 st.state_msg != nullptr ? 1 : 0, st.wait_rounds);
+  }
+}
+
+// -------------------------------------------------------------- recovery
+
+void MigrationEngine::RestoreFromDurable() {
+  if (durable_ == nullptr) return;
+  for (const auto& [id, marker] : durable_->in_flight) {
+    MigState& st = states_[id];
+    st.op = marker.op;
+    st.ballot = marker.ballot;
+    st.state_msg = marker.state_msg;
+    st.appended = marker.appended;
+    if (marker.appended) {
+      // The append already finalized before the crash; re-install the
+      // migrated records into the rebuilt application state. The lock table
+      // (durable, node-owned) already shows the client re-enabled.
+      st.records = marker.records;
+      st.records_digest = RecordsDigest(marker.records);
+      completed_++;
+      if (my_zone_ == marker.op.destination && installer_ != nullptr) {
+        transport_->ChargeCpu(config_.costs.apply_us);
+        installer_(marker.op.client, marker.records);
+      }
+    } else if (my_zone_ == marker.op.destination) {
+      // Mid-migration at the destination: resume waiting for STATE with a
+      // fresh probe timer (Section V-A failure handling).
+      std::uint64_t token = next_timer_token_++;
+      timers_[token] = id;
+      st.wait_timer = transport_->SetTimer(
+          config_.state_wait_timeout_us,
+          sim::PackTimer(sim::TimerEngine::kMigration, kStateWaitTimer,
+                         token));
+    }
   }
 }
 

@@ -1,10 +1,12 @@
 #ifndef ZIZIPHUS_CORE_MIGRATION_H_
 #define ZIZIPHUS_CORE_MIGRATION_H_
 
+#include <cstdio>
 #include <functional>
 #include <unordered_map>
 
 #include "common/costs.h"
+#include "core/durable.h"
 #include "core/endorsement.h"
 #include "core/lock_table.h"
 #include "core/messages.h"
@@ -37,6 +39,13 @@ class MigrationEngine {
   /// Fired at destination-zone nodes when the append completes; the host
   /// sends the final reply to the client.
   using DoneCallback = std::function<void(const MigrationOp& op)>;
+  /// Re-delivers the global commit for `request_id` to `zone` (wired to
+  /// DataSyncEngine::ReshipCommit). Fired by a destination whose STATE
+  /// probes keep going unanswered: the source zone may have missed the
+  /// commit entirely (amnesiac primary), so no one there can generate the
+  /// records until it is re-delivered.
+  using CommitReshipper = std::function<void(std::uint64_t request_id,
+                                             ZoneId zone)>;
 
   MigrationEngine(sim::Transport* transport, const crypto::KeyRegistry* keys,
                   const Topology* topology, ZoneId my_zone, LockTable* locks,
@@ -73,8 +82,22 @@ class MigrationEngine {
   void set_state_provider(StateProvider p) { provider_ = std::move(p); }
   void set_state_installer(StateInstaller i) { installer_ = std::move(i); }
   void set_done_callback(DoneCallback cb) { done_ = std::move(cb); }
+  void set_commit_reshipper(CommitReshipper r) { reship_ = std::move(r); }
 
   std::uint64_t migrations_completed() const { return completed_; }
+
+  // ---- Durability (amnesia crash recovery) ----------------------------
+  /// Attaches the durable write-through target for migration progress
+  /// markers (Algorithm 2 sub-transactions in flight).
+  void set_durable(MigrationDurableState* d) { durable_ = d; }
+  /// Resumes in-flight migrations from durable markers: the destination
+  /// re-arms its STATE-wait probe (or re-installs already-appended
+  /// records into the rebuilt app); the source restores its certified
+  /// STATE cache so response-queries keep getting answered.
+  void RestoreFromDurable();
+
+  /// CHAOS_DEBUG introspection: one stderr line per unfinished migration.
+  void DumpStuckStates(std::FILE* out) const;
 
  private:
   struct MigState {
@@ -107,9 +130,11 @@ class MigrationEngine {
   LockTable* locks_;
   ZoneEndorser* endorser_;
   MigrationConfig config_;
+  MigrationDurableState* durable_ = nullptr;
   StateProvider provider_;
   StateInstaller installer_;
   DoneCallback done_;
+  CommitReshipper reship_;
 
   std::unordered_map<std::uint64_t, MigState> states_;
   std::unordered_map<std::uint64_t, std::uint64_t> timers_;  // token -> req

@@ -19,6 +19,12 @@ void ZiziphusNode::Init(const crypto::KeyRegistry* keys,
   config_.pbft.members = zi.members;
   config_.pbft.f = zi.f;
 
+  BuildEngines();
+}
+
+void ZiziphusNode::BuildEngines() {
+  const ZoneInfo& zi = topology_->zone(zone_);
+
   pbft_ = config_.pbft_factory
               ? config_.pbft_factory(this, keys_, config_.pbft, app_.get())
               : std::make_unique<pbft::PbftEngine>(this, keys_, config_.pbft,
@@ -60,7 +66,23 @@ void ZiziphusNode::Init(const crypto::KeyRegistry* keys,
   lazy_ = std::make_unique<LazySyncEngine>(this, keys_, topology_, zone_,
                                            config_.sync.costs);
 
+  // ---- durability wiring ----------------------------------------------
+  // Every engine mirrors its forget-proof slice into the node-owned
+  // durable store as it changes (see DESIGN.md's durable-vs-volatile
+  // table); OnAmnesiaRecover restores from it.
+  pbft_->set_durable(&durable_.pbft);
+  sync_->set_durable(&durable_.sync);
+  migration_->set_durable(&durable_.migration);
+
   // ---- cross-engine wiring --------------------------------------------
+  pbft_->set_executed_callback(
+      [this](SeqNum, const pbft::Operation&, const std::string&) {
+        // First post-rejoin execution: the node is serving again.
+        if (rejoin_started_at_ == 0) return;
+        recorder().Record(obs::HistogramId::kRecoveryTimeToRejoinUs,
+                          Now() - rejoin_started_at_);
+        rejoin_started_at_ = 0;
+      });
   sync_->set_executed_callback(
       [this](const MigrationOp& op, Ballot ballot, ZoneId initiator,
              const std::string& result) {
@@ -84,6 +106,10 @@ void ZiziphusNode::Init(const crypto::KeyRegistry* keys,
       [this](ClientId c, const storage::KvStore::Map& records) {
         app_->InstallClientRecords(c, records);
       });
+  migration_->set_commit_reshipper([this](std::uint64_t request_id,
+                                          ZoneId zone) {
+    sync_->ReshipCommit(request_id, zone);
+  });
   migration_->set_done_callback([this](const MigrationOp& op) {
     auto reply = std::make_shared<MigrationReplyMsg>(/*done=*/true);
     reply->request_id = op.RequestId();
@@ -178,6 +204,52 @@ void ZiziphusNode::OnTimer(std::uint64_t tag) {
   if (pbft_->HandleTimer(tag)) return;
   if (sync_->HandleTimer(tag)) return;
   if (migration_->HandleTimer(tag)) return;
+}
+
+void ZiziphusNode::InstallBootstrapRecords(
+    ClientId client, const storage::KvStore::Map& records) {
+  bootstrap_records_[client] = records;
+  app_->InstallClientRecords(client, records);
+}
+
+// ---------------------------------------------------------- rejoin protocol
+
+void ZiziphusNode::OnAmnesiaRecover() {
+  recoveries_++;
+  rejoin_started_at_ = Now();
+  counters().Inc(obs::CounterId::kRecoveryRejoins);
+
+  // RAM is gone: rebuild the application and every engine from scratch.
+  // GlobalMetadata, the lock table, the bootstrap records and the durable
+  // store are node-owned "disk" state and survive as-is.
+  if (config_.app_factory) app_ = config_.app_factory(zone_);
+  BuildEngines();
+
+  // Durable provisioning first: bootstrap records come off the deployment
+  // image; the stable checkpoint (when one exists) overwrites them next.
+  for (const auto& [client, records] : bootstrap_records_) {
+    app_->InstallClientRecords(client, records);
+  }
+
+  // Restore each engine's forget-proof slice. PBFT installs the stable
+  // checkpoint and replays the WAL; data sync restores ballot promises and
+  // execution bookkeeping; migration resumes in-flight transfers (after
+  // PBFT, so the checkpoint install cannot clobber re-installed records).
+  pbft_->RestoreFromDurable();
+  sync_->RestoreFromDurable();
+  migration_->RestoreFromDurable();
+
+  // Align the endorsement machinery with the restored PBFT view: the
+  // rebuilt endorser starts at view 0, and a stale notion of who the zone
+  // primary is would misroute endorsements and proxy duties.
+  if (pbft_->view() != 0) {
+    endorser_->OnViewChange(pbft_->view());
+    sync_->OnViewChange(pbft_->view());
+  }
+
+  // Catch up on whatever committed during the outage: PBFT state transfer
+  // with capped backoff and peer rotation (re-arms kStateTransferTimer).
+  pbft_->StartCatchUp(pbft_->last_executed() + 1);
 }
 
 }  // namespace ziziphus::core

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "core/data_sync.h"
+#include "core/durable.h"
 #include "core/endorsement.h"
 #include "core/lazy_sync.h"
 #include "core/lock_table.h"
@@ -27,6 +28,13 @@ using PbftEngineFactory = std::function<std::unique_ptr<pbft::PbftEngine>(
     sim::Transport* transport, const crypto::KeyRegistry* keys,
     pbft::PbftConfig config, pbft::StateMachine* state_machine)>;
 
+/// Rebuilds a node's application state machine from scratch after an
+/// amnesia crash (Finalize wires the system's AppFactory here). Null means
+/// recovery keeps the pre-crash application object, modeling an app whose
+/// own storage is durable.
+using NodeAppFactory =
+    std::function<std::unique_ptr<ZoneStateMachine>(ZoneId zone)>;
+
 /// Configuration shared by all engines on one Ziziphus replica.
 struct NodeConfig {
   pbft::PbftConfig pbft;     // members filled in by Init from the topology
@@ -36,6 +44,7 @@ struct NodeConfig {
   /// Enables lazy checkpoint sharing across zones (Section V-B).
   bool lazy_sync = true;
   PbftEngineFactory pbft_factory;
+  NodeAppFactory app_factory;
 };
 
 /// One Ziziphus edge replica: a single simulated core running
@@ -104,11 +113,30 @@ class ZiziphusNode : public sim::Process, public sim::Transport {
   /// Marks a client as homed (lock = TRUE) at bootstrap.
   void BootstrapClient(ClientId client) { locks_.SetLocked(client, true); }
 
+  /// Installs a client's initial records and remembers them as durable
+  /// provisioning: a node recovering from an amnesia crash re-installs them
+  /// into its rebuilt application before replaying consensus state (they
+  /// model data loaded from the deployment image, not from RAM).
+  void InstallBootstrapRecords(ClientId client,
+                               const storage::KvStore::Map& records);
+
+  // ---- Crash recovery --------------------------------------------------
+  /// How many amnesia recoveries this node has been through.
+  std::uint64_t recoveries() const { return recoveries_; }
+  /// The node's durable store (what survives an amnesia crash). Exposed so
+  /// the invariant checker can compare live engine state against it.
+  const DurableStore& durable() const { return durable_; }
+
  protected:
   void OnMessage(const sim::MessagePtr& msg) override;
   void OnTimer(std::uint64_t tag) override;
+  void OnAmnesiaRecover() override;
 
  private:
+  /// (Re)constructs the PBFT / endorsement / data-sync / migration /
+  /// lazy-sync engines and their cross-engine wiring. Called by Init and
+  /// again by OnAmnesiaRecover, which discards the old engines first.
+  void BuildEngines();
   void OnGlobalExecuted(const MigrationOp& op, Ballot ballot,
                         ZoneId initiator_zone, const std::string& result);
 
@@ -120,6 +148,12 @@ class ZiziphusNode : public sim::Process, public sim::Transport {
   std::unique_ptr<ZoneStateMachine> app_;
   std::unique_ptr<GlobalMetadata> metadata_;
   LockTable locks_;
+  DurableStore durable_;
+  std::map<ClientId, storage::KvStore::Map> bootstrap_records_;
+  std::uint64_t recoveries_ = 0;
+  /// Sim time of the last OnAmnesiaRecover; zeroed once the first
+  /// post-rejoin execution lands (feeds recovery.time_to_rejoin_us).
+  SimTime rejoin_started_at_ = 0;
   std::unique_ptr<pbft::PbftEngine> pbft_;
   std::unique_ptr<ZoneEndorser> endorser_;
   std::unique_ptr<DataSyncEngine> sync_;

@@ -42,6 +42,11 @@ void ZiziphusSystem::Finalize(const NodeConfig& config,
   for (std::size_t z = 0; z < pending_.size(); ++z) {
     for (NodeId id : members[z]) {
       NodeConfig node_config = config;
+      if (node_config.app_factory == nullptr) {
+        // Recovery path: an amnesiac node rebuilds its app from the same
+        // factory Finalize used here.
+        node_config.app_factory = app_factory;
+      }
       if (tweak) tweak(id, static_cast<ZoneId>(z), node_config);
       node_by_id_[id]->Init(&keys_, &topology_, static_cast<ZoneId>(z),
                             app_factory(static_cast<ZoneId>(z)),
@@ -61,7 +66,7 @@ void ZiziphusSystem::BootstrapClient(ClientId client, ZoneId home,
     if (node->zone() == home || replicate_everywhere) {
       node->BootstrapClient(client);
       if (!records.empty()) {
-        node->app().InstallClientRecords(client, records);
+        node->InstallBootstrapRecords(client, records);
       }
     }
   }

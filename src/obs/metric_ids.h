@@ -30,6 +30,7 @@
   X(kEndorseEquivocationDetected, "endorse.equivocation_detected")        \
   X(kEndorseRejected,           "endorse.rejected")                       \
   /* Fault schedule (sim/simulation.cc) */                                \
+  X(kFaultsAmnesiaCrashes,      "faults.amnesia_crashes")                 \
   X(kFaultsCpuSlowdowns,        "faults.cpu_slowdowns")                   \
   X(kFaultsCrashes,             "faults.crashes")                         \
   X(kFaultsLinkDelays,          "faults.link_delays")                     \
@@ -87,6 +88,9 @@
   X(kPbftStableCheckpoints,     "pbft.stable_checkpoints")                \
   X(kPbftStateTransfers,        "pbft.state_transfers")                   \
   X(kPbftViewChangesStarted,    "pbft.view_changes_started")              \
+  /* Crash recovery (core/node.cc, pbft/engine.cc) */                     \
+  X(kRecoveryRejoins,              "recovery.rejoins")                    \
+  X(kRecoveryStateTransferRetries, "recovery.state_transfer_retries")     \
   /* Data synchronization (core/data_sync.cc) */                          \
   X(kSyncAcceptRejectedStale,   "sync.accept_rejected_stale")             \
   X(kSyncBadAcceptCert,         "sync.bad_accept_cert")                   \
@@ -101,6 +105,7 @@
   X(kSyncBadProposeCert,        "sync.bad_propose_cert")                  \
   X(kSyncBatchesFormed,         "sync.batches_formed")                    \
   X(kSyncChainSkip,             "sync.chain_skip")                        \
+  X(kSyncCommitsReshipped,      "sync.commits_reshipped")                 \
   X(kSyncCommitsSent,           "sync.commits_sent")                      \
   X(kSyncCrossProposesSent,     "sync.cross_proposes_sent")               \
   X(kSyncPreparedReceived,      "sync.prepared_received")                 \
@@ -126,6 +131,8 @@
   X(kClientLocalLatencyUs,      "client.local_latency_us")                \
   /* Per-message wire size */                                             \
   X(kNetMsgBytes,               "net.msg_bytes")                         \
+  /* Sim time from amnesia recovery to first post-rejoin execution */     \
+  X(kRecoveryTimeToRejoinUs,    "recovery.time_to_rejoin_us")             \
   /* Event-queue depth, sampled at dispatch */                            \
   X(kSimQueueDepth,             "sim.queue_depth")                        \
   /* Span durations, recorded by the Tracer when a span closes */         \

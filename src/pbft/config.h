@@ -35,6 +35,13 @@ struct PbftConfig {
   /// on top to de-synchronize concurrent view changes.
   Duration view_change_backoff_cap_us = Seconds(8);
 
+  /// State-transfer retry policy: an unanswered StateRequest is re-sent to
+  /// a rotated peer after a capped, deterministically jittered backoff
+  /// (PbftEngine::StateTransferBackoff); after `state_transfer_max_attempts`
+  /// retries the transfer is abandoned so a later, larger target can start.
+  Duration state_transfer_backoff_cap_us = Seconds(4);
+  std::size_t state_transfer_max_attempts = 8;
+
   /// Checkpoint every this many sequence numbers.
   SeqNum checkpoint_interval = 128;
 

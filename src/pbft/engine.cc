@@ -98,7 +98,23 @@ bool PbftEngine::HandleTimer(std::uint64_t tag) {
       progress_timer_ = 0;
       if (view_changes_enabled_) {
         transport_->counters().Inc(obs::CounterId::kPbftProgressTimeout);
-        StartViewChange(view_ + 1);
+        if (pending_transfer_seq_ != 0) {
+          // A state transfer is in flight: the stall is our own lag, not
+          // the primary's fault. Escalating to a view change here runs the
+          // view number away from the zone (nobody joins a laggard's solo
+          // view change) — keep watching instead.
+          ArmProgressTimer();
+        } else if (catch_up_abandoned_ && catch_up_retry_budget_ > 0) {
+          // The last catch-up burned all its attempts (peers could not
+          // serve the sequence yet). Spend a retry cycle before blaming
+          // the primary: the zone may only now have advanced far enough.
+          --catch_up_retry_budget_;
+          catch_up_abandoned_ = false;
+          StartCatchUp(last_executed_ + 1);
+          ArmProgressTimer();
+        } else {
+          StartViewChange(view_ + 1);
+        }
       }
       break;
     case kViewChangeTimer:
@@ -106,6 +122,10 @@ bool PbftEngine::HandleTimer(std::uint64_t tag) {
       if (view_changes_enabled_ && !view_active_) {
         StartViewChange(view_ + 1);
       }
+      break;
+    case kStateTransferTimer:
+      state_transfer_timer_ = 0;
+      OnStateTransferTimer();
       break;
     default:
       break;
@@ -307,6 +327,9 @@ void PbftEngine::TryPrepare(SeqNum seq) {
   prepared_proofs_[seq] =
       PreparedProof{slot.pre_prepare->view, seq,
                     slot.pre_prepare->batch_digest, slot.pre_prepare->batch};
+  if (durable_ != nullptr) {
+    durable_->prepared_proofs[seq] = prepared_proofs_[seq];
+  }
 
   auto commit = std::make_shared<CommitMsg>();
   commit->view = slot.pre_prepare->view;
@@ -367,9 +390,13 @@ void PbftEngine::ExecuteReady() {
     transport_->EndSpan(exec_span);
     transport_->EndSpan(slot.consensus_span);
     slot.consensus_span = 0;
-    commit_log_.Append(storage::LogEntry{
+    storage::LogEntry entry{
         seq, slot.pre_prepare->batch_digest,
-        "batch:" + std::to_string(slot.pre_prepare->batch.ops.size())});
+        "batch:" + std::to_string(slot.pre_prepare->batch.ops.size())};
+    if (durable_ != nullptr && durable_->wal.last_seq() < seq) {
+      durable_->wal.Append(entry);
+    }
+    commit_log_.Append(std::move(entry));
     last_executed_ = seq;
     progressed = true;
     MaybeCheckpoint();
@@ -407,6 +434,9 @@ void PbftEngine::ExecuteOp(SeqNum seq, const Operation& op) {
   transport_->ChargeCpu(config_.costs.apply_us);
   std::string result = state_machine_->Apply(op);
   cs.last_executed_ts = op.timestamp;
+  if (durable_ != nullptr && op.client != kInvalidClient) {
+    durable_->client_ts[op.client] = op.timestamp;
+  }
   if (send_replies_ && op.client != kInvalidClient) {
     auto reply = std::make_shared<ClientReplyMsg>();
     reply->view = view_;
@@ -491,6 +521,18 @@ void PbftEngine::AdvanceStable(SeqNum seq, const crypto::Certificate& cert) {
   checkpoint_votes_.erase(checkpoint_votes_.begin(),
                           checkpoint_votes_.upper_bound(seq));
   commit_log_.TruncatePrefix(seq);
+  if (durable_ != nullptr) {
+    durable_->stable_checkpoint = last_stable_checkpoint_;
+    durable_->wal.TruncatePrefix(seq);
+    durable_->prepared_proofs.erase(durable_->prepared_proofs.begin(),
+                                    durable_->prepared_proofs.upper_bound(seq));
+    durable_->checkpoint_client_ts.clear();
+    for (const auto& [client, cs] : clients_) {
+      if (client != kInvalidClient) {
+        durable_->checkpoint_client_ts[client] = cs.last_executed_ts;
+      }
+    }
+  }
   transport_->counters().Inc(obs::CounterId::kPbftStableCheckpoints);
   if (stable_checkpoint_callback_) {
     stable_checkpoint_callback_(last_stable_checkpoint_);
@@ -503,12 +545,27 @@ void PbftEngine::RequestStateTransfer(SeqNum seq, std::uint64_t digest,
   pending_transfer_seq_ = seq;
   pending_transfer_digest_ = digest;
   transfer_votes_.clear();
-  auto req = std::make_shared<StateRequestMsg>();
-  req->seq = seq;
-  req->replica = transport_->self();
+  state_transfer_attempts_ = 0;
+  state_transfer_peer_idx_ = 0;
   if (digest != 0) {
+    for (std::size_t i = 0; i < config_.members.size(); ++i) {
+      if (config_.members[i] == peer) {
+        state_transfer_peer_idx_ = i;
+        break;
+      }
+    }
+  }
+  SendStateRequest();
+  ArmStateTransferRetry();
+}
+
+void PbftEngine::SendStateRequest() {
+  auto req = std::make_shared<StateRequestMsg>();
+  req->seq = pending_transfer_seq_;
+  req->replica = transport_->self();
+  if (pending_transfer_digest_ != 0) {
     transport_->ChargeCpu(config_.costs.send_us);
-    transport_->Send(peer, req);
+    transport_->Send(config_.members[state_transfer_peer_idx_], req);
   } else {
     // Digest unknown: ask everyone, install on f+1 matching responses.
     transport_->ChargeCpu(config_.costs.send_us * config_.members.size());
@@ -516,14 +573,86 @@ void PbftEngine::RequestStateTransfer(SeqNum seq, std::uint64_t digest,
   }
 }
 
+void PbftEngine::ArmStateTransferRetry() {
+  if (state_transfer_timer_ != 0) {
+    transport_->CancelTimer(state_transfer_timer_);
+  }
+  state_transfer_timer_ = transport_->SetTimer(
+      StateTransferBackoff(config_, state_transfer_attempts_,
+                           transport_->self(), pending_transfer_seq_),
+      sim::PackTimer(sim::TimerEngine::kPbft, kStateTransferTimer));
+}
+
+void PbftEngine::CancelStateTransferRetry() {
+  if (state_transfer_timer_ != 0) {
+    transport_->CancelTimer(state_transfer_timer_);
+    state_transfer_timer_ = 0;
+  }
+  state_transfer_attempts_ = 0;
+}
+
+void PbftEngine::OnStateTransferTimer() {
+  if (pending_transfer_seq_ == 0) return;
+  if (++state_transfer_attempts_ > config_.state_transfer_max_attempts) {
+    // Abandon the target so the pending_transfer_seq_ guard cannot wedge a
+    // later transfer toward a newer stable point. The flag lets the next
+    // progress timeout spend a retry cycle instead of a view change.
+    pending_transfer_seq_ = 0;
+    pending_transfer_digest_ = 0;
+    transfer_votes_.clear();
+    catch_up_abandoned_ = true;
+    return;
+  }
+  transport_->counters().Inc(obs::CounterId::kRecoveryStateTransferRetries);
+  if (pending_transfer_digest_ != 0 && config_.members.size() > 1) {
+    // Rotate away from an unresponsive (crashed/Byzantine) peer.
+    do {
+      state_transfer_peer_idx_ =
+          (state_transfer_peer_idx_ + 1) % config_.members.size();
+    } while (config_.members[state_transfer_peer_idx_] == transport_->self());
+  }
+  SendStateRequest();
+  ArmStateTransferRetry();
+}
+
+Duration PbftEngine::StateTransferBackoff(const PbftConfig& config,
+                                          std::uint64_t attempt,
+                                          NodeId replica, SeqNum seq) {
+  const Duration base = config.request_timeout_us;
+  const Duration cap =
+      std::max<Duration>(config.state_transfer_backoff_cap_us, base);
+  Duration backoff = base;
+  for (; attempt > 0 && backoff < cap; --attempt) backoff *= 2;
+  backoff = std::min(backoff, cap);
+  Duration jitter_span = backoff / 8;
+  Duration jitter =
+      jitter_span == 0
+          ? 0
+          : Hasher(0x57a7).Add(replica).Add(seq).Finish() % (jitter_span + 1);
+  return backoff + jitter;
+}
+
 void PbftEngine::HandleStateRequest(
     const std::shared_ptr<const StateRequestMsg>& msg) {
   if (!IsMember(msg->replica)) return;
+  // A replica requesting state has been away (crash, amnesia rejoin,
+  // partition) and may also have missed view changes. Piggyback the
+  // installed NewView so it re-enters the zone's view right away instead
+  // of stalling in an old view until the next view change finds it.
+  if (view_active_ && last_new_view_ != nullptr &&
+      last_new_view_->new_view == view_ &&
+      msg->replica != transport_->self()) {
+    transport_->ChargeCpu(config_.costs.send_us);
+    transport_->Send(msg->replica, last_new_view_);
+  }
   if (last_executed_ < msg->seq) return;  // cannot help
   auto resp = std::make_shared<StateResponseMsg>();
   resp->seq = last_executed_;
   resp->state_digest = state_machine_->StateDigest();
   resp->snapshot = state_machine_->Snapshot();
+  for (const auto& [client, cs] : clients_) {
+    if (client != kInvalidClient) resp->client_ts[client] = cs.last_executed_ts;
+  }
   transport_->ChargeCrypto(config_.costs.crypto.digest_us);
   transport_->ChargeCpu(config_.costs.send_us);
   transport_->Send(msg->replica, resp);
@@ -563,9 +692,22 @@ void PbftEngine::HandleStateResponse(
   slots_.erase(slots_.begin(), slots_.upper_bound(stable_seq_));
   prepared_proofs_.erase(prepared_proofs_.begin(),
                          prepared_proofs_.upper_bound(stable_seq_));
+  // Adopt the responder's client table (max-merge) so a recovered replica
+  // does not re-apply requests executed during its outage.
+  for (const auto& [client, ts] : msg->client_ts) {
+    ClientState& cs = clients_[client];
+    if (ts > cs.last_executed_ts) cs.last_executed_ts = ts;
+    if (durable_ != nullptr) {
+      RequestTimestamp& d = durable_->client_ts[client];
+      if (ts > d) d = ts;
+    }
+  }
   pending_transfer_seq_ = 0;
   pending_transfer_digest_ = 0;
   transfer_votes_.clear();
+  CancelStateTransferRetry();
+  catch_up_abandoned_ = false;
+  catch_up_retry_budget_ = kCatchUpRetryCycles;
   transport_->counters().Inc(obs::CounterId::kPbftStateTransfers);
   ExecuteReady();
 }
@@ -590,6 +732,10 @@ void PbftEngine::DisarmProgressTimer() {
 void PbftEngine::StartViewChange(ViewId new_view) {
   if (new_view <= view_) return;
   view_ = new_view;
+  // Deliberately NOT persisted: the durable view tracks *formed* views
+  // (EnterNewView) only. Persisting a demanded view would make an amnesia
+  // rejoiner restore into a view the zone never installed, where its solo
+  // view changes outrun the zone and nothing can sync it back.
   view_active_ = false;
   DisarmProgressTimer();
   if (view_change_started_at_ == 0) {
@@ -647,10 +793,35 @@ void PbftEngine::HandleViewChange(
     return;
   }
   if (msg->new_view < view_ || (msg->new_view == view_ && view_active_)) {
+    // The sender is demanding a view at or below the one we installed: it
+    // missed the NewView (crashed, partitioned, or recovering). Resend our
+    // installed NewView so the laggard adopts the view without forcing a
+    // fresh view change; the message authenticates via the primary's
+    // signature regardless of who relays it.
+    if (view_active_ && last_new_view_ != nullptr &&
+        last_new_view_->new_view == view_ &&
+        msg->replica != transport_->self()) {
+      transport_->ChargeCpu(config_.costs.send_us);
+      transport_->Send(msg->replica, last_new_view_);
+    }
     return;
   }
   auto& votes = view_change_votes_[msg->new_view];
   votes[msg->replica] = msg;
+
+  // A demand far ahead of our installed view (gap >= 2) marks a runaway:
+  // a replica that kept escalating solo — typically after crash recovery —
+  // and can no longer hear this view's traffic, while its solo demands can
+  // never gather f+1 here. Resend the installed NewView; an inactive
+  // runaway adopts the zone's formed view (see HandleNewView) and stops
+  // escalating. The gap guard keeps ordinary next-view demands (new_view
+  // == view_ + 1 during a genuine view change) from being yanked back.
+  if (view_active_ && msg->new_view > view_ + 1 &&
+      last_new_view_ != nullptr && last_new_view_->new_view == view_ &&
+      msg->replica != transport_->self()) {
+    transport_->ChargeCpu(config_.costs.send_us);
+    transport_->Send(msg->replica, last_new_view_);
+  }
 
   // Liveness rule: join a view change once f+1 replicas demand it.
   if (view_changes_enabled_ && votes.size() >= config_.f + 1 &&
@@ -703,11 +874,17 @@ void PbftEngine::MaybeSendNewView(ViewId v) {
 }
 
 void PbftEngine::HandleNewView(const std::shared_ptr<const NewViewMsg>& msg) {
-  if (msg->from() != PrimaryOf(msg->new_view)) return;
+  // Authenticate by the signature's signer, not the wire sender: a NewView
+  // relayed by a peer (laggard catch-up) is exactly as trustworthy as one
+  // received from the primary directly.
+  if (msg->sig.signer != PrimaryOf(msg->new_view)) return;
   if (!keys_->Verify(msg->sig, msg->digest())) return;
-  if (msg->new_view < view_ || (msg->new_view == view_ && view_active_)) {
-    return;
-  }
+  // An active replica ignores views at or below its own. An inactive
+  // replica adopts any formed view, even a lower-numbered one: its own
+  // higher demand never formed (solo view-change runaway, e.g. after a
+  // crash recovery), and a NewView carrying a quorum certificate is the
+  // zone's authoritative view regardless of its number.
+  if (view_active_ && msg->new_view <= view_) return;
   if (msg->view_change_sources.size() < Quorum()) return;
   EnterNewView(msg);
 }
@@ -716,6 +893,8 @@ void PbftEngine::EnterNewView(const std::shared_ptr<const NewViewMsg>& msg) {
   view_ = msg->new_view;
   view_active_ = true;
   view_change_attempts_ = 0;
+  if (durable_ != nullptr) durable_->view = view_;
+  last_new_view_ = msg;
   if (view_change_started_at_ != 0) {
     transport_->recorder().Record(
         obs::HistogramId::kSpanViewChangeUs,
@@ -759,8 +938,11 @@ void PbftEngine::EnterNewView(const std::shared_ptr<const NewViewMsg>& msg) {
       pp->seq = proof.seq;
       pp->batch_digest = proof.batch_digest;
       pp->batch = proof.batch;
-      pp->sig = keys_->Sign(msg->from(), pp->digest());
-      pp->set_from(msg->from());
+      // Attribute the synthetic pre-prepare to the new primary (not the
+      // wire sender — a relayed NewView arrives from a peer).
+      NodeId new_primary = PrimaryOf(msg->new_view);
+      pp->sig = keys_->Sign(new_primary, pp->digest());
+      pp->set_from(new_primary);
       slot.pre_prepare = pp;
       slot.prepares.clear();
       slot.commits.clear();
@@ -818,6 +1000,67 @@ void PbftEngine::EnterNewView(const std::shared_ptr<const NewViewMsg>& msg) {
     ArmProgressTimer();
   }
   ExecuteReady();
+}
+
+// ---------------------------------------------------------------- recovery
+
+void PbftEngine::RestoreFromDurable() {
+  if (durable_ == nullptr) return;
+  view_ = durable_->view;
+  // Treat the restored view as active: if it was never installed anywhere
+  // the progress timer (re-armed by the host) escalates to a view change;
+  // if it was, the laggard-resend path delivers the NewView on demand.
+  view_active_ = true;
+  const storage::Checkpoint& cp = durable_->stable_checkpoint;
+  if (cp.seq > 0) {
+    state_machine_->Restore(cp.snapshot);
+    stable_seq_ = cp.seq;
+    last_executed_ = cp.seq;
+    last_stable_checkpoint_ = cp;
+  }
+  prepared_proofs_ = durable_->prepared_proofs;
+  // Seed the client table as of the checkpoint; replay rebuilds it forward
+  // so per-op duplicate decisions replay exactly as they first ran.
+  clients_.clear();
+  for (const auto& [client, ts] : durable_->checkpoint_client_ts) {
+    clients_[client].last_executed_ts = ts;
+  }
+  // Replay the WAL above the checkpoint: each entry's batch comes from its
+  // prepared proof (digest-checked), is re-applied to the state machine and
+  // re-recorded in the commit log. Replay stops at the first gap or
+  // mismatch; everything beyond comes back via state transfer.
+  for (const auto& entry : durable_->wal.entries()) {
+    if (entry.seq <= last_executed_) continue;
+    if (entry.seq != last_executed_ + 1) break;
+    auto pit = durable_->prepared_proofs.find(entry.seq);
+    if (pit == durable_->prepared_proofs.end() ||
+        pit->second.batch_digest != entry.digest) {
+      break;
+    }
+    for (const auto& op : pit->second.batch.ops) {
+      ClientState& cs = clients_[op.client];
+      if (op.client != kInvalidClient &&
+          op.timestamp <= cs.last_executed_ts) {
+        continue;  // was a duplicate at first execution; stays one at replay
+      }
+      transport_->ChargeCpu(config_.costs.apply_us);
+      state_machine_->Apply(op);
+      cs.last_executed_ts = op.timestamp;
+    }
+    commit_log_.Append(entry);
+    last_executed_ = entry.seq;
+  }
+  next_seq_ = std::max(stable_seq_, last_executed_);
+  // The durable client table may run ahead of the replayable prefix (a gap
+  // dropped the tail); rewrite it from the reconstructed one so the table
+  // never claims executions the state machine does not hold. The dropped
+  // suffix is re-learned when state transfer installs a peer's table.
+  durable_->client_ts.clear();
+  for (const auto& [client, cs] : clients_) {
+    if (client != kInvalidClient) {
+      durable_->client_ts[client] = cs.last_executed_ts;
+    }
+  }
 }
 
 }  // namespace ziziphus::pbft

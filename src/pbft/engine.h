@@ -12,6 +12,7 @@
 #include "crypto/certificate.h"
 #include "crypto/signature.h"
 #include "pbft/config.h"
+#include "pbft/durable.h"
 #include "pbft/messages.h"
 #include "pbft/state_machine.h"
 #include "sim/timer_tag.h"
@@ -109,6 +110,32 @@ class PbftEngine {
   /// Disables the progress timer (used in micro-benchmarks).
   void set_view_changes_enabled(bool v) { view_changes_enabled_ = v; }
 
+  /// State-transfer retry delay for the given attempt: same shape as
+  /// ViewChangeBackoff (doubling capped at
+  /// config.state_transfer_backoff_cap_us, deterministic per-(replica, seq)
+  /// jitter of up to 1/8 of the backoff), exposed for unit tests.
+  static Duration StateTransferBackoff(const PbftConfig& config,
+                                       std::uint64_t attempt, NodeId replica,
+                                       SeqNum seq);
+
+  /// Attaches the durable slice of this replica (not owned; may be null =
+  /// nothing persists). Write-through: the engine mirrors its stable
+  /// checkpoint, WAL, prepared proofs, view and client table into it as
+  /// they change.
+  void set_durable(DurableState* durable) { durable_ = durable; }
+
+  /// Rebuilds volatile state from the attached durable slice after an
+  /// amnesia crash: installs the stable checkpoint, replays the WAL
+  /// (re-applying each entry's batch from its prepared proof), restores the
+  /// view and client table. The host then arms timers and starts catch-up
+  /// via state transfer. No-op without a durable slice.
+  void RestoreFromDurable();
+
+  /// Starts catch-up toward `seq` with an unknown digest (multicast
+  /// request, f+1 matching responses to install). Used by the rejoin
+  /// protocol; retries with backoff and peer rotation are automatic.
+  void StartCatchUp(SeqNum seq) { RequestStateTransfer(seq, 0, kInvalidNode); }
+
  protected:
   // Virtual so Byzantine test doubles can misbehave in controlled ways.
   virtual void EmitPrePrepare(const std::shared_ptr<PrePrepareMsg>& msg);
@@ -142,6 +169,7 @@ class PbftEngine {
     kBatchTimer = 1,
     kProgressTimer = 2,
     kViewChangeTimer = 3,
+    kStateTransferTimer = 4,
   };
 
   NodeId PrimaryOf(ViewId v) const {
@@ -160,6 +188,10 @@ class PbftEngine {
   void HandleStateRequest(const std::shared_ptr<const StateRequestMsg>& msg);
   void HandleStateResponse(const std::shared_ptr<const StateResponseMsg>& msg);
   void RequestStateTransfer(SeqNum seq, std::uint64_t digest, NodeId peer);
+  void SendStateRequest();
+  void ArmStateTransferRetry();
+  void CancelStateTransferRetry();
+  void OnStateTransferTimer();
 
   void EnqueueOp(const Operation& op);
   void MaybeProposeBatch(bool timer_fired);
@@ -234,6 +266,28 @@ class PbftEngine {
   std::map<std::pair<SeqNum, std::uint64_t>,
            std::pair<std::set<NodeId>, storage::KvStore::Map>>
       transfer_votes_;
+  // Retry state for the in-flight transfer: a kStateTransferTimer re-sends
+  // the request to the next member (rotation skips self) with capped
+  // backoff, so one crashed or Byzantine peer cannot wedge catch-up.
+  std::uint64_t state_transfer_timer_ = 0;
+  std::uint64_t state_transfer_attempts_ = 0;
+  std::size_t state_transfer_peer_idx_ = 0;
+  // Set when a transfer burned all its attempts (no peer could serve the
+  // sequence yet). The next progress timeout then spends one of the retry
+  // cycles on a fresh catch-up instead of escalating to a view change —
+  // a rejoining laggard's stall is its own lag, not the primary's fault.
+  // A successful install refills the budget.
+  static constexpr int kCatchUpRetryCycles = 2;
+  bool catch_up_abandoned_ = false;
+  int catch_up_retry_budget_ = kCatchUpRetryCycles;
+
+  // The NewView this replica installed for its current view; re-sent to
+  // replicas still demanding an older view (recovered laggards) so they
+  // can adopt the view without waiting for the next view change.
+  std::shared_ptr<const NewViewMsg> last_new_view_;
+
+  // Durable slice (see pbft/durable.h); null = nothing persists.
+  DurableState* durable_ = nullptr;
 };
 
 }  // namespace ziziphus::pbft

@@ -1,6 +1,7 @@
 #ifndef ZIZIPHUS_PBFT_MESSAGES_H_
 #define ZIZIPHUS_PBFT_MESSAGES_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -233,11 +234,17 @@ struct StateResponseMsg : sim::Message {
   SeqNum seq = 0;
   std::uint64_t state_digest = 0;
   storage::KvStore::Map snapshot;
+  /// Last executed timestamp per client at the responder. Max-merged into
+  /// the receiver's client table on install, so a recovered replica regains
+  /// exactly-once semantics for requests executed during its outage.
+  std::map<ClientId, RequestTimestamp> client_ts;
 
   crypto::Digest ComputeDigest() const override {
     return Hasher(0x14).Add(seq).Add(state_digest).Finish();
   }
-  std::size_t WireSize() const override { return 64 + snapshot.size() * 48; }
+  std::size_t WireSize() const override {
+    return 64 + snapshot.size() * 48 + client_ts.size() * 16;
+  }
 };
 
 }  // namespace ziziphus::pbft

@@ -31,6 +31,7 @@ std::vector<InvariantViolation> InvariantChecker::Check(
   CheckCheckpoints(system, &out);
   CheckGlobalAgreement(system, &out);
   CheckBalances(system, &out);
+  CheckRecovery(system, &out);
   system.sim().counters().Inc(obs::CounterId::kInvariantsChecksRun);
   if (!out.empty()) {
     system.sim().counters().Inc(obs::CounterId::kInvariantsViolations, out.size());
@@ -195,6 +196,68 @@ void InvariantChecker::CheckBalances(core::ZiziphusSystem& system,
                  << " (money minted or destroyed)";
           out->push_back({"balance-conservation", detail.str()});
         }
+      }
+    }
+  }
+}
+
+void InvariantChecker::CheckRecovery(core::ZiziphusSystem& system,
+                                     std::vector<InvariantViolation>* out) {
+  // Reference digests per (zone, seq) from honest replicas that never lost
+  // their memory; a recovered node's history is judged against them.
+  std::map<std::pair<ZoneId, SeqNum>, std::pair<std::uint64_t, NodeId>>
+      reference;
+  bool any_recovered = false;
+  for (const auto& node : system.nodes()) {
+    if (!Honest(system, node->id())) continue;
+    if (node->recoveries() > 0) {
+      any_recovered = true;
+      continue;
+    }
+    for (const storage::LogEntry& e : node->pbft().commit_log().entries()) {
+      reference.try_emplace(std::make_pair(node->zone(), e.seq), e.digest,
+                            node->id());
+    }
+  }
+  if (!any_recovered) return;
+
+  for (const auto& node : system.nodes()) {
+    if (!Honest(system, node->id()) || node->recoveries() == 0) continue;
+    NodeId id = node->id();
+    ZoneId z = node->zone();
+
+    // (a) Committed-prefix: every entry the recovered node holds — in its
+    // live commit log and in its durable WAL — must match what its zone
+    // committed at that sequence number. (Gaps are legitimate: state
+    // transfer jumps the log past sequences executed from a snapshot.)
+    auto check_log = [&](const storage::CommitLog& log, const char* which) {
+      for (const storage::LogEntry& e : log.entries()) {
+        auto it = reference.find(std::make_pair(z, e.seq));
+        if (it != reference.end() && it->second.first != e.digest) {
+          std::ostringstream detail;
+          detail << "recovered " << NodeName(id) << " (zone " << z << ") "
+                 << which << " seq " << e.seq << " has digest " << e.digest
+                 << " but " << NodeName(it->second.second) << " committed "
+                 << it->second.first;
+          out->push_back({"recovery-committed-prefix", detail.str()});
+        }
+      }
+    };
+    check_log(node->pbft().commit_log(), "commit log");
+    check_log(node->durable().pbft.wal, "durable WAL");
+
+    // (b) Promised-then-forgotten: every ballot promise the node persisted
+    // must still bound its live promise state — a lower live bound means a
+    // recovered replica could double-vote a global ballot.
+    for (const auto& [req_id, ballot] : node->durable().sync.promised) {
+      Ballot live = node->sync().PromiseBoundFor(req_id);
+      if (live < ballot) {
+        std::ostringstream detail;
+        detail << "recovered " << NodeName(id) << " persisted promise "
+               << ToString(ballot) << " for request " << req_id
+               << " but now reports bound " << ToString(live)
+               << " (promised-then-forgotten)";
+        out->push_back({"recovery-promise-retention", detail.str()});
       }
     }
   }

@@ -34,7 +34,12 @@ struct InvariantViolation {
 ///   3. global-agreement: no two honest nodes (any zone) execute different
 ///      global requests under the same data-synchronization ballot;
 ///   4. balance-conservation: the bank totals honest replicas hold match
-///      the funds ever minted (prefix-safe formulations, see Accounts).
+///      the funds ever minted (prefix-safe formulations, see Accounts);
+///   5. recovery-consistency: a node that came back from an amnesia crash
+///      holds a committed prefix of its zone's history (commit log and
+///      durable WAL digests match the zone reference per sequence number)
+///      and never forgot a data-synchronization ballot promise it
+///      persisted before the crash (no promised-then-forgotten).
 ///
 /// Every check skips nodes listed as Byzantine or currently crashed —
 /// the paper's guarantees only cover honest replicas, and a crashed
@@ -88,6 +93,8 @@ class InvariantChecker {
   void CheckGlobalAgreement(core::ZiziphusSystem& system,
                             std::vector<InvariantViolation>* out);
   void CheckBalances(core::ZiziphusSystem& system,
+                     std::vector<InvariantViolation>* out);
+  void CheckRecovery(core::ZiziphusSystem& system,
                      std::vector<InvariantViolation>* out);
 
   Options opt_;

@@ -151,7 +151,24 @@ void FaultSchedule::CrashAt(SimTime at, NodeId node) {
 void FaultSchedule::RecoverAt(SimTime at, NodeId node) {
   At(at, [node](Simulation& s) {
     s.counters().Inc(obs::CounterId::kFaultsRecoveries);
-    s.faults().Recover(node);
+    // Amnesia-aware: a plain crash just heals, but a node that lost its
+    // memory must run the rejoin protocol regardless of which recovery
+    // action reaches it first.
+    s.RecoverAmnesia(node);
+  });
+}
+
+void FaultSchedule::CrashAmnesiaAt(SimTime at, NodeId node) {
+  At(at, [node](Simulation& s) {
+    s.counters().Inc(obs::CounterId::kFaultsAmnesiaCrashes);
+    s.CrashAmnesia(node);
+  });
+}
+
+void FaultSchedule::RecoverAmnesiaAt(SimTime at, NodeId node) {
+  At(at, [node](Simulation& s) {
+    s.counters().Inc(obs::CounterId::kFaultsRecoveries);
+    s.RecoverAmnesia(node);
   });
 }
 
@@ -210,7 +227,7 @@ void FaultSchedule::CpuFactorAt(SimTime at, NodeId node, double factor) {
 void FaultSchedule::ResetAllAt(SimTime at) {
   At(at, [](Simulation& s) {
     s.faults().ResetNetworkFaults();
-    s.faults().RecoverAll();
+    s.RecoverAllNodes();
   });
 }
 
@@ -326,6 +343,48 @@ void Simulation::MulticastMessage(NodeId from, SimTime depart,
 
 void Simulation::PostTimer(NodeId owner, SimTime at, std::uint64_t timer_id) {
   queue_->Push(SimEvent{at, next_seq_++, owner, nullptr, timer_id, owner, 0});
+}
+
+void Simulation::CrashAmnesia(NodeId node) {
+  ZCHECK(node < processes_.size());
+  faults_.CrashAmnesia(node);
+  Process* p = processes_[node];
+  // Flush pending timers: events already queued for these ids are
+  // discarded at delivery (DeliverTimer finds no active entry), and timer
+  // ids are globally monotonic so post-recovery timers can never collide
+  // with a stale pre-crash event.
+  p->active_timers_.clear();
+  p->OnAmnesiaCrash();
+}
+
+void Simulation::RecoverAmnesia(NodeId node) {
+  ZCHECK(node < processes_.size());
+  if (!faults_.IsCrashed(node)) return;
+  bool amnesiac = faults_.IsAmnesiac(node);
+  faults_.Recover(node);
+  if (!amnesiac) return;
+  Process* p = processes_[node];
+  // The rejoin hook runs outside any delivery, so align the CPU model by
+  // hand: processing starts no earlier than the wall clock, CPU charged in
+  // the hook occupies the core as usual.
+  p->logical_now_ = std::max({p->logical_now_, p->busy_until_, now_});
+  p->trace_ctx_ = {};
+  p->OnAmnesiaRecover();
+  p->busy_until_ = p->logical_now_;
+  p->trace_ctx_ = {};
+}
+
+void Simulation::RecoverAllNodes() {
+  std::vector<NodeId> amnesiacs = faults_.AmnesiacNodes();
+  faults_.RecoverAll();
+  for (NodeId node : amnesiacs) {
+    Process* p = processes_[node];
+    p->logical_now_ = std::max({p->logical_now_, p->busy_until_, now_});
+    p->trace_ctx_ = {};
+    p->OnAmnesiaRecover();
+    p->busy_until_ = p->logical_now_;
+    p->trace_ctx_ = {};
+  }
 }
 
 void Simulation::Dispatch(const SimEvent& e) {

@@ -1,6 +1,7 @@
 #ifndef ZIZIPHUS_SIM_SIMULATION_H_
 #define ZIZIPHUS_SIM_SIMULATION_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -25,6 +26,10 @@ enum class NodeHealth {
   kHealthy,
   /// Silent crash: all inbound and outbound traffic is dropped.
   kCrashed,
+  /// Crash that loses volatile state: traffic is dropped like kCrashed,
+  /// and on recovery the process is reconstructed from durable state only
+  /// (Process::OnAmnesiaRecover) and must rejoin via catch-up.
+  kCrashedAmnesia,
 };
 
 /// Injects failures into the network: crashes, link partitions (two-way or
@@ -34,12 +39,36 @@ class FaultInjector {
  public:
   explicit FaultInjector(Rng rng) : rng_(rng) {}
 
-  void Crash(NodeId node) { health_[node] = NodeHealth::kCrashed; }
+  /// A plain crash never downgrades an amnesia crash: the volatile state
+  /// is already gone, so recovery must still run the rejoin protocol.
+  void Crash(NodeId node) {
+    NodeHealth& h = health_[node];
+    if (h != NodeHealth::kCrashedAmnesia) h = NodeHealth::kCrashed;
+  }
+  void CrashAmnesia(NodeId node) {
+    health_[node] = NodeHealth::kCrashedAmnesia;
+  }
   void Recover(NodeId node) { health_.erase(node); }
   void RecoverAll() { health_.clear(); }
+  /// Both crash flavours mute traffic identically; amnesia only changes
+  /// what survives recovery.
   bool IsCrashed(NodeId node) const {
     auto it = health_.find(node);
-    return it != health_.end() && it->second == NodeHealth::kCrashed;
+    return it != health_.end() && it->second != NodeHealth::kHealthy;
+  }
+  bool IsAmnesiac(NodeId node) const {
+    auto it = health_.find(node);
+    return it != health_.end() && it->second == NodeHealth::kCrashedAmnesia;
+  }
+  /// Currently amnesia-crashed nodes in NodeId order (health_ is an
+  /// unordered map; callers iterate this for deterministic rejoin order).
+  std::vector<NodeId> AmnesiacNodes() const {
+    std::vector<NodeId> out;
+    for (const auto& [id, h] : health_) {
+      if (h == NodeHealth::kCrashedAmnesia) out.push_back(id);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
   }
 
   /// Cuts both directions of the (a, b) link.
@@ -167,6 +196,11 @@ class FaultSchedule {
   // Convenience builders wrapping the FaultInjector controls.
   void CrashAt(SimTime at, NodeId node);
   void RecoverAt(SimTime at, NodeId node);
+  /// Crash that forgets: pending timers are flushed and recovery rebuilds
+  /// the node from durable state only (Simulation::CrashAmnesia).
+  void CrashAmnesiaAt(SimTime at, NodeId node);
+  /// Recovery from an amnesia crash: runs the node's rejoin protocol.
+  void RecoverAmnesiaAt(SimTime at, NodeId node);
   void PartitionAt(SimTime at, NodeId a, NodeId b);
   void HealAt(SimTime at, NodeId a, NodeId b);
   void CutOneWayAt(SimTime at, NodeId from, NodeId to);
@@ -249,6 +283,12 @@ class Process {
   virtual void OnMessage(const MessagePtr& msg) = 0;
   /// Handles an expired (uncancelled) timer with the tag it was set with.
   virtual void OnTimer(std::uint64_t tag) { (void)tag; }
+  /// Called by Simulation::CrashAmnesia right after the node's pending
+  /// timers were flushed: drop volatile state here. Default no-op.
+  virtual void OnAmnesiaCrash() {}
+  /// Called by Simulation::RecoverAmnesia under the CPU model: rebuild
+  /// from durable state and start the rejoin protocol. Default no-op.
+  virtual void OnAmnesiaRecover() {}
 
   /// Current logical time inside a handler (arrival + CPU charged so far).
   SimTime Now() const;
@@ -336,6 +376,21 @@ class Simulation {
 
   /// Schedules a timer event for `owner`.
   void PostTimer(NodeId owner, SimTime at, std::uint64_t timer_id);
+
+  /// Amnesia-crashes `node`: marks it crashed-with-state-loss, flushes its
+  /// pending timers (queued timer events become stale ids and are
+  /// discarded at delivery, never handled) and runs OnAmnesiaCrash.
+  void CrashAmnesia(NodeId node);
+
+  /// Recovers `node` from an amnesia crash and runs its rejoin hook
+  /// (OnAmnesiaRecover) under the CPU model. No-op for healthy nodes;
+  /// plain-crashed nodes are simply recovered.
+  void RecoverAmnesia(NodeId node);
+
+  /// Recovers every crashed node; amnesiacs are routed through
+  /// RecoverAmnesia (in NodeId order) so none resurrects with its
+  /// pre-crash volatile state intact.
+  void RecoverAllNodes();
 
   /// Dispatches the next event (applying any fault-schedule entries due
   /// first). Returns false if the queue is empty.

@@ -317,5 +317,30 @@ TEST(ObsExperimentTest, ExportJsonIsByteStableAcrossSameSeedRuns) {
   std::remove(path_b.c_str());
 }
 
+TEST(ObsSchemaTest, RecoveryMetricsResolveAndExport) {
+  // The recovery subsystem's metric ids must resolve to their wire names
+  // and surface in ExportJson once recorded — a schema regression here
+  // would silently break the recovery chaos sweep's assertions.
+  EXPECT_EQ(CounterName(CounterId::kFaultsAmnesiaCrashes),
+            "faults.amnesia_crashes");
+  EXPECT_EQ(CounterName(CounterId::kRecoveryRejoins), "recovery.rejoins");
+  EXPECT_EQ(CounterName(CounterId::kRecoveryStateTransferRetries),
+            "recovery.state_transfer_retries");
+  EXPECT_EQ(HistogramName(HistogramId::kRecoveryTimeToRejoinUs),
+            "recovery.time_to_rejoin_us");
+
+  Recorder recorder;
+  recorder.counters().Inc(CounterId::kFaultsAmnesiaCrashes);
+  recorder.counters().Inc(CounterId::kRecoveryRejoins);
+  recorder.counters().Inc(CounterId::kRecoveryStateTransferRetries);
+  recorder.Record(HistogramId::kRecoveryTimeToRejoinUs, 1234);
+  std::string json = recorder.ExportJson();
+  EXPECT_NE(json.find("\"faults.amnesia_crashes\""), std::string::npos);
+  EXPECT_NE(json.find("\"recovery.rejoins\""), std::string::npos);
+  EXPECT_NE(json.find("\"recovery.state_transfer_retries\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"recovery.time_to_rejoin_us\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ziziphus::obs

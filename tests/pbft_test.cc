@@ -1,3 +1,5 @@
+#include <set>
+
 #include "gtest/gtest.h"
 #include "pbft/engine.h"
 #include "tests/test_util.h"
@@ -167,6 +169,86 @@ TEST(PbftTest, LaggingReplicaCatchesUpViaStateTransfer) {
   c.client->SubmitLocalSequence(c.members[0], 12, "more");
   c.sim.RunFor(Seconds(4));
   EXPECT_GE(c.engine(3).last_executed(), c.engine(0).stable_seq());
+}
+
+TEST(PbftTest, StateTransferRotatesAwayFromUnreachablePeer) {
+  pbft::PbftConfig base;
+  base.checkpoint_interval = 4;
+  base.batch_max = 1;
+  base.batch_timeout_us = 100;
+  base.request_timeout_us = Millis(200);
+  PbftCluster c(4, 1, 1, 1000, base);
+  for (int i = 0; i < 3; ++i) {
+    c.sim.faults().Partition(c.members[3], c.members[i]);
+  }
+  c.client->SubmitLocalSequence(c.members[0], 12, "op");
+  c.sim.RunFor(Seconds(3));
+  ASSERT_EQ(c.app(3).applied(), 0u);
+  for (int i = 0; i < 3; ++i) c.sim.faults().Heal(c.members[3], c.members[i]);
+  // The laggard asks the lowest-id checkpoint voter (member 0) first. Its
+  // requests to 0 are blackholed one-way — checkpoint votes still arrive —
+  // so only the retry timer's peer rotation can complete the catch-up (the
+  // pre-retry protocol sent exactly one request and wedged forever here).
+  c.sim.faults().CutOneWay(c.members[3], c.members[0]);
+  c.client->SubmitLocalSequence(c.members[0], 12, "more");
+  c.sim.RunFor(Seconds(6));
+  EXPECT_GE(c.engine(3).last_executed(), c.engine(0).stable_seq());
+  EXPECT_GE(
+      c.sim.counters().Get(obs::CounterId::kRecoveryStateTransferRetries), 1u);
+}
+
+TEST(StateTransferBackoffTest, DoublesUntilCapAndStaysBounded) {
+  pbft::PbftConfig cfg;
+  cfg.request_timeout_us = Millis(100);
+  cfg.state_transfer_backoff_cap_us = Millis(800);
+  const Duration base = cfg.request_timeout_us;
+  const Duration cap = cfg.state_transfer_backoff_cap_us;
+
+  Duration prev = 0;
+  for (std::uint64_t attempt = 0; attempt < 40; ++attempt) {
+    Duration d = pbft::PbftEngine::StateTransferBackoff(cfg, attempt, 1, 1);
+    // Monotone non-decreasing: doubling outruns the <= 1/8 jitter.
+    EXPECT_GE(d, prev) << "attempt " << attempt;
+    // Never below the request timeout, never above the cap plus its jitter.
+    EXPECT_GE(d, base);
+    EXPECT_LE(d, cap + cap / 8) << "attempt " << attempt;
+    prev = d;
+  }
+  // The cap binds: a huge attempt count lands at cap (+ jitter), not at
+  // base << attempts.
+  Duration capped = pbft::PbftEngine::StateTransferBackoff(cfg, 63, 1, 1);
+  EXPECT_GE(capped, cap);
+  EXPECT_LE(capped, cap + cap / 8);
+}
+
+TEST(StateTransferBackoffTest, JitterIsDeterministicAndDesynchronizes) {
+  pbft::PbftConfig cfg;
+  cfg.request_timeout_us = Millis(100);
+  cfg.state_transfer_backoff_cap_us = Millis(800);
+  // Deterministic: same (attempt, replica, seq) gives the same delay.
+  EXPECT_EQ(pbft::PbftEngine::StateTransferBackoff(cfg, 2, 3, 5),
+            pbft::PbftEngine::StateTransferBackoff(cfg, 2, 3, 5));
+  // Replicas retrying the same transfer spread out: at least two distinct
+  // delays among a group of seven.
+  std::set<Duration> delays;
+  for (NodeId r = 0; r < 7; ++r) {
+    delays.insert(pbft::PbftEngine::StateTransferBackoff(cfg, 2, r, 5));
+  }
+  EXPECT_GE(delays.size(), 2u);
+}
+
+TEST(StateTransferBackoffTest, CapBelowBaseClampsToBase) {
+  // A misconfigured cap smaller than the request timeout must not shrink
+  // the delay below the liveness-critical base.
+  pbft::PbftConfig cfg;
+  cfg.request_timeout_us = Millis(500);
+  cfg.state_transfer_backoff_cap_us = Millis(100);
+  const Duration base = cfg.request_timeout_us;
+  for (std::uint64_t attempt : {0u, 1u, 7u}) {
+    Duration d = pbft::PbftEngine::StateTransferBackoff(cfg, attempt, 0, 1);
+    EXPECT_GE(d, base);
+    EXPECT_LE(d, base + base / 8);
+  }
 }
 
 // A Byzantine primary that sends different batches to different replicas.
