@@ -11,9 +11,11 @@
 //                       data-synchronization instance; batch size 1
 //                       reverts to one instance per migration.
 
-#include "bench/bench_util.h"
+#include "app/experiment_config.h"
+#include "benchmark/benchmark.h"
 
 namespace ziziphus::bench {
+using namespace app;  // bench helpers live in app/experiment_config.h
 namespace {
 
 const char* const kKnobNames[] = {"prepare-skip", "stable-leader",

@@ -13,7 +13,7 @@
 #include <cstdlib>
 
 #include "app/chaos.h"
-#include "bench/bench_util.h"
+#include "app/experiment_config.h"
 #include "benchmark/benchmark.h"
 
 namespace ziziphus {
@@ -23,12 +23,12 @@ app::ChaosOptions OptionsFor(std::uint64_t seed, const benchmark::State& st) {
   // Start from the shared flag vocabulary (--crash-amnesia=, --think-ms=,
   // --fault-window-ms=, --queue=heap); the sweep's cell shape and seed
   // progression override the per-cell knobs below.
-  app::ChaosOptions opt = bench::BenchConfig().chaos;
-  opt.queue = bench::BenchConfig().workload.queue;
+  app::ChaosOptions opt = app::BenchConfig().chaos;
+  opt.queue = app::BenchConfig().workload.queue;
   opt.seed = seed;
   opt.zones = static_cast<std::size_t>(st.range(0));
   opt.byzantine_per_zone = static_cast<std::size_t>(st.range(1));
-  if (bench::SmokeSweep()) {
+  if (app::SmokeSweep()) {
     opt.pairs_per_zone = 1;
     opt.xfers_per_client = 2;
     opt.migrators = 1;
@@ -42,13 +42,13 @@ app::ChaosOptions OptionsFor(std::uint64_t seed, const benchmark::State& st) {
 
 /// Copies the summed run counters into the JSON collector.
 void CollectCell(benchmark::State& state, const char* proto) {
-  bench::BenchCell cell;
+  app::BenchCell cell;
   cell.name = std::string(proto) + "/zones:" + std::to_string(state.range(0)) +
               "/byz:" + std::to_string(state.range(1));
   for (const auto& [key, counter] : state.counters) {
     cell.metrics[key] = static_cast<double>(counter);
   }
-  bench::CollectedCells().push_back(std::move(cell));
+  app::CollectedCells().push_back(std::move(cell));
 }
 
 void Tally(benchmark::State& state, const app::ChaosReport& r) {

@@ -9,9 +9,11 @@
 // above Steward and flat PBFT; Ziziphus best; flat PBFT collapses as zones
 // are added; lower global fraction => higher throughput.
 
-#include "bench/bench_util.h"
+#include "app/experiment_config.h"
+#include "benchmark/benchmark.h"
 
 namespace ziziphus::bench {
+using namespace app;  // bench helpers live in app/experiment_config.h
 namespace {
 
 void BM_Fig4(benchmark::State& state) {

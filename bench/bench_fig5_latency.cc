@@ -9,9 +9,11 @@
 // Steward pays geo-scale latency on every transaction; flat PBFT latency
 // explodes with the number of zones.
 
-#include "bench/bench_util.h"
+#include "app/experiment_config.h"
+#include "benchmark/benchmark.h"
 
 namespace ziziphus::bench {
+using namespace app;  // bench helpers live in app/experiment_config.h
 namespace {
 
 void BM_Fig5(benchmark::State& state) {

@@ -8,9 +8,11 @@
 // most because its quorums must now reach across every region (without
 // failures it can form quorums from the nearby data centers).
 
-#include "bench/bench_util.h"
+#include "app/experiment_config.h"
+#include "benchmark/benchmark.h"
 
 namespace ziziphus::bench {
+using namespace app;  // bench helpers live in app/experiment_config.h
 namespace {
 
 void BM_Fig6(benchmark::State& state) {

@@ -11,9 +11,11 @@
 // while flat PBFT degrades drastically (all nodes of all zones exchange
 // messages).
 
-#include "bench/bench_util.h"
+#include "app/experiment_config.h"
+#include "benchmark/benchmark.h"
 
 namespace ziziphus::bench {
+using namespace app;  // bench helpers live in app/experiment_config.h
 namespace {
 
 void BM_Fig7(benchmark::State& state) {

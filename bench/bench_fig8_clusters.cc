@@ -10,9 +10,11 @@
 // cross-cluster migrations touch two), latency roughly flat beyond two
 // clusters, best workload .1G(.1C).
 
-#include "bench/bench_util.h"
+#include "app/experiment_config.h"
+#include "benchmark/benchmark.h"
 
 namespace ziziphus::bench {
+using namespace app;  // bench helpers live in app/experiment_config.h
 namespace {
 
 void BM_Fig8(benchmark::State& state) {

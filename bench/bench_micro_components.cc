@@ -4,7 +4,8 @@
 
 #include <memory>
 
-#include "bench/bench_util.h"
+#include "app/experiment_config.h"
+#include "benchmark/benchmark.h"
 #include "benchmark/benchmark.h"
 #include "common/hash.h"
 #include "common/metrics.h"

@@ -24,7 +24,8 @@
 #include <cstdlib>
 #include <new>
 
-#include "bench/bench_util.h"
+#include "app/experiment_config.h"
+#include "benchmark/benchmark.h"
 #include "common/random.h"
 #include "sim/event_queue.h"
 
@@ -48,6 +49,7 @@ void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace ziziphus::bench {
+using namespace app;  // bench helpers live in app/experiment_config.h
 namespace {
 
 std::uint64_t AllocCount() {

@@ -82,6 +82,18 @@ std::string BankStateMachine::Apply(const pbft::Operation& op) {
     }
     return applied.empty() ? "noop" : "ok:" + applied;
   }
+  if (verb == "PUT" && tok.size() == 3) {
+    std::int64_t idx = 0;
+    if (!ParseInt(tok[1], &idx) || idx < 0) return "err:args";
+    store_.Put(DataKey(op.client, static_cast<std::uint64_t>(idx)), tok[2]);
+    return "ok";
+  }
+  if (verb == "GET" && tok.size() == 2) {
+    std::int64_t idx = 0;
+    if (!ParseInt(tok[1], &idx) || idx < 0) return "err:args";
+    auto cur = store_.Get(DataKey(op.client, static_cast<std::uint64_t>(idx)));
+    return cur ? *cur : "err:nokey";
+  }
   if (verb == "BAL" && tok.size() == 1) {
     auto cur = store_.Get(AccountKey(op.client));
     return cur ? *cur : "err:noacct";
@@ -93,6 +105,12 @@ storage::KvStore::Map BankStateMachine::ClientRecords(ClientId client) const {
   storage::KvStore::Map out;
   auto bal = store_.Get(AccountKey(client));
   if (bal) out[AccountKey(client)] = *bal;
+  const std::string prefix = DataPrefix(client);
+  for (auto it = store_.contents().lower_bound(prefix);
+       it != store_.contents().end() && it->first.rfind(prefix, 0) == 0;
+       ++it) {
+    out[it->first] = it->second;
+  }
   return out;
 }
 
@@ -104,6 +122,25 @@ void BankStateMachine::InstallClientRecords(
 
 void BankStateMachine::EvictClientRecords(ClientId client) {
   store_.Delete(AccountKey(client));
+  const std::string prefix = DataPrefix(client);
+  std::vector<std::string> doomed;
+  for (auto it = store_.contents().lower_bound(prefix);
+       it != store_.contents().end() && it->first.rfind(prefix, 0) == 0;
+       ++it) {
+    doomed.push_back(it->first);
+  }
+  for (const std::string& k : doomed) store_.Delete(k);
+}
+
+std::size_t BankStateMachine::DataRecordCount(ClientId client) const {
+  const std::string prefix = DataPrefix(client);
+  std::size_t n = 0;
+  for (auto it = store_.contents().lower_bound(prefix);
+       it != store_.contents().end() && it->first.rfind(prefix, 0) == 0;
+       ++it) {
+    ++n;
+  }
+  return n;
 }
 
 void BankStateMachine::OpenAccount(ClientId client, std::int64_t balance) {

@@ -26,6 +26,11 @@ namespace ziziphus::app {
 ///                          does). Overdraft is not re-validated across
 ///                          zones — a demo of the cross-zone machinery,
 ///                          not a full distributed-validation protocol.
+///   PUT <n> <value>      — write the issuing client's n-th data record
+///                          (arbitrary payload owned by the client; rides
+///                          along in migrations, so clients can carry
+///                          arbitrarily large state between zones)
+///   GET <n>              — read the issuing client's n-th data record
 ///   BAL                  — read the issuing client's balance
 class BankStateMachine : public core::ZoneStateMachine {
  public:
@@ -52,6 +57,15 @@ class BankStateMachine : public core::ZoneStateMachine {
   static std::string AccountKey(ClientId client) {
     return "acct/" + std::to_string(client);
   }
+  static std::string DataPrefix(ClientId client) {
+    return "data/" + std::to_string(client) + "/";
+  }
+  static std::string DataKey(ClientId client, std::uint64_t n) {
+    return DataPrefix(client) + std::to_string(n);
+  }
+
+  /// Number of data records the client owns (tests / soak probes).
+  std::size_t DataRecordCount(ClientId client) const;
 
  private:
   storage::KvStore store_;

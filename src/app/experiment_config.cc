@@ -267,4 +267,67 @@ void FinishObservedRun(const obs::Recorder& recorder, const ObsSpec& spec,
   }
 }
 
+// ---- Bench support (formerly bench/bench_util.h) -----------------------
+
+bool FullSweep() {
+  const char* env = std::getenv("ZIZIPHUS_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+bool SmokeSweep() {
+  const char* env = std::getenv("ZIZIPHUS_BENCH_SMOKE");
+  return env != nullptr && env[0] == '1';
+}
+
+ExperimentConfig& BenchConfig() {
+  static ExperimentConfig cfg = [] {
+    ExperimentConfig c;
+    c.workload.warmup = FullSweep() ? Millis(800) : Millis(500);
+    c.workload.measure = FullSweep() ? Seconds(2) : Millis(800);
+    if (SmokeSweep()) {
+      c.workload.warmup = Millis(200);
+      c.workload.measure = Millis(250);
+    }
+    c.workload.seed = 42;
+    return c;
+  }();
+  return cfg;
+}
+
+std::size_t ClientsPerZone(std::size_t full, std::size_t quick) {
+  if (SmokeSweep()) return 10;
+  return FullSweep() ? full : quick;
+}
+
+std::vector<BenchCell>& CollectedCells() {
+  static std::vector<BenchCell> cells;
+  return cells;
+}
+
+void WriteBenchJson(const char* bench_name) {
+  const char* path = std::getenv("ZIZIPHUS_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  std::ofstream out(path);
+  out << "{\"schema\":\"ziziphus.bench.v1\",\"bench\":\"" << bench_name
+      << "\",\"cells\":[";
+  bool first_cell = true;
+  for (const BenchCell& cell : CollectedCells()) {
+    out << (first_cell ? "" : ",") << "\n {\"name\":\"" << cell.name
+        << "\",\"metrics\":{";
+    first_cell = false;
+    bool first = true;
+    for (const auto& [key, value] : cell.metrics) {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g",
+                    std::isfinite(value) ? value : 0.0);
+      out << (first ? "" : ",") << "\"" << key << "\":" << buf;
+      first = false;
+    }
+    out << "}}";
+  }
+  out << "\n]}\n";
+  std::fprintf(stderr, "bench json: %s (%zu cells)\n", path,
+               CollectedCells().size());
+}
+
 }  // namespace ziziphus::app

@@ -1,8 +1,12 @@
 #ifndef ZIZIPHUS_APP_EXPERIMENT_CONFIG_H_
 #define ZIZIPHUS_APP_EXPERIMENT_CONFIG_H_
 
+#include <cmath>
 #include <cstdint>
+#include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "app/chaos.h"
 #include "app/experiment.h"
@@ -140,6 +144,107 @@ struct ExperimentConfig {
   ExperimentConfig& ConsumeFlags(int* argc, char** argv);
 };
 
+// ---- Bench support (formerly bench/bench_util.h) -----------------------
+//
+// Shared sweep-scaling, flag handling and machine-readable export for the
+// bench/ binaries. Lives here so every binary shares one flag language and
+// one "ziziphus.bench.v1" writer; the google-benchmark dependency is kept
+// out of this header by templating the reporters on the State type.
+
+/// Set ZIZIPHUS_BENCH_FULL=1 for the paper-scale sweeps (longer runs,
+/// denser client counts); default keeps the whole suite under a few
+/// minutes.
+bool FullSweep();
+
+/// Set ZIZIPHUS_BENCH_SMOKE=1 for the ctest `bench_smoke` suite: tiny
+/// workloads so a filtered bench binary finishes in about a second while
+/// still exercising the full run-and-export path.
+bool SmokeSweep();
+
+/// Shared experiment knobs for this bench binary: sweep-scaled defaults
+/// overlaid with any `--key=value` flags (the ExperimentConfig vocabulary)
+/// that ZIZIPHUS_BENCH_MAIN consumes out of argv before google-benchmark
+/// rejects them as unknown.
+ExperimentConfig& BenchConfig();
+
+inline WorkloadSpec BaseWorkload() { return BenchConfig().workload; }
+
+/// Sweep-scaled clients per zone (smoke mode clamps hard).
+std::size_t ClientsPerZone(std::size_t full, std::size_t quick);
+
+/// One completed cell: its identity string plus every published metric.
+struct BenchCell {
+  std::string name;
+  std::map<std::string, double> metrics;  // ordered => deterministic JSON
+};
+
+std::vector<BenchCell>& CollectedCells();
+
+/// Writes the collected cells as one deterministic JSON document to the
+/// path in ZIZIPHUS_BENCH_JSON (no-op when unset). Schema:
+///   {"schema":"ziziphus.bench.v1","bench":"<name>","cells":[
+///     {"name":"...","metrics":{"lat_avg_ms":1.5,...}}, ...]}
+void WriteBenchJson(const char* bench_name);
+
+/// Publishes one experiment result both to google-benchmark's counters and
+/// to the JSON collector. `State` is benchmark::State (templated so this
+/// header stays benchmark-free).
+template <class State>
+void ReportResult(State& state, std::string name,
+                  const ExperimentResult& r) {
+  BenchCell cell;
+  cell.name = std::move(name);
+  auto put = [&](const char* key, double v) {
+    state.counters[key] = v;
+    cell.metrics[key] = v;
+  };
+  put("tput_ktps", r.throughput_tps / 1000.0);
+  put("lat_avg_ms", r.avg_latency_ms);
+  put("lat_p50_ms", r.p50_ms);
+  put("lat_p99_ms", r.p99_ms);
+  put("local_ms", r.local_avg_ms);
+  put("global_ms", r.global_avg_ms);
+  put("local_ops", static_cast<double>(r.local_ops));
+  put("global_ops", static_cast<double>(r.global_ops));
+  put("timeouts", static_cast<double>(r.timeouts));
+  if (r.traces_completed > 0) {
+    put("traces", static_cast<double>(r.traces_completed));
+    put("trace_total_ms", r.trace_total_ms);
+    put("trace_wan_ms", r.trace_wan_ms);
+    put("trace_lan_ms", r.trace_lan_ms);
+    put("trace_queue_ms", r.trace_queue_ms);
+    put("trace_crypto_ms", r.trace_crypto_ms);
+    for (const auto& [label, ms] : r.trace_phase_ms) {
+      cell.metrics["phase." + label] = ms;
+    }
+  }
+  CollectedCells().push_back(std::move(cell));
+}
+
+/// Runs one experiment cell and publishes the figure's series as counters
+/// and as a collected JSON cell.
+template <class State>
+void ReportCell(State& state, Protocol proto, const DeploymentSpec& dep,
+                const WorkloadSpec& wl, const FaultSpec& faults = {},
+                const ObsSpec& obs = {}) {
+  ExperimentResult r;
+  for (auto _ : state) {
+    r = RunExperiment(proto, dep, wl, faults, obs);
+  }
+  std::ostringstream name;
+  name << ProtocolName(proto) << "/zones:" << dep.zones.size()
+       << "/f:" << dep.f << "/clients:" << wl.clients_per_zone
+       << "/global:" << std::lround(wl.global_fraction * 100);
+  if (wl.cross_cluster_fraction > 0) {
+    name << "/cross:" << std::lround(wl.cross_cluster_fraction * 100);
+  }
+  if (dep.num_clusters() > 1) name << "/clusters:" << dep.num_clusters();
+  if (faults.crashed_backups_per_zone > 0) {
+    name << "/crashed:" << faults.crashed_backups_per_zone;
+  }
+  ReportResult(state, name.str(), r);
+}
+
 /// Maps the simulator's message-type tags to critical-path phase labels
 /// ("pbft.prepare", "sync.accept", "tl.commit", ...). The obs layer cannot
 /// see protocol headers, so the app layer owns this mapping.
@@ -151,5 +256,21 @@ void FinishObservedRun(const obs::Recorder& recorder, const ObsSpec& spec,
                        ExperimentResult* result);
 
 }  // namespace ziziphus::app
+
+/// BENCHMARK_MAIN plus the ZIZIPHUS_BENCH_JSON export hook. Experiment
+/// flags (--seed=, --queue=, ...) are consumed into BenchConfig() first so
+/// only --benchmark_* flags reach google-benchmark's strict parser.
+/// Expanded in bench binaries, which include benchmark/benchmark.h.
+#define ZIZIPHUS_BENCH_MAIN(bench_name)                                  \
+  int main(int argc, char** argv) {                                      \
+    ::ziziphus::app::BenchConfig().ConsumeFlags(&argc, argv);            \
+    ::benchmark::Initialize(&argc, argv);                                \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;  \
+    ::benchmark::RunSpecifiedBenchmarks();                               \
+    ::benchmark::Shutdown();                                             \
+    ::ziziphus::app::WriteBenchJson(bench_name);                         \
+    return 0;                                                            \
+  }                                                                      \
+  int zz_bench_main_anchor_ [[maybe_unused]] = 0
 
 #endif  // ZIZIPHUS_APP_EXPERIMENT_CONFIG_H_

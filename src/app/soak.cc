@@ -1,0 +1,543 @@
+#include "app/soak.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "app/bank.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "core/messages.h"
+#include "core/system.h"
+#include "pbft/messages.h"
+#include "sim/latency_model.h"
+#include "storage/kv_store.h"
+
+namespace ziziphus::app {
+
+namespace {
+
+constexpr std::int64_t kInitialBalance = 1000;
+constexpr std::int64_t kXferAmount = 5;
+
+/// Open-ended paced client for soak runs: one outstanding request, PBFT
+/// retransmission, f+1 matching replies. Unlike the chaos client it keeps
+/// submitting until `stop_at`, with think time modulated by the schedule's
+/// diurnal load factor.
+class SoakClient : public sim::Process {
+ public:
+  SoakClient(const crypto::KeyRegistry* keys, std::size_t f,
+             Duration retry_timeout, Duration base_think,
+             const sim::SoakSchedule* schedule, SimTime stop_at)
+      : keys_(keys),
+        f_(f),
+        retry_timeout_(retry_timeout),
+        base_think_(base_think),
+        schedule_(schedule),
+        stop_at_(stop_at) {}
+
+  /// Back-and-forth XFERs with `peer` until the horizon.
+  void ScriptXferLoop(NodeId target, std::vector<NodeId> retry_group,
+                      ClientId peer) {
+    mode_ = Mode::kXfer;
+    target_ = target;
+    retry_group_ = std::move(retry_group);
+    peer_ = peer;
+  }
+
+  /// PUTs cycling over a window of `window` records until the horizon:
+  /// the op stream is unbounded, the application state is not.
+  void ScriptPutLoop(NodeId target, std::vector<NodeId> retry_group,
+                     std::size_t window, std::string payload) {
+    mode_ = Mode::kPut;
+    target_ = target;
+    retry_group_ = std::move(retry_group);
+    put_window_ = window;
+    payload_ = std::move(payload);
+  }
+
+  /// `count` zone hops (bounded: migrations drag a lock across the fleet).
+  void ScriptMigrationLoop(NodeId target, std::vector<NodeId> retry_group,
+                           ZoneId home, std::size_t num_zones,
+                           std::size_t count) {
+    mode_ = Mode::kMigrate;
+    target_ = target;
+    retry_group_ = std::move(retry_group);
+    home_ = home;
+    num_zones_ = num_zones;
+    migrations_left_ = count;
+  }
+
+  void Kick() { SubmitNext(); }
+
+  bool quiesced() const { return !in_flight_; }
+  std::uint64_t completed() const { return completed_; }
+  bool global() const { return mode_ == Mode::kMigrate; }
+
+ protected:
+  void OnMessage(const sim::MessagePtr& msg) override {
+    switch (msg->type()) {
+      case pbft::kClientReply: {
+        auto r = std::static_pointer_cast<const pbft::ClientReplyMsg>(msg);
+        if (!in_flight_ || r->timestamp != current_ts_) break;
+        votes_.insert(r->replica);
+        if (votes_.size() >= f_ + 1) Complete();
+        break;
+      }
+      case core::kMigrationDone: {
+        auto r = std::static_pointer_cast<const core::MigrationReplyMsg>(msg);
+        if (!in_flight_ || r->timestamp != current_ts_) break;
+        votes_.insert(r->replica);
+        if (votes_.size() >= f_ + 1) {
+          home_ = pending_dest_;
+          Complete();
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  void OnTimer(std::uint64_t ts) override {
+    if (ts == kThinkTag) {
+      SubmitNext();
+      return;
+    }
+    if (!in_flight_ || ts != current_ts_) return;
+    Multicast(retry_group_, request_);
+    SetTimer(retry_timeout_, ts);
+  }
+
+ private:
+  enum class Mode { kXfer, kPut, kMigrate };
+
+  static constexpr std::uint64_t kThinkTag = 0;
+
+  Duration ThinkNow() {
+    double factor = schedule_ != nullptr ? schedule_->LoadFactor(Now()) : 1.0;
+    if (factor <= 0) factor = 1.0;
+    auto think = static_cast<Duration>(
+        static_cast<double>(base_think_) / factor);
+    return std::max<Duration>(think, Millis(5));
+  }
+
+  void Complete() {
+    in_flight_ = false;
+    ++completed_;
+    votes_.clear();
+    SetTimer(ThinkNow(), kThinkTag);
+  }
+
+  void SubmitNext() {
+    if (Now() >= stop_at_) return;
+    if (mode_ == Mode::kMigrate && migrations_left_ == 0) return;
+    in_flight_ = true;
+    current_ts_ = next_ts_++;
+    if (mode_ == Mode::kMigrate) {
+      --migrations_left_;
+      core::MigrationOp op;
+      op.client = id();
+      op.timestamp = current_ts_;
+      pending_dest_ = static_cast<ZoneId>((home_ + 1) % num_zones_);
+      op.source = home_;
+      op.destination = pending_dest_;
+      auto req = std::make_shared<core::MigrationRequestMsg>();
+      req->op = op;
+      req->client_sig = keys_->Sign(id(), req->digest());
+      request_ = req;
+    } else {
+      pbft::Operation op;
+      op.client = id();
+      op.timestamp = current_ts_;
+      if (mode_ == Mode::kXfer) {
+        op.command = "XFER " + std::to_string(peer_) + " " +
+                     std::to_string(kXferAmount);
+      } else {
+        op.command = "PUT " +
+                     std::to_string(completed_ % put_window_) + " " +
+                     payload_;
+      }
+      auto req = std::make_shared<pbft::ClientRequestMsg>();
+      req->op = op;
+      req->client_sig = keys_->Sign(id(), op.ComputeDigest());
+      request_ = req;
+    }
+    Send(target_, request_);
+    SetTimer(retry_timeout_, current_ts_);
+  }
+
+  const crypto::KeyRegistry* keys_;
+  std::size_t f_;
+  Duration retry_timeout_;
+  Duration base_think_;
+  const sim::SoakSchedule* schedule_;
+  SimTime stop_at_;
+  Mode mode_ = Mode::kXfer;
+  NodeId target_ = kInvalidNode;
+  std::vector<NodeId> retry_group_;
+  ClientId peer_ = kInvalidClient;
+  std::size_t put_window_ = 1;
+  std::string payload_;
+  ZoneId home_ = 0;
+  ZoneId pending_dest_ = 0;
+  std::size_t num_zones_ = 1;
+  std::size_t migrations_left_ = 0;
+  bool in_flight_ = false;
+  RequestTimestamp current_ts_ = 0;
+  RequestTimestamp next_ts_ = 1;
+  sim::MessagePtr request_;
+  std::set<NodeId> votes_;
+  std::uint64_t completed_ = 0;
+};
+
+/// Samples fleet-wide memory footprints on a fixed cadence and publishes
+/// the running totals as retention.* gauges.
+class FootprintSampler : public sim::Process {
+ public:
+  FootprintSampler(core::ZiziphusSystem* sys, Duration period,
+                   SimTime stop_at, std::vector<SoakMemSample>* out)
+      : sys_(sys), period_(period), stop_at_(stop_at), out_(out) {}
+
+  void Kick() { SetTimer(period_, 1); }
+
+ protected:
+  void OnMessage(const sim::MessagePtr&) override {}
+
+  void OnTimer(std::uint64_t) override {
+    SoakMemSample s;
+    s.at = Now();
+    for (const auto& node : sys_->nodes()) {
+      core::ZiziphusNode::MemoryFootprint f = node->Footprint();
+      s.live_bytes += f.pbft_bytes + f.sync_bytes;
+      s.app_bytes += f.app_bytes;
+      s.commit_log_bytes += f.commit_log_bytes;
+      s.wal_entries += f.wal_entries;
+      s.prepared_proofs += f.prepared_proofs;
+      s.reply_cache_entries += f.reply_cache_entries;
+      s.sync_requests += f.sync_requests;
+    }
+    obs::Recorder& rec = sys_->sim().recorder();
+    rec.SetGauge(obs::GaugeId::kRetentionLiveBytes, s.live_bytes);
+    rec.SetGauge(obs::GaugeId::kRetentionCommitLogBytes, s.commit_log_bytes);
+    rec.SetGauge(obs::GaugeId::kRetentionWalEntries, s.wal_entries);
+    rec.SetGauge(obs::GaugeId::kRetentionPreparedProofs, s.prepared_proofs);
+    rec.SetGauge(obs::GaugeId::kRetentionReplyCacheEntries,
+                 s.reply_cache_entries);
+    rec.SetGauge(obs::GaugeId::kRetentionSyncRequests, s.sync_requests);
+    out_->push_back(s);
+    if (Now() < stop_at_) SetTimer(period_, 1);
+  }
+
+ private:
+  core::ZiziphusSystem* sys_;
+  Duration period_;
+  SimTime stop_at_;
+  std::vector<SoakMemSample>* out_;
+};
+
+/// Registered stand-in for a client that never submits (bulk state owner).
+class IdleClient : public sim::Process {
+ protected:
+  void OnMessage(const sim::MessagePtr&) override {}
+};
+
+storage::KvStore::Map SeedBalance(ClientId id) {
+  return {{BankStateMachine::AccountKey(id),
+           std::to_string(kInitialBalance)}};
+}
+
+storage::KvStore::Map SeedBalanceAndRecords(ClientId id, std::size_t records,
+                                            const std::string& payload) {
+  storage::KvStore::Map out = SeedBalance(id);
+  for (std::size_t n = 0; n < records; ++n) {
+    out[BankStateMachine::DataKey(id, n)] = payload;
+  }
+  return out;
+}
+
+std::uint64_t FingerprintCounters(const CounterSet& counters) {
+  Hasher h(0xf19e);
+  for (const auto& [name, value] : counters.All()) {
+    h.Add(name);
+    h.Add(value);
+  }
+  return h.Finish();
+}
+
+}  // namespace
+
+double SoakReport::PlateauRatio() const {
+  if (samples.size() < 4) return 1.0;
+  std::size_t mid = samples.size() / 2;
+  std::uint64_t first = 0, second = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    (i < mid ? first : second) =
+        std::max(i < mid ? first : second, samples[i].live_bytes);
+  }
+  if (first == 0) return 1.0;
+  return static_cast<double>(second) / static_cast<double>(first);
+}
+
+std::string SoakReport::Summary() const {
+  std::ostringstream os;
+  os << "local " << local_completed << ", global " << global_completed
+     << ", " << violations.size() << " violation(s), "
+     << (drained ? "drained" : "NOT drained") << ", samples "
+     << samples.size() << ", high-water " << high_water_live_bytes
+     << "B, final " << final_live_bytes << "B, plateau "
+     << PlateauRatio() << ", t=" << end_time / 1000 << "ms";
+  for (const auto& v : violations) {
+    os << "\n  [" << v.invariant << "] " << v.detail;
+  }
+  return os.str();
+}
+
+SoakReport RunZiziphusSoak(const SoakOptions& opt) {
+  SoakReport report;
+  core::ZiziphusSystem sys(opt.seed, sim::LatencyModel::PaperGeoMatrix(),
+                           opt.queue);
+  const std::size_t n_per_zone = 3 * opt.f + 1;
+  for (std::size_t z = 0; z < opt.zones; ++z) {
+    sys.AddZone(0, static_cast<RegionId>(z % 7), opt.f, n_per_zone);
+  }
+
+  core::NodeConfig cfg;
+  cfg.pbft.request_timeout_us = Millis(400);
+  cfg.pbft.checkpoint_interval = opt.checkpoint_interval;
+  cfg.pbft.trim_at_checkpoint = opt.trim_at_checkpoint;
+  cfg.pbft.delta_state_transfer = opt.delta_state_transfer;
+  cfg.sync.compact_decided = opt.compact_sync;
+  cfg.sync.decided_keep_window = opt.sync_keep_window;
+  cfg.sync.retry_timeout_us = Millis(1500);
+  cfg.sync.response_query_timeout_us = Millis(800);
+  cfg.sync.relay_watch_timeout_us = Millis(1200);
+  sys.Finalize(cfg,
+               [](ZoneId) { return std::make_unique<BankStateMachine>(); });
+
+  std::vector<std::vector<NodeId>> zone_members;
+  for (std::size_t z = 0; z < opt.zones; ++z) {
+    zone_members.push_back(sys.topology().zone(static_cast<ZoneId>(z)).members);
+  }
+  sim::SoakSchedule schedule(opt.seed, opt.schedule, zone_members);
+
+  const SimTime horizon = opt.schedule.horizon;
+  const Duration retry = Millis(1100);
+  const std::string payload(24, 'z');
+
+  sim::InvariantChecker::Accounts accounts;
+  std::vector<std::unique_ptr<SoakClient>> clients;
+  for (std::size_t z = 0; z < opt.zones; ++z) {
+    ZoneId zone = static_cast<ZoneId>(z);
+    const std::vector<NodeId>& members = sys.topology().zone(zone).members;
+    NodeId primary = sys.PrimaryOf(zone)->id();
+    for (std::size_t p = 0; p < opt.pairs_per_zone; ++p) {
+      auto a = std::make_unique<SoakClient>(&sys.keys(), opt.f, retry,
+                                            opt.base_think, &schedule,
+                                            horizon);
+      auto b = std::make_unique<SoakClient>(&sys.keys(), opt.f, retry,
+                                            opt.base_think, &schedule,
+                                            horizon);
+      ClientId ca = sys.sim().Register(a.get(), static_cast<RegionId>(z % 7));
+      ClientId cb = sys.sim().Register(b.get(), static_cast<RegionId>(z % 7));
+      a->ScriptXferLoop(primary, members, cb);
+      b->ScriptXferLoop(primary, members, ca);
+      accounts.load_clients[zone].push_back(ca);
+      accounts.load_clients[zone].push_back(cb);
+      accounts.zone_load_totals[zone] += 2 * kInitialBalance;
+      clients.push_back(std::move(a));
+      clients.push_back(std::move(b));
+    }
+    for (std::size_t w = 0; w < opt.writers_per_zone; ++w) {
+      auto c = std::make_unique<SoakClient>(&sys.keys(), opt.f, retry,
+                                            opt.base_think, &schedule,
+                                            horizon);
+      ClientId cid =
+          sys.sim().Register(c.get(), static_cast<RegionId>(z % 7));
+      c->ScriptPutLoop(primary, members, opt.writer_record_window, payload);
+      accounts.fixed_balance_clients[cid] = kInitialBalance;
+      clients.push_back(std::move(c));
+    }
+  }
+  NodeId leader_primary = sys.PrimaryOf(0)->id();
+  const std::vector<NodeId>& leader_members = sys.topology().zone(0).members;
+  for (std::size_t m = 0; m < opt.migrators; ++m) {
+    ZoneId home = static_cast<ZoneId>(m % opt.zones);
+    auto c = std::make_unique<SoakClient>(&sys.keys(), opt.f, retry,
+                                          opt.base_think * 4, &schedule,
+                                          horizon);
+    ClientId cid =
+        sys.sim().Register(c.get(), static_cast<RegionId>(home % 7));
+    c->ScriptMigrationLoop(leader_primary, leader_members, home, opt.zones,
+                           opt.migrations_per_client);
+    accounts.fixed_balance_clients[cid] = kInitialBalance;
+    clients.push_back(std::move(c));
+  }
+
+  std::size_t ci = 0;
+  for (std::size_t z = 0; z < opt.zones; ++z) {
+    ZoneId zone = static_cast<ZoneId>(z);
+    for (std::size_t p = 0; p < 2 * opt.pairs_per_zone; ++p, ++ci) {
+      sys.BootstrapClient(clients[ci]->id(), zone, SeedBalance);
+    }
+    for (std::size_t w = 0; w < opt.writers_per_zone; ++w, ++ci) {
+      sys.BootstrapClient(clients[ci]->id(), zone, SeedBalance);
+    }
+  }
+  for (std::size_t m = 0; m < opt.migrators; ++m, ++ci) {
+    ClientId cid = clients[ci]->id();
+    sys.BootstrapClient(cid, static_cast<ZoneId>(m % opt.zones),
+                        [&](ClientId c) {
+                          return SeedBalanceAndRecords(c, opt.migrator_records,
+                                                       payload);
+                        });
+  }
+
+  report.events = schedule.InstallFaults(sys.sim().schedule());
+
+  FootprintSampler sampler(&sys, opt.sample_period, horizon,
+                           &report.samples);
+  sys.sim().Register(&sampler, 0);
+  sampler.Kick();
+
+  for (auto& c : clients) c->Kick();
+  sys.sim().RunUntil(horizon + opt.drain);
+
+  auto quiesced = [&] {
+    for (const auto& c : clients) {
+      if (!c->quiesced()) return false;
+    }
+    return true;
+  };
+  SimTime deadline = horizon + opt.drain + opt.completion_wait;
+  while (!quiesced() && sys.sim().Now() < deadline) {
+    sys.sim().RunFor(Seconds(1));
+  }
+  report.drained = quiesced();
+  report.end_time = sys.sim().Now();
+
+  for (const auto& c : clients) {
+    (c->global() ? report.global_completed : report.local_completed) +=
+        c->completed();
+  }
+  for (const SoakMemSample& s : report.samples) {
+    report.high_water_live_bytes =
+        std::max(report.high_water_live_bytes, s.live_bytes);
+  }
+  if (!report.samples.empty()) {
+    report.final_live_bytes = report.samples.back().live_bytes;
+  }
+
+  sim::InvariantChecker::Options iopt;
+  iopt.accounts = std::move(accounts);
+  iopt.balance_of = [](const core::ZoneStateMachine& app, ClientId c) {
+    return static_cast<const BankStateMachine&>(app).BalanceOf(c);
+  };
+  iopt.total_balance = [](const core::ZoneStateMachine& app) {
+    return static_cast<const BankStateMachine&>(app).TotalBalance();
+  };
+  sim::InvariantChecker checker(std::move(iopt));
+  report.violations = checker.Check(sys);
+  report.fingerprint = FingerprintCounters(sys.sim().counters());
+  report.counters = sys.sim().counters().All();
+  report.obs_json = sys.sim().recorder().ExportJson();
+  return report;
+}
+
+RejoinProbeResult RunRejoinProbe(const RejoinProbeOptions& opt) {
+  RejoinProbeResult result;
+  result.records = opt.records;
+  result.delta_enabled = opt.delta_state_transfer;
+
+  core::ZiziphusSystem sys(opt.seed, sim::LatencyModel::PaperGeoMatrix(),
+                           opt.queue);
+  sys.AddZone(0, 0, 1, 4);
+  core::NodeConfig cfg;
+  cfg.pbft.request_timeout_us = Millis(400);
+  cfg.pbft.delta_state_transfer = opt.delta_state_transfer;
+  sys.Finalize(cfg,
+               [](ZoneId) { return std::make_unique<BankStateMachine>(); });
+
+  const std::vector<NodeId>& members = sys.topology().zone(0).members;
+  NodeId primary = sys.PrimaryOf(0)->id();
+  // The victim is a backup: the probe measures rejoin cost, not the
+  // (orthogonal) view change a crashed primary would add.
+  NodeId victim = members.back();
+
+  const SimTime crash_at = opt.warmup;
+  const SimTime recover_at = opt.warmup + opt.outage;
+  const std::string payload(24, 'z');
+
+  // Light XFER load up to the recovery instant fixes the catch-up target.
+  auto a = std::make_unique<SoakClient>(&sys.keys(), 1, Millis(1100),
+                                        opt.think, nullptr, recover_at);
+  auto b = std::make_unique<SoakClient>(&sys.keys(), 1, Millis(1100),
+                                        opt.think, nullptr, recover_at);
+  ClientId ca = sys.sim().Register(a.get(), 0);
+  ClientId cb = sys.sim().Register(b.get(), 0);
+  a->ScriptXferLoop(primary, members, cb);
+  b->ScriptXferLoop(primary, members, ca);
+  IdleClient heavy;
+  ClientId heavy_id = sys.sim().Register(&heavy, 0);
+  sys.BootstrapClient(ca, 0, SeedBalance);
+  sys.BootstrapClient(cb, 0, SeedBalance);
+  sys.BootstrapClient(heavy_id, 0, [&](ClientId c) {
+    return SeedBalanceAndRecords(c, opt.records, payload);
+  });
+
+  sys.sim().schedule().CrashAmnesiaAt(crash_at, victim);
+  sys.sim().schedule().RecoverAmnesiaAt(recover_at, victim);
+
+  a->Kick();
+  b->Kick();
+  // The recovery entry is scheduled exactly at recover_at, so RunUntil
+  // applies it (durable restore is synchronous) but any catch-up traffic
+  // is still in flight — the restored seq read below is the WAL state.
+  sys.sim().RunUntil(recover_at);
+
+  // Catch-up target: what the rest of the zone executed while the victim
+  // was away (the load stopped at recover_at, so the target is fixed).
+  SeqNum target = 0;
+  for (const auto& node : sys.nodes()) {
+    if (node->id() != victim) {
+      target = std::max(target, node->pbft().last_executed());
+    }
+  }
+  core::ZiziphusNode* v = sys.node(victim);
+  const SeqNum restored = v->pbft().last_executed();
+  // 100µs polling: the bandwidth term of a large snapshot is a few ms,
+  // a delta a few hundred µs — the step must resolve the difference.
+  const Duration kProbeStep = 100;
+  const SimTime probe_deadline = recover_at + Seconds(30);
+  while (v->pbft().last_executed() < target &&
+         sys.sim().Now() < probe_deadline) {
+    sys.sim().RunFor(kProbeStep);
+  }
+  result.caught_up = v->pbft().last_executed() >= target;
+  result.time_to_rejoin = sys.sim().Now() - recover_at;
+
+  const std::map<std::string, std::uint64_t> counters =
+      sys.sim().counters().All();
+  auto counter = [&](const char* name) -> std::uint64_t {
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  };
+  result.delta_transfers = counter("pbft.delta_transfers");
+  result.full_transfers = counter("pbft.full_transfers");
+  // Wire-size estimate of the install: a snapshot ships the whole zone
+  // store, a delta only the missed batches (StateResponseMsg::WireSize).
+  if (result.delta_transfers > 0 && result.full_transfers == 0) {
+    result.transfer_bytes =
+        64 + 144 * static_cast<std::uint64_t>(
+                       target > restored ? target - restored : 0);
+  } else {
+    result.transfer_bytes =
+        64 + 48 * static_cast<std::uint64_t>(
+                      sys.nodes().front()->app().Snapshot().size());
+  }
+  return result;
+}
+
+}  // namespace ziziphus::app

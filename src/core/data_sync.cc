@@ -993,6 +993,54 @@ void DataSyncEngine::ExecuteCommit(RequestState& req) {
     durable_->chain_executed[req.exec_ballot.zone] = chain;
   }
   FlushWaiters(req.exec_ballot);
+  if (config_.compact_decided) {
+    decided_order_.push_back(req.id);
+    while (decided_order_.size() > config_.decided_keep_window) {
+      CompactDecided(decided_order_.front());
+      decided_order_.pop_front();
+    }
+  }
+}
+
+void DataSyncEngine::CompactDecided(std::uint64_t request_id) {
+  auto it = requests_.find(request_id);
+  if (it == requests_.end()) return;
+  RequestState& req = it->second;
+  if (!req.executed || req.compacted) return;
+  req.ops.clear();
+  req.ops.shrink_to_fit();
+  req.promises.clear();
+  req.accepteds.clear();
+  req.commit_msg.reset();
+  req.prepared.reset();
+  req.sent_propose.reset();
+  req.sent_accept.reset();
+  req.response_queries.clear();
+  req.commit_cert = crypto::Certificate{};
+  req.commit_cert_ready = false;
+  req.trace = obs::TraceContext{};
+  req.compacted = true;
+  transport_->counters().Inc(obs::CounterId::kSyncRequestsCompacted);
+}
+
+DataSyncEngine::RetentionStats DataSyncEngine::retention() const {
+  RetentionStats r;
+  r.requests = requests_.size();
+  for (const auto& [id, req] : requests_) {
+    if (req.compacted) ++r.compacted;
+    r.ops += req.ops.size();
+    r.approx_bytes += 160 + req.ops.size() * 96 +
+                      (req.promises.size() + req.accepteds.size()) * 64 +
+                      req.response_queries.size() * 8 +
+                      (req.commit_msg != nullptr ? 128 : 0) +
+                      (req.sent_propose != nullptr ? 96 : 0) +
+                      (req.sent_accept != nullptr ? 96 : 0) +
+                      (req.prepared != nullptr ? 96 : 0);
+  }
+  r.approx_bytes += executed_ballots_.size() * 24 +
+                    executed_digests_.size() * 32 +
+                    executed_op_ids_.size() * 16;
+  return r;
 }
 
 void DataSyncEngine::FlushWaiters(Ballot ballot) {
@@ -1019,6 +1067,12 @@ void DataSyncEngine::HandleResponseQuery(
   }
   if (it == requests_.end()) return;
   RequestState& req = it->second;
+  if (req.executed) {
+    // Executed but compacted away the commit: nothing to resend, and an
+    // executed request is no evidence of a stuck primary — do not let the
+    // query accumulate toward a suspicion quorum.
+    return;
+  }
   req.response_queries.insert(msg->replica);
   std::size_t suspicion_quorum = topology_->zone(msg->zone).quorum();
   if (req.response_queries.size() >= suspicion_quorum && !IsZonePrimary()) {

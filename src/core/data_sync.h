@@ -2,6 +2,7 @@
 #define ZIZIPHUS_CORE_DATA_SYNC_H_
 
 #include <cstdio>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -56,6 +57,17 @@ struct SyncConfig {
   /// instead of skipping it where the ballot is already fixed (the paper's
   /// Section IV-B1 optimization). Benchmarked by bench_ablation.
   bool always_full_prepare = false;
+
+  /// Retention of decided ballot state: once a request has executed and
+  /// fallen `decided_keep_window` executions behind the newest one, its
+  /// heavy per-instance state (ops, quorum messages, cached
+  /// retransmissions) is dropped. The stub entry keeps the promise bound
+  /// and the executed flag — what the recovery invariant and duplicate
+  /// delivery need. Recent decided requests stay whole so ReshipCommit and
+  /// RESPONSE-QUERY handling can still resend their commit. Disabling
+  /// keeps every decided instance forever (soak-bench control arm).
+  bool compact_decided = true;
+  std::size_t decided_keep_window = 32;
 
   NodeCosts costs;
 };
@@ -158,6 +170,19 @@ class DataSyncEngine {
   /// CHAOS_DEBUG introspection: one stderr line per unexecuted request.
   void DumpStuckRequests(std::FILE* out) const;
 
+  /// Memory-footprint introspection for the soak harness: retained request
+  /// instances and a size estimate of the per-instance protocol state. The
+  /// scalar execution bookkeeping (executed ballots / digests / op ids) is
+  /// deliberately never dropped — it is the dedup and audit record — and is
+  /// counted here so its (small, linear in executed ops) share is visible.
+  struct RetentionStats {
+    std::size_t requests = 0;
+    std::size_t compacted = 0;
+    std::size_t ops = 0;
+    std::size_t approx_bytes = 0;
+  };
+  RetentionStats retention() const;
+
  private:
   enum class Phase {
     kIdle,
@@ -193,6 +218,8 @@ class DataSyncEngine {
     std::map<ZoneId, std::shared_ptr<const AcceptedMsg>> accepteds;
     std::shared_ptr<const GlobalCommitMsg> commit_msg;
     bool executed = false;
+    /// Heavy state dropped by CompactDecided; the stub survives.
+    bool compacted = false;
     int retries = 0;
     // Cross-cluster state (only singleton instances).
     bool cross = false;
@@ -263,6 +290,7 @@ class DataSyncEngine {
   void MaybeExecute(std::uint64_t request_id);
   void ExecuteCommit(RequestState& req);
   void FlushWaiters(Ballot ballot);
+  void CompactDecided(std::uint64_t request_id);
 
   Status VerifyZoneCert(const crypto::Certificate& cert,
                         crypto::Digest expected, ZoneId zone) const;
@@ -294,6 +322,9 @@ class DataSyncEngine {
   bool batch_timer_armed_ = false;
   /// Per-operation execution dedup (re-led instances, chain skips).
   std::unordered_set<std::uint64_t> executed_op_ids_;
+  /// Execution order of decided requests, oldest first; the compaction
+  /// window slides over it.
+  std::deque<std::uint64_t> decided_order_;
 
   std::uint64_t highest_n_seen_ = 0;
   Ballot my_last_ballot_ = kNullBallot;

@@ -30,6 +30,9 @@ enum CoreMessageType : sim::MessageType {
   kResponseQuery = 52,
   kCrossPropose = 53,
   kPrepared = 54,
+  // 55 is kZoneCheckpoint (lazy_sync.h).
+  kMigrationManifest = 57,  // chunked STATE: certified header + chunk digests
+  kMigrationChunk = 58,     // chunked STATE: one slice of the records
 };
 
 /// Intra-zone endorsement phases. Each top-level message of the data
@@ -339,6 +342,52 @@ struct StateTransferMsg : sim::Message {
   std::size_t WireSize() const override {
     return 128 + records.size() * 48 + cert.size() * 16;
   }
+};
+
+/// Manifest of a chunked STATE transfer: the certified header of a
+/// StateTransferMsg without the records, plus a digest per chunk. Large
+/// client states stream as MigrationChunkMsg slices instead of one giant
+/// STATE message; the destination reassembles them, checks each slice
+/// against its manifest digest, recomputes the full records digest and then
+/// synthesizes the ordinary StateTransferMsg. The 2f+1 certificate covers
+/// (request_id, client, records_digest) — independent of how the records
+/// travelled — so the synthesized message verifies iff the reassembled
+/// records are exactly the certified ones.
+struct MigrationManifestMsg : sim::Message {
+  MigrationManifestMsg() : Message(kMigrationManifest) {}
+
+  std::uint64_t request_id = 0;
+  Ballot ballot;
+  ClientId client = kInvalidClient;
+  RequestTimestamp timestamp = 0;
+  ZoneId source_zone = kInvalidZone;
+  std::uint64_t records_digest = 0;
+  std::vector<std::uint64_t> chunk_digests;
+  crypto::Certificate cert;
+
+  crypto::Digest ComputeDigest() const override {
+    return StateContentDigest(request_id, client, records_digest);
+  }
+  std::size_t WireSize() const override {
+    return 128 + chunk_digests.size() * 8 + cert.size() * 16;
+  }
+};
+
+/// One slice of a chunked STATE transfer, identified by (request_id,
+/// index). Carries no certificate of its own — authenticity comes from the
+/// manifest's per-chunk digest and, ultimately, from the certified records
+/// digest of the reassembled whole.
+struct MigrationChunkMsg : sim::Message {
+  MigrationChunkMsg() : Message(kMigrationChunk) {}
+
+  std::uint64_t request_id = 0;
+  std::uint32_t index = 0;
+  storage::KvStore::Map records;
+
+  crypto::Digest ComputeDigest() const override {
+    return Hasher(0x517e).Add(request_id).Add(index).Finish();
+  }
+  std::size_t WireSize() const override { return 32 + records.size() * 48; }
 };
 
 // ------------------------------------------------------------------------

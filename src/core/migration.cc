@@ -90,12 +90,65 @@ void MigrationEngine::StartRecordGeneration(MigState& st) {
       {}, st.records, /*full_prepare=*/true);
 }
 
+void MigrationEngine::ShipState(MigState& st) {
+  const std::shared_ptr<const StateTransferMsg>& msg = st.state_msg;
+  const auto& members = topology_->zone(st.op.destination).members;
+  if (config_.chunk_records == 0 ||
+      msg->records.size() <= config_.chunk_records) {
+    transport_->ChargeCpu(config_.costs.send_us * members.size());
+    transport_->counters().Inc(obs::CounterId::kMigStatesSent);
+    transport_->Multicast(members, msg);
+    return;
+  }
+  // Streamed transfer: one certified manifest plus fixed-size slices, so a
+  // large client state never travels as a single giant message.
+  auto manifest = std::make_shared<MigrationManifestMsg>();
+  manifest->request_id = msg->request_id;
+  manifest->ballot = msg->ballot;
+  manifest->client = msg->client;
+  manifest->timestamp = msg->timestamp;
+  manifest->source_zone = msg->source_zone;
+  manifest->records_digest = msg->records_digest;
+  manifest->cert = msg->cert;
+  std::vector<std::shared_ptr<MigrationChunkMsg>> chunks;
+  for (const auto& [k, v] : msg->records) {
+    if (chunks.empty() || chunks.back()->records.size() >= config_.chunk_records) {
+      auto chunk = std::make_shared<MigrationChunkMsg>();
+      chunk->request_id = msg->request_id;
+      chunk->index = static_cast<std::uint32_t>(chunks.size());
+      chunks.push_back(std::move(chunk));
+    }
+    chunks.back()->records.emplace(k, v);
+  }
+  for (const auto& chunk : chunks) {
+    manifest->chunk_digests.push_back(RecordsDigest(chunk->records));
+  }
+  transport_->ChargeCpu(config_.costs.send_us * members.size() *
+                        (chunks.size() + 1));
+  transport_->counters().Inc(obs::CounterId::kMigChunkedTransfers);
+  transport_->counters().Inc(obs::CounterId::kMigManifestsSent);
+  transport_->Multicast(members, manifest);
+  for (const auto& chunk : chunks) {
+    transport_->counters().Inc(obs::CounterId::kMigChunksSent);
+    transport_->Multicast(members, chunk);
+  }
+}
+
 bool MigrationEngine::HandleMessage(const sim::MessagePtr& msg) {
   switch (msg->type()) {
     case kStateTransfer:
       transport_->ChargeCpu(config_.costs.base_handle_us);
       HandleStateTransfer(
           std::static_pointer_cast<const StateTransferMsg>(msg));
+      return true;
+    case kMigrationManifest:
+      transport_->ChargeCpu(config_.costs.base_handle_us);
+      HandleManifest(
+          std::static_pointer_cast<const MigrationManifestMsg>(msg));
+      return true;
+    case kMigrationChunk:
+      transport_->ChargeCpu(config_.costs.base_handle_us);
+      HandleChunk(std::static_pointer_cast<const MigrationChunkMsg>(msg));
       return true;
     case kResponseQuery: {
       auto q = std::static_pointer_cast<const ResponseQueryMsg>(msg);
@@ -256,10 +309,7 @@ void MigrationEngine::OnEndorseQuorum(const EndorseKey& key,
         marker.ballot = st.ballot;
         marker.state_msg = msg;
       }
-      const auto& members = topology_->zone(st.op.destination).members;
-      transport_->ChargeCpu(config_.costs.send_us * members.size());
-      transport_->counters().Inc(obs::CounterId::kMigStatesSent);
-      transport_->Multicast(members, msg);
+      ShipState(st);
       transport_->EndSpan(st.source_span);  // record read -> STATE shipped
       st.source_span = 0;
       break;
@@ -323,6 +373,77 @@ void MigrationEngine::HandleStateTransfer(
           : MigrationOp{msg->client, msg->source_zone, my_zone_,
                         msg->timestamp, ""},
       {}, msg->records, /*full_prepare=*/false);
+}
+
+void MigrationEngine::HandleManifest(
+    const std::shared_ptr<const MigrationManifestMsg>& msg) {
+  MigState& st = states_[msg->request_id];
+  if (st.appended || st.manifest != nullptr) return;
+  if (st.op.destination != kInvalidZone && my_zone_ != st.op.destination) {
+    return;
+  }
+  st.manifest = msg;
+  MaybeAssembleChunks(st);
+}
+
+void MigrationEngine::HandleChunk(
+    const std::shared_ptr<const MigrationChunkMsg>& msg) {
+  MigState& st = states_[msg->request_id];
+  if (st.appended) return;
+  if (st.op.destination != kInvalidZone && my_zone_ != st.op.destination) {
+    return;
+  }
+  transport_->counters().Inc(obs::CounterId::kMigChunksReceived);
+  // Chunks may outrun the manifest; buffer now, digest-check on assembly.
+  st.chunks.emplace(msg->index, msg->records);
+  MaybeAssembleChunks(st);
+}
+
+void MigrationEngine::MaybeAssembleChunks(MigState& st) {
+  if (st.manifest == nullptr || st.appended) return;
+  const MigrationManifestMsg& m = *st.manifest;
+  for (std::uint32_t i = 0; i < m.chunk_digests.size(); ++i) {
+    auto it = st.chunks.find(i);
+    if (it == st.chunks.end()) return;  // still streaming
+    transport_->ChargeCrypto(config_.costs.crypto.digest_us);
+    if (RecordsDigest(it->second) != m.chunk_digests[i]) {
+      // Corrupt or forged slice: drop it and wait for a resend (the probe
+      // path falls back to the cached full STATE at the source).
+      transport_->counters().Inc(obs::CounterId::kMigBadChunkDigest);
+      st.chunks.erase(it);
+      return;
+    }
+  }
+  storage::KvStore::Map merged;
+  for (std::uint32_t i = 0; i < m.chunk_digests.size(); ++i) {
+    const auto& slice = st.chunks[i];
+    merged.insert(slice.begin(), slice.end());
+  }
+  transport_->ChargeCrypto(config_.costs.crypto.digest_us);
+  if (RecordsDigest(merged) != m.records_digest) {
+    // Slices individually matched but the whole does not hash to the
+    // certified digest (e.g. overlapping keys): discard everything.
+    transport_->counters().Inc(obs::CounterId::kMigBadChunkDigest);
+    st.chunks.clear();
+    st.manifest.reset();
+    return;
+  }
+  // Synthesize the classic STATE message; its certificate covers
+  // (request_id, client, records_digest), so verification in
+  // HandleStateTransfer binds the reassembled records to the source zone's
+  // 2f+1 endorsement exactly as if they had arrived in one piece.
+  auto synth = std::make_shared<StateTransferMsg>();
+  synth->request_id = m.request_id;
+  synth->ballot = m.ballot;
+  synth->client = m.client;
+  synth->timestamp = m.timestamp;
+  synth->source_zone = m.source_zone;
+  synth->records = std::move(merged);
+  synth->records_digest = m.records_digest;
+  synth->cert = m.cert;
+  st.chunks.clear();
+  st.manifest.reset();
+  HandleStateTransfer(synth);
 }
 
 void MigrationEngine::HandleResponseQuery(

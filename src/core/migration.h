@@ -3,6 +3,8 @@
 
 #include <cstdio>
 #include <functional>
+#include <map>
+#include <memory>
 #include <unordered_map>
 
 #include "common/costs.h"
@@ -20,6 +22,11 @@ struct MigrationConfig {
   /// How long destination-zone nodes wait for the STATE message before
   /// probing the source zone with response-queries.
   Duration state_wait_timeout_us = Seconds(2);
+  /// Records per chunk of a streamed STATE transfer. A client whose record
+  /// set fits in one chunk ships as the classic single StateTransferMsg;
+  /// larger states stream as a manifest plus per-chunk slices so one giant
+  /// message never monopolizes the inter-zone link.
+  std::size_t chunk_records = 64;
   NodeCosts costs;
 };
 
@@ -113,11 +120,22 @@ class MigrationEngine {
     /// STATE shipped, and destination primary's STATE received -> installed.
     obs::SpanId source_span = 0;
     obs::SpanId install_span = 0;
+    /// Chunked-STATE reassembly (destination side). Chunks tolerate arrival
+    /// before the manifest; digests are checked once both are present. Not
+    /// durably mirrored — an amnesiac destination re-fetches via the probe
+    /// path, which resends the cached full STATE.
+    std::shared_ptr<const MigrationManifestMsg> manifest;
+    std::map<std::uint32_t, storage::KvStore::Map> chunks;
   };
 
   void StartRecordGeneration(MigState& st);
+  void ShipState(MigState& st);
   void HandleStateTransfer(
       const std::shared_ptr<const StateTransferMsg>& msg);
+  void HandleManifest(
+      const std::shared_ptr<const MigrationManifestMsg>& msg);
+  void HandleChunk(const std::shared_ptr<const MigrationChunkMsg>& msg);
+  void MaybeAssembleChunks(MigState& st);
   void HandleResponseQuery(
       const std::shared_ptr<const ResponseQueryMsg>& msg);
   Status VerifyZoneCert(const crypto::Certificate& cert,

@@ -97,6 +97,7 @@ void ZiziphusNode::BuildEngines() {
     app_op.timestamp = op.timestamp;
     app_op.command = op.command;
     ChargeCpu(config_.sync.costs.apply_us);
+    pbft_->NoteOutOfBandMutation();
     return app_->Apply(app_op);
   });
 
@@ -104,6 +105,9 @@ void ZiziphusNode::BuildEngines() {
       [this](ClientId c) { return app_->ClientRecords(c); });
   migration_->set_state_installer(
       [this](ClientId c, const storage::KvStore::Map& records) {
+        // Installs bypass the PBFT op stream, so peers must not serve this
+        // node's pre-install state as a delta base afterwards.
+        pbft_->NoteOutOfBandMutation();
         app_->InstallClientRecords(c, records);
       });
   migration_->set_commit_reshipper([this](std::uint64_t request_id,
@@ -179,7 +183,7 @@ void ZiziphusNode::OnMessage(const sim::MessagePtr& msg) {
     endorser_->HandleMessage(msg);
     return;
   }
-  if (t == kStateTransfer) {
+  if (t == kStateTransfer || t == kMigrationManifest || t == kMigrationChunk) {
     migration_->HandleMessage(msg);
     return;
   }
@@ -204,6 +208,23 @@ void ZiziphusNode::OnTimer(std::uint64_t tag) {
   if (pbft_->HandleTimer(tag)) return;
   if (sync_->HandleTimer(tag)) return;
   if (migration_->HandleTimer(tag)) return;
+}
+
+ZiziphusNode::MemoryFootprint ZiziphusNode::Footprint() const {
+  MemoryFootprint f;
+  pbft::PbftEngine::RetentionStats p = pbft_->retention();
+  f.pbft_bytes = p.ApproxBytes();
+  f.commit_log_bytes = p.commit_log_bytes;
+  f.wal_entries = p.wal_entries;
+  f.prepared_proofs = p.prepared_proofs;
+  f.reply_cache_entries = p.reply_cache_entries;
+  DataSyncEngine::RetentionStats s = sync_->retention();
+  f.sync_bytes = s.approx_bytes;
+  f.sync_requests = s.requests;
+  for (const auto& [k, v] : app_->Snapshot()) {
+    f.app_bytes += k.size() + v.size() + 64;
+  }
+  return f;
 }
 
 void ZiziphusNode::InstallBootstrapRecords(

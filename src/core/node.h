@@ -110,6 +110,26 @@ class ZiziphusNode : public sim::Process, public sim::Transport {
   GlobalMetadata& metadata() { return *metadata_; }
   ZoneStateMachine& app() { return *app_; }
 
+  /// Approximate retained bytes of protocol and application state on this
+  /// replica, aggregated from the engines' retention introspection. The
+  /// soak harness samples this on a coarse tick to draw heap high-water
+  /// curves; it is an estimate with fixed per-entry constants, not an
+  /// allocator measurement, so it is deterministic across runs.
+  struct MemoryFootprint {
+    std::size_t pbft_bytes = 0;
+    std::size_t sync_bytes = 0;
+    std::size_t app_bytes = 0;
+    std::size_t commit_log_bytes = 0;
+    std::size_t wal_entries = 0;
+    std::size_t prepared_proofs = 0;
+    std::size_t reply_cache_entries = 0;
+    std::size_t sync_requests = 0;
+    std::size_t total_bytes() const {
+      return pbft_bytes + sync_bytes + app_bytes;
+    }
+  };
+  MemoryFootprint Footprint() const;
+
   /// Marks a client as homed (lock = TRUE) at bootstrap.
   void BootstrapClient(ClientId client) { locks_.SetLocked(client, true); }
 

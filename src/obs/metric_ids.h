@@ -50,8 +50,13 @@
   X(kMigAppendDigestMismatch,   "mig.append_digest_mismatch")             \
   X(kMigAppends,                "mig.appends")                            \
   X(kMigBadAppendDigest,        "mig.bad_append_digest")                  \
+  X(kMigBadChunkDigest,         "mig.bad_chunk_digest")                   \
   X(kMigBadStateCert,           "mig.bad_state_cert")                     \
   X(kMigBadStateDigest,         "mig.bad_state_digest")                   \
+  X(kMigChunkedTransfers,       "mig.chunked_transfers")                  \
+  X(kMigChunksReceived,         "mig.chunks_received")                    \
+  X(kMigChunksSent,             "mig.chunks_sent")                        \
+  X(kMigManifestsSent,          "mig.manifests_sent")                     \
   X(kMigRecordGenerations,      "mig.record_generations")                 \
   X(kMigStateMismatchRejected,  "mig.state_mismatch_rejected")            \
   X(kMigStateQueriesSent,       "mig.state_queries_sent")                 \
@@ -80,11 +85,15 @@
   X(kPbftBadStateTransfer,      "pbft.bad_state_transfer")                \
   X(kPbftBatchesCommitted,      "pbft.batches_committed")                 \
   X(kPbftBatchesProposed,       "pbft.batches_proposed")                  \
+  X(kPbftDeltaTransfers,        "pbft.delta_transfers")                   \
   X(kPbftEquivocationDetected,  "pbft.equivocation_detected")             \
+  X(kPbftFullTransfers,         "pbft.full_transfers")                    \
+  X(kPbftLogTrims,              "pbft.log_trims")                         \
   X(kPbftNewViewsEntered,       "pbft.new_views_entered")                 \
   X(kPbftNewViewsSent,          "pbft.new_views_sent")                    \
   X(kPbftOutOfWindow,           "pbft.out_of_window")                     \
   X(kPbftProgressTimeout,       "pbft.progress_timeout")                  \
+  X(kPbftReplyCacheEvictions,   "pbft.reply_cache_evictions")             \
   X(kPbftStableCheckpoints,     "pbft.stable_checkpoints")                \
   X(kPbftStateTransfers,        "pbft.state_transfers")                   \
   X(kPbftViewChangesStarted,    "pbft.view_changes_started")              \
@@ -114,6 +123,7 @@
   X(kSyncProposeRejectedStale,  "sync.propose_rejected_stale")            \
   X(kSyncRelayWatchExpired,     "sync.relay_watch_expired")               \
   X(kSyncReleadsAfterViewChange, "sync.releads_after_view_change")        \
+  X(kSyncRequestsCompacted,     "sync.requests_compacted")                \
   X(kSyncRequestsLed,           "sync.requests_led")                      \
   X(kSyncResponseQueriesReceived, "sync.response_queries_received")       \
   X(kSyncResponseQueriesSent,   "sync.response_queries_sent")             \
@@ -152,6 +162,19 @@
   X(kSpanTransitLanUs,          "span.transit_lan_us")                    \
   X(kSpanTransitWanUs,          "span.transit_wan_us")                    \
   X(kSpanViewChangeUs,          "span.view_change_us")
+
+// Gauges are last-write-wins level samples (as opposed to monotonically
+// increasing counters): the soak harness publishes the fleet's current
+// retained-state footprint here each sampling tick. A gauge never written
+// during a run is omitted from the export.
+#define ZIZIPHUS_GAUGE_LIST(X)                                            \
+  /* Checkpoint-anchored retention (sampled by app/soak.cc) */            \
+  X(kRetentionCommitLogBytes,   "retention.commit_log_bytes")             \
+  X(kRetentionLiveBytes,        "retention.live_bytes")                   \
+  X(kRetentionPreparedProofs,   "retention.prepared_proofs")              \
+  X(kRetentionReplyCacheEntries, "retention.reply_cache_entries")         \
+  X(kRetentionSyncRequests,     "retention.sync_requests")                \
+  X(kRetentionWalEntries,       "retention.wal_entries")
 // clang-format on
 
 namespace ziziphus::obs {
@@ -170,10 +193,19 @@ enum class HistogramId : std::uint16_t {
       kCount
 };
 
+enum class GaugeId : std::uint16_t {
+#define ZIZIPHUS_OBS_ENUM_(id, name) id,
+  ZIZIPHUS_GAUGE_LIST(ZIZIPHUS_OBS_ENUM_)
+#undef ZIZIPHUS_OBS_ENUM_
+      kCount
+};
+
 inline constexpr std::size_t kNumCounters =
     static_cast<std::size_t>(CounterId::kCount);
 inline constexpr std::size_t kNumHistograms =
     static_cast<std::size_t>(HistogramId::kCount);
+inline constexpr std::size_t kNumGauges =
+    static_cast<std::size_t>(GaugeId::kCount);
 
 namespace detail {
 inline constexpr const char* kCounterNames[] = {
@@ -186,6 +218,11 @@ inline constexpr const char* kHistogramNames[] = {
     ZIZIPHUS_HISTOGRAM_LIST(ZIZIPHUS_OBS_NAME_)
 #undef ZIZIPHUS_OBS_NAME_
 };
+inline constexpr const char* kGaugeNames[] = {
+#define ZIZIPHUS_OBS_NAME_(id, name) name,
+    ZIZIPHUS_GAUGE_LIST(ZIZIPHUS_OBS_NAME_)
+#undef ZIZIPHUS_OBS_NAME_
+};
 }  // namespace detail
 
 inline constexpr std::string_view CounterName(CounterId id) {
@@ -193,6 +230,9 @@ inline constexpr std::string_view CounterName(CounterId id) {
 }
 inline constexpr std::string_view HistogramName(HistogramId id) {
   return detail::kHistogramNames[static_cast<std::size_t>(id)];
+}
+inline constexpr std::string_view GaugeName(GaugeId id) {
+  return detail::kGaugeNames[static_cast<std::size_t>(id)];
 }
 
 }  // namespace ziziphus::obs

@@ -88,6 +88,13 @@ std::string Recorder::ExportJson() const {
   }
   w.EndObject();
 
+  w.Key("gauges").BeginObject();
+  for (std::size_t i = 0; i < kNumGauges; ++i) {
+    if (!gauge_set_[i]) continue;
+    w.Field(GaugeName(static_cast<GaugeId>(i)), gauges_[i]);
+  }
+  w.EndObject();
+
   w.Key("zones").BeginArray();
   for (const auto& [zone, counters] : zones_) {
     w.BeginObject();
@@ -139,6 +146,8 @@ void Recorder::Reset() {
   for (auto& [zone, counters] : zones_) counters.Reset();
   for (auto& [node, entry] : nodes_) entry.second.Reset();
   for (Histogram& h : hists_) h.Reset();
+  gauges_.fill(0);
+  gauge_set_.fill(false);
   links_.clear();
   tracer_.Clear();
 }

@@ -70,6 +70,22 @@ class Recorder {
     return hists_[static_cast<std::size_t>(id)];
   }
 
+  // ---- Gauges ----------------------------------------------------------
+
+  /// Last-write-wins level sample (retained bytes, live table sizes). Not
+  /// gated by `enabled_`: writers sample on a coarse tick, so the volume
+  /// argument behind the histogram gate does not apply.
+  void SetGauge(GaugeId id, std::uint64_t value) {
+    gauges_[static_cast<std::size_t>(id)] = value;
+    gauge_set_[static_cast<std::size_t>(id)] = true;
+  }
+  std::uint64_t gauge(GaugeId id) const {
+    return gauges_[static_cast<std::size_t>(id)];
+  }
+  bool gauge_set(GaugeId id) const {
+    return gauge_set_[static_cast<std::size_t>(id)];
+  }
+
   // ---- Profiling hooks -------------------------------------------------
 
   /// Attributes `cost` of CPU time to `node` (crypto=true for sign/verify
@@ -116,6 +132,8 @@ class Recorder {
   std::map<ZoneId, CounterSet> zones_;
   std::map<NodeId, std::pair<ZoneId, CounterSet>> nodes_;
   std::array<Histogram, kNumHistograms> hists_;
+  std::array<std::uint64_t, kNumGauges> gauges_{};
+  std::array<bool, kNumGauges> gauge_set_{};
   std::map<std::pair<RegionId, RegionId>, LinkStats> links_;
   Tracer tracer_;
 };

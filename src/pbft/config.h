@@ -48,6 +48,18 @@ struct PbftConfig {
   /// High-watermark window above the last stable checkpoint.
   SeqNum watermark_window = 2048;
 
+  /// Checkpoint-anchored retention: at every stable checkpoint, trim the
+  /// commit log / WAL / prepared proofs below the low-water mark and evict
+  /// reply-cache entries superseded by the checkpointed client table.
+  /// Disabling keeps every log entry forever — only useful as the control
+  /// arm of the soak benchmark's memory-bound experiment.
+  bool trim_at_checkpoint = true;
+
+  /// Serve delta state transfers (committed ops since the requester's
+  /// anchor) when the responder still holds the needed batches; off forces
+  /// every transfer onto the full-snapshot path (bench control arm).
+  bool delta_state_transfer = true;
+
   /// CPU cost model.
   NodeCosts costs;
 

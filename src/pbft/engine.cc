@@ -148,10 +148,23 @@ void PbftEngine::HandleClientRequest(
   if (it != clients_.end() &&
       msg->op.timestamp <= it->second.last_executed_ts) {
     // Replay: resend the cached reply (exactly-once semantics).
-    if (send_replies_ && it->second.last_reply != nullptr &&
-        msg->op.timestamp == it->second.last_executed_ts) {
+    if (send_replies_ && msg->op.timestamp == it->second.last_executed_ts) {
+      std::shared_ptr<ClientReplyMsg> reply = it->second.last_reply;
+      if (reply == nullptr) {
+        // The cached reply was evicted at a stable checkpoint. The client
+        // table still proves execution, so synthesize an acknowledgement
+        // with the executed timestamp; clients match replies by timestamp
+        // and replica, never by payload, so the empty result is enough to
+        // complete an f+1 vote.
+        auto synth = std::make_shared<ClientReplyMsg>();
+        synth->view = view_;
+        synth->timestamp = msg->op.timestamp;
+        synth->client = msg->op.client;
+        synth->replica = transport_->self();
+        reply = synth;
+      }
       transport_->ChargeCpu(config_.costs.send_us);
-      transport_->Send(msg->op.client, it->second.last_reply);
+      transport_->Send(msg->op.client, reply);
     }
     return;
   }
@@ -445,6 +458,7 @@ void PbftEngine::ExecuteOp(SeqNum seq, const Operation& op) {
     reply->replica = transport_->self();
     reply->result = result;
     cs.last_reply = reply;
+    cs.last_reply_seq = seq;
     transport_->ChargeCrypto(config_.costs.mac_us);
     transport_->ChargeCpu(config_.costs.send_us);
     transport_->Send(op.client, reply);
@@ -514,18 +528,33 @@ void PbftEngine::AdvanceStable(SeqNum seq, const crypto::Certificate& cert) {
   last_stable_checkpoint_.state_digest = state_machine_->StateDigest();
   last_stable_checkpoint_.snapshot = state_machine_->Snapshot();
   last_stable_checkpoint_.certificate = cert;
-  // Garbage-collect the log below the stable point.
-  slots_.erase(slots_.begin(), slots_.upper_bound(seq));
-  prepared_proofs_.erase(prepared_proofs_.begin(),
-                         prepared_proofs_.upper_bound(seq));
-  checkpoint_votes_.erase(checkpoint_votes_.begin(),
-                          checkpoint_votes_.upper_bound(seq));
-  commit_log_.TruncatePrefix(seq);
+  // Garbage-collect the log below the low-water mark, and evict cached
+  // replies superseded by the checkpointed client table. Gated so the soak
+  // benchmark can run a no-trim control arm; the durable checkpoint and
+  // client table always advance regardless (correctness, not retention).
+  if (config_.trim_at_checkpoint) {
+    slots_.erase(slots_.begin(), slots_.upper_bound(seq));
+    prepared_proofs_.erase(prepared_proofs_.begin(),
+                           prepared_proofs_.upper_bound(seq));
+    checkpoint_votes_.erase(checkpoint_votes_.begin(),
+                            checkpoint_votes_.upper_bound(seq));
+    commit_log_.TruncatePrefix(seq);
+    for (auto& [client, cs] : clients_) {
+      if (cs.last_reply != nullptr && cs.last_reply_seq <= seq) {
+        cs.last_reply.reset();
+        transport_->counters().Inc(obs::CounterId::kPbftReplyCacheEvictions);
+      }
+    }
+    transport_->counters().Inc(obs::CounterId::kPbftLogTrims);
+  }
   if (durable_ != nullptr) {
     durable_->stable_checkpoint = last_stable_checkpoint_;
-    durable_->wal.TruncatePrefix(seq);
-    durable_->prepared_proofs.erase(durable_->prepared_proofs.begin(),
-                                    durable_->prepared_proofs.upper_bound(seq));
+    if (config_.trim_at_checkpoint) {
+      durable_->wal.TruncatePrefix(seq);
+      durable_->prepared_proofs.erase(
+          durable_->prepared_proofs.begin(),
+          durable_->prepared_proofs.upper_bound(seq));
+    }
     durable_->checkpoint_client_ts.clear();
     for (const auto& [client, cs] : clients_) {
       if (client != kInvalidClient) {
@@ -563,6 +592,11 @@ void PbftEngine::SendStateRequest() {
   auto req = std::make_shared<StateRequestMsg>();
   req->seq = pending_transfer_seq_;
   req->replica = transport_->self();
+  // Advertise the delta anchor: everything up to last_executed_ is already
+  // applied locally, so a responder that still holds the batches above it
+  // can ship just those instead of the full snapshot.
+  req->have_seq =
+      config_.delta_state_transfer && !force_full_ ? last_executed_ : 0;
   if (pending_transfer_digest_ != 0) {
     transport_->ChargeCpu(config_.costs.send_us);
     transport_->Send(config_.members[state_transfer_peer_idx_], req);
@@ -649,7 +683,35 @@ void PbftEngine::HandleStateRequest(
   auto resp = std::make_shared<StateResponseMsg>();
   resp->seq = last_executed_;
   resp->state_digest = state_machine_->StateDigest();
-  resp->snapshot = state_machine_->Snapshot();
+  // Prefer a delta when the requester's anchor is above our low-water mark
+  // and we still hold a prepared proof (with a commit-log-matching digest)
+  // for every batch it is missing; otherwise fall back to the snapshot —
+  // which is also the path taken when the anchor has been trimmed away.
+  bool delta_ok = config_.delta_state_transfer && msg->have_seq > 0 &&
+                  msg->have_seq >= stable_seq_ &&
+                  msg->have_seq >= oob_mutation_seq_ &&
+                  msg->have_seq <= last_executed_;
+  if (delta_ok) {
+    for (SeqNum s = msg->have_seq + 1; s <= last_executed_; ++s) {
+      auto pit = prepared_proofs_.find(s);
+      std::optional<storage::LogEntry> logged = commit_log_.Find(s);
+      if (pit == prepared_proofs_.end() || !logged.has_value() ||
+          pit->second.batch_digest != logged->digest) {
+        delta_ok = false;
+        resp->delta.clear();
+        break;
+      }
+      resp->delta.push_back({s, pit->second.batch_digest, pit->second.batch});
+    }
+  }
+  if (delta_ok) {
+    resp->is_delta = true;
+    resp->base_seq = msg->have_seq;
+    transport_->counters().Inc(obs::CounterId::kPbftDeltaTransfers);
+  } else {
+    resp->snapshot = state_machine_->Snapshot();
+    transport_->counters().Inc(obs::CounterId::kPbftFullTransfers);
+  }
   for (const auto& [client, cs] : clients_) {
     if (client != kInvalidClient) resp->client_ts[client] = cs.last_executed_ts;
   }
@@ -676,25 +738,45 @@ void PbftEngine::HandleStateResponse(
     // Unknown target digest: collect f+1 matching (seq, digest) responses.
     auto& slot = transfer_votes_[{msg->seq, msg->state_digest}];
     slot.first.insert(msg->from());
-    slot.second = msg->snapshot;
+    slot.second = msg;
     install = slot.first.size() >= config_.f + 1;
   }
   if (!install) return;
+  InstallStateResponse(*msg);
+}
 
-  state_machine_->Restore(msg->snapshot);
-  if (state_machine_->StateDigest() != msg->state_digest) {
-    // Snapshot does not hash to the claimed digest: reject and keep waiting.
-    transport_->counters().Inc(obs::CounterId::kPbftBadStateTransfer);
-    return;
+void PbftEngine::InstallStateResponse(const StateResponseMsg& msg) {
+  if (msg.is_delta) {
+    if (!ApplyDelta(msg)) {
+      // Replaying the delta did not reproduce the agreed digest. That can
+      // be a wrong/malicious delta, but also an honest one when this
+      // replica's base state diverged out-of-band (it missed a migration
+      // install that peers applied below the anchor) — in which case every
+      // responder's delta fails identically. Demand a snapshot next so one
+      // bad base cannot wedge catch-up forever.
+      transport_->counters().Inc(obs::CounterId::kPbftBadStateTransfer);
+      force_full_ = true;
+      SendStateRequest();
+      return;
+    }
+    // A delta carries no checkpoint certificate, so stable_seq_ is left
+    // alone; the checkpoint votes exchanged during replay advance it.
+  } else {
+    state_machine_->Restore(msg.snapshot);
+    if (state_machine_->StateDigest() != msg.state_digest) {
+      // Snapshot does not hash to the claimed digest: reject, keep waiting.
+      transport_->counters().Inc(obs::CounterId::kPbftBadStateTransfer);
+      return;
+    }
+    last_executed_ = std::max(last_executed_, msg.seq);
+    stable_seq_ = std::max(stable_seq_, msg.seq);
+    slots_.erase(slots_.begin(), slots_.upper_bound(stable_seq_));
+    prepared_proofs_.erase(prepared_proofs_.begin(),
+                           prepared_proofs_.upper_bound(stable_seq_));
   }
-  last_executed_ = std::max(last_executed_, msg->seq);
-  stable_seq_ = std::max(stable_seq_, msg->seq);
-  slots_.erase(slots_.begin(), slots_.upper_bound(stable_seq_));
-  prepared_proofs_.erase(prepared_proofs_.begin(),
-                         prepared_proofs_.upper_bound(stable_seq_));
   // Adopt the responder's client table (max-merge) so a recovered replica
   // does not re-apply requests executed during its outage.
-  for (const auto& [client, ts] : msg->client_ts) {
+  for (const auto& [client, ts] : msg.client_ts) {
     ClientState& cs = clients_[client];
     if (ts > cs.last_executed_ts) cs.last_executed_ts = ts;
     if (durable_ != nullptr) {
@@ -706,10 +788,101 @@ void PbftEngine::HandleStateResponse(
   pending_transfer_digest_ = 0;
   transfer_votes_.clear();
   CancelStateTransferRetry();
+  force_full_ = false;
   catch_up_abandoned_ = false;
   catch_up_retry_budget_ = kCatchUpRetryCycles;
   transport_->counters().Inc(obs::CounterId::kPbftStateTransfers);
   ExecuteReady();
+}
+
+bool PbftEngine::ApplyDelta(const StateResponseMsg& msg) {
+  if (msg.base_seq > last_executed_) return false;  // gap below the delta
+  storage::KvStore::Map saved = state_machine_->Snapshot();
+  // Phase 1: replay onto the state machine only, staging all bookkeeping.
+  // Nothing outside the (snapshot-restorable) application state mutates
+  // until the replayed state hashes to the agreed digest, so a bad delta
+  // cannot poison the client table or the logs.
+  struct StagedBatch {
+    SeqNum seq = 0;
+    const DeltaEntry* entry = nullptr;
+    std::vector<std::pair<const Operation*, std::string>> executed;
+  };
+  std::vector<StagedBatch> staged;
+  std::map<ClientId, RequestTimestamp> staged_ts;
+  SeqNum next = last_executed_ + 1;
+  for (const auto& e : msg.delta) {
+    if (e.seq <= last_executed_) continue;  // already executed locally
+    if (e.seq != next || e.batch.ComputeDigest() != e.batch_digest) {
+      state_machine_->Restore(saved);
+      return false;
+    }
+    StagedBatch st{e.seq, &e, {}};
+    for (const auto& op : e.batch.ops) {
+      if (op.client != kInvalidClient) {
+        RequestTimestamp seen = 0;
+        auto cit = clients_.find(op.client);
+        if (cit != clients_.end()) seen = cit->second.last_executed_ts;
+        auto sit = staged_ts.find(op.client);
+        if (sit != staged_ts.end()) seen = std::max(seen, sit->second);
+        if (op.timestamp <= seen) continue;  // duplicate of executed request
+        staged_ts[op.client] = op.timestamp;
+      }
+      transport_->ChargeCpu(config_.costs.apply_us);
+      std::string result = state_machine_->Apply(op);
+      st.executed.emplace_back(&op, std::move(result));
+    }
+    staged.push_back(std::move(st));
+    ++next;
+  }
+  if (next != msg.seq + 1 ||
+      state_machine_->StateDigest() != msg.state_digest) {
+    state_machine_->Restore(saved);
+    return false;
+  }
+  // Phase 2: the replayed state checks out — commit the bookkeeping that
+  // ExecuteReady/ExecuteOp would have done had these batches arrived live.
+  for (StagedBatch& st : staged) {
+    for (auto& [op, result] : st.executed) {
+      std::uint64_t digest = op->ComputeDigest();
+      seen_ops_.erase(digest);
+      pending_traces_.erase(digest);
+      std::erase_if(pending_, [digest](const Operation& p) {
+        return p.ComputeDigest() == digest;
+      });
+      ClientState& cs = clients_[op->client];
+      cs.last_executed_ts = std::max(cs.last_executed_ts, op->timestamp);
+      if (durable_ != nullptr && op->client != kInvalidClient) {
+        RequestTimestamp& d = durable_->client_ts[op->client];
+        d = std::max(d, op->timestamp);
+      }
+      if (send_replies_ && op->client != kInvalidClient) {
+        auto reply = std::make_shared<ClientReplyMsg>();
+        reply->view = view_;
+        reply->timestamp = op->timestamp;
+        reply->client = op->client;
+        reply->replica = transport_->self();
+        reply->result = result;
+        cs.last_reply = reply;
+        cs.last_reply_seq = st.seq;
+        transport_->ChargeCrypto(config_.costs.mac_us);
+        transport_->ChargeCpu(config_.costs.send_us);
+        transport_->Send(op->client, reply);
+      }
+      if (executed_callback_) executed_callback_(st.seq, *op, result);
+    }
+    storage::LogEntry entry{
+        st.seq, st.entry->batch_digest,
+        "batch:" + std::to_string(st.entry->batch.ops.size())};
+    if (durable_ != nullptr && durable_->wal.last_seq() < st.seq) {
+      durable_->wal.Append(entry);
+    }
+    commit_log_.Append(std::move(entry));
+    last_executed_ = st.seq;
+    auto sit = slots_.find(st.seq);
+    if (sit != slots_.end()) sit->second.executed = true;
+    MaybeCheckpoint();
+  }
+  return true;
 }
 
 // ------------------------------------------------------------ view change
@@ -1061,6 +1234,27 @@ void PbftEngine::RestoreFromDurable() {
       durable_->client_ts[client] = cs.last_executed_ts;
     }
   }
+}
+
+// --------------------------------------------------------------- retention
+
+PbftEngine::RetentionStats PbftEngine::retention() const {
+  RetentionStats r;
+  r.commit_log_entries = commit_log_.size();
+  for (const auto& e : commit_log_.entries()) {
+    r.commit_log_bytes += 24 + e.description.size();
+  }
+  r.prepared_proofs = prepared_proofs_.size();
+  for (const auto& [seq, proof] : prepared_proofs_) {
+    r.prepared_proof_bytes += 32 + proof.batch.WireSizeBytes();
+  }
+  r.slots = slots_.size();
+  r.client_table_entries = clients_.size();
+  for (const auto& [client, cs] : clients_) {
+    if (cs.last_reply != nullptr) ++r.reply_cache_entries;
+  }
+  r.wal_entries = durable_ != nullptr ? durable_->wal.size() : 0;
+  return r;
 }
 
 }  // namespace ziziphus::pbft

@@ -136,6 +136,37 @@ class PbftEngine {
   /// protocol; retries with backoff and peer rotation are automatic.
   void StartCatchUp(SeqNum seq) { RequestStateTransfer(seq, 0, kInvalidNode); }
 
+  /// The host calls this whenever application state changes outside the
+  /// PBFT op stream (e.g. a migration installing or evicting a client's
+  /// records). Deltas replay only the op stream, so a responder must not
+  /// serve one across such a mutation: requesters anchored at or below the
+  /// current head would replay to a digest that can never match. Requests
+  /// anchored strictly above the head at mutation time are still safe.
+  void NoteOutOfBandMutation() { oob_mutation_seq_ = last_executed_ + 1; }
+
+  /// Live sizes of everything checkpoint-anchored retention bounds. The
+  /// soak harness samples these per node and publishes fleet totals as
+  /// retention.* gauges.
+  struct RetentionStats {
+    std::size_t commit_log_entries = 0;
+    std::size_t commit_log_bytes = 0;
+    std::size_t prepared_proofs = 0;
+    std::size_t prepared_proof_bytes = 0;
+    std::size_t slots = 0;
+    std::size_t reply_cache_entries = 0;
+    std::size_t client_table_entries = 0;
+    std::size_t wal_entries = 0;  // durable WAL (0 when nothing persists)
+
+    /// Rough retained-bytes estimate with fixed per-entry overheads; only
+    /// the curve shape matters, not the absolute calibration.
+    std::size_t ApproxBytes() const {
+      return commit_log_bytes + prepared_proof_bytes + slots * 256 +
+             reply_cache_entries * 96 + client_table_entries * 24 +
+             wal_entries * 48;
+    }
+  };
+  RetentionStats retention() const;
+
  protected:
   // Virtual so Byzantine test doubles can misbehave in controlled ways.
   virtual void EmitPrePrepare(const std::shared_ptr<PrePrepareMsg>& msg);
@@ -162,6 +193,11 @@ class PbftEngine {
   struct ClientState {
     RequestTimestamp last_executed_ts = 0;
     std::shared_ptr<ClientReplyMsg> last_reply;
+    /// Slot whose execution produced `last_reply`; once a stable checkpoint
+    /// covers it the cached reply is evicted (the checkpointed client table
+    /// keeps the timestamp, so duplicate detection still works and a replay
+    /// gets a synthesized reply instead of a cached one).
+    SeqNum last_reply_seq = 0;
   };
 
   // Timer kinds, carried in sim::TimerTag{kPbft, kind} (timer_tag.h).
@@ -188,6 +224,8 @@ class PbftEngine {
   void HandleStateRequest(const std::shared_ptr<const StateRequestMsg>& msg);
   void HandleStateResponse(const std::shared_ptr<const StateResponseMsg>& msg);
   void RequestStateTransfer(SeqNum seq, std::uint64_t digest, NodeId peer);
+  void InstallStateResponse(const StateResponseMsg& msg);
+  bool ApplyDelta(const StateResponseMsg& msg);
   void SendStateRequest();
   void ArmStateTransferRetry();
   void CancelStateTransferRetry();
@@ -264,7 +302,7 @@ class PbftEngine {
   SeqNum pending_transfer_seq_ = 0;
   std::uint64_t pending_transfer_digest_ = 0;
   std::map<std::pair<SeqNum, std::uint64_t>,
-           std::pair<std::set<NodeId>, storage::KvStore::Map>>
+           std::pair<std::set<NodeId>, std::shared_ptr<const StateResponseMsg>>>
       transfer_votes_;
   // Retry state for the in-flight transfer: a kStateTransferTimer re-sends
   // the request to the next member (rotation skips self) with capped
@@ -280,6 +318,13 @@ class PbftEngine {
   static constexpr int kCatchUpRetryCycles = 2;
   bool catch_up_abandoned_ = false;
   int catch_up_retry_budget_ = kCatchUpRetryCycles;
+  // Delta soundness guards. oob_mutation_seq_: lowest anchor this replica
+  // may serve a delta from (see NoteOutOfBandMutation). force_full_: set
+  // after a delta failed to replay to the agreed digest here — the next
+  // request advertises have_seq=0 to demand a snapshot, so one unsound
+  // delta (out-of-band divergence below the anchor) cannot wedge catch-up.
+  SeqNum oob_mutation_seq_ = 0;
+  bool force_full_ = false;
 
   // The NewView this replica installed for its current view; re-sent to
   // replicas still demanding an older view (recovered laggards) so they

@@ -220,14 +220,33 @@ struct StateRequestMsg : sim::Message {
 
   SeqNum seq = 0;
   NodeId replica = kInvalidNode;
+  /// Highest sequence number the requester has executed: its delta anchor.
+  /// A responder that still holds every committed batch in
+  /// (have_seq, last_executed] ships just those ops instead of the full
+  /// snapshot. 0 means "no usable anchor, send the snapshot". Not part of
+  /// the digest so the wire format stays compatible; a lying `have_seq`
+  /// only changes what the requester re-validates on install.
+  SeqNum have_seq = 0;
 
   crypto::Digest ComputeDigest() const override {
     return Hasher(0x13).Add(seq).Add(replica).Finish();
   }
 };
 
+/// One committed batch shipped as part of a delta state transfer.
+struct DeltaEntry {
+  SeqNum seq = 0;
+  crypto::Digest batch_digest = 0;
+  Batch batch;
+};
+
 /// Snapshot transfer; the receiver validates `state_digest` against the
 /// 2f+1-agreed checkpoint digest before installing.
+///
+/// Delta form (`is_delta`): instead of the snapshot, `delta` carries every
+/// committed batch in (base_seq, seq] — the requester replays them on top
+/// of its own state and then verifies the resulting StateDigest against
+/// `state_digest`, so a wrong or malicious delta can never install.
 struct StateResponseMsg : sim::Message {
   StateResponseMsg() : Message(kStateResponse) {}
 
@@ -238,12 +257,19 @@ struct StateResponseMsg : sim::Message {
   /// the receiver's client table on install, so a recovered replica regains
   /// exactly-once semantics for requests executed during its outage.
   std::map<ClientId, RequestTimestamp> client_ts;
+  /// Delta transfer: ops since the requester's anchor instead of the
+  /// snapshot.
+  bool is_delta = false;
+  SeqNum base_seq = 0;
+  std::vector<DeltaEntry> delta;
 
   crypto::Digest ComputeDigest() const override {
     return Hasher(0x14).Add(seq).Add(state_digest).Finish();
   }
   std::size_t WireSize() const override {
-    return 64 + snapshot.size() * 48 + client_ts.size() * 16;
+    std::size_t s = 64 + snapshot.size() * 48 + client_ts.size() * 16;
+    for (const auto& e : delta) s += 24 + e.batch.WireSizeBytes();
+    return s;
   }
 };
 

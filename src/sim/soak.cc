@@ -1,0 +1,99 @@
+#include "sim/soak.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace ziziphus::sim {
+
+SoakSchedule::SoakSchedule(std::uint64_t seed,
+                           const SoakScheduleConfig& config,
+                           std::vector<std::vector<NodeId>> zone_members)
+    : config_(config), zones_(std::move(zone_members)) {
+  Rng rng(Mix64(seed) ^ 0x50a4'5eedULL);
+
+  // Flash crowds: evenly spread anchors with per-crowd jitter, so crowds
+  // hit different phases of the diurnal wave across seeds.
+  for (std::size_t i = 0; i < config_.flash_crowds; ++i) {
+    SimTime anchor =
+        config_.horizon * (i + 1) / (config_.flash_crowds + 1);
+    Duration jitter_span = config_.horizon / (4 * (config_.flash_crowds + 1));
+    SimTime at = anchor + rng.NextBounded(jitter_span + 1);
+    flash_starts_.push_back(std::min<SimTime>(
+        at, config_.horizon > config_.flash_length
+                ? config_.horizon - config_.flash_length
+                : 0));
+  }
+  std::sort(flash_starts_.begin(), flash_starts_.end());
+
+  // Fault events get disjoint slots inside [0.15, 0.9] of the horizon so a
+  // regional outage never stacks on an amnesia crash of the same node —
+  // the soak measures steady-state retention, not pathological overlap
+  // (the chaos suite owns that regime).
+  const std::size_t total = config_.regional_outages + config_.amnesia_crashes;
+  if (total == 0 || zones_.empty()) return;
+  const SimTime lo = config_.horizon * 15 / 100;
+  const SimTime hi = config_.horizon * 90 / 100;
+  const Duration slot = (hi - lo) / total;
+  std::vector<bool> is_outage(total, false);
+  for (std::size_t i = 0; i < config_.regional_outages; ++i) {
+    is_outage[i * total / std::max<std::size_t>(config_.regional_outages, 1)] =
+        true;
+  }
+  for (std::size_t i = 0; i < total; ++i) {
+    SimTime slot_lo = lo + i * slot;
+    if (is_outage[i]) {
+      Duration len = rng.NextRange(config_.outage_min, config_.outage_max);
+      len = std::min<Duration>(len, slot > Millis(500) ? slot - Millis(500)
+                                                       : slot / 2);
+      SimTime start = slot_lo + rng.NextBounded(slot - len + 1);
+      ZoneId zone = static_cast<ZoneId>(rng.NextBounded(zones_.size()));
+      outages_.push_back({zone, start, start + len});
+    } else {
+      Duration len = rng.NextRange(config_.amnesia_outage_min,
+                                   config_.amnesia_outage_max);
+      len = std::min<Duration>(len, slot > Millis(500) ? slot - Millis(500)
+                                                       : slot / 2);
+      SimTime start = slot_lo + rng.NextBounded(slot - len + 1);
+      const std::vector<NodeId>& members =
+          zones_[rng.NextBounded(zones_.size())];
+      NodeId victim = members[rng.NextBounded(members.size())];
+      amnesia_events_.push_back({victim, start, start + len});
+    }
+  }
+}
+
+double SoakSchedule::LoadFactor(SimTime t) const {
+  constexpr double kPi = 3.14159265358979323846;
+  double wave = 1.0;
+  if (config_.wave_period > 0) {
+    double phase = 2.0 * kPi * static_cast<double>(t % config_.wave_period) /
+                   static_cast<double>(config_.wave_period);
+    wave = config_.wave_min +
+           (1.0 - config_.wave_min) * 0.5 * (1.0 - std::cos(phase));
+  }
+  for (SimTime start : flash_starts_) {
+    if (t >= start && t < start + config_.flash_length) {
+      return wave * config_.flash_boost;
+    }
+  }
+  return wave;
+}
+
+std::size_t SoakSchedule::InstallFaults(FaultSchedule& schedule) const {
+  for (const Outage& o : outages_) {
+    for (NodeId id : zones_[o.zone]) {
+      schedule.CrashAt(o.start, id);
+      schedule.RecoverAt(o.end, id);
+    }
+  }
+  for (const AmnesiaEvent& e : amnesia_events_) {
+    schedule.CrashAmnesiaAt(e.crash_at, e.victim);
+    schedule.RecoverAmnesiaAt(e.recover_at, e.victim);
+  }
+  schedule.ResetAllAt(config_.horizon);
+  return schedule.size();
+}
+
+}  // namespace ziziphus::sim

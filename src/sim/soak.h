@@ -1,0 +1,100 @@
+#ifndef ZIZIPHUS_SIM_SOAK_H_
+#define ZIZIPHUS_SIM_SOAK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "sim/simulation.h"
+
+namespace ziziphus::sim {
+
+/// Knobs for one long-horizon soak schedule. Everything is derived from the
+/// seed, so a schedule is a pure function of (seed, config, zone layout).
+struct SoakScheduleConfig {
+  /// Total simulated soak duration.
+  Duration horizon = Seconds(120);
+
+  // ---- Diurnal load wave ----
+  /// One full trough->peak->trough load cycle ("a day" compressed).
+  Duration wave_period = Seconds(30);
+  /// Load multiplier at the trough (1.0 at the peak). Client think time is
+  /// divided by the factor, so the trough runs at wave_min of peak rate.
+  double wave_min = 0.35;
+
+  // ---- Flash crowds ----
+  /// Short bursts where load jumps an order of magnitude above the wave.
+  std::size_t flash_crowds = 3;
+  Duration flash_length = Seconds(2);
+  double flash_boost = 8.0;
+
+  // ---- Regional outage + recovery ----
+  /// Whole-zone blackouts: every member of a randomly chosen zone crashes
+  /// at once and recovers (with volatile state intact) after the outage.
+  /// The zone then catches up via state transfer — a long-horizon stress
+  /// of the retention layer: peers must still hold (or checkpoint) what
+  /// the returning zone missed.
+  std::size_t regional_outages = 1;
+  Duration outage_min = Seconds(2);
+  Duration outage_max = Seconds(5);
+
+  // ---- Amnesia crash/recover pairs ----
+  /// Single-node crashes that lose all volatile state; recovery runs the
+  /// durable rejoin protocol (WAL replay + delta/full state transfer).
+  std::size_t amnesia_crashes = 2;
+  Duration amnesia_outage_min = Seconds(1);
+  Duration amnesia_outage_max = Seconds(3);
+};
+
+/// Deterministic long-horizon schedule: a diurnal load wave with flash
+/// crowds layered on top, plus regional outages and amnesia crash/recover
+/// pairs on the fault timeline. The load side is exposed as a multiplier
+/// (`LoadFactor`) the soak clients consult when pacing submissions; the
+/// fault side installs into a FaultSchedule.
+class SoakSchedule {
+ public:
+  /// `zone_members[z]` lists the node ids of zone z (fault targets).
+  SoakSchedule(std::uint64_t seed, const SoakScheduleConfig& config,
+               std::vector<std::vector<NodeId>> zone_members);
+
+  /// Instantaneous load multiplier at simulated time `t` (>= wave_min,
+  /// peaks at 1.0, `flash_boost` during a flash crowd). Client think time
+  /// is divided by this, so higher = more load.
+  double LoadFactor(SimTime t) const;
+
+  /// Installs the fault timeline (regional outages, amnesia pairs, final
+  /// ResetAll at the horizon) into `schedule`. Returns the entry count.
+  std::size_t InstallFaults(FaultSchedule& schedule) const;
+
+  const std::vector<SimTime>& flash_crowd_starts() const {
+    return flash_starts_;
+  }
+  /// Amnesia victims with their recovery times, in schedule order (the
+  /// soak harness uses these to bound time-to-rejoin measurements).
+  struct AmnesiaEvent {
+    NodeId victim;
+    SimTime crash_at;
+    SimTime recover_at;
+  };
+  const std::vector<AmnesiaEvent>& amnesia_events() const {
+    return amnesia_events_;
+  }
+
+ private:
+  struct Outage {
+    ZoneId zone;
+    SimTime start;
+    SimTime end;
+  };
+
+  SoakScheduleConfig config_;
+  std::vector<std::vector<NodeId>> zones_;
+  std::vector<SimTime> flash_starts_;
+  std::vector<Outage> outages_;
+  std::vector<AmnesiaEvent> amnesia_events_;
+};
+
+}  // namespace ziziphus::sim
+
+#endif  // ZIZIPHUS_SIM_SOAK_H_

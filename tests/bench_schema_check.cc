@@ -5,6 +5,11 @@
 //     {"name":"<cell>","metrics":{"<key>":<finite number>, ...}}, ...]}
 //
 //   $ bench_schema_check out.json [--allow-empty]
+//       [--require=<name-substr>:<metric-key>]...
+//
+// Each --require demands at least one cell whose name contains
+// <name-substr> and whose metrics carry <metric-key>; the metric key is
+// everything after the LAST ':' (cell names themselves contain colons).
 //
 // Exit 0 when valid; exit 1 with a diagnostic otherwise. Wired into ctest
 // behind each bench_smoke_* run so a malformed export fails tier-1.
@@ -224,7 +229,13 @@ int Invalid(const std::string& why) {
   return 1;
 }
 
-int Validate(const JsonValue& root, bool allow_empty) {
+struct Requirement {
+  std::string name_substr;  // cell name must contain this...
+  std::string metric_key;   // ...and its metrics must carry this key
+};
+
+int Validate(const JsonValue& root, bool allow_empty,
+             const std::vector<Requirement>& requirements) {
   if (root.kind != JsonValue::kObject) {
     return Invalid("top level is not an object");
   }
@@ -267,6 +278,23 @@ int Validate(const JsonValue& root, bool allow_empty) {
       }
     }
   }
+  for (const Requirement& req : requirements) {
+    bool satisfied = false;
+    for (const JsonValue& cell : cells->array) {
+      const JsonValue* name = cell.Find("name");
+      const JsonValue* metrics = cell.Find("metrics");
+      if (name == nullptr || metrics == nullptr) continue;
+      if (name->str.find(req.name_substr) == std::string::npos) continue;
+      if (metrics->Find(req.metric_key) != nullptr) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) {
+      return Invalid("no cell matching \"" + req.name_substr +
+                     "\" carries metric \"" + req.metric_key + "\"");
+    }
+  }
   std::printf("bench_schema_check: OK: %s, %zu cells\n", bench->str.c_str(),
               cells->array.size());
   return 0;
@@ -277,16 +305,29 @@ int Validate(const JsonValue& root, bool allow_empty) {
 int main(int argc, char** argv) {
   const char* path = nullptr;
   bool allow_empty = false;
+  std::vector<Requirement> requirements;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--allow-empty") == 0) {
       allow_empty = true;
+    } else if (std::strncmp(argv[i], "--require=", 10) == 0) {
+      std::string spec = argv[i] + 10;
+      std::size_t colon = spec.rfind(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 == spec.size()) {
+        std::fprintf(stderr, "bench_schema_check: bad --require=%s "
+                             "(want <name-substr>:<metric-key>)\n",
+                     spec.c_str());
+        return 2;
+      }
+      requirements.push_back(
+          {spec.substr(0, colon), spec.substr(colon + 1)});
     } else {
       path = argv[i];
     }
   }
   if (path == nullptr) {
     std::fprintf(stderr, "usage: bench_schema_check <file.json> "
-                         "[--allow-empty]\n");
+                         "[--allow-empty] [--require=<substr>:<metric>]\n");
     return 2;
   }
   std::ifstream in(path);
@@ -301,5 +342,5 @@ int main(int argc, char** argv) {
   if (!parser.Parse(&root)) {
     return Invalid("JSON parse error: " + parser.error());
   }
-  return Validate(root, allow_empty);
+  return Validate(root, allow_empty, requirements);
 }
