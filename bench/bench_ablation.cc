@@ -24,7 +24,7 @@ const char* const kKnobNames[] = {"prepare-skip", "stable-leader",
 app::WorkloadSpec AblationWorkload() {
   app::WorkloadSpec wl = BaseWorkload();
   wl.clients_per_zone = ClientsPerZone(400, 200);
-  wl.global_fraction = 0.1;
+  wl.mix.global_fraction = 0.1;
   return wl;
 }
 

@@ -24,7 +24,7 @@ void BM_Fig4(benchmark::State& state) {
 
   app::WorkloadSpec wl = BaseWorkload();
   wl.clients_per_zone = SmokeSweep() ? 10 : clients;
-  wl.global_fraction = global_pct / 100.0;
+  wl.mix.global_fraction = global_pct / 100.0;
   ReportCell(state, proto, app::PaperDeployment(zones), wl);
 }
 

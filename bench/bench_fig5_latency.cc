@@ -23,7 +23,7 @@ void BM_Fig5(benchmark::State& state) {
 
   app::WorkloadSpec wl = BaseWorkload();
   wl.clients_per_zone = ClientsPerZone(400, 200);
-  wl.global_fraction = global_pct / 100.0;
+  wl.mix.global_fraction = global_pct / 100.0;
   // Fig. 5 is the latency figure: trace every client operation so the JSON
   // export carries the per-phase critical-path decomposition alongside the
   // end-to-end numbers.

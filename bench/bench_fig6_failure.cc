@@ -23,7 +23,7 @@ void BM_Fig6(benchmark::State& state) {
 
   app::WorkloadSpec wl = BaseWorkload();
   wl.clients_per_zone = ClientsPerZone(400, 200);
-  wl.global_fraction = global_pct / 100.0;
+  wl.mix.global_fraction = global_pct / 100.0;
   app::FaultSpec faults;
   faults.crashed_backups_per_zone = faulty ? 1 : 0;
   ReportCell(state, proto, app::PaperDeployment(zones), wl, faults);

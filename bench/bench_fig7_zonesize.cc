@@ -25,7 +25,7 @@ void BM_Fig7(benchmark::State& state) {
 
   app::WorkloadSpec wl = BaseWorkload();
   wl.clients_per_zone = ClientsPerZone(400, 150);
-  wl.global_fraction = global_pct / 100.0;
+  wl.mix.global_fraction = global_pct / 100.0;
   ReportCell(state, proto, app::PaperDeployment(3, f), wl);
 }
 

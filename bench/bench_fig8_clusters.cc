@@ -24,8 +24,8 @@ void BM_Fig8(benchmark::State& state) {
 
   app::WorkloadSpec wl = BaseWorkload();
   wl.clients_per_zone = ClientsPerZone(150, 60);
-  wl.global_fraction = global_pct / 100.0;
-  wl.cross_cluster_fraction = cross_pct / 100.0;
+  wl.mix.global_fraction = global_pct / 100.0;
+  wl.mix.cross_cluster_fraction = cross_pct / 100.0;
   ReportCell(state, app::Protocol::kZiziphus,
              app::ClusteredDeployment(clusters), wl);
 }

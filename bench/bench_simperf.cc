@@ -73,7 +73,7 @@ struct RunSample {
 RunSample RunOnce(std::size_t zones, sim::EventQueueKind kind) {
   app::WorkloadSpec wl = BaseWorkload();
   wl.clients_per_zone = ClientsPerZone(200, 50);
-  wl.global_fraction = 0.1;
+  wl.mix.global_fraction = 0.1;
   wl.queue = kind;
   std::uint64_t allocs0 = AllocCount();
   auto t0 = std::chrono::steady_clock::now();

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   std::printf(
       "%zu zones, %zu clients/zone, %.0f%% global transactions\n\n",
       cfg.zones, cfg.workload.clients_per_zone,
-      cfg.workload.global_fraction * 100);
+      cfg.workload.mix.global_fraction * 100);
   std::printf("%-16s %10s %10s %10s %12s %12s\n", "protocol", "ktps",
               "avg ms", "p99 ms", "local ms", "global ms");
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "app/bank.h"
+#include "app/workload.h"
 #include "baselines/two_level.h"
 #include "baselines/two_level_system.h"
 #include "common/hash.h"
@@ -61,12 +62,29 @@ class ChaosClient : public sim::Process {
     remaining_ = count;
   }
 
+  /// Makes the client chase each completed operation with one verified
+  /// fast-path read of its own account from `zone`. Verified accepts are
+  /// appended to `witnesses` for the end-of-run read-validity sweep. Reads
+  /// are deterministic (next zone replica round-robin, no rng) and bounded:
+  /// after one circuit of the zone without an acceptable reply the read is
+  /// abandoned and the scripted workload resumes.
+  void EnableReads(ZoneId zone, std::vector<crypto::ReadWitness>* witnesses) {
+    reads_enabled_ = true;
+    zone_ = zone;
+    witnesses_ = witnesses;
+  }
+
   void Kick() { SubmitNext(); }
 
-  bool done() const { return remaining_ == 0 && !in_flight_; }
+  bool done() const {
+    return remaining_ == 0 && !in_flight_ && !read_in_flight_;
+  }
   std::uint64_t completed() const { return completed_; }
   std::size_t scripted() const { return remaining_ + completed_ +
                                         (in_flight_ ? 1 : 0); }
+  std::uint64_t reads_ok() const { return reads_ok_; }
+  std::uint64_t reads_rejected() const { return reads_rejected_; }
+  std::uint64_t reads_abandoned() const { return reads_abandoned_; }
 
  protected:
   void OnMessage(const sim::MessagePtr& msg) override {
@@ -88,6 +106,10 @@ class ChaosClient : public sim::Process {
         }
         break;
       }
+      case pbft::kReadReply:
+        HandleReadReply(
+            static_cast<const pbft::ReadReplyMsg&>(*msg));
+        break;
       default:
         break;
     }
@@ -96,6 +118,14 @@ class ChaosClient : public sim::Process {
   void OnTimer(std::uint64_t ts) override {
     if (ts == kThinkTag) {
       SubmitNext();
+      return;
+    }
+    if (ts >= kReadTagBase) {
+      // A read attempt timed out (reply lost or replica crashed): count the
+      // silent replica against the circuit and move on.
+      if (read_in_flight_ && ts == kReadTagBase + cur_read_nonce_) {
+        NextReadAttempt();
+      }
       return;
     }
     if (!in_flight_ || ts != current_ts_) return;
@@ -108,11 +138,25 @@ class ChaosClient : public sim::Process {
 
   // Timestamps start at 1, so 0 is free to tag the think-time timer.
   static constexpr std::uint64_t kThinkTag = 0;
+  // Read timers are tagged with the read nonce offset far above any write
+  // timestamp, so stale timers of either stream never cross-fire.
+  static constexpr std::uint64_t kReadTagBase = std::uint64_t{1} << 32;
 
   void Complete() {
     in_flight_ = false;
     ++completed_;
     votes_.clear();
+    // Every completed scripted operation mutates the client's account, so
+    // it raises the session's read-your-writes watermark.
+    session_.last_write_ts = current_ts_;
+    if (reads_enabled_) {
+      StartRead();
+      return;
+    }
+    Think();
+  }
+
+  void Think() {
     // Paced submission: without a think gap the whole workload completes
     // inside the first few hundred milliseconds and most of the fault
     // window hits an idle system.
@@ -121,6 +165,81 @@ class ChaosClient : public sim::Process {
     } else {
       SetTimer(think_time_, kThinkTag);
     }
+  }
+
+  // ---- Verified fast-path reads (EnableReads only) ----
+
+  void StartRead() {
+    read_in_flight_ = true;
+    read_attempts_ = 0;
+    read_floor_before_ = session_.FloorFor(zone_);
+    SendReadAttempt();
+  }
+
+  void SendReadAttempt() {
+    cur_read_nonce_ = next_read_nonce_++;
+    auto req = std::make_shared<pbft::ReadRequestMsg>();
+    req->client = id();
+    req->nonce = cur_read_nonce_;
+    req->key = BankStateMachine::AccountKey(id());
+    req->min_stable_seq = session_.FloorFor(zone_);
+    req->min_write_ts = session_.last_write_ts;
+    req->client_sig = keys_->Sign(id(), req->ComputeDigest());
+    Send(retry_group_[read_rr_ % retry_group_.size()], req);
+    SetTimer(retry_timeout_, kReadTagBase + cur_read_nonce_);
+  }
+
+  void NextReadAttempt() {
+    ++read_rr_;
+    if (++read_attempts_ >= retry_group_.size()) {
+      // One full circuit of the zone yielded no acceptable reply (replicas
+      // behind, crashed, or lying). Abandoning is safe — only *accepting* a
+      // bad reply would break the read guarantees.
+      ++reads_abandoned_;
+      FinishRead();
+      return;
+    }
+    SendReadAttempt();
+  }
+
+  void HandleReadReply(const pbft::ReadReplyMsg& r) {
+    if (!read_in_flight_ || r.nonce != cur_read_nonce_) return;
+    switch (VerifyReadReply(*keys_, retry_group_, f_, r, session_, zone_)) {
+      case ReadVerdict::kOk:
+        session_.AdvanceFloor(zone_, r.proof.anchor_seq);
+        ++reads_ok_;
+        scoped_counters().Inc(obs::CounterId::kReadsCertVerified);
+        if (witnesses_ != nullptr) {
+          witnesses_->push_back({id(), zone_, r.key, r.value, r.found,
+                                 r.proof, read_floor_before_});
+        }
+        FinishRead();
+        break;
+      case ReadVerdict::kBehind:
+        // Honest "cannot cover your session yet". The covering checkpoint
+        // forms once the zone commits a few more ops, so let the armed
+        // retry timer pace the next attempt instead of burning the whole
+        // circuit in one round-trip burst.
+        break;
+      case ReadVerdict::kBadCertificate:
+      case ReadVerdict::kBadInclusion:
+        ++reads_rejected_;
+        scoped_counters().Inc(obs::CounterId::kReadsCertRejected);
+        NextReadAttempt();
+        break;
+      case ReadVerdict::kStaleAnchor:
+      case ReadVerdict::kStaleWrite:
+        ++reads_rejected_;
+        scoped_counters().Inc(
+            obs::CounterId::kReadsSessionViolationsDetected);
+        NextReadAttempt();
+        break;
+    }
+  }
+
+  void FinishRead() {
+    read_in_flight_ = false;
+    Think();
   }
 
   void SubmitNext() {
@@ -158,6 +277,22 @@ class ChaosClient : public sim::Process {
   std::size_t f_;
   Duration retry_timeout_;
   Duration think_time_ = 0;
+
+  // Read fast path (EnableReads).
+  bool reads_enabled_ = false;
+  ZoneId zone_ = 0;
+  std::vector<crypto::ReadWitness>* witnesses_ = nullptr;
+  Session session_;
+  bool read_in_flight_ = false;
+  std::size_t read_attempts_ = 0;
+  std::size_t read_rr_ = 0;
+  SeqNum read_floor_before_ = 0;
+  RequestTimestamp cur_read_nonce_ = 0;
+  RequestTimestamp next_read_nonce_ = 1;
+  std::uint64_t reads_ok_ = 0;
+  std::uint64_t reads_rejected_ = 0;
+  std::uint64_t reads_abandoned_ = 0;
+
   Mode mode_ = Mode::kLocal;
   NodeId target_ = kInvalidNode;
   std::vector<NodeId> retry_group_;
@@ -292,6 +427,9 @@ enum class ByzKind {
   kCorruptSignature,
   kStaleReplay,
   kLyingStateResponder,
+  // Drawn only when the mix enables reads (NextBounded(7) vs the historic
+  // NextBounded(6)), so read-free seeds keep their exact roster.
+  kStaleReadResponder,
 };
 
 const char* KindName(ByzKind k) {
@@ -301,7 +439,8 @@ const char* KindName(ByzKind k) {
     case ByzKind::kEquivocateEngine: return "equivocating-primary";
     case ByzKind::kCorruptSignature: return "corrupt-signature";
     case ByzKind::kStaleReplay: return "stale-cert-replay";
-    default: return "lying-state-responder";
+    case ByzKind::kLyingStateResponder: return "lying-state-responder";
+    default: return "stale-read-responder";
   }
 }
 
@@ -320,6 +459,10 @@ std::string ChaosReport::Summary() const {
      << violations.size() << " violation(s), " << byzantine_roster.size()
      << " byzantine, " << events << " events, t=" << end_time / 1000
      << "ms, fp=" << fingerprint;
+  if (reads_ok + reads_rejected + reads_abandoned > 0) {
+    os << ", reads ok=" << reads_ok << " rejected=" << reads_rejected
+       << " abandoned=" << reads_abandoned;
+  }
   for (const auto& v : violations) {
     os << "\n  [" << v.invariant << "] " << v.detail;
   }
@@ -350,13 +493,25 @@ ChaosReport RunZiziphusChaos(const ChaosOptions& opt) {
       std::swap(indices[i - 1], indices[rng.NextBounded(i)]);
     }
     for (std::size_t i = 0; i < byz_count && i < indices.size(); ++i) {
-      ByzKind kind = static_cast<ByzKind>(rng.NextBounded(6));
+      // The stale-read responder only makes sense (and only changes the
+      // draw) when the mix issues reads.
+      ByzKind kind = static_cast<ByzKind>(
+          rng.NextBounded(opt.mix.read_fraction > 0 ? 7 : 6));
       roster.push_back({static_cast<ZoneId>(z), indices[i], kind});
     }
   }
 
   core::NodeConfig cfg;
   cfg.pbft.request_timeout_us = Millis(400);
+  if (opt.mix.read_fraction > 0) {
+    // Reads anchor on stable checkpoints; the default interval would leave
+    // the short chaos workload with no anchor at all. The interval counts
+    // sequence numbers, not ops, and the lock-step think timers batch all
+    // of a zone's clients into one slot per round — a zone commits only a
+    // handful of seqs, so anchor after every other one. Only read-enabled
+    // runs change it, keeping read-free seeds bit-for-bit reproducible.
+    cfg.pbft.checkpoint_interval = 2;
+  }
   cfg.sync.retry_timeout_us = Millis(1500);
   cfg.sync.response_query_timeout_us = Millis(800);
   cfg.sync.relay_watch_timeout_us = Millis(1200);
@@ -412,6 +567,9 @@ ChaosReport RunZiziphusChaos(const ChaosOptions& opt) {
         b = std::make_unique<sim::LyingStateResponderBehavior>(
             &sys.sim(), id, BankStateMachine::AccountKey(999999), "31337");
         break;
+      case ByzKind::kStaleReadResponder:
+        b = std::make_unique<sim::StaleReadResponderBehavior>(&sys.sim(), id);
+        break;
     }
     if (b != nullptr) {
       b->Attach();
@@ -422,6 +580,9 @@ ChaosReport RunZiziphusChaos(const ChaosOptions& opt) {
   // --- Clients + conservation bookkeeping. ---
   sim::InvariantChecker::Accounts accounts;
   std::vector<std::unique_ptr<ChaosClient>> clients;
+  // Every fast-path read an honest client accepts lands here and is
+  // re-verified by the read-validity invariant after the run.
+  std::vector<crypto::ReadWitness> witnesses;
   const Duration retry = Millis(1100);
 
   for (std::size_t z = 0; z < opt.zones; ++z) {
@@ -437,6 +598,10 @@ ChaosReport RunZiziphusChaos(const ChaosOptions& opt) {
       ClientId cb = sys.sim().Register(b.get(), static_cast<RegionId>(z % 7));
       a->ScriptXfers(primary, members, cb, opt.xfers_per_client, kXferAmount);
       b->ScriptXfers(primary, members, ca, opt.xfers_per_client, kXferAmount);
+      if (opt.mix.read_fraction > 0) {
+        a->EnableReads(zone, &witnesses);
+        b->EnableReads(zone, &witnesses);
+      }
       accounts.load_clients[zone].push_back(ca);
       accounts.load_clients[zone].push_back(cb);
       accounts.zone_load_totals[zone] += 2 * kInitialBalance;
@@ -524,11 +689,15 @@ ChaosReport RunZiziphusChaos(const ChaosOptions& opt) {
         c->completed();
     (global ? report.global_expected : report.local_expected) +=
         c->scripted();
+    report.reads_ok += c->reads_ok();
+    report.reads_rejected += c->reads_rejected();
+    report.reads_abandoned += c->reads_abandoned();
   }
 
   sim::InvariantChecker::Options iopt;
   iopt.byzantine = byz_nodes;
   iopt.accounts = std::move(accounts);
+  iopt.read_witnesses = std::move(witnesses);
   iopt.balance_of = [](const core::ZoneStateMachine& app, ClientId c) {
     return static_cast<const BankStateMachine&>(app).BalanceOf(c);
   };

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "app/workload.h"
 #include "common/types.h"
 #include "sim/event_queue.h"
 #include "sim/invariants.h"
@@ -35,6 +36,15 @@ struct ChaosOptions {
   /// workload completes in the first few hundred milliseconds and most
   /// scheduled faults hit an idle system.
   Duration client_think = Millis(900);
+
+  /// Shared operation-mix knobs. Chaos workloads are scripted, not drawn,
+  /// so only `mix.read_fraction > 0` matters: it makes every pair client
+  /// issue one verified fast-path read of its own account after each
+  /// completed transfer (and tightens the checkpoint interval so anchors
+  /// exist inside the run). The default 0 keeps pre-existing seeds
+  /// byte-identical: no extra rng draws, no config change, and the
+  /// Byzantine kind distribution stays exactly as before.
+  WorkloadMix mix;
 
   /// Byzantine replicas per zone. Clamped to f unless allow_over_budget —
   /// the misconfiguration demo sets f+1 liars to break safety on purpose.
@@ -66,6 +76,14 @@ struct ChaosReport {
   std::uint64_t global_completed = 0;
   std::uint64_t local_expected = 0;
   std::uint64_t global_expected = 0;
+  /// Fast-path reads (mix.read_fraction > 0 only): verified accepts,
+  /// replies rejected by certificate/inclusion/session checks, and reads
+  /// abandoned after trying every zone replica without an acceptable
+  /// answer. Abandonment is legal (reads are best-effort under faults);
+  /// accepting a bad reply is not — that is what read-validity catches.
+  std::uint64_t reads_ok = 0;
+  std::uint64_t reads_rejected = 0;
+  std::uint64_t reads_abandoned = 0;
   bool all_done = false;
   std::uint64_t events = 0;
   SimTime end_time = 0;

@@ -1,5 +1,6 @@
 #include "app/client.h"
 
+#include "app/bank.h"
 #include "common/logging.h"
 
 namespace ziziphus::app {
@@ -25,7 +26,7 @@ ZoneId MobileClient::PickDestination() {
   const core::Topology& topo = *cfg_.topology;
   ClusterId my_cluster = topo.zone(home_).cluster;
   bool cross = topo.num_clusters() > 1 &&
-               rng().NextBool(cfg_.cross_cluster_fraction);
+               rng().NextBool(cfg_.mix.cross_cluster_fraction);
   if (cross) {
     // Uniform over zones of other clusters.
     std::vector<ZoneId> candidates;
@@ -60,8 +61,14 @@ ZoneId MobileClient::GlobalTargetZone(ZoneId dest) const {
 
 void MobileClient::IssueNext() {
   if (in_flight_) return;
+  // Draw order matters for same-seed reproducibility: runs with reads
+  // disabled must consume exactly the rng sequence they always did.
+  if (cfg_.mix.read_fraction > 0 && rng().NextBool(cfg_.mix.read_fraction)) {
+    IssueRead();
+    return;
+  }
   bool global = cfg_.mode == Mode::kSteward ||
-                rng().NextBool(cfg_.global_fraction);
+                rng().NextBool(cfg_.mix.global_fraction);
   if (global) {
     IssueGlobal();
   } else {
@@ -81,10 +88,13 @@ void MobileClient::IssueLocal() {
   }
   auto req = std::make_shared<pbft::ClientRequestMsg>();
   req->op = op;
+  if (cfg_.causal) req->deps = session_.stable_floor;
   req->client_sig = cfg_.keys->Sign(id(), op.ComputeDigest());
 
   in_flight_ = true;
+  cur_op_ = ClientOp::kTransfer;
   is_global_ = false;
+  read_fallback_ = false;
   cur_ts_ = op.timestamp;
   issued_at_ = Now();
   reply_zone_ = home_;
@@ -129,7 +139,9 @@ void MobileClient::IssueGlobal() {
   req->client_sig = cfg_.keys->Sign(id(), req->digest());
 
   in_flight_ = true;
+  cur_op_ = ClientOp::kMigrate;
   is_global_ = true;
+  read_fallback_ = false;
   cur_ts_ = op.timestamp;
   issued_at_ = Now();
   initiator_zone_ = target;
@@ -140,6 +152,163 @@ void MobileClient::IssueGlobal() {
   set_trace_context(root_ctx_);
   Send(GuessPrimary(target), req);
   ArmTimeout();
+}
+
+// ------------------------------------------------------- read fast path
+
+void MobileClient::IssueRead() {
+  in_flight_ = true;
+  cur_op_ = ClientOp::kRead;
+  is_global_ = false;
+  read_fallback_ = false;
+  cur_ts_ = 0;  // no transaction timestamp unless we fall back
+  issued_at_ = Now();
+  reply_zone_ = home_;
+  read_key_ = BankStateMachine::AccountKey(id());
+  read_tried_ = 0;
+  read_waited_ = 0;
+  read_floor_before_ = session_.FloorFor(home_);
+  root_ctx_ = simulation()->recorder().tracer().StartTrace(id(), Now(), 2);
+  set_trace_context(root_ctx_);
+  if (cfg_.mode != Mode::kZiziphus || !cfg_.verified_reads) {
+    // Baselines (and the bench's control arm) execute reads as ordinary
+    // transactions through consensus.
+    IssueReadFallback();
+    return;
+  }
+  read_member_rr_++;  // spread successive reads across the zone's replicas
+  SendReadRequest();
+}
+
+void MobileClient::SendReadRequest() {
+  const core::ZoneInfo& zi = cfg_.topology->zone(home_);
+  NodeId target = zi.members[read_member_rr_ % zi.members.size()];
+  auto req = std::make_shared<pbft::ReadRequestMsg>();
+  req->client = id();
+  req->nonce = next_read_nonce_++;  // fresh per attempt: stale replies drop
+  req->key = read_key_;
+  req->min_stable_seq = session_.FloorFor(home_);
+  req->min_write_ts = session_.last_write_ts;
+  req->client_sig = cfg_.keys->Sign(id(), req->ComputeDigest());
+  cur_read_nonce_ = req->nonce;
+  current_request_ = req;
+  set_trace_context(root_ctx_);
+  Send(target, req);
+  ArmTimeout();
+}
+
+void MobileClient::IssueReadFallback() {
+  // The fast path cannot serve this read (replica behind the session, every
+  // replica exhausted, or verified reads disabled): execute it as a full
+  // BAL transaction. BAL does not mutate, so the session's write watermark
+  // must NOT advance — bumping it here would push the watermark past every
+  // stable checkpoint and starve the fast path permanently.
+  read_fallback_ = true;
+  stats_.read_fallbacks++;
+  scoped_counters().Inc(obs::CounterId::kReadsFallbackTxns);
+  if (cfg_.mode == Mode::kSteward) {
+    // Steward executes everything as a globally replicated command.
+    core::MigrationOp op;
+    op.client = id();
+    op.timestamp = next_ts_++;
+    op.source = home_;
+    op.destination = home_;
+    op.command = "BAL";
+    pending_dest_ = home_;
+    ZoneId target = cfg_.topology->ZonesInCluster(
+        cfg_.topology->zone(home_).cluster)[0];
+    auto req = std::make_shared<core::MigrationRequestMsg>();
+    req->op = op;
+    req->client_sig = cfg_.keys->Sign(id(), req->digest());
+    is_global_ = true;
+    cur_ts_ = op.timestamp;
+    initiator_zone_ = target;
+    reply_zone_ = target;
+    reply_replicas_.clear();
+    rejected_replicas_.clear();
+    current_request_ = req;
+    set_trace_context(root_ctx_);
+    Send(GuessPrimary(target), req);
+    ArmTimeout();
+    return;
+  }
+  pbft::Operation op;
+  op.client = id();
+  op.timestamp = next_ts_++;
+  op.command = "BAL";
+  auto req = std::make_shared<pbft::ClientRequestMsg>();
+  req->op = op;
+  if (cfg_.causal) req->deps = session_.stable_floor;
+  req->client_sig = cfg_.keys->Sign(id(), op.ComputeDigest());
+  is_global_ = false;
+  cur_ts_ = op.timestamp;
+  reply_zone_ = home_;
+  reply_replicas_.clear();
+  current_request_ = req;
+  set_trace_context(root_ctx_);
+  Send(GuessPrimary(home_), req);
+  ArmTimeout();
+}
+
+void MobileClient::TryNextReadReplica() {
+  const core::ZoneInfo& zi = cfg_.topology->zone(home_);
+  read_member_rr_++;
+  read_tried_++;
+  if (read_tried_ >= zi.members.size()) {
+    IssueReadFallback();
+  } else {
+    SendReadRequest();
+  }
+}
+
+void MobileClient::HandleReadReply(
+    const std::shared_ptr<const pbft::ReadReplyMsg>& r) {
+  const core::ZoneInfo& zi = cfg_.topology->zone(home_);
+  ReadVerdict v =
+      VerifyReadReply(*cfg_.keys, zi.members, zi.f, *r, session_, home_);
+  switch (v) {
+    case ReadVerdict::kOk:
+      session_.AdvanceFloor(home_, r->proof.anchor_seq);
+      if (cfg_.causal) session_.MergeDeps(r->deps);
+      scoped_counters().Inc(obs::CounterId::kReadsCertVerified);
+      if (cfg_.record_witnesses) {
+        witnesses_.push_back({id(), home_, r->key, r->value, r->found,
+                              r->proof, read_floor_before_});
+      }
+      CompleteRead();
+      return;
+    case ReadVerdict::kBehind:
+      // The zone's checkpoints advance in lockstep, so a sibling replica is
+      // no more likely to cover the session. But "behind" after a write is
+      // normally just the checkpoint cadence — wait one beat and retry the
+      // fast path before surrendering to the (far costlier) txn path.
+      stats_.read_redirects++;
+      if (read_waited_ < cfg_.read_behind_waits) {
+        read_waited_++;
+        if (timeout_timer_ != 0) {
+          CancelTimer(timeout_timer_);
+          timeout_timer_ = 0;
+        }
+        SetTimer(cfg_.read_behind_wait,
+                 sim::PackTimer(sim::TimerEngine::kClient, kReadRetry));
+      } else {
+        IssueReadFallback();
+      }
+      return;
+    case ReadVerdict::kBadCertificate:
+    case ReadVerdict::kBadInclusion:
+      stats_.read_rejects++;
+      scoped_counters().Inc(obs::CounterId::kReadsCertRejected);
+      TryNextReadReplica();
+      return;
+    case ReadVerdict::kStaleAnchor:
+    case ReadVerdict::kStaleWrite:
+      stats_.read_rejects++;
+      scoped_counters().Inc(
+          obs::CounterId::kReadsSessionViolationsDetected);
+      TryNextReadReplica();
+      return;
+  }
 }
 
 void MobileClient::CompleteOp(Histogram* hist, std::uint64_t* counter) {
@@ -178,6 +347,36 @@ void MobileClient::CompleteOp(Histogram* hist, std::uint64_t* counter) {
   }
 }
 
+void MobileClient::CompleteRead() {
+  SimTime latency = Now() - issued_at_;
+  stats_.read_latency_us.Record(latency);
+  stats_.reads_completed++;
+  obs::Recorder& recorder = simulation()->recorder();
+  recorder.Record(obs::HistogramId::kClientReadLatencyUs, latency);
+  if (root_ctx_.active()) {
+    obs::SpanId completing =
+        trace_context().trace_id == root_ctx_.trace_id
+            ? trace_context().parent_span
+            : 0;
+    recorder.tracer().CompleteTrace(root_ctx_, completing, Now());
+    root_ctx_ = {};
+  }
+  in_flight_ = false;
+  read_fallback_ = false;
+  is_global_ = false;
+  cur_op_ = ClientOp::kTransfer;
+  if (timeout_timer_ != 0) {
+    CancelTimer(timeout_timer_);
+    timeout_timer_ = 0;
+  }
+  if (cfg_.think_time > 0) {
+    SetTimer(cfg_.think_time,
+             sim::PackTimer(sim::TimerEngine::kClient, kIssue));
+  } else {
+    IssueNext();
+  }
+}
+
 void MobileClient::ArmTimeout() {
   if (timeout_timer_ != 0) CancelTimer(timeout_timer_);
   timeout_timer_ = SetTimer(
@@ -189,13 +388,25 @@ void MobileClient::OnMessage(const sim::MessagePtr& msg) {
   std::size_t f = cfg_.topology->zone(reply_zone_).f;
 
   switch (msg->type()) {
+    case pbft::kReadReply: {
+      if (cur_op_ != ClientOp::kRead || read_fallback_) return;
+      auto r = std::static_pointer_cast<const pbft::ReadReplyMsg>(msg);
+      if (r->nonce != cur_read_nonce_) return;  // reply to an old attempt
+      HandleReadReply(r);
+      return;
+    }
     case pbft::kClientReply: {
       auto r = std::static_pointer_cast<const pbft::ClientReplyMsg>(msg);
       view_guess_[home_] = r->view;
       if (is_global_ || r->timestamp != cur_ts_) return;
       reply_replicas_.insert(r->replica);
       if (reply_replicas_.size() >= f + 1) {
-        CompleteOp(&stats_.local_latency_us, &stats_.local_completed);
+        if (cur_op_ == ClientOp::kRead) {
+          CompleteRead();  // fallback read finished through the txn path
+        } else {
+          session_.last_write_ts = cur_ts_;
+          CompleteOp(&stats_.local_latency_us, &stats_.local_completed);
+        }
       }
       return;
     }
@@ -220,7 +431,12 @@ void MobileClient::OnMessage(const sim::MessagePtr& msg) {
       }
       reply_replicas_.insert(r->replica);
       if (reply_replicas_.size() >= f + 1) {
-        CompleteOp(&stats_.global_latency_us, &stats_.global_completed);
+        if (cur_op_ == ClientOp::kRead) {
+          CompleteRead();  // Steward fallback read (global BAL command)
+        } else {
+          session_.last_write_ts = cur_ts_;
+          CompleteOp(&stats_.global_latency_us, &stats_.global_completed);
+        }
       }
       return;
     }
@@ -230,6 +446,9 @@ void MobileClient::OnMessage(const sim::MessagePtr& msg) {
       if (r->timestamp != cur_ts_) return;
       reply_replicas_.insert(r->replica);
       if (reply_replicas_.size() >= f + 1) {
+        // The migration moved every record the client wrote before it; the
+        // destination's NoteClientRecordInstall covers it for reads.
+        session_.last_write_ts = cur_ts_;
         CompleteOp(&stats_.global_latency_us, &stats_.global_completed);
       }
       return;
@@ -244,10 +463,24 @@ void MobileClient::OnTimer(std::uint64_t tag) {
     case kIssue:
       IssueNext();
       break;
+    case kReadRetry:
+      // Behind-wait elapsed: retry the same replica on the fast path (its
+      // next stable checkpoint should now cover the session).
+      if (in_flight_ && cur_op_ == ClientOp::kRead && !read_fallback_) {
+        SendReadRequest();
+      }
+      break;
     case kTimeout: {
       timeout_timer_ = 0;
-      if (!in_flight_ || current_request_ == nullptr) break;
+      if (!in_flight_) break;
       stats_.timeouts++;
+      if (cur_op_ == ClientOp::kRead && !read_fallback_) {
+        // A silent replica on the fast path: rotate to the next one (or
+        // fall back to the transaction path once all were tried).
+        TryNextReadReplica();
+        break;
+      }
+      if (current_request_ == nullptr) break;
       // Retransmit to every node of the serving zone; backups relay to the
       // primary and suspect it on silence (Section V-A).
       ZoneId zone = is_global_

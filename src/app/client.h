@@ -5,9 +5,11 @@
 #include <set>
 #include <vector>
 
+#include "app/workload.h"
 #include "common/metrics.h"
 #include "core/messages.h"
 #include "core/topology.h"
+#include "crypto/read_certificate.h"
 #include "crypto/signature.h"
 #include "pbft/messages.h"
 #include "sim/simulation.h"
@@ -20,27 +22,52 @@ namespace ziziphus::app {
 struct ClientStats {
   Histogram local_latency_us;
   Histogram global_latency_us;
+  Histogram read_latency_us;
   std::uint64_t local_completed = 0;
   std::uint64_t global_completed = 0;
+  std::uint64_t reads_completed = 0;
+  /// Reads that ended up as full BAL transactions (replica behind the
+  /// session, every replica exhausted, or verified reads disabled).
+  std::uint64_t read_fallbacks = 0;
+  /// behind=true replies received on the fast path.
+  std::uint64_t read_redirects = 0;
+  /// Replies rejected client-side: bad certificate, inclusion mismatch, or
+  /// a session-guarantee violation.
+  std::uint64_t read_rejects = 0;
   std::uint64_t timeouts = 0;
 
   void Reset() {
     local_latency_us.Reset();
     global_latency_us.Reset();
+    read_latency_us.Reset();
     local_completed = 0;
     global_completed = 0;
+    reads_completed = 0;
+    read_fallbacks = 0;
+    read_redirects = 0;
+    read_rejects = 0;
     timeouts = 0;
   }
 };
 
-/// A closed-loop mobile edge client (patient device / bank customer): it
-/// issues local transactions to its nearby zone and occasionally migrates
-/// to another zone (the paper's global transactions), waiting for f+1
-/// matching replies before proceeding.
+/// A closed-loop mobile edge client (patient device / bank customer). Each
+/// iteration draws one typed operation from its WorkloadMix:
+///
+///  - ClientOp::kTransfer — local transaction in the home zone, f+1 replies
+///  - ClientOp::kRead     — verified fast-path read: ONE replica returns the
+///    value plus a checkpoint-anchored ReadProof; the client verifies the
+///    certificate (f+1 signers) and inclusion digest itself and falls back
+///    to a full BAL transaction when no replica can cover its session
+///  - ClientOp::kMigrate  — global transaction moving the client's data to
+///    another zone (the paper's Algorithm 2), f+1 MIGRATION-DONE replies
+///
+/// The Session token travels with the client across migrations and enforces
+/// read-your-writes and monotonic reads (see workload.h). In causal mode
+/// the session's floor vector also rides on writes as dependency metadata.
 ///
 /// The same client drives Ziziphus, Steward (100% global command
-/// transactions) and two-level PBFT deployments; only the routing of global
-/// requests differs.
+/// transactions) and two-level PBFT deployments; only Ziziphus serves the
+/// read fast path — the baselines execute reads as ordinary transactions.
 class MobileClient : public sim::Process {
  public:
   enum class Mode { kZiziphus, kSteward, kTwoLevel };
@@ -50,12 +77,19 @@ class MobileClient : public sim::Process {
     const core::Topology* topology = nullptr;
     const crypto::KeyRegistry* keys = nullptr;
     ZoneId home = 0;
-    /// Fraction of operations that are global (migrations; for Steward this
-    /// is implicitly 1.0).
-    double global_fraction = 0.1;
-    /// Fraction of *global* operations whose destination lies in another
-    /// zone cluster (Figure 8 workloads).
-    double cross_cluster_fraction = 0.0;
+    /// Operation mix (read / global / cross-cluster fractions). For Steward
+    /// every non-read operation is implicitly global.
+    WorkloadMix mix;
+    /// Serve reads through the certified single-replica fast path. When
+    /// false every read is issued as a full BAL transaction — the baseline
+    /// arm of the read benches.
+    bool verified_reads = true;
+    /// Causal sessions: writes carry the session's floor vector as
+    /// dependencies and reads merge the checkpoint's dependency vector.
+    bool causal = false;
+    /// Retain a crypto::ReadWitness per accepted fast-path read so the
+    /// InvariantChecker can re-verify every read the run served.
+    bool record_witnesses = false;
     /// Stable-leader routing: migrations go to the destination cluster's
     /// first zone instead of the destination zone itself.
     bool stable_leader = true;
@@ -63,7 +97,16 @@ class MobileClient : public sim::Process {
     ZoneId tl_leader_zone = 0;
     Duration retry_timeout = Seconds(4);
     Duration think_time = 0;
-    /// Same-zone peers for transfer targets.
+    /// A "behind" reply usually means the next stable checkpoint has not
+    /// covered the session's last write yet — a cadence of a few
+    /// milliseconds, not an outage. Instead of surrendering to the
+    /// transaction path immediately, wait this long and retry the fast
+    /// path, up to `read_behind_waits` times per read; then fall back.
+    Duration read_behind_wait = Millis(1);
+    std::size_t read_behind_waits = 2;
+    /// Same-zone peers for transfer targets. Built by the experiment runner
+    /// before construction (client ids are predictable from registration
+    /// order), so there is no mutate-after-construct window.
     std::vector<ClientId> peers;
   };
 
@@ -72,15 +115,15 @@ class MobileClient : public sim::Process {
   /// Kicks off the closed loop after `delay` (call after registration).
   void Start(Duration delay);
 
-  /// Sets transfer targets; call before Start.
-  void SetPeers(std::vector<ClientId> peers) {
-    cfg_.peers = std::move(peers);
-  }
-
   const ClientStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
   ZoneId home() const { return home_; }
   bool idle() const { return !in_flight_; }
+  const Session& session() const { return session_; }
+  /// Accepted fast-path reads (only populated with record_witnesses set).
+  const std::vector<crypto::ReadWitness>& read_witnesses() const {
+    return witnesses_;
+  }
 
  protected:
   void OnMessage(const sim::MessagePtr& msg) override;
@@ -88,12 +131,18 @@ class MobileClient : public sim::Process {
 
  private:
   // Timer kinds, carried in sim::TimerTag{kClient, kind} (timer_tag.h).
-  enum TimerKind : std::uint8_t { kIssue = 1, kTimeout = 2 };
+  enum TimerKind : std::uint8_t { kIssue = 1, kTimeout = 2, kReadRetry = 3 };
 
   void IssueNext();
   void IssueLocal();
   void IssueGlobal();
+  void IssueRead();
+  void SendReadRequest();
+  void IssueReadFallback();
+  void TryNextReadReplica();
+  void HandleReadReply(const std::shared_ptr<const pbft::ReadReplyMsg>& r);
   void CompleteOp(Histogram* hist, std::uint64_t* counter);
+  void CompleteRead();
   void ArmTimeout();
   NodeId GuessPrimary(ZoneId zone) const;
   ZoneId PickDestination();
@@ -101,13 +150,19 @@ class MobileClient : public sim::Process {
 
   Config cfg_;
   ClientStats stats_;
+  Session session_;
+  std::vector<crypto::ReadWitness> witnesses_;
   ZoneId home_ = 0;
   bool started_ = false;
   obs::TraceContext root_ctx_;  // root span of the in-flight operation
 
   RequestTimestamp next_ts_ = 1;
   bool in_flight_ = false;
+  ClientOp cur_op_ = ClientOp::kTransfer;
   bool is_global_ = false;
+  /// Fast-path read exhausted or disabled: the in-flight BAL transaction
+  /// completes into the read stats.
+  bool read_fallback_ = false;
   RequestTimestamp cur_ts_ = 0;
   SimTime issued_at_ = 0;
   ZoneId pending_dest_ = kInvalidZone;
@@ -118,6 +173,15 @@ class MobileClient : public sim::Process {
   sim::MessagePtr current_request_;        // for timeout re-multicast
   std::uint64_t timeout_timer_ = 0;
   std::map<ZoneId, ViewId> view_guess_;
+
+  // Read fast-path state for the in-flight read.
+  std::string read_key_;
+  std::uint64_t next_read_nonce_ = 1;
+  std::uint64_t cur_read_nonce_ = 0;
+  std::size_t read_member_rr_ = 0;  // rotates so reads spread across replicas
+  std::size_t read_tried_ = 0;
+  std::size_t read_waited_ = 0;  // behind-wait retries spent on this read
+  SeqNum read_floor_before_ = 0;
 };
 
 /// Closed-loop client of the flat PBFT baseline: every operation goes
@@ -130,15 +194,14 @@ class FlatClient : public sim::Process {
     const crypto::KeyRegistry* keys = nullptr;
     Duration retry_timeout = Seconds(4);
     Duration think_time = 0;
+    /// Peers for transfer targets; built before construction like
+    /// MobileClient::Config::peers.
     std::vector<ClientId> peers;
   };
 
   explicit FlatClient(Config config) : cfg_(std::move(config)) {}
 
   void Start(Duration delay);
-  void SetPeers(std::vector<ClientId> peers) {
-    cfg_.peers = std::move(peers);
-  }
   const ClientStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 

@@ -98,6 +98,12 @@ std::string ExperimentResult::ToString() const {
      << p99_ms << "), local " << local_ops << " ops @" << local_avg_ms
      << " ms, global " << global_ops << " ops @" << global_avg_ms
      << " ms, timeouts " << timeouts;
+  if (read_ops > 0) {
+    os << ", reads " << read_ops << " ops @" << read_avg_ms << " ms ("
+       << reads_served << " served, " << read_fallbacks << " fallbacks, "
+       << reads_redirects << " redirects, " << reads_cert_rejected
+       << " rejected)";
+  }
   if (traces_completed > 0) {
     os << "; traced " << traces_completed << " ops: " << trace_total_ms
        << " ms = wan " << trace_wan_ms << " + lan " << trace_lan_ms
@@ -113,6 +119,31 @@ namespace {
 
 storage::KvStore::Map SeedBalance(ClientId client) {
   return {{BankStateMachine::AccountKey(client), "1000"}};
+}
+
+/// Simulation::Register hands out sequential ids, so given the id the next
+/// registration will get, the whole client id layout is known up front.
+std::vector<std::vector<ClientId>> PredictClientIds(std::size_t next_id,
+                                                    std::size_t zones,
+                                                    std::size_t per_zone) {
+  std::vector<std::vector<ClientId>> out(zones);
+  for (auto& zone_ids : out) {
+    zone_ids.reserve(per_zone);
+    for (std::size_t i = 0; i < per_zone; ++i) {
+      zone_ids.push_back(static_cast<ClientId>(next_id++));
+    }
+  }
+  return out;
+}
+
+std::vector<ClientId> PeersExcluding(const std::vector<ClientId>& ids,
+                                     ClientId self) {
+  std::vector<ClientId> peers;
+  peers.reserve(ids.size() - 1);
+  for (ClientId p : ids) {
+    if (p != self) peers.push_back(p);
+  }
+  return peers;
 }
 
 struct ClientPool {
@@ -134,27 +165,60 @@ ExperimentResult Collect(Protocol protocol, const ClientPool& pool,
                          Duration measure, std::uint64_t messages) {
   ExperimentResult out;
   out.protocol = protocol;
-  Histogram all, local, global;
+  Histogram all, local, global, reads;
   pool.ForEachStats([&](const ClientStats& s) {
     all.Merge(s.local_latency_us);
     all.Merge(s.global_latency_us);
+    all.Merge(s.read_latency_us);
     local.Merge(s.local_latency_us);
     global.Merge(s.global_latency_us);
+    reads.Merge(s.read_latency_us);
     out.local_ops += s.local_completed;
     out.global_ops += s.global_completed;
+    out.read_ops += s.reads_completed;
+    out.read_fallbacks += s.read_fallbacks;
     out.timeouts += s.timeouts;
   });
   double secs = ToSeconds(measure);
   out.throughput_tps =
-      secs > 0 ? (out.local_ops + out.global_ops) / secs : 0.0;
+      secs > 0 ? (out.local_ops + out.global_ops + out.read_ops) / secs : 0.0;
   out.avg_latency_ms = all.Mean() / 1000.0;
   out.p50_ms = all.Quantile(0.5) / 1000.0;
   out.p99_ms = all.Quantile(0.99) / 1000.0;
   out.local_avg_ms = local.Mean() / 1000.0;
   out.global_avg_ms = global.Mean() / 1000.0;
+  out.read_avg_ms = reads.Mean() / 1000.0;
   out.messages_sent = messages;
   return out;
 }
+
+/// reads.* counter totals at one instant; the measurement window reports
+/// the delta between two snapshots (warmup traffic excluded).
+struct ReadCounterSnap {
+  std::uint64_t served = 0;
+  std::uint64_t verified = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t redirects = 0;
+  std::uint64_t violations = 0;
+
+  static ReadCounterSnap Take(const CounterSet& c) {
+    ReadCounterSnap s;
+    s.served = c.Get(obs::CounterId::kReadsServed);
+    s.verified = c.Get(obs::CounterId::kReadsCertVerified);
+    s.rejected = c.Get(obs::CounterId::kReadsCertRejected);
+    s.redirects = c.Get(obs::CounterId::kReadsRedirects);
+    s.violations = c.Get(obs::CounterId::kReadsSessionViolationsDetected);
+    return s;
+  }
+  void DeltaInto(const CounterSet& c, ExperimentResult* r) const {
+    ReadCounterSnap now = Take(c);
+    r->reads_served = now.served - served;
+    r->reads_cert_verified = now.verified - verified;
+    r->reads_cert_rejected = now.rejected - rejected;
+    r->reads_redirects = now.redirects - redirects;
+    r->reads_session_violations = now.violations - violations;
+  }
+};
 
 /// Turns the causal tracer on at the measurement boundary. Warmup traffic
 /// is never traced, so the warmup event schedule is byte-identical with
@@ -191,8 +255,12 @@ ExperimentResult RunZiziphusLike(Protocol protocol,
   }
   sys.Finalize(cfg, [](ZoneId) { return std::make_unique<BankStateMachine>(); });
 
+  // Client ids are assigned sequentially at registration, so the full
+  // per-zone id layout is known before any client exists — each Config
+  // carries its peer list from construction (no mutate-after-construct).
+  std::vector<std::vector<ClientId>> per_zone_ids = PredictClientIds(
+      sys.sim().num_processes(), dep.zones.size(), wl.clients_per_zone);
   ClientPool pool;
-  std::vector<std::vector<ClientId>> per_zone_ids(dep.zones.size());
   for (std::size_t z = 0; z < dep.zones.size(); ++z) {
     for (std::size_t i = 0; i < wl.clients_per_zone; ++i) {
       MobileClient::Config cc;
@@ -201,39 +269,27 @@ ExperimentResult RunZiziphusLike(Protocol protocol,
       cc.topology = &sys.topology();
       cc.keys = &sys.keys();
       cc.home = static_cast<ZoneId>(z);
-      cc.global_fraction = wl.global_fraction;
-      cc.cross_cluster_fraction = wl.cross_cluster_fraction;
+      cc.mix = wl.mix;
+      cc.verified_reads = wl.verified_reads;
+      cc.causal = wl.causal;
       cc.stable_leader = cfg.sync.stable_leader;
       cc.retry_timeout = Seconds(8);
+      cc.peers = PeersExcluding(per_zone_ids[z], per_zone_ids[z][i]);
       auto client = std::make_unique<MobileClient>(std::move(cc));
       NodeId cid = sys.sim().Register(client.get(), dep.zones[z].region);
-      per_zone_ids[z].push_back(cid);
+      ZCHECK(cid == per_zone_ids[z][i]);
       pool.mobile.push_back(std::move(client));
     }
   }
-  // Peers + accounts.
-  std::size_t k = 0;
   for (std::size_t z = 0; z < dep.zones.size(); ++z) {
     for (ClientId cid : per_zone_ids[z]) {
       sys.BootstrapClient(cid, static_cast<ZoneId>(z), SeedBalance,
                           protocol == Protocol::kSteward);
-      (void)k;
     }
   }
-  // Hand every client its same-zone peers and start it (staggered).
-  std::size_t idx = 0;
-  for (std::size_t z = 0; z < dep.zones.size(); ++z) {
-    for (std::size_t i = 0; i < per_zone_ids[z].size(); ++i, ++idx) {
-      MobileClient* c = pool.mobile[idx].get();
-      // Mutating config post-construction is fine pre-Start.
-      // (Peers exclude self.)
-      std::vector<ClientId> peers;
-      for (ClientId p : per_zone_ids[z]) {
-        if (p != per_zone_ids[z][i]) peers.push_back(p);
-      }
-      c->SetPeers(std::move(peers));
-      c->Start(/*delay=*/sys.sim().rng().NextBounded(2000));
-    }
+  // Start every client (staggered).
+  for (auto& c : pool.mobile) {
+    c->Start(/*delay=*/sys.sim().rng().NextBounded(2000));
   }
 
   CrashBackups(sys.sim(), sys.topology(), faults.crashed_backups_per_zone);
@@ -242,10 +298,12 @@ ExperimentResult RunZiziphusLike(Protocol protocol,
   pool.ResetStats();
   EnableTracing(sys.sim(), ospec);
   std::uint64_t msgs0 = sys.sim().counters().Get(obs::CounterId::kNetMsgsSent);
+  ReadCounterSnap reads0 = ReadCounterSnap::Take(sys.sim().counters());
   sys.sim().RunUntil(wl.warmup + wl.measure);
   std::uint64_t msgs =
       sys.sim().counters().Get(obs::CounterId::kNetMsgsSent) - msgs0;
   ExperimentResult r = Collect(protocol, pool, wl.measure, msgs);
+  reads0.DeltaInto(sys.sim().counters(), &r);
   r.events_dispatched = sys.sim().events_dispatched();
   if (ospec.trace) FinishObservedRun(sys.sim().recorder(), ospec, &r);
   return r;
@@ -285,8 +343,9 @@ ExperimentResult RunTwoLevel(const DeploymentSpec& dep,
   cfg.migration.costs.crypto.threshold_signatures = false;
   sys.Finalize(cfg, [](ZoneId) { return std::make_unique<BankStateMachine>(); });
 
+  std::vector<std::vector<ClientId>> per_zone_ids = PredictClientIds(
+      sys.sim().num_processes(), z_real, wl.clients_per_zone);
   ClientPool pool;
-  std::vector<std::vector<ClientId>> per_zone_ids(z_real);
   for (std::size_t z = 0; z < z_real; ++z) {
     for (std::size_t i = 0; i < wl.clients_per_zone; ++i) {
       MobileClient::Config cc;
@@ -294,12 +353,13 @@ ExperimentResult RunTwoLevel(const DeploymentSpec& dep,
       cc.topology = &sys.topology();
       cc.keys = &sys.keys();
       cc.home = static_cast<ZoneId>(z);
-      cc.global_fraction = wl.global_fraction;
-      cc.cross_cluster_fraction = 0.0;
+      cc.mix = wl.mix;
+      cc.mix.cross_cluster_fraction = 0.0;
       cc.tl_leader_zone = 0;
+      cc.peers = PeersExcluding(per_zone_ids[z], per_zone_ids[z][i]);
       auto client = std::make_unique<MobileClient>(std::move(cc));
       NodeId cid = sys.sim().Register(client.get(), dep.zones[z].region);
-      per_zone_ids[z].push_back(cid);
+      ZCHECK(cid == per_zone_ids[z][i]);
       pool.mobile.push_back(std::move(client));
     }
   }
@@ -308,16 +368,8 @@ ExperimentResult RunTwoLevel(const DeploymentSpec& dep,
       sys.BootstrapClient(cid, static_cast<ZoneId>(z), SeedBalance);
     }
   }
-  std::size_t idx = 0;
-  for (std::size_t z = 0; z < z_real; ++z) {
-    for (std::size_t i = 0; i < per_zone_ids[z].size(); ++i, ++idx) {
-      std::vector<ClientId> peers;
-      for (ClientId p : per_zone_ids[z]) {
-        if (p != per_zone_ids[z][i]) peers.push_back(p);
-      }
-      pool.mobile[idx]->SetPeers(std::move(peers));
-      pool.mobile[idx]->Start(sys.sim().rng().NextBounded(2000));
-    }
+  for (auto& c : pool.mobile) {
+    c->Start(sys.sim().rng().NextBounded(2000));
   }
 
   CrashBackups(sys.sim(), sys.topology(), faults.crashed_backups_per_zone);
@@ -364,17 +416,19 @@ ExperimentResult RunFlat(const DeploymentSpec& dep, const WorkloadSpec& wl,
     rep->Init(&keys, pcfg, std::make_unique<BankStateMachine>());
   }
 
+  std::vector<std::vector<ClientId>> per_zone_ids = PredictClientIds(
+      sim.num_processes(), dep.zones.size(), wl.clients_per_zone);
   ClientPool pool;
-  std::vector<std::vector<ClientId>> per_zone_ids(dep.zones.size());
   for (std::size_t z = 0; z < dep.zones.size(); ++z) {
     for (std::size_t i = 0; i < wl.clients_per_zone; ++i) {
       FlatClient::Config cc;
       cc.group = group;
       cc.f = flat_f;
       cc.keys = &keys;
+      cc.peers = PeersExcluding(per_zone_ids[z], per_zone_ids[z][i]);
       auto client = std::make_unique<FlatClient>(std::move(cc));
       NodeId cid = sim.Register(client.get(), dep.zones[z].region);
-      per_zone_ids[z].push_back(cid);
+      ZCHECK(cid == per_zone_ids[z][i]);
       pool.flat.push_back(std::move(client));
     }
   }
@@ -385,16 +439,8 @@ ExperimentResult RunFlat(const DeploymentSpec& dep, const WorkloadSpec& wl,
       for (ClientId cid : zone_ids) bank->OpenAccount(cid, 1000);
     }
   }
-  std::size_t idx = 0;
-  for (std::size_t z = 0; z < dep.zones.size(); ++z) {
-    for (std::size_t i = 0; i < per_zone_ids[z].size(); ++i, ++idx) {
-      std::vector<ClientId> peers;
-      for (ClientId p : per_zone_ids[z]) {
-        if (p != per_zone_ids[z][i]) peers.push_back(p);
-      }
-      pool.flat[idx]->SetPeers(std::move(peers));
-      pool.flat[idx]->Start(sim.rng().NextBounded(2000));
-    }
+  for (auto& c : pool.flat) {
+    c->Start(sim.rng().NextBounded(2000));
   }
 
   if (faults.crashed_backups_per_zone > 0) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "app/workload.h"
 #include "common/types.h"
 #include "core/system.h"
 #include "sim/event_queue.h"
@@ -50,11 +51,16 @@ DeploymentSpec ClusteredDeployment(std::size_t clusters,
                                    std::size_t f = 1);
 
 /// Workload knobs (Section VII: 10/30/50% global transactions; Figure 8
-/// adds the cross-cluster fraction).
+/// adds the cross-cluster fraction; the read benches add read-heavy mixes).
 struct WorkloadSpec {
   std::size_t clients_per_zone = 100;
-  double global_fraction = 0.1;
-  double cross_cluster_fraction = 0.0;
+  /// The operation mix, shared with chaos/soak/benches (see workload.h).
+  WorkloadMix mix;
+  /// Serve reads through the certified fast path (Ziziphus only); false
+  /// forces every read through a full BAL transaction — the control arm.
+  bool verified_reads = true;
+  /// Causal sessions: writes carry the session floor vector as deps.
+  bool causal = false;
   Duration warmup = Millis(800);
   Duration measure = Seconds(2);
   std::uint64_t seed = 42;
@@ -89,6 +95,17 @@ struct ExperimentResult {
   std::uint64_t local_ops = 0;
   std::uint64_t global_ops = 0;
   std::uint64_t timeouts = 0;
+
+  // ---- Read fast path (populated when the mix issues reads) -------------
+  std::uint64_t read_ops = 0;        // completed reads (fast or fallback)
+  double read_avg_ms = 0;
+  std::uint64_t read_fallbacks = 0;  // reads that became BAL transactions
+  // System-wide reads.* counter deltas over the measurement window.
+  std::uint64_t reads_served = 0;
+  std::uint64_t reads_cert_verified = 0;
+  std::uint64_t reads_cert_rejected = 0;
+  std::uint64_t reads_redirects = 0;
+  std::uint64_t reads_session_violations = 0;
   std::uint64_t messages_sent = 0;
   /// Total simulator events dispatched over the whole run (warmup +
   /// measurement); the denominator for scheduler-throughput benchmarks.

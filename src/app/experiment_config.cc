@@ -31,9 +31,14 @@ std::string ExperimentConfig::ToString() const {
   os << ProtocolName(protocol) << " zones=" << zones;
   if (clusters > 1) os << "x" << clusters << " clusters";
   os << " f=" << f << " clients/zone=" << workload.clients_per_zone
-     << " global=" << workload.global_fraction * 100 << "%";
-  if (workload.cross_cluster_fraction > 0) {
-    os << " cross=" << workload.cross_cluster_fraction * 100 << "%";
+     << " global=" << workload.mix.global_fraction * 100 << "%";
+  if (workload.mix.cross_cluster_fraction > 0) {
+    os << " cross=" << workload.mix.cross_cluster_fraction * 100 << "%";
+  }
+  if (workload.mix.read_fraction > 0) {
+    os << " reads=" << workload.mix.read_fraction * 100 << "%";
+    if (!workload.verified_reads) os << " (txn-path)";
+    if (workload.causal) os << " causal";
   }
   if (faults.crashed_backups_per_zone > 0) {
     os << " crashed/zone=" << faults.crashed_backups_per_zone;
@@ -100,9 +105,17 @@ bool ExperimentConfig::ApplyFlag(const char* arg) {
   } else if (FlagValue(arg, "clients", &v)) {
     workload.clients_per_zone = ToU64(v);
   } else if (FlagValue(arg, "global", &v)) {
-    workload.global_fraction = std::strtod(v.c_str(), nullptr);
+    workload.mix.global_fraction = std::strtod(v.c_str(), nullptr);
   } else if (FlagValue(arg, "cross", &v)) {
-    workload.cross_cluster_fraction = std::strtod(v.c_str(), nullptr);
+    workload.mix.cross_cluster_fraction = std::strtod(v.c_str(), nullptr);
+  } else if (FlagValue(arg, "reads", &v)) {
+    workload.mix.read_fraction = std::strtod(v.c_str(), nullptr);
+  } else if (FlagValue(arg, "verified-reads", &v)) {
+    workload.verified_reads = v != "0" && v != "false";
+  } else if (std::strcmp(arg, "--causal") == 0) {
+    workload.causal = true;
+  } else if (FlagValue(arg, "causal", &v)) {
+    workload.causal = v != "0" && v != "false";
   } else if (FlagValue(arg, "warmup-ms", &v)) {
     workload.warmup = Millis(ToU64(v));
   } else if (FlagValue(arg, "measure-ms", &v)) {
@@ -187,6 +200,10 @@ obs::Tracer::TypeLabeler PhaseLabeler() {
         return "pbft.state-request";
       case pbft::kStateResponse:
         return "pbft.state-response";
+      case pbft::kReadRequest:
+        return "read.request";
+      case pbft::kReadReply:
+        return "read.reply";
       // Data synchronization / migration (core/messages.h).
       case core::kMigrationRequest:
         return "sync.migration-request";

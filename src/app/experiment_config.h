@@ -67,11 +67,23 @@ struct ExperimentConfig {
     return *this;
   }
   ExperimentConfig& WithGlobalFraction(double frac) {
-    workload.global_fraction = frac;
+    workload.mix.global_fraction = frac;
     return *this;
   }
   ExperimentConfig& WithCrossClusterFraction(double frac) {
-    workload.cross_cluster_fraction = frac;
+    workload.mix.cross_cluster_fraction = frac;
+    return *this;
+  }
+  ExperimentConfig& WithReadFraction(double frac) {
+    workload.mix.read_fraction = frac;
+    return *this;
+  }
+  ExperimentConfig& WithVerifiedReads(bool on) {
+    workload.verified_reads = on;
+    return *this;
+  }
+  ExperimentConfig& WithCausal(bool on = true) {
+    workload.causal = on;
     return *this;
   }
   ExperimentConfig& WithWarmup(Duration d) {
@@ -129,12 +141,12 @@ struct ExperimentConfig {
   bool ApplyFlag(const char* arg);
 
   /// Parses `--key=value` flags: --protocol= --zones= --clusters= --f=
-  /// --clients= --global= --cross= --warmup-ms= --measure-ms= --seed=
-  /// --queue=calendar|heap --faults= --no-stable-leader --trace[=0|1]
-  /// --sample-every= --json-out= --byzantine= --think-ms=
-  /// --fault-window-ms= --crash-amnesia=N (amnesia crash/recover pairs in
-  /// the chaos timeline). Unknown flags are ignored so binary-specific
-  /// extras can ride along.
+  /// --clients= --global= --cross= --reads= --verified-reads=0|1 --causal
+  /// --warmup-ms= --measure-ms= --seed= --queue=calendar|heap --faults=
+  /// --no-stable-leader --trace[=0|1] --sample-every= --json-out=
+  /// --byzantine= --think-ms= --fault-window-ms= --crash-amnesia=N
+  /// (amnesia crash/recover pairs in the chaos timeline). Unknown flags
+  /// are ignored so binary-specific extras can ride along.
   static ExperimentConfig FromFlags(int argc, char** argv);
 
   /// In-place variant for binaries whose flag framework rejects unknown
@@ -207,6 +219,17 @@ void ReportResult(State& state, std::string name,
   put("local_ops", static_cast<double>(r.local_ops));
   put("global_ops", static_cast<double>(r.global_ops));
   put("timeouts", static_cast<double>(r.timeouts));
+  if (r.read_ops > 0) {
+    put("read_ops", static_cast<double>(r.read_ops));
+    put("read_ms", r.read_avg_ms);
+    put("read_fallbacks", static_cast<double>(r.read_fallbacks));
+    put("reads_served", static_cast<double>(r.reads_served));
+    put("reads_cert_verified", static_cast<double>(r.reads_cert_verified));
+    put("reads_cert_rejected", static_cast<double>(r.reads_cert_rejected));
+    put("reads_redirects", static_cast<double>(r.reads_redirects));
+    put("reads_session_violations",
+        static_cast<double>(r.reads_session_violations));
+  }
   if (r.traces_completed > 0) {
     put("traces", static_cast<double>(r.traces_completed));
     put("trace_total_ms", r.trace_total_ms);
@@ -234,9 +257,14 @@ void ReportCell(State& state, Protocol proto, const DeploymentSpec& dep,
   std::ostringstream name;
   name << ProtocolName(proto) << "/zones:" << dep.zones.size()
        << "/f:" << dep.f << "/clients:" << wl.clients_per_zone
-       << "/global:" << std::lround(wl.global_fraction * 100);
-  if (wl.cross_cluster_fraction > 0) {
-    name << "/cross:" << std::lround(wl.cross_cluster_fraction * 100);
+       << "/global:" << std::lround(wl.mix.global_fraction * 100);
+  if (wl.mix.cross_cluster_fraction > 0) {
+    name << "/cross:" << std::lround(wl.mix.cross_cluster_fraction * 100);
+  }
+  if (wl.mix.read_fraction > 0) {
+    name << "/reads:" << std::lround(wl.mix.read_fraction * 100);
+    if (!wl.verified_reads) name << "/txn-path";
+    if (wl.causal) name << "/causal";
   }
   if (dep.num_clusters() > 1) name << "/clusters:" << dep.num_clusters();
   if (faults.crashed_backups_per_zone > 0) {

@@ -70,11 +70,23 @@ class SoakClient : public sim::Process {
     migrations_left_ = count;
   }
 
+  /// Chases every completed XFER with one verified fast-path read of the
+  /// client's own account (bounded round-robin circuit of the zone, same
+  /// discipline as the chaos client). Accepted reads land in `witnesses`.
+  void EnableReads(ZoneId zone, std::vector<crypto::ReadWitness>* witnesses) {
+    reads_enabled_ = true;
+    zone_ = zone;
+    witnesses_ = witnesses;
+  }
+
   void Kick() { SubmitNext(); }
 
-  bool quiesced() const { return !in_flight_; }
+  bool quiesced() const { return !in_flight_ && !read_in_flight_; }
   std::uint64_t completed() const { return completed_; }
   bool global() const { return mode_ == Mode::kMigrate; }
+  std::uint64_t reads_ok() const { return reads_ok_; }
+  std::uint64_t reads_rejected() const { return reads_rejected_; }
+  std::uint64_t reads_abandoned() const { return reads_abandoned_; }
 
  protected:
   void OnMessage(const sim::MessagePtr& msg) override {
@@ -96,6 +108,9 @@ class SoakClient : public sim::Process {
         }
         break;
       }
+      case pbft::kReadReply:
+        HandleReadReply(static_cast<const pbft::ReadReplyMsg&>(*msg));
+        break;
       default:
         break;
     }
@@ -104,6 +119,12 @@ class SoakClient : public sim::Process {
   void OnTimer(std::uint64_t ts) override {
     if (ts == kThinkTag) {
       SubmitNext();
+      return;
+    }
+    if (ts >= kReadTagBase) {
+      if (read_in_flight_ && ts == kReadTagBase + cur_read_nonce_) {
+        NextReadAttempt();
+      }
       return;
     }
     if (!in_flight_ || ts != current_ts_) return;
@@ -115,6 +136,7 @@ class SoakClient : public sim::Process {
   enum class Mode { kXfer, kPut, kMigrate };
 
   static constexpr std::uint64_t kThinkTag = 0;
+  static constexpr std::uint64_t kReadTagBase = std::uint64_t{1} << 32;
 
   Duration ThinkNow() {
     double factor = schedule_ != nullptr ? schedule_->LoadFactor(Now()) : 1.0;
@@ -128,6 +150,79 @@ class SoakClient : public sim::Process {
     in_flight_ = false;
     ++completed_;
     votes_.clear();
+    session_.last_write_ts = current_ts_;
+    if (reads_enabled_ && mode_ == Mode::kXfer) {
+      StartRead();
+      return;
+    }
+    SetTimer(ThinkNow(), kThinkTag);
+  }
+
+  void StartRead() {
+    read_in_flight_ = true;
+    read_attempts_ = 0;
+    read_floor_before_ = session_.FloorFor(zone_);
+    SendReadAttempt();
+  }
+
+  void SendReadAttempt() {
+    cur_read_nonce_ = next_read_nonce_++;
+    auto req = std::make_shared<pbft::ReadRequestMsg>();
+    req->client = id();
+    req->nonce = cur_read_nonce_;
+    req->key = BankStateMachine::AccountKey(id());
+    req->min_stable_seq = session_.FloorFor(zone_);
+    req->min_write_ts = session_.last_write_ts;
+    req->client_sig = keys_->Sign(id(), req->ComputeDigest());
+    Send(retry_group_[read_rr_ % retry_group_.size()], req);
+    SetTimer(retry_timeout_, kReadTagBase + cur_read_nonce_);
+  }
+
+  void NextReadAttempt() {
+    ++read_rr_;
+    if (++read_attempts_ >= retry_group_.size()) {
+      ++reads_abandoned_;
+      FinishRead();
+      return;
+    }
+    SendReadAttempt();
+  }
+
+  void HandleReadReply(const pbft::ReadReplyMsg& r) {
+    if (!read_in_flight_ || r.nonce != cur_read_nonce_) return;
+    switch (VerifyReadReply(*keys_, retry_group_, f_, r, session_, zone_)) {
+      case ReadVerdict::kOk:
+        session_.AdvanceFloor(zone_, r.proof.anchor_seq);
+        ++reads_ok_;
+        scoped_counters().Inc(obs::CounterId::kReadsCertVerified);
+        if (witnesses_ != nullptr) {
+          witnesses_->push_back({id(), zone_, r.key, r.value, r.found,
+                                 r.proof, read_floor_before_});
+        }
+        FinishRead();
+        break;
+      case ReadVerdict::kBehind:
+        // Honest "cannot cover your session yet": wait for the armed retry
+        // timer — the covering checkpoint needs a few more committed ops.
+        break;
+      case ReadVerdict::kBadCertificate:
+      case ReadVerdict::kBadInclusion:
+        ++reads_rejected_;
+        scoped_counters().Inc(obs::CounterId::kReadsCertRejected);
+        NextReadAttempt();
+        break;
+      case ReadVerdict::kStaleAnchor:
+      case ReadVerdict::kStaleWrite:
+        ++reads_rejected_;
+        scoped_counters().Inc(
+            obs::CounterId::kReadsSessionViolationsDetected);
+        NextReadAttempt();
+        break;
+    }
+  }
+
+  void FinishRead() {
+    read_in_flight_ = false;
     SetTimer(ThinkNow(), kThinkTag);
   }
 
@@ -175,6 +270,22 @@ class SoakClient : public sim::Process {
   Duration base_think_;
   const sim::SoakSchedule* schedule_;
   SimTime stop_at_;
+
+  // Read fast path (EnableReads).
+  bool reads_enabled_ = false;
+  ZoneId zone_ = 0;
+  std::vector<crypto::ReadWitness>* witnesses_ = nullptr;
+  Session session_;
+  bool read_in_flight_ = false;
+  std::size_t read_attempts_ = 0;
+  std::size_t read_rr_ = 0;
+  SeqNum read_floor_before_ = 0;
+  RequestTimestamp cur_read_nonce_ = 0;
+  RequestTimestamp next_read_nonce_ = 1;
+  std::uint64_t reads_ok_ = 0;
+  std::uint64_t reads_rejected_ = 0;
+  std::uint64_t reads_abandoned_ = 0;
+
   Mode mode_ = Mode::kXfer;
   NodeId target_ = kInvalidNode;
   std::vector<NodeId> retry_group_;
@@ -329,6 +440,7 @@ SoakReport RunZiziphusSoak(const SoakOptions& opt) {
 
   sim::InvariantChecker::Accounts accounts;
   std::vector<std::unique_ptr<SoakClient>> clients;
+  std::vector<crypto::ReadWitness> witnesses;
   for (std::size_t z = 0; z < opt.zones; ++z) {
     ZoneId zone = static_cast<ZoneId>(z);
     const std::vector<NodeId>& members = sys.topology().zone(zone).members;
@@ -344,6 +456,10 @@ SoakReport RunZiziphusSoak(const SoakOptions& opt) {
       ClientId cb = sys.sim().Register(b.get(), static_cast<RegionId>(z % 7));
       a->ScriptXferLoop(primary, members, cb);
       b->ScriptXferLoop(primary, members, ca);
+      if (opt.mix.read_fraction > 0) {
+        a->EnableReads(zone, &witnesses);
+        b->EnableReads(zone, &witnesses);
+      }
       accounts.load_clients[zone].push_back(ca);
       accounts.load_clients[zone].push_back(cb);
       accounts.zone_load_totals[zone] += 2 * kInitialBalance;
@@ -421,6 +537,9 @@ SoakReport RunZiziphusSoak(const SoakOptions& opt) {
   for (const auto& c : clients) {
     (c->global() ? report.global_completed : report.local_completed) +=
         c->completed();
+    report.reads_ok += c->reads_ok();
+    report.reads_rejected += c->reads_rejected();
+    report.reads_abandoned += c->reads_abandoned();
   }
   for (const SoakMemSample& s : report.samples) {
     report.high_water_live_bytes =
@@ -432,6 +551,7 @@ SoakReport RunZiziphusSoak(const SoakOptions& opt) {
 
   sim::InvariantChecker::Options iopt;
   iopt.accounts = std::move(accounts);
+  iopt.read_witnesses = std::move(witnesses);
   iopt.balance_of = [](const core::ZoneStateMachine& app, ClientId c) {
     return static_cast<const BankStateMachine&>(app).BalanceOf(c);
   };

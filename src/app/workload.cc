@@ -1,0 +1,59 @@
+#include "app/workload.h"
+
+#include <algorithm>
+
+#include "storage/kv_store.h"
+
+namespace ziziphus::app {
+
+const char* ReadVerdictName(ReadVerdict v) {
+  switch (v) {
+    case ReadVerdict::kOk:
+      return "ok";
+    case ReadVerdict::kBehind:
+      return "behind";
+    case ReadVerdict::kBadCertificate:
+      return "bad-certificate";
+    case ReadVerdict::kBadInclusion:
+      return "bad-inclusion";
+    case ReadVerdict::kStaleAnchor:
+      return "stale-anchor";
+    case ReadVerdict::kStaleWrite:
+      return "stale-write";
+  }
+  return "unknown";
+}
+
+ReadVerdict VerifyReadReply(const crypto::KeyRegistry& keys,
+                            const std::vector<NodeId>& zone_members,
+                            std::size_t f, const pbft::ReadReplyMsg& reply,
+                            const Session& session, ZoneId zone) {
+  if (reply.behind) return ReadVerdict::kBehind;
+  auto is_member = [&zone_members](NodeId n) {
+    return std::find(zone_members.begin(), zone_members.end(), n) !=
+           zone_members.end();
+  };
+  // Split VerifyReadProof's two legs so the stale-read Byzantine sweep can
+  // assert *which* check caught the lie: a bogus certificate versus a
+  // certified checkpoint whose digest the served value does not fold into.
+  Status cert_ok = crypto::VerifyCertificate(
+      keys, reply.proof.certificate,
+      crypto::CheckpointCertDigest(reply.proof.anchor_seq,
+                                   reply.proof.state_digest),
+      /*quorum=*/f + 1, is_member);
+  if (!cert_ok.ok()) return ReadVerdict::kBadCertificate;
+  std::uint64_t record_digest =
+      reply.found ? storage::KvStore::EntryDigest(reply.key, reply.value) : 0;
+  if (record_digest + reply.proof.rest_digest != reply.proof.state_digest) {
+    return ReadVerdict::kBadInclusion;
+  }
+  if (reply.proof.anchor_seq < session.FloorFor(zone)) {
+    return ReadVerdict::kStaleAnchor;
+  }
+  if (reply.covered_write_ts < session.last_write_ts) {
+    return ReadVerdict::kStaleWrite;
+  }
+  return ReadVerdict::kOk;
+}
+
+}  // namespace ziziphus::app

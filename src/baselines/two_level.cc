@@ -400,7 +400,8 @@ void TwoLevelNode::Init(const crypto::KeyRegistry* keys,
   migration_->set_state_provider(
       [this](ClientId c) { return app_->ClientRecords(c); });
   migration_->set_state_installer(
-      [this](ClientId c, const storage::KvStore::Map& records) {
+      [this](ClientId c, const storage::KvStore::Map& records,
+             RequestTimestamp /*migration_ts*/) {
         app_->InstallClientRecords(c, records);
       });
   migration_->set_done_callback([this](const MigrationOp& op) {

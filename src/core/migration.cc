@@ -327,7 +327,9 @@ void MigrationEngine::OnEndorseQuorum(const EndorseKey& key,
         marker.records = st.records;
       }
       transport_->ChargeCpu(config_.costs.apply_us);
-      if (installer_ != nullptr) installer_(st.op.client, st.records);
+      if (installer_ != nullptr) {
+        installer_(st.op.client, st.records, st.op.timestamp);
+      }
       locks_->SetLocked(st.op.client, true);
       transport_->EndSpan(st.install_span);  // STATE received -> installed
       st.install_span = 0;
@@ -499,7 +501,7 @@ void MigrationEngine::RestoreFromDurable() {
       completed_++;
       if (my_zone_ == marker.op.destination && installer_ != nullptr) {
         transport_->ChargeCpu(config_.costs.apply_us);
-        installer_(marker.op.client, marker.records);
+        installer_(marker.op.client, marker.records, marker.op.timestamp);
       }
     } else if (my_zone_ == marker.op.destination) {
       // Mid-migration at the destination: resume waiting for STATE with a

@@ -41,8 +41,12 @@ class MigrationEngine {
   using StateProvider =
       std::function<storage::KvStore::Map(ClientId client)>;
   /// Installs migrated records into the local application state.
+  /// `migration_ts` is the migration op's client timestamp: every write the
+  /// client made before migrating carries a lower one, so the host can
+  /// advance its read-your-writes coverage for the client with the install.
   using StateInstaller = std::function<void(
-      ClientId client, const storage::KvStore::Map& records)>;
+      ClientId client, const storage::KvStore::Map& records,
+      RequestTimestamp migration_ts)>;
   /// Fired at destination-zone nodes when the append completes; the host
   /// sends the final reply to the client.
   using DoneCallback = std::function<void(const MigrationOp& op)>;

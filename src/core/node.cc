@@ -104,10 +104,15 @@ void ZiziphusNode::BuildEngines() {
   migration_->set_state_provider(
       [this](ClientId c) { return app_->ClientRecords(c); });
   migration_->set_state_installer(
-      [this](ClientId c, const storage::KvStore::Map& records) {
+      [this](ClientId c, const storage::KvStore::Map& records,
+             RequestTimestamp migration_ts) {
         // Installs bypass the PBFT op stream, so peers must not serve this
         // node's pre-install state as a delta base afterwards.
         pbft_->NoteOutOfBandMutation();
+        // The installed records reflect every write the client completed
+        // before the migration op (timestamps below migration_ts), so the
+        // read path's coverage for the client jumps with the install.
+        pbft_->NoteClientRecordInstall(c, migration_ts);
         app_->InstallClientRecords(c, records);
       });
   migration_->set_commit_reshipper([this](std::uint64_t request_id,
@@ -170,6 +175,28 @@ void ZiziphusNode::OnMessage(const sim::MessagePtr& msg) {
     auto req = std::static_pointer_cast<const pbft::ClientRequestMsg>(msg);
     if (!locks_.IsLocked(req->op.client)) {
       counters().Inc(obs::CounterId::kNodeUnlockedClientRejected);
+      return;
+    }
+    pbft_->HandleMessage(msg);
+    return;
+  }
+  // Fast-path reads are gated like transactions: a zone the client migrated
+  // away from must not serve its data. Unlike a transaction the client is
+  // waiting on exactly this replica, so answer behind=true (redirect)
+  // instead of staying silent until its timeout.
+  if (t == pbft::kReadRequest) {
+    auto req = std::static_pointer_cast<const pbft::ReadRequestMsg>(msg);
+    if (!locks_.IsLocked(req->client)) {
+      counters().Inc(obs::CounterId::kNodeUnlockedClientRejected);
+      auto reply = std::make_shared<pbft::ReadReplyMsg>();
+      reply->client = req->client;
+      reply->nonce = req->nonce;
+      reply->replica = self();
+      reply->key = req->key;
+      reply->behind = true;
+      counters().Inc(obs::CounterId::kReadsRedirects);
+      ChargeCpu(config_.pbft.costs.send_us);
+      Send(req->client, reply);
       return;
     }
     pbft_->HandleMessage(msg);

@@ -1,0 +1,25 @@
+#include "crypto/read_certificate.h"
+
+#include "common/hash.h"
+
+namespace ziziphus::crypto {
+
+Digest CheckpointCertDigest(SeqNum seq, std::uint64_t state_digest) {
+  return Hasher(0x0f).Add(seq).Add(state_digest).Finish();
+}
+
+Status VerifyReadProof(const KeyRegistry& keys, const ReadProof& proof,
+                       std::uint64_t record_digest, std::size_t quorum,
+                       const std::function<bool(NodeId)>& is_member) {
+  Status st = VerifyCertificate(
+      keys, proof.certificate,
+      CheckpointCertDigest(proof.anchor_seq, proof.state_digest), quorum,
+      is_member);
+  if (!st.ok()) return st;
+  if (record_digest + proof.rest_digest != proof.state_digest) {
+    return Status::InvalidCertificate("read proof inclusion digest mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace ziziphus::crypto

@@ -1,0 +1,66 @@
+#ifndef ZIZIPHUS_CRYPTO_READ_CERTIFICATE_H_
+#define ZIZIPHUS_CRYPTO_READ_CERTIFICATE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "crypto/certificate.h"
+
+namespace ziziphus::crypto {
+
+/// Digest a PBFT checkpoint certificate signs: the (seq, state digest) pair
+/// every replica multicast in its CheckpointMsg. Shared by the engine (when
+/// building the certificate), the read path (when anchoring a read proof)
+/// and the invariant checker, so all three agree on the construction.
+Digest CheckpointCertDigest(SeqNum seq, std::uint64_t state_digest);
+
+/// Proof that one key/value pair is (or is not) part of a zone's stable
+/// checkpoint. The certificate vouches for (anchor_seq, state_digest); the
+/// rest_digest is the order-insensitive sum-digest of every *other* entry in
+/// the snapshot, so a verifier reconstructs the certified state digest from
+/// the record it was handed:
+///
+///   record_digest + rest_digest == state_digest   (wrapping arithmetic)
+///
+/// where record_digest = KvStore::EntryDigest(key, value) for a present key
+/// and 0 for an absent one. A replica serving a stale or fabricated value
+/// cannot produce a matching rest_digest without breaking the digest.
+struct ReadProof {
+  SeqNum anchor_seq = 0;
+  std::uint64_t state_digest = 0;
+  std::uint64_t rest_digest = 0;
+  Certificate certificate;
+};
+
+/// Verifies a read proof against `record_digest` (the entry digest of the
+/// value being vouched for; 0 for a not-found read): checks the checkpoint
+/// certificate carries at least `quorum` valid zone-member signatures over
+/// CheckpointCertDigest(anchor_seq, state_digest), then the inclusion
+/// equation above. `quorum` is f+1 for client-side verification — one honest
+/// signer suffices to make the anchored state real.
+Status VerifyReadProof(const KeyRegistry& keys, const ReadProof& proof,
+                       std::uint64_t record_digest, std::size_t quorum,
+                       const std::function<bool(NodeId)>& is_member);
+
+/// One accepted fast-path read, retained by honest clients so the
+/// InvariantChecker can re-verify every read the run served: certificate
+/// validity, inclusion digest, and anchor monotonicity against the floor the
+/// session held when the read was issued.
+struct ReadWitness {
+  ClientId client = kInvalidClient;
+  ZoneId zone = 0;
+  std::string key;
+  std::string value;
+  bool found = false;
+  ReadProof proof;
+  /// Session watermark for `zone` when the read was issued; the accepted
+  /// anchor must not be older (monotonic reads).
+  SeqNum floor_before = 0;
+};
+
+}  // namespace ziziphus::crypto
+
+#endif  // ZIZIPHUS_CRYPTO_READ_CERTIFICATE_H_

@@ -22,6 +22,7 @@
   /* Byzantine interceptors (sim/byzantine.cc) */                         \
   X(kByzEquivocationsEmitted,   "byz.equivocations_emitted")              \
   X(kByzMsgsSuppressed,         "byz.msgs_suppressed")                    \
+  X(kByzStaleReadLies,          "byz.stale_read_lies")                    \
   X(kByzStaleReplays,           "byz.stale_replays")                      \
   X(kByzStateLies,              "byz.state_lies")                         \
   /* Zone endorsement (core/endorsement.cc) */                            \
@@ -97,6 +98,13 @@
   X(kPbftStableCheckpoints,     "pbft.stable_checkpoints")                \
   X(kPbftStateTransfers,        "pbft.state_transfers")                   \
   X(kPbftViewChangesStarted,    "pbft.view_changes_started")              \
+  /* Verifiable read fast path (pbft/engine.cc, app/client.cc) */         \
+  X(kReadsCertRejected,         "reads.cert_rejected")                    \
+  X(kReadsCertVerified,         "reads.cert_verified")                    \
+  X(kReadsFallbackTxns,         "reads.fallback_txns")                    \
+  X(kReadsRedirects,            "reads.redirects")                        \
+  X(kReadsServed,               "reads.served")                           \
+  X(kReadsSessionViolationsDetected, "reads.session_violations_detected") \
   /* Crash recovery (core/node.cc, pbft/engine.cc) */                     \
   X(kRecoveryRejoins,              "recovery.rejoins")                    \
   X(kRecoveryStateTransferRetries, "recovery.state_transfer_retries")     \
@@ -139,6 +147,7 @@
   /* Client-observed end-to-end latency */                                \
   X(kClientGlobalLatencyUs,     "client.global_latency_us")               \
   X(kClientLocalLatencyUs,      "client.local_latency_us")                \
+  X(kClientReadLatencyUs,       "client.read_latency_us")                 \
   /* Per-message wire size */                                             \
   X(kNetMsgBytes,               "net.msg_bytes")                         \
   /* Sim time from amnesia recovery to first post-rejoin execution */     \
@@ -158,6 +167,7 @@
   X(kSpanPbftExecuteUs,         "span.pbft_execute_us")                   \
   X(kSpanPbftPreparePhaseUs,    "span.pbft_prepare_phase_us")             \
   X(kSpanProxyRelayUs,          "span.proxy_relay_us")                    \
+  X(kSpanReadServeUs,           "span.read_serve_us")                     \
   X(kSpanSyncBallotUs,          "span.sync_ballot_us")                    \
   X(kSpanTransitLanUs,          "span.transit_lan_us")                    \
   X(kSpanTransitWanUs,          "span.transit_wan_us")                    \

@@ -26,6 +26,7 @@ std::string_view SpanKindName(SpanKind kind) {
     case SpanKind::kMigSourceRead: return "mig.source_read";
     case SpanKind::kMigDestInstall: return "mig.dest_install";
     case SpanKind::kViewChange: return "view_change";
+    case SpanKind::kReadServe: return "read.serve";
     case SpanKind::kCount: break;
   }
   return "unknown";
@@ -57,6 +58,7 @@ std::optional<HistogramId> HistogramFor(SpanKind kind, bool wan) {
     case SpanKind::kMigDestInstall:
       return HistogramId::kSpanMigDestInstallUs;
     case SpanKind::kViewChange: return HistogramId::kSpanViewChangeUs;
+    case SpanKind::kReadServe: return HistogramId::kSpanReadServeUs;
     case SpanKind::kCount: break;
   }
   return std::nullopt;

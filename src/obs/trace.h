@@ -38,6 +38,7 @@ enum class SpanKind : std::uint8_t {
   kMigSourceRead,     // migration: source zone read/state assembly
   kMigDestInstall,    // migration: destination install/append
   kViewChange,        // view change start -> new view active
+  kReadServe,         // read request received -> certified reply sent
   kCount
 };
 

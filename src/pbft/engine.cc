@@ -4,6 +4,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "crypto/read_certificate.h"
 
 namespace ziziphus::pbft {
 
@@ -81,6 +82,11 @@ bool PbftEngine::HandleMessage(const sim::MessagePtr& msg) {
       transport_->ChargeCrypto(costs.crypto.digest_us);
       HandleStateResponse(
           std::static_pointer_cast<const StateResponseMsg>(msg));
+      return true;
+    case kReadRequest:
+      transport_->ChargeCpu(costs.base_handle_us);
+      transport_->ChargeCrypto(costs.mac_us);
+      HandleReadRequest(std::static_pointer_cast<const ReadRequestMsg>(msg));
       return true;
     default:
       return false;
@@ -168,6 +174,13 @@ void PbftEngine::HandleClientRequest(
     }
     return;
   }
+  // Causal sessions: fold the writer's observed floors into the dependency
+  // vector this replica's read replies advertise. Advisory freshness only —
+  // merging at request receipt (pre-consensus) is deliberately per-replica.
+  for (const auto& [zone, seq] : msg->deps) {
+    SeqNum& floor = merged_deps_[zone];
+    floor = std::max(floor, seq);
+  }
   if (!IsPrimary()) {
     // Relay to the primary, remember the request (so a future primary can
     // propose it after a view change), and watch for progress.
@@ -175,6 +188,54 @@ void PbftEngine::HandleClientRequest(
     transport_->Send(primary(), msg);
   }
   EnqueueOp(msg->op);
+}
+
+void PbftEngine::HandleReadRequest(
+    const std::shared_ptr<const ReadRequestMsg>& msg) {
+  if (!keys_->Verify(msg->client_sig, msg->ComputeDigest())) {
+    transport_->counters().Inc(obs::CounterId::kPbftBadClientSig);
+    return;
+  }
+  auto reply = std::make_shared<ReadReplyMsg>();
+  reply->client = msg->client;
+  reply->nonce = msg->nonce;
+  reply->replica = transport_->self();
+  reply->key = msg->key;
+  const storage::Checkpoint& cp = last_stable_checkpoint_;
+  RequestTimestamp covered = 0;
+  if (auto it = checkpoint_client_ts_.find(msg->client);
+      it != checkpoint_client_ts_.end()) {
+    covered = it->second;
+  }
+  // A read is served only from a certified stable checkpoint that satisfies
+  // both session watermarks; anything else redirects rather than risking a
+  // stale or unprovable answer.
+  if (cp.seq == 0 || cp.certificate.empty() ||
+      cp.seq < msg->min_stable_seq || covered < msg->min_write_ts) {
+    reply->behind = true;
+    transport_->counters().Inc(obs::CounterId::kReadsRedirects);
+    transport_->ChargeCpu(config_.costs.send_us);
+    transport_->Send(msg->client, reply);
+    return;
+  }
+  obs::SpanId span = transport_->BeginSpan(obs::SpanKind::kReadServe);
+  auto vit = cp.snapshot.find(msg->key);
+  reply->found = vit != cp.snapshot.end();
+  if (reply->found) reply->value = vit->second;
+  std::uint64_t record_digest =
+      reply->found ? storage::KvStore::EntryDigest(msg->key, reply->value) : 0;
+  reply->proof.anchor_seq = cp.seq;
+  reply->proof.state_digest = cp.state_digest;
+  reply->proof.rest_digest = cp.state_digest - record_digest;
+  reply->proof.certificate = cp.certificate;
+  reply->covered_write_ts = covered;
+  reply->deps = checkpoint_deps_;
+  transport_->ChargeCrypto(config_.costs.crypto.digest_us +
+                           config_.costs.mac_us);
+  transport_->ChargeCpu(config_.costs.send_us);
+  transport_->counters().Inc(obs::CounterId::kReadsServed);
+  transport_->EndSpan(span);
+  transport_->Send(msg->client, reply);
 }
 
 void PbftEngine::EnqueueOp(const Operation& op) {
@@ -447,6 +508,10 @@ void PbftEngine::ExecuteOp(SeqNum seq, const Operation& op) {
   transport_->ChargeCpu(config_.costs.apply_us);
   std::string result = state_machine_->Apply(op);
   cs.last_executed_ts = op.timestamp;
+  if (op.client != kInvalidClient) {
+    RequestTimestamp& covered = read_covered_ts_[op.client];
+    covered = std::max(covered, op.timestamp);
+  }
   if (durable_ != nullptr && op.client != kInvalidClient) {
     durable_->client_ts[op.client] = op.timestamp;
   }
@@ -499,7 +564,7 @@ void PbftEngine::HandleCheckpoint(
   for (const auto& [digest, count] : by_digest) {
     if (count >= Quorum()) {
       crypto::CertificateBuilder builder(
-          Hasher(0x0f).Add(msg->seq).Add(digest).Finish(), Quorum());
+          crypto::CheckpointCertDigest(msg->seq, digest), Quorum());
       for (const auto& [node, cp] : votes) {
         if (cp->state_digest == digest) {
           builder.Add(cp->sig, cp->digest());
@@ -528,6 +593,10 @@ void PbftEngine::AdvanceStable(SeqNum seq, const crypto::Certificate& cert) {
   last_stable_checkpoint_.state_digest = state_machine_->StateDigest();
   last_stable_checkpoint_.snapshot = state_machine_->Snapshot();
   last_stable_checkpoint_.certificate = cert;
+  // Freeze the read-your-writes coverage and causal dependency vector the
+  // read fast path may now truthfully advertise for this checkpoint.
+  checkpoint_client_ts_ = read_covered_ts_;
+  checkpoint_deps_ = merged_deps_;
   // Garbage-collect the log below the low-water mark, and evict cached
   // replies superseded by the checkpointed client table. Gated so the soak
   // benchmark can run a no-trim control arm; the durable checkpoint and
@@ -779,6 +848,8 @@ void PbftEngine::InstallStateResponse(const StateResponseMsg& msg) {
   for (const auto& [client, ts] : msg.client_ts) {
     ClientState& cs = clients_[client];
     if (ts > cs.last_executed_ts) cs.last_executed_ts = ts;
+    RequestTimestamp& covered = read_covered_ts_[client];
+    covered = std::max(covered, ts);
     if (durable_ != nullptr) {
       RequestTimestamp& d = durable_->client_ts[client];
       if (ts > d) d = ts;
@@ -1195,8 +1266,14 @@ void PbftEngine::RestoreFromDurable() {
   // Seed the client table as of the checkpoint; replay rebuilds it forward
   // so per-op duplicate decisions replay exactly as they first ran.
   clients_.clear();
+  read_covered_ts_.clear();
+  checkpoint_client_ts_.clear();
   for (const auto& [client, ts] : durable_->checkpoint_client_ts) {
     clients_[client].last_executed_ts = ts;
+    read_covered_ts_[client] = ts;
+    // The restored checkpoint is the one the read path serves from, so its
+    // coverage claims restart from the same durable table.
+    if (cp.seq > 0) checkpoint_client_ts_[client] = ts;
   }
   // Replay the WAL above the checkpoint: each entry's batch comes from its
   // prepared proof (digest-checked), is re-applied to the state machine and
@@ -1219,6 +1296,10 @@ void PbftEngine::RestoreFromDurable() {
       transport_->ChargeCpu(config_.costs.apply_us);
       state_machine_->Apply(op);
       cs.last_executed_ts = op.timestamp;
+      if (op.client != kInvalidClient) {
+        RequestTimestamp& covered = read_covered_ts_[op.client];
+        covered = std::max(covered, op.timestamp);
+      }
     }
     commit_log_.Append(entry);
     last_executed_ = entry.seq;

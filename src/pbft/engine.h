@@ -1,6 +1,7 @@
 #ifndef ZIZIPHUS_PBFT_ENGINE_H_
 #define ZIZIPHUS_PBFT_ENGINE_H_
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <memory>
@@ -144,6 +145,16 @@ class PbftEngine {
   /// anchored strictly above the head at mutation time are still safe.
   void NoteOutOfBandMutation() { oob_mutation_seq_ = last_executed_ + 1; }
 
+  /// The host calls this when a migration installs `client`'s records:
+  /// every write the client issued before the migration (all carry
+  /// timestamps below the migration op's `ts`) is reflected in the
+  /// installed state, so read-your-writes coverage for the client jumps to
+  /// `ts` once a stable checkpoint includes the install.
+  void NoteClientRecordInstall(ClientId client, RequestTimestamp ts) {
+    RequestTimestamp& covered = read_covered_ts_[client];
+    covered = std::max(covered, ts);
+  }
+
   /// Live sizes of everything checkpoint-anchored retention bounds. The
   /// soak harness samples these per node and publishes fleet totals as
   /// retention.* gauges.
@@ -215,6 +226,7 @@ class PbftEngine {
   std::size_t Quorum() const { return config_.quorum(); }
 
   void HandleClientRequest(const std::shared_ptr<const ClientRequestMsg>& msg);
+  void HandleReadRequest(const std::shared_ptr<const ReadRequestMsg>& msg);
   void HandlePrePrepare(const std::shared_ptr<const PrePrepareMsg>& msg);
   void HandlePrepare(const std::shared_ptr<const PrepareMsg>& msg);
   void HandleCommit(const std::shared_ptr<const CommitMsg>& msg);
@@ -277,6 +289,18 @@ class PbftEngine {
       checkpoint_votes_;
   storage::Checkpoint last_stable_checkpoint_;
   storage::CommitLog commit_log_;
+
+  // Read fast path. read_covered_ts_ tracks, per client, the highest
+  // timestamp whose effects are in the live state — fed by ExecuteOp and by
+  // migration installs (NoteClientRecordInstall), which the PBFT client
+  // table alone cannot see. checkpoint_client_ts_ is its snapshot as of the
+  // last stable checkpoint: the read-your-writes coverage a read reply may
+  // truthfully claim. merged_deps_/checkpoint_deps_ are the causal-session
+  // dependency vector (max-merged writer floors), live and as-of-checkpoint.
+  std::map<ClientId, RequestTimestamp> read_covered_ts_;
+  std::map<ClientId, RequestTimestamp> checkpoint_client_ts_;
+  std::map<ZoneId, SeqNum> merged_deps_;
+  std::map<ZoneId, SeqNum> checkpoint_deps_;
 
   // View change.
   std::map<ViewId, std::map<NodeId, std::shared_ptr<const ViewChangeMsg>>>

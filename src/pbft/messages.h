@@ -8,6 +8,7 @@
 #include "common/hash.h"
 #include "common/types.h"
 #include "crypto/certificate.h"
+#include "crypto/read_certificate.h"
 #include "sim/message.h"
 #include "storage/kv_store.h"
 
@@ -25,6 +26,8 @@ enum PbftMessageType : sim::MessageType {
   kNewView = 17,
   kStateRequest = 18,
   kStateResponse = 19,
+  kReadRequest = 20,
+  kReadReply = 21,
 };
 
 /// An application operation as carried by consensus: an opaque command
@@ -51,9 +54,16 @@ struct ClientRequestMsg : sim::Message {
 
   Operation op;
   crypto::Signature client_sig;
+  /// Causal sessions: the writer's per-zone stable-seq floors, max-merged by
+  /// replicas into the dependency vector their read replies advertise. Not
+  /// part of the digest (like StateRequestMsg::have_seq): deps are advisory
+  /// freshness floors, never a safety input.
+  std::map<ZoneId, SeqNum> deps;
 
   crypto::Digest ComputeDigest() const override { return op.ComputeDigest(); }
-  std::size_t WireSize() const override { return 64 + op.command.size(); }
+  std::size_t WireSize() const override {
+    return 64 + op.command.size() + deps.size() * 16;
+  }
 };
 
 /// <REPLY, v, t, c, r>_sigma_i
@@ -270,6 +280,85 @@ struct StateResponseMsg : sim::Message {
     std::size_t s = 64 + snapshot.size() * 48 + client_ts.size() * 16;
     for (const auto& e : delta) s += 24 + e.batch.WireSizeBytes();
     return s;
+  }
+};
+
+/// Single-replica read on the fast path: no consensus round, answered from
+/// the replica's last stable checkpoint with a checkpoint-anchored proof.
+/// The session watermarks ride along so a replica that cannot satisfy them
+/// says so (reply.behind) instead of serving a stale view.
+struct ReadRequestMsg : sim::Message {
+  ReadRequestMsg() : Message(kReadRequest) {}
+
+  ClientId client = kInvalidClient;
+  /// Read nonce (separate counter from the write timestamp stream; reads
+  /// never enter the replicated client table).
+  RequestTimestamp nonce = 0;
+  std::string key;
+  /// Monotonic-reads floor: lowest checkpoint seq the client will accept
+  /// from this zone.
+  SeqNum min_stable_seq = 0;
+  /// Read-your-writes floor: the client's last mutating timestamp; the
+  /// serving checkpoint must cover it.
+  RequestTimestamp min_write_ts = 0;
+  crypto::Signature client_sig;
+
+  crypto::Digest ComputeDigest() const override {
+    return Hasher(0x15)
+        .Add(client)
+        .Add(nonce)
+        .Add(key)
+        .Add(min_stable_seq)
+        .Add(min_write_ts)
+        .Finish();
+  }
+  std::size_t WireSize() const override { return 72 + key.size(); }
+};
+
+/// Reply to a ReadRequest. `behind` means the replica could not satisfy the
+/// watermarks (no stable checkpoint yet, checkpoint older than the
+/// monotonic floor, or the client's last write not yet covered) and the
+/// client should redirect or fall back to a full transaction. Otherwise the
+/// value plus proof let the client verify the read against f+1 checkpoint
+/// signers without trusting this single replica.
+struct ReadReplyMsg : sim::Message {
+  ReadReplyMsg() : Message(kReadReply) {}
+
+  ClientId client = kInvalidClient;
+  RequestTimestamp nonce = 0;
+  NodeId replica = kInvalidNode;
+  std::string key;
+  std::string value;
+  bool found = false;
+  bool behind = false;
+  crypto::ReadProof proof;
+  /// Highest timestamp of the requesting client covered by the serving
+  /// checkpoint (exactly-once table snapshot); proves read-your-writes.
+  RequestTimestamp covered_write_ts = 0;
+  /// Causal mode: per-zone stable-seq floors merged from writers whose ops
+  /// this replica executed (Byz-GentleRain-style stabilization vector,
+  /// coarsened to checkpoint granularity). Advisory — raising a floor can
+  /// only make the reader demand fresher state, never accept staler.
+  std::map<ZoneId, SeqNum> deps;
+
+  crypto::Digest ComputeDigest() const override {
+    return Hasher(0x16)
+        .Add(client)
+        .Add(nonce)
+        .Add(replica)
+        .Add(key)
+        .Add(value)
+        .Add(found ? 1 : 0)
+        .Add(behind ? 1 : 0)
+        .Add(proof.anchor_seq)
+        .Add(proof.state_digest)
+        .Add(proof.rest_digest)
+        .Add(covered_write_ts)
+        .Finish();
+  }
+  std::size_t WireSize() const override {
+    return 96 + key.size() + value.size() +
+           proof.certificate.size() * 24 + deps.size() * 16;
   }
 };
 

@@ -153,4 +153,28 @@ MessagePtr LyingStateResponderBehavior::OnSend(NodeId /*from*/, NodeId /*to*/,
   return copy;
 }
 
+// --------------------------------------------------- stale read responder
+
+MessagePtr StaleReadResponderBehavior::OnSend(NodeId /*from*/, NodeId /*to*/,
+                                              const MessagePtr& msg) {
+  if (msg->type() != pbft::kReadReply) return msg;
+  const auto& reply = static_cast<const pbft::ReadReplyMsg&>(*msg);
+  if (reply.behind) return msg;  // redirects carry no value to lie about
+  auto [it, inserted] = first_answer_.try_emplace(
+      reply.key, reply.value, reply.found);
+  if (inserted) return msg;  // first answer for this key becomes the lie
+  if (it->second.first == reply.value && it->second.second == reply.found) {
+    return msg;  // the truth has not moved yet
+  }
+  auto copy = std::make_shared<pbft::ReadReplyMsg>(reply);
+  copy->value = it->second.first;
+  copy->found = it->second.second;
+  // Deliberately keep the fresh proof: the frozen value cannot fold into
+  // the newer certified state digest, which is exactly what the client's
+  // inclusion check catches.
+  lies_++;
+  sim_->counters().Inc(obs::CounterId::kByzStaleReadLies);
+  return copy;
+}
+
 }  // namespace ziziphus::sim

@@ -145,6 +145,29 @@ class LyingStateResponderBehavior : public ByzantineBehavior {
   std::uint64_t lies_ = 0;
 };
 
+/// Serves stale values on the read fast path: remembers the first
+/// (value, found) it ever replies for each key and substitutes that frozen
+/// answer into every later read reply — while keeping the *fresh* checkpoint
+/// proof, because a Byzantine replica cannot forge old certificates for new
+/// sequence numbers. The served value no longer folds into the certified
+/// state digest, so honest clients reject the reply via the inclusion check
+/// (reads.cert_rejected) and retry elsewhere. Behind-replies pass through
+/// untouched: lying "behind" is indistinguishable from slowness and merely
+/// redirects the client.
+class StaleReadResponderBehavior : public ByzantineBehavior {
+ public:
+  using ByzantineBehavior::ByzantineBehavior;
+  const char* name() const override { return "stale-read-responder"; }
+  MessagePtr OnSend(NodeId from, NodeId to, const MessagePtr& msg) override;
+
+  std::uint64_t lies_told() const { return lies_; }
+
+ private:
+  /// key -> first (value, found) ever served; later truths are replaced.
+  std::map<std::string, std::pair<std::string, bool>> first_answer_;
+  std::uint64_t lies_ = 0;
+};
+
 /// Engine-level equivocator: a PbftEngine subclass overriding the virtual
 /// EmitPrePrepare hook so that, as primary, it signs and sends two
 /// conflicting pre-prepares for the same (view, seq) — the original batch

@@ -5,6 +5,8 @@
 
 #include "common/hash.h"
 #include "crypto/certificate.h"
+#include "crypto/read_certificate.h"
+#include "storage/kv_store.h"
 
 namespace ziziphus::sim {
 
@@ -15,7 +17,7 @@ std::string NodeName(NodeId id) { return "node " + std::to_string(id); }
 /// Digest the PBFT checkpoint certificate signs (same construction as
 /// pbft::CheckpointMsg / core::ZoneCheckpointMsg::ComputeDigest).
 crypto::Digest CheckpointDigest(SeqNum seq, std::uint64_t state_digest) {
-  return Hasher(0x0f).Add(seq).Add(state_digest).Finish();
+  return crypto::CheckpointCertDigest(seq, state_digest);
 }
 
 }  // namespace
@@ -32,6 +34,7 @@ std::vector<InvariantViolation> InvariantChecker::Check(
   CheckGlobalAgreement(system, &out);
   CheckBalances(system, &out);
   CheckRecovery(system, &out);
+  CheckReads(system, &out);
   system.sim().counters().Inc(obs::CounterId::kInvariantsChecksRun);
   if (!out.empty()) {
     system.sim().counters().Inc(obs::CounterId::kInvariantsViolations, out.size());
@@ -259,6 +262,40 @@ void InvariantChecker::CheckRecovery(core::ZiziphusSystem& system,
                << " (promised-then-forgotten)";
         out->push_back({"recovery-promise-retention", detail.str()});
       }
+    }
+  }
+}
+
+void InvariantChecker::CheckReads(core::ZiziphusSystem& system,
+                                  std::vector<InvariantViolation>* out) {
+  const core::Topology& topo = system.topology();
+  const crypto::KeyRegistry& keys = system.keys();
+  for (const crypto::ReadWitness& w : opt_.read_witnesses) {
+    const core::ZoneInfo& zi = topo.zone(w.zone);
+    auto is_member = [&zi](NodeId n) {
+      return std::find(zi.members.begin(), zi.members.end(), n) !=
+             zi.members.end();
+    };
+    std::uint64_t record_digest =
+        w.found ? storage::KvStore::EntryDigest(w.key, w.value) : 0;
+    Status st = crypto::VerifyReadProof(keys, w.proof, record_digest,
+                                        /*quorum=*/zi.f + 1, is_member);
+    if (!st.ok()) {
+      std::ostringstream detail;
+      detail << "client " << w.client << " accepted a read of '" << w.key
+             << "' from zone " << w.zone << " (anchor seq "
+             << w.proof.anchor_seq
+             << ") whose proof does not verify: " << st.message();
+      out->push_back({"read-validity", detail.str()});
+      continue;
+    }
+    if (w.proof.anchor_seq < w.floor_before) {
+      std::ostringstream detail;
+      detail << "client " << w.client << " accepted a read of '" << w.key
+             << "' anchored at zone " << w.zone << " seq "
+             << w.proof.anchor_seq << " below its session floor "
+             << w.floor_before << " (monotonic reads broken)";
+      out->push_back({"read-validity", detail.str()});
     }
   }
 }

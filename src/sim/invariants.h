@@ -11,6 +11,7 @@
 #include "common/types.h"
 #include "core/system.h"
 #include "core/zone_app.h"
+#include "crypto/read_certificate.h"
 
 namespace ziziphus::sim {
 
@@ -39,7 +40,12 @@ struct InvariantViolation {
 ///      holds a committed prefix of its zone's history (commit log and
 ///      durable WAL digests match the zone reference per sequence number)
 ///      and never forgot a data-synchronization ballot promise it
-///      persisted before the crash (no promised-then-forgotten).
+///      persisted before the crash (no promised-then-forgotten);
+///   6. read-validity: every fast-path read an honest client accepted
+///      (recorded as a crypto::ReadWitness) re-verifies — f+1 zone-member
+///      certificate over the anchored checkpoint, value folds into the
+///      certified state digest, anchor not older than the session floor
+///      held at issue time (monotonic reads).
 ///
 /// Every check skips nodes listed as Byzantine or currently crashed —
 /// the paper's guarantees only cover honest replicas, and a crashed
@@ -74,6 +80,10 @@ class InvariantChecker {
     std::function<std::int64_t(const core::ZoneStateMachine&, ClientId)>
         balance_of;
     std::function<std::int64_t(const core::ZoneStateMachine&)> total_balance;
+    /// Fast-path reads accepted by honest clients during the run (collect
+    /// from MobileClient::read_witnesses / the chaos clients). Empty skips
+    /// the read-validity check.
+    std::vector<crypto::ReadWitness> read_witnesses;
   };
 
   explicit InvariantChecker(Options options) : opt_(std::move(options)) {}
@@ -96,6 +106,8 @@ class InvariantChecker {
                      std::vector<InvariantViolation>* out);
   void CheckRecovery(core::ZiziphusSystem& system,
                      std::vector<InvariantViolation>* out);
+  void CheckReads(core::ZiziphusSystem& system,
+                  std::vector<InvariantViolation>* out);
 
   Options opt_;
 };

@@ -41,9 +41,13 @@ class KvStore {
   /// Iteration access for scans.
   const Map& contents() const { return map_; }
 
- private:
+  /// Digest of one entry's contribution to StateDigest. The state digest is
+  /// the wrapping sum of entry digests, so `StateDigest() - EntryDigest(k,v)`
+  /// is the digest of "everything except (k,v)" — the rest-digest a replica
+  /// ships as the inclusion proof of a verifiable read.
   static std::uint64_t EntryDigest(const std::string& k, const std::string& v);
 
+ private:
   Map map_;
   std::uint64_t state_digest_ = 0;
   std::uint64_t version_ = 0;

@@ -161,8 +161,8 @@ TEST(ExperimentSmokeTest, ClusteredZiziphusRun) {
   wl.clients_per_zone = 4;
   wl.warmup = Millis(400);
   wl.measure = Millis(800);
-  wl.global_fraction = 0.3;
-  wl.cross_cluster_fraction = 0.5;
+  wl.mix.global_fraction = 0.3;
+  wl.mix.cross_cluster_fraction = 0.5;
   auto r = RunExperiment(Protocol::kZiziphus, ClusteredDeployment(2), wl);
   EXPECT_GT(r.local_ops + r.global_ops, 10u) << r.ToString();
 }

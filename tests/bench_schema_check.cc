@@ -6,10 +6,17 @@
 //
 //   $ bench_schema_check out.json [--allow-empty]
 //       [--require=<name-substr>:<metric-key>]...
+//       [--min-ratio=<a-substr>|<b-substr>|<metric-key>|<min>]...
 //
 // Each --require demands at least one cell whose name contains
 // <name-substr> and whose metrics carry <metric-key>; the metric key is
 // everything after the LAST ':' (cell names themselves contain colons).
+//
+// Each --min-ratio takes the first cell matching <a-substr> and the first
+// matching <b-substr> (both carrying <metric-key>) and demands
+// a >= min * b — how committed results assert relative claims, e.g. the
+// read fast path's throughput multiple over its full-transaction control.
+// '|' separates the fields because cell names contain ':' freely.
 //
 // Exit 0 when valid; exit 1 with a diagnostic otherwise. Wired into ctest
 // behind each bench_smoke_* run so a malformed export fails tier-1.
@@ -234,8 +241,31 @@ struct Requirement {
   std::string metric_key;   // ...and its metrics must carry this key
 };
 
+struct RatioRequirement {
+  std::string a_substr;   // numerator cell (first match carrying the metric)
+  std::string b_substr;   // denominator cell
+  std::string metric_key;
+  double min_ratio = 1.0;  // demand a >= min_ratio * b
+};
+
+/// First cell whose name contains `substr` and whose metrics carry `key`.
+const JsonValue* FindCellMetric(const JsonValue& cells,
+                                const std::string& substr,
+                                const std::string& key) {
+  for (const JsonValue& cell : cells.array) {
+    const JsonValue* name = cell.Find("name");
+    const JsonValue* metrics = cell.Find("metrics");
+    if (name == nullptr || metrics == nullptr) continue;
+    if (name->str.find(substr) == std::string::npos) continue;
+    const JsonValue* v = metrics->Find(key);
+    if (v != nullptr && v->kind == JsonValue::kNumber) return v;
+  }
+  return nullptr;
+}
+
 int Validate(const JsonValue& root, bool allow_empty,
-             const std::vector<Requirement>& requirements) {
+             const std::vector<Requirement>& requirements,
+             const std::vector<RatioRequirement>& ratios) {
   if (root.kind != JsonValue::kObject) {
     return Invalid("top level is not an object");
   }
@@ -295,6 +325,28 @@ int Validate(const JsonValue& root, bool allow_empty,
                      "\" carries metric \"" + req.metric_key + "\"");
     }
   }
+  for (const RatioRequirement& req : ratios) {
+    const JsonValue* a =
+        FindCellMetric(*cells, req.a_substr, req.metric_key);
+    const JsonValue* b =
+        FindCellMetric(*cells, req.b_substr, req.metric_key);
+    if (a == nullptr) {
+      return Invalid("no cell matching \"" + req.a_substr +
+                     "\" carries metric \"" + req.metric_key + "\"");
+    }
+    if (b == nullptr) {
+      return Invalid("no cell matching \"" + req.b_substr +
+                     "\" carries metric \"" + req.metric_key + "\"");
+    }
+    if (!(a->number >= req.min_ratio * b->number)) {
+      std::ostringstream why;
+      why << "\"" << req.metric_key << "\" ratio too low: cell \""
+          << req.a_substr << "\" has " << a->number << ", cell \""
+          << req.b_substr << "\" has " << b->number << ", demanded >= "
+          << req.min_ratio << "x";
+      return Invalid(why.str());
+    }
+  }
   std::printf("bench_schema_check: OK: %s, %zu cells\n", bench->str.c_str(),
               cells->array.size());
   return 0;
@@ -306,9 +358,37 @@ int main(int argc, char** argv) {
   const char* path = nullptr;
   bool allow_empty = false;
   std::vector<Requirement> requirements;
+  std::vector<RatioRequirement> ratios;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--allow-empty") == 0) {
       allow_empty = true;
+    } else if (std::strncmp(argv[i], "--min-ratio=", 12) == 0) {
+      std::string spec = argv[i] + 12;
+      std::vector<std::string> parts;
+      std::size_t start = 0;
+      for (std::size_t bar = spec.find('|'); bar != std::string::npos;
+           bar = spec.find('|', start)) {
+        parts.push_back(spec.substr(start, bar - start));
+        start = bar + 1;
+      }
+      parts.push_back(spec.substr(start));
+      double min_ratio = 0;
+      bool numeric = parts.size() == 4;
+      if (numeric) {
+        try {
+          min_ratio = std::stod(parts[3]);
+        } catch (...) {
+          numeric = false;
+        }
+      }
+      if (!numeric || parts[0].empty() || parts[1].empty() ||
+          parts[2].empty()) {
+        std::fprintf(stderr, "bench_schema_check: bad --min-ratio=%s "
+                             "(want <a-substr>|<b-substr>|<metric>|<min>)\n",
+                     spec.c_str());
+        return 2;
+      }
+      ratios.push_back({parts[0], parts[1], parts[2], min_ratio});
     } else if (std::strncmp(argv[i], "--require=", 10) == 0) {
       std::string spec = argv[i] + 10;
       std::size_t colon = spec.rfind(':');
@@ -327,7 +407,8 @@ int main(int argc, char** argv) {
   }
   if (path == nullptr) {
     std::fprintf(stderr, "usage: bench_schema_check <file.json> "
-                         "[--allow-empty] [--require=<substr>:<metric>]\n");
+                         "[--allow-empty] [--require=<substr>:<metric>] "
+                         "[--min-ratio=<a>|<b>|<metric>|<min>]\n");
     return 2;
   }
   std::ifstream in(path);
@@ -342,5 +423,5 @@ int main(int argc, char** argv) {
   if (!parser.Parse(&root)) {
     return Invalid("JSON parse error: " + parser.error());
   }
-  return Validate(root, allow_empty, requirements);
+  return Validate(root, allow_empty, requirements, ratios);
 }
