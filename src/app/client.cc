@@ -89,7 +89,7 @@ void MobileClient::IssueLocal() {
   auto req = std::make_shared<pbft::ClientRequestMsg>();
   req->op = op;
   if (cfg_.causal) req->deps = session_.stable_floor;
-  req->client_sig = cfg_.keys->Sign(id(), op.ComputeDigest());
+  req->client_sig = cfg_.keys->Sign(id(), req->ComputeDigest());
 
   in_flight_ = true;
   cur_op_ = ClientOp::kTransfer;
@@ -239,7 +239,7 @@ void MobileClient::IssueReadFallback() {
   auto req = std::make_shared<pbft::ClientRequestMsg>();
   req->op = op;
   if (cfg_.causal) req->deps = session_.stable_floor;
-  req->client_sig = cfg_.keys->Sign(id(), op.ComputeDigest());
+  req->client_sig = cfg_.keys->Sign(id(), req->ComputeDigest());
   is_global_ = false;
   cur_ts_ = op.timestamp;
   reply_zone_ = home_;
@@ -297,6 +297,7 @@ void MobileClient::HandleReadReply(
       return;
     case ReadVerdict::kBadCertificate:
     case ReadVerdict::kBadInclusion:
+    case ReadVerdict::kBadCoverage:
       stats_.read_rejects++;
       scoped_counters().Inc(obs::CounterId::kReadsCertRejected);
       TryNextReadReplica();
@@ -517,7 +518,7 @@ void FlatClient::IssueNext() {
   }
   auto req = std::make_shared<pbft::ClientRequestMsg>();
   req->op = op;
-  req->client_sig = cfg_.keys->Sign(id(), op.ComputeDigest());
+  req->client_sig = cfg_.keys->Sign(id(), req->ComputeDigest());
 
   in_flight_ = true;
   cur_ts_ = op.timestamp;

@@ -207,6 +207,7 @@ class SoakClient : public sim::Process {
         break;
       case ReadVerdict::kBadCertificate:
       case ReadVerdict::kBadInclusion:
+      case ReadVerdict::kBadCoverage:
         ++reads_rejected_;
         scoped_counters().Inc(obs::CounterId::kReadsCertRejected);
         NextReadAttempt();
@@ -257,7 +258,7 @@ class SoakClient : public sim::Process {
       }
       auto req = std::make_shared<pbft::ClientRequestMsg>();
       req->op = op;
-      req->client_sig = keys_->Sign(id(), op.ComputeDigest());
+      req->client_sig = keys_->Sign(id(), req->ComputeDigest());
       request_ = req;
     }
     Send(target_, request_);

@@ -1,8 +1,8 @@
 #include "app/workload.h"
 
 #include <algorithm>
-
-#include "storage/kv_store.h"
+#include <cstdlib>
+#include <string>
 
 namespace ziziphus::app {
 
@@ -16,6 +16,8 @@ const char* ReadVerdictName(ReadVerdict v) {
       return "bad-certificate";
     case ReadVerdict::kBadInclusion:
       return "bad-inclusion";
+    case ReadVerdict::kBadCoverage:
+      return "bad-coverage";
     case ReadVerdict::kStaleAnchor:
       return "stale-anchor";
     case ReadVerdict::kStaleWrite:
@@ -33,24 +35,45 @@ ReadVerdict VerifyReadReply(const crypto::KeyRegistry& keys,
     return std::find(zone_members.begin(), zone_members.end(), n) !=
            zone_members.end();
   };
-  // Split VerifyReadProof's two legs so the stale-read Byzantine sweep can
-  // assert *which* check caught the lie: a bogus certificate versus a
-  // certified checkpoint whose digest the served value does not fold into.
+  // Run VerifyReadProof's legs separately so the Byzantine sweeps can
+  // assert *which* check caught a lie: a bogus certificate, a key path
+  // that does not fold to the certified root, or a bogus coverage path.
   Status cert_ok = crypto::VerifyCertificate(
       keys, reply.proof.certificate,
       crypto::CheckpointCertDigest(reply.proof.anchor_seq,
-                                   reply.proof.state_digest),
+                                   reply.proof.state_digest,
+                                   reply.proof.read_root),
       /*quorum=*/f + 1, is_member);
   if (!cert_ok.ok()) return ReadVerdict::kBadCertificate;
-  std::uint64_t record_digest =
-      reply.found ? storage::KvStore::EntryDigest(reply.key, reply.value) : 0;
-  if (record_digest + reply.proof.rest_digest != reply.proof.state_digest) {
+  bool proven_found = false;
+  std::string proven_value;
+  Status key_ok = crypto::VerifyMerkleProof(
+      reply.proof.read_root, crypto::ReadDataLeafKey(reply.key),
+      reply.proof.key_proof, &proven_found, &proven_value);
+  if (!key_ok.ok() || proven_found != reply.found ||
+      (reply.found && proven_value != reply.value)) {
     return ReadVerdict::kBadInclusion;
+  }
+  bool cov_found = false;
+  std::string cov_value;
+  Status cov_ok = crypto::VerifyMerkleProof(
+      reply.proof.read_root, crypto::ReadCoverageLeafKey(reply.client),
+      reply.proof.coverage_proof, &cov_found, &cov_value);
+  if (!cov_ok.ok()) return ReadVerdict::kBadCoverage;
+  RequestTimestamp proven_covered = 0;
+  if (cov_found) {
+    char* end = nullptr;
+    proven_covered = std::strtoull(cov_value.c_str(), &end, 10);
+    if (end == cov_value.c_str() || *end != '\0') {
+      return ReadVerdict::kBadCoverage;
+    }
   }
   if (reply.proof.anchor_seq < session.FloorFor(zone)) {
     return ReadVerdict::kStaleAnchor;
   }
-  if (reply.covered_write_ts < session.last_write_ts) {
+  // Read-your-writes is judged on the coverage *proven* under the certified
+  // root; the wire field covered_write_ts is only the replica's claim.
+  if (proven_covered < session.last_write_ts) {
     return ReadVerdict::kStaleWrite;
   }
   return ReadVerdict::kOk;

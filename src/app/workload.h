@@ -69,21 +69,24 @@ struct Session {
 
 /// Client-side verdict on one read reply.
 enum class ReadVerdict {
-  kOk,              // certificate + inclusion verified, session satisfied
+  kOk,              // certificate + Merkle proofs verified, session satisfied
   kBehind,          // replica said it cannot cover the session yet
   kBadCertificate,  // checkpoint certificate failed f+1 verification
-  kBadInclusion,    // value does not fold into the certified state digest
+  kBadInclusion,    // key proof does not bind the value to the read root
+  kBadCoverage,     // coverage proof does not verify under the read root
   kStaleAnchor,     // anchor older than the session's floor for this zone
-  kStaleWrite,      // claimed coverage below the session's last write
+  kStaleWrite,      // proven coverage below the session's last write
 };
 
 const char* ReadVerdictName(ReadVerdict v);
 
 /// Verifies a single-replica read reply against the session token:
 /// certificate over the anchored checkpoint (quorum f+1 out of
-/// `zone_members`), inclusion of (key, value) in its state digest, and the
-/// session's monotonic-read / read-your-writes watermarks. Pure function of
-/// its inputs so the chaos client and tests reuse it verbatim.
+/// `zone_members`), Merkle binding of (key, value) and of the client's
+/// read-your-writes coverage to the certified read root, and the session's
+/// monotonic-read / read-your-writes watermarks — the coverage check uses
+/// the *proven* timestamp, never the replica's claimed one. Pure function
+/// of its inputs so the chaos client and tests reuse it verbatim.
 ReadVerdict VerifyReadReply(const crypto::KeyRegistry& keys,
                             const std::vector<NodeId>& zone_members,
                             std::size_t f, const pbft::ReadReplyMsg& reply,

@@ -16,7 +16,9 @@ void LazySyncEngine::OnLocalStableCheckpoint(const storage::Checkpoint& cp,
   msg->zone = my_zone_;
   msg->seq = cp.seq;
   msg->state_digest = cp.state_digest;
+  msg->read_root = cp.read_root;
   msg->snapshot = cp.snapshot;
+  msg->coverage = cp.coverage;
   msg->cert = cp.certificate;
 
   std::vector<NodeId> targets;
@@ -39,7 +41,7 @@ bool LazySyncEngine::HandleMessage(const sim::MessagePtr& msg) {
   if (m->zone >= topology_->num_zones()) return true;
   const ZoneInfo& zi = topology_->zone(m->zone);
   // The certificate is the PBFT checkpoint proof: 2f+1 signatures over
-  // H(seq, state_digest).
+  // H(seq, state_digest, read_root).
   Status s = crypto::VerifyCertificate(
       *keys_, m->cert, m->digest(), zi.quorum(), [&zi](NodeId n) {
         return std::find(zi.members.begin(), zi.members.end(), n) !=
@@ -52,7 +54,9 @@ bool LazySyncEngine::HandleMessage(const sim::MessagePtr& msg) {
   storage::Checkpoint cp;
   cp.seq = m->seq;
   cp.state_digest = m->state_digest;
+  cp.read_root = m->read_root;
   cp.snapshot = m->snapshot;
+  cp.coverage = m->coverage;
   cp.certificate = m->cert;
   if (remote_.Install(m->zone, std::move(cp))) {
     transport_->counters().Inc(obs::CounterId::kLazyCheckpointsInstalled);

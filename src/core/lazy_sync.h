@@ -1,11 +1,13 @@
 #ifndef ZIZIPHUS_CORE_LAZY_SYNC_H_
 #define ZIZIPHUS_CORE_LAZY_SYNC_H_
 
+#include <map>
 #include <memory>
 
 #include "common/costs.h"
 #include "core/topology.h"
 #include "crypto/certificate.h"
+#include "crypto/read_certificate.h"
 #include "sim/message.h"
 #include "sim/transport.h"
 #include "storage/checkpoint.h"
@@ -24,14 +26,17 @@ struct ZoneCheckpointMsg : sim::Message {
   ZoneId zone = kInvalidZone;
   SeqNum seq = 0;
   std::uint64_t state_digest = 0;
+  std::uint64_t read_root = 0;
   storage::KvStore::Map snapshot;
+  std::map<ClientId, RequestTimestamp> coverage;
   crypto::Certificate cert;
 
   crypto::Digest ComputeDigest() const override {
-    return Hasher(0x0f).Add(seq).Add(state_digest).Finish();
+    return crypto::CheckpointCertDigest(seq, state_digest, read_root);
   }
   std::size_t WireSize() const override {
-    return 96 + snapshot.size() * 48 + cert.size() * 16;
+    return 96 + snapshot.size() * 48 + coverage.size() * 16 +
+           cert.size() * 16;
   }
 };
 

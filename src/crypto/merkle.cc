@@ -1,0 +1,213 @@
+#include "crypto/merkle.h"
+
+#include <algorithm>
+
+namespace ziziphus::crypto {
+
+Digest MerkleLeafDigest(const std::string& key, const std::string& value) {
+  return Hasher(0x4d31).Add(key).Add(value).Finish();
+}
+
+Digest MerkleEmptyDigest() { return Hasher(0x4d32).Finish(); }
+
+Digest MerkleNodeDigest(Digest left, Digest right) {
+  return Hasher(0x4d33).Add(left).Add(right).Finish();
+}
+
+Digest MerkleRootDigest(std::uint64_t leaf_count, Digest top) {
+  return Hasher(0x4d34).Add(leaf_count).Add(top).Finish();
+}
+
+Digest MerklePath::Fold() const {
+  Digest cur = MerkleLeafDigest(key, value);
+  for (const MerkleStep& s : steps) {
+    cur = s.sibling_on_left ? MerkleNodeDigest(s.sibling, cur)
+                            : MerkleNodeDigest(cur, s.sibling);
+  }
+  return cur;
+}
+
+std::uint64_t MerklePath::Index() const {
+  std::uint64_t index = 0;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    if (steps[i].sibling_on_left) index |= std::uint64_t{1} << i;
+  }
+  return index;
+}
+
+Digest MerklePath::ContentsDigest() const {
+  Hasher h(0x4d35);
+  h.Add(key).Add(value);
+  for (const MerkleStep& s : steps) {
+    h.Add(s.sibling).Add(s.sibling_on_left ? 1 : 0);
+  }
+  return h.Finish();
+}
+
+Digest MerkleProof::ContentsDigest() const {
+  return Hasher(0x4d36)
+      .Add(present ? 1 : 0)
+      .Add(leaf_count)
+      .Add(leaf.ContentsDigest())
+      .Add(has_pred ? 1 : 0)
+      .Add(has_succ ? 1 : 0)
+      .Add(pred.ContentsDigest())
+      .Add(succ.ContentsDigest())
+      .Finish();
+}
+
+std::size_t MerkleProof::WireSize() const {
+  auto path_size = [](const MerklePath& p) {
+    return 16 + p.key.size() + p.value.size() + p.steps.size() * 9;
+  };
+  std::size_t s = 16;
+  if (present) return s + path_size(leaf);
+  if (has_pred) s += path_size(pred);
+  if (has_succ) s += path_size(succ);
+  return s;
+}
+
+MerkleTree::MerkleTree(const std::map<std::string, std::string>& entries) {
+  leaves_.assign(entries.begin(), entries.end());
+  leaf_count_ = leaves_.size();
+  if (leaf_count_ == 0) {
+    root_ = MerkleRootDigest(0, MerkleEmptyDigest());
+    return;
+  }
+  std::size_t width = 1;
+  while (width < leaf_count_) width *= 2;
+  levels_.clear();
+  levels_.emplace_back();
+  levels_[0].reserve(width);
+  for (const auto& [k, v] : leaves_) {
+    levels_[0].push_back(MerkleLeafDigest(k, v));
+  }
+  levels_[0].resize(width, MerkleEmptyDigest());
+  while (levels_.back().size() > 1) {
+    const std::vector<Digest>& below = levels_.back();
+    std::vector<Digest> above;
+    above.reserve(below.size() / 2);
+    for (std::size_t i = 0; i < below.size(); i += 2) {
+      above.push_back(MerkleNodeDigest(below[i], below[i + 1]));
+    }
+    levels_.push_back(std::move(above));
+  }
+  root_ = MerkleRootDigest(leaf_count_, levels_.back()[0]);
+}
+
+MerklePath MerkleTree::PathTo(std::size_t index) const {
+  MerklePath path;
+  path.key = leaves_[index].first;
+  path.value = leaves_[index].second;
+  std::size_t pos = index;
+  for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
+    MerkleStep step;
+    step.sibling_on_left = (pos % 2) == 1;
+    step.sibling = levels_[level][step.sibling_on_left ? pos - 1 : pos + 1];
+    path.steps.push_back(step);
+    pos /= 2;
+  }
+  return path;
+}
+
+MerkleProof MerkleTree::Prove(const std::string& key) const {
+  MerkleProof proof;
+  proof.leaf_count = leaf_count_;
+  if (leaf_count_ == 0) return proof;  // empty tree: absence is structural
+  auto it = std::lower_bound(
+      leaves_.begin(), leaves_.end(), key,
+      [](const auto& leaf, const std::string& k) { return leaf.first < k; });
+  if (it != leaves_.end() && it->first == key) {
+    proof.present = true;
+    proof.leaf = PathTo(static_cast<std::size_t>(it - leaves_.begin()));
+    return proof;
+  }
+  std::size_t succ_idx = static_cast<std::size_t>(it - leaves_.begin());
+  if (succ_idx > 0) {
+    proof.has_pred = true;
+    proof.pred = PathTo(succ_idx - 1);
+  }
+  if (succ_idx < leaves_.size()) {
+    proof.has_succ = true;
+    proof.succ = PathTo(succ_idx);
+  }
+  return proof;
+}
+
+namespace {
+
+/// Checks one path against the root: folds to it, and — because the root
+/// binds the leaf count — confirms the implied index is a real (un-padded)
+/// slot. Returns the implied index through `*index`.
+Status CheckPath(Digest root, std::uint64_t leaf_count, const MerklePath& p,
+                 std::uint64_t* index) {
+  *index = p.Index();
+  if (*index >= leaf_count) {
+    return Status::InvalidCertificate("merkle path points into padding");
+  }
+  if (MerkleRootDigest(leaf_count, p.Fold()) != root) {
+    return Status::InvalidCertificate("merkle path does not fold to root");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status VerifyMerkleProof(Digest root, const std::string& key,
+                         const MerkleProof& proof, bool* found,
+                         std::string* value) {
+  *found = false;
+  if (proof.present) {
+    if (proof.leaf.key != key) {
+      return Status::InvalidCertificate("merkle leaf proves a different key");
+    }
+    std::uint64_t index = 0;
+    Status st = CheckPath(root, proof.leaf_count, proof.leaf, &index);
+    if (!st.ok()) return st;
+    *found = true;
+    *value = proof.leaf.value;
+    return Status::Ok();
+  }
+  // Non-membership.
+  if (proof.leaf_count == 0) {
+    if (root != MerkleRootDigest(0, MerkleEmptyDigest())) {
+      return Status::InvalidCertificate("claimed-empty tree has a root");
+    }
+    return Status::Ok();
+  }
+  if (!proof.has_pred && !proof.has_succ) {
+    return Status::InvalidCertificate("absence proof brackets nothing");
+  }
+  std::uint64_t pred_idx = 0;
+  std::uint64_t succ_idx = 0;
+  if (proof.has_pred) {
+    if (proof.pred.key >= key) {
+      return Status::InvalidCertificate("absence pred not below the key");
+    }
+    Status st = CheckPath(root, proof.leaf_count, proof.pred, &pred_idx);
+    if (!st.ok()) return st;
+  }
+  if (proof.has_succ) {
+    if (proof.succ.key <= key) {
+      return Status::InvalidCertificate("absence succ not above the key");
+    }
+    Status st = CheckPath(root, proof.leaf_count, proof.succ, &succ_idx);
+    if (!st.ok()) return st;
+  }
+  if (proof.has_pred && proof.has_succ) {
+    if (succ_idx != pred_idx + 1) {
+      return Status::InvalidCertificate("absence brackets not adjacent");
+    }
+  } else if (proof.has_succ) {
+    if (succ_idx != 0) {
+      return Status::InvalidCertificate("edge absence succ not the first leaf");
+    }
+  } else {  // pred only
+    if (pred_idx != proof.leaf_count - 1) {
+      return Status::InvalidCertificate("edge absence pred not the last leaf");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace ziziphus::crypto

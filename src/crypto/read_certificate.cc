@@ -1,24 +1,74 @@
 #include "crypto/read_certificate.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "common/hash.h"
 
 namespace ziziphus::crypto {
 
-Digest CheckpointCertDigest(SeqNum seq, std::uint64_t state_digest) {
-  return Hasher(0x0f).Add(seq).Add(state_digest).Finish();
+Digest CheckpointCertDigest(SeqNum seq, std::uint64_t state_digest,
+                            Digest read_root) {
+  return Hasher(0x0f).Add(seq).Add(state_digest).Add(read_root).Finish();
+}
+
+std::string ReadDataLeafKey(const std::string& key) { return "d\x1f" + key; }
+
+std::string ReadCoverageLeafKey(ClientId client) {
+  // Fixed width keeps coverage leaves ordered and collision-free.
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "c\x1f%010u", client);
+  return buf;
+}
+
+MerkleTree BuildReadTree(
+    const std::map<std::string, std::string>& snapshot,
+    const std::map<ClientId, RequestTimestamp>& coverage) {
+  std::map<std::string, std::string> leaves;
+  for (const auto& [k, v] : snapshot) leaves.emplace(ReadDataLeafKey(k), v);
+  for (const auto& [client, ts] : coverage) {
+    leaves.emplace(ReadCoverageLeafKey(client), std::to_string(ts));
+  }
+  return MerkleTree(leaves);
 }
 
 Status VerifyReadProof(const KeyRegistry& keys, const ReadProof& proof,
-                       std::uint64_t record_digest, std::size_t quorum,
-                       const std::function<bool(NodeId)>& is_member) {
+                       const std::string& key, bool found,
+                       const std::string& value, ClientId client,
+                       std::size_t quorum,
+                       const std::function<bool(NodeId)>& is_member,
+                       RequestTimestamp* covered_ts) {
   Status st = VerifyCertificate(
       keys, proof.certificate,
-      CheckpointCertDigest(proof.anchor_seq, proof.state_digest), quorum,
-      is_member);
+      CheckpointCertDigest(proof.anchor_seq, proof.state_digest,
+                           proof.read_root),
+      quorum, is_member);
   if (!st.ok()) return st;
-  if (record_digest + proof.rest_digest != proof.state_digest) {
-    return Status::InvalidCertificate("read proof inclusion digest mismatch");
+
+  bool proven_found = false;
+  std::string proven_value;
+  st = VerifyMerkleProof(proof.read_root, ReadDataLeafKey(key),
+                         proof.key_proof, &proven_found, &proven_value);
+  if (!st.ok()) return st;
+  if (proven_found != found || (found && proven_value != value)) {
+    return Status::InvalidCertificate(
+        "read proof binds a different value than the reply carries");
   }
+
+  bool cov_found = false;
+  std::string cov_value;
+  st = VerifyMerkleProof(proof.read_root, ReadCoverageLeafKey(client),
+                         proof.coverage_proof, &cov_found, &cov_value);
+  if (!st.ok()) return st;
+  RequestTimestamp covered = 0;
+  if (cov_found) {
+    char* end = nullptr;
+    covered = std::strtoull(cov_value.c_str(), &end, 10);
+    if (end == cov_value.c_str() || *end != '\0') {
+      return Status::InvalidCertificate("malformed coverage leaf value");
+    }
+  }
+  if (covered_ts != nullptr) *covered_ts = covered;
   return Status::Ok();
 }
 

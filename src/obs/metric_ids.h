@@ -21,6 +21,7 @@
 #define ZIZIPHUS_COUNTER_LIST(X)                                          \
   /* Byzantine interceptors (sim/byzantine.cc) */                         \
   X(kByzEquivocationsEmitted,   "byz.equivocations_emitted")              \
+  X(kByzForgedReadLies,         "byz.forged_read_lies")                   \
   X(kByzMsgsSuppressed,         "byz.msgs_suppressed")                    \
   X(kByzStaleReadLies,          "byz.stale_read_lies")                    \
   X(kByzStaleReplays,           "byz.stale_replays")                      \

@@ -145,8 +145,10 @@ void PbftEngine::Submit(const Operation& op) { EnqueueOp(op); }
 
 void PbftEngine::HandleClientRequest(
     const std::shared_ptr<const ClientRequestMsg>& msg) {
-  // Authenticate the client.
-  if (!keys_->Verify(msg->client_sig, msg->op.ComputeDigest())) {
+  // Authenticate the client. The signed digest covers the dependency vector
+  // too, so a relaying backup cannot strip or lower the writer's causal
+  // floors in transit.
+  if (!keys_->Verify(msg->client_sig, msg->ComputeDigest())) {
     transport_->counters().Inc(obs::CounterId::kPbftBadClientSig);
     return;
   }
@@ -208,9 +210,12 @@ void PbftEngine::HandleReadRequest(
     covered = it->second;
   }
   // A read is served only from a certified stable checkpoint that satisfies
-  // both session watermarks; anything else redirects rather than risking a
-  // stale or unprovable answer.
+  // both session watermarks and whose read tree is intact (the root guard
+  // covers restore paths where the tree could not be rebuilt to match the
+  // certificate); anything else redirects rather than risking a stale or
+  // unprovable answer.
   if (cp.seq == 0 || cp.certificate.empty() ||
+      read_tree_.root() != cp.read_root ||
       cp.seq < msg->min_stable_seq || covered < msg->min_write_ts) {
     reply->behind = true;
     transport_->counters().Inc(obs::CounterId::kReadsRedirects);
@@ -222,11 +227,13 @@ void PbftEngine::HandleReadRequest(
   auto vit = cp.snapshot.find(msg->key);
   reply->found = vit != cp.snapshot.end();
   if (reply->found) reply->value = vit->second;
-  std::uint64_t record_digest =
-      reply->found ? storage::KvStore::EntryDigest(msg->key, reply->value) : 0;
   reply->proof.anchor_seq = cp.seq;
   reply->proof.state_digest = cp.state_digest;
-  reply->proof.rest_digest = cp.state_digest - record_digest;
+  reply->proof.read_root = cp.read_root;
+  reply->proof.key_proof =
+      read_tree_.Prove(crypto::ReadDataLeafKey(msg->key));
+  reply->proof.coverage_proof =
+      read_tree_.Prove(crypto::ReadCoverageLeafKey(msg->client));
   reply->proof.certificate = cp.certificate;
   reply->covered_write_ts = covered;
   reply->deps = checkpoint_deps_;
@@ -538,11 +545,26 @@ void PbftEngine::MaybeCheckpoint() {
       last_executed_ % config_.checkpoint_interval != 0) {
     return;
   }
+  // Freeze the checkpoint materials now, at vote time: the vote signs
+  // H(seq, state_digest, read_root), and read-only ops executed before the
+  // quorum lands can move the coverage table (hence the read root) without
+  // moving the state digest. Installing anything but these exact frozen
+  // materials at quorum would divorce the stored checkpoint from its
+  // certificate.
+  PendingCheckpoint pending;
+  pending.seq = last_executed_;
+  pending.state_digest = state_machine_->StateDigest();
+  pending.snapshot = state_machine_->Snapshot();
+  pending.coverage = read_covered_ts_;
+  pending.tree = crypto::BuildReadTree(pending.snapshot, pending.coverage);
+
   auto msg = std::make_shared<CheckpointMsg>();
-  msg->seq = last_executed_;
-  msg->state_digest = state_machine_->StateDigest();
+  msg->seq = pending.seq;
+  msg->state_digest = pending.state_digest;
+  msg->read_root = pending.tree.root();
   msg->replica = transport_->self();
   msg->sig = keys_->Sign(transport_->self(), msg->digest());
+  pending_checkpoints_[pending.seq] = std::move(pending);
   transport_->ChargeCrypto(config_.costs.crypto.sign_us);
   transport_->ChargeCpu(config_.costs.send_us * config_.members.size());
   transport_->Multicast(config_.members, msg);
@@ -558,44 +580,83 @@ void PbftEngine::HandleCheckpoint(
   if (msg->seq <= stable_seq_) return;
   auto& votes = checkpoint_votes_[msg->seq];
   votes[msg->replica] = msg;
-  // Count votes that agree on one digest.
-  std::map<std::uint64_t, std::size_t> by_digest;
-  for (const auto& [node, cp] : votes) by_digest[cp->state_digest]++;
-  for (const auto& [digest, count] : by_digest) {
-    if (count >= Quorum()) {
-      crypto::CertificateBuilder builder(
-          crypto::CheckpointCertDigest(msg->seq, digest), Quorum());
-      for (const auto& [node, cp] : votes) {
-        if (cp->state_digest == digest) {
-          builder.Add(cp->sig, cp->digest());
-        }
+  // Count votes that agree on one (state_digest, read_root) pair — both are
+  // under the vote signature, so a quorum certifies the read tree along
+  // with the application state.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::size_t> by_digest;
+  for (const auto& [node, cp] : votes) {
+    by_digest[{cp->state_digest, cp->read_root}]++;
+  }
+  for (const auto& [pair, count] : by_digest) {
+    if (count < Quorum()) continue;
+    const std::uint64_t digest = pair.first;
+    const std::uint64_t root = pair.second;
+    crypto::CertificateBuilder builder(
+        crypto::CheckpointCertDigest(msg->seq, digest, root), Quorum());
+    for (const auto& [node, cp] : votes) {
+      if (cp->state_digest == digest && cp->read_root == root) {
+        builder.Add(cp->sig, cp->digest());
       }
-      if (last_executed_ < msg->seq ||
-          state_machine_->StateDigest() != digest) {
-        // We are behind (or diverged): fetch the snapshot from a voter.
-        NodeId peer = votes.begin()->first;
-        if (peer == transport_->self() && votes.size() > 1) {
-          peer = std::next(votes.begin())->first;
-        }
-        RequestStateTransfer(msg->seq, digest, peer);
-        return;
-      }
-      AdvanceStable(msg->seq, builder.certificate());
+    }
+    // Prefer the materials frozen when we voted: they are what the quorum
+    // certified, regardless of what executed since.
+    if (auto pit = pending_checkpoints_.find(msg->seq);
+        pit != pending_checkpoints_.end() &&
+        pit->second.state_digest == digest &&
+        pit->second.tree.root() == root) {
+      PendingCheckpoint materials = std::move(pit->second);
+      AdvanceStable(msg->seq, builder.certificate(), std::move(materials));
       return;
     }
+    if (last_executed_ < msg->seq || state_machine_->StateDigest() != digest) {
+      // We are behind (or diverged): fetch the snapshot from a voter.
+      NodeId peer = votes.begin()->first;
+      if (peer == transport_->self() && votes.size() > 1) {
+        peer = std::next(votes.begin())->first;
+      }
+      RequestStateTransfer(msg->seq, digest, peer);
+      return;
+    }
+    // State matches but we never froze a vote at this seq (e.g. we landed
+    // here via state transfer). Rebuild from live state and adopt only if
+    // it reproduces the certified root; a coverage mismatch means our
+    // client-timestamp table diverged from the quorum's, which only state
+    // transfer can reconcile.
+    PendingCheckpoint rebuilt;
+    rebuilt.seq = msg->seq;
+    rebuilt.state_digest = digest;
+    rebuilt.snapshot = state_machine_->Snapshot();
+    rebuilt.coverage = read_covered_ts_;
+    rebuilt.tree = crypto::BuildReadTree(rebuilt.snapshot, rebuilt.coverage);
+    if (rebuilt.tree.root() == root) {
+      AdvanceStable(msg->seq, builder.certificate(), std::move(rebuilt));
+      return;
+    }
+    NodeId peer = votes.begin()->first;
+    if (peer == transport_->self() && votes.size() > 1) {
+      peer = std::next(votes.begin())->first;
+    }
+    RequestStateTransfer(msg->seq, digest, peer);
+    return;
   }
 }
 
-void PbftEngine::AdvanceStable(SeqNum seq, const crypto::Certificate& cert) {
+void PbftEngine::AdvanceStable(SeqNum seq, const crypto::Certificate& cert,
+                               PendingCheckpoint&& materials) {
   if (seq <= stable_seq_) return;
   stable_seq_ = seq;
   last_stable_checkpoint_.seq = seq;
-  last_stable_checkpoint_.state_digest = state_machine_->StateDigest();
-  last_stable_checkpoint_.snapshot = state_machine_->Snapshot();
+  last_stable_checkpoint_.state_digest = materials.state_digest;
+  last_stable_checkpoint_.snapshot = std::move(materials.snapshot);
+  last_stable_checkpoint_.read_root = materials.tree.root();
+  last_stable_checkpoint_.coverage = materials.coverage;
   last_stable_checkpoint_.certificate = cert;
-  // Freeze the read-your-writes coverage and causal dependency vector the
-  // read fast path may now truthfully advertise for this checkpoint.
-  checkpoint_client_ts_ = read_covered_ts_;
+  read_tree_ = std::move(materials.tree);
+  pending_checkpoints_.erase(pending_checkpoints_.begin(),
+                             pending_checkpoints_.upper_bound(seq));
+  // The read fast path may now truthfully advertise exactly the coverage
+  // and causal dependency vector bound into the certified checkpoint.
+  checkpoint_client_ts_ = std::move(materials.coverage);
   checkpoint_deps_ = merged_deps_;
   // Garbage-collect the log below the low-water mark, and evict cached
   // replies superseded by the checkpointed client table. Gated so the soak
@@ -1237,7 +1298,7 @@ void PbftEngine::EnterNewView(const std::shared_ptr<const NewViewMsg>& msg) {
     for (const auto& op : pending_) {
       auto req = std::make_shared<ClientRequestMsg>();
       req->op = op;
-      req->client_sig = keys_->Sign(op.client, op.ComputeDigest());
+      req->client_sig = keys_->Sign(op.client, req->ComputeDigest());
       transport_->ChargeCpu(config_.costs.send_us);
       transport_->Send(primary(), req);
     }
@@ -1271,9 +1332,20 @@ void PbftEngine::RestoreFromDurable() {
   for (const auto& [client, ts] : durable_->checkpoint_client_ts) {
     clients_[client].last_executed_ts = ts;
     read_covered_ts_[client] = ts;
-    // The restored checkpoint is the one the read path serves from, so its
-    // coverage claims restart from the same durable table.
-    if (cp.seq > 0) checkpoint_client_ts_[client] = ts;
+  }
+  if (cp.seq > 0) {
+    // The restored checkpoint is the one the read path serves from: its
+    // coverage claims restart from the coverage table bound into the
+    // certificate, and the read tree is rebuilt so Merkle paths can be cut.
+    // If the rebuilt root disagrees with the certified one (corrupt durable
+    // state), HandleReadRequest's root guard answers `behind` rather than
+    // serving unprovable replies.
+    checkpoint_client_ts_ = cp.coverage;
+    for (const auto& [client, ts] : cp.coverage) {
+      RequestTimestamp& covered = read_covered_ts_[client];
+      covered = std::max(covered, ts);
+    }
+    read_tree_ = crypto::BuildReadTree(cp.snapshot, cp.coverage);
   }
   // Replay the WAL above the checkpoint: each entry's batch comes from its
   // prepared proof (digest-checked), is re-applied to the state machine and

@@ -250,8 +250,24 @@ class PbftEngine {
   void TryCommit(SeqNum seq);
   void ExecuteReady();
   void ExecuteOp(SeqNum seq, const Operation& op);
+  // Checkpoint materials frozen when this replica cast its vote at `seq`:
+  // the snapshot, coverage table and read tree the voted
+  // (state_digest, read_root) pair was computed from. AdvanceStable installs
+  // from here rather than re-reading live state, so ops executed between
+  // vote and quorum (e.g. read-only BALs that move coverage but not the
+  // state digest) can never divorce the stored checkpoint from its
+  // certificate.
+  struct PendingCheckpoint {
+    SeqNum seq = 0;
+    std::uint64_t state_digest = 0;
+    storage::KvStore::Map snapshot;
+    std::map<ClientId, RequestTimestamp> coverage;
+    crypto::MerkleTree tree;
+  };
+
   void MaybeCheckpoint();
-  void AdvanceStable(SeqNum seq, const crypto::Certificate& cert);
+  void AdvanceStable(SeqNum seq, const crypto::Certificate& cert,
+                     PendingCheckpoint&& materials);
 
   void ArmProgressTimer();
   void DisarmProgressTimer();
@@ -289,6 +305,13 @@ class PbftEngine {
       checkpoint_votes_;
   storage::Checkpoint last_stable_checkpoint_;
   storage::CommitLog commit_log_;
+  // Vote-time frozen materials per checkpoint seq (see PendingCheckpoint);
+  // entries at or below the stable point are erased on advance.
+  std::map<SeqNum, PendingCheckpoint> pending_checkpoints_;
+  // Read tree of last_stable_checkpoint_, used to cut Merkle paths when
+  // serving fast-path reads. Rebuilt on restore; HandleReadRequest refuses
+  // (behind) if its root ever disagrees with the certified one.
+  crypto::MerkleTree read_tree_;
 
   // Read fast path. read_covered_ts_ tracks, per client, the highest
   // timestamp whose effects are in the live state — fed by ExecuteOp and by

@@ -55,12 +55,20 @@ struct ClientRequestMsg : sim::Message {
   Operation op;
   crypto::Signature client_sig;
   /// Causal sessions: the writer's per-zone stable-seq floors, max-merged by
-  /// replicas into the dependency vector their read replies advertise. Not
-  /// part of the digest (like StateRequestMsg::have_seq): deps are advisory
-  /// freshness floors, never a safety input.
+  /// replicas into the dependency vector their read replies advertise. Deps
+  /// are advisory freshness floors (never a safety input), but they are
+  /// client-originated data and requests are relayed through backups — so
+  /// they ARE part of the signed digest: a Byzantine forwarder that strips
+  /// or lowers them invalidates the client signature instead of silently
+  /// weakening causal-mode freshness for every reader downstream.
   std::map<ZoneId, SeqNum> deps;
 
-  crypto::Digest ComputeDigest() const override { return op.ComputeDigest(); }
+  crypto::Digest ComputeDigest() const override {
+    Hasher h(0x17);
+    h.Add(op.ComputeDigest());
+    for (const auto& [zone, seq] : deps) h.Add(zone).Add(seq);
+    return h.Finish();
+  }
   std::size_t WireSize() const override {
     return 64 + op.command.size() + deps.size() * 16;
   }
@@ -153,17 +161,21 @@ struct CommitMsg : sim::Message {
   }
 };
 
-/// <CHECKPOINT, n, d, i>_sigma_i — state digest at sequence n.
+/// <CHECKPOINT, n, d, r, i>_sigma_i — state digest and read-tree root at
+/// sequence n. The signed digest covers both, so the resulting certificate
+/// simultaneously proves the snapshot (state transfer) and anchors
+/// key/value/coverage-binding read proofs (crypto::ReadProof).
 struct CheckpointMsg : sim::Message {
   CheckpointMsg() : Message(kCheckpoint) {}
 
   SeqNum seq = 0;
   std::uint64_t state_digest = 0;
+  std::uint64_t read_root = 0;
   NodeId replica = kInvalidNode;
   crypto::Signature sig;
 
   crypto::Digest ComputeDigest() const override {
-    return Hasher(0x0f).Add(seq).Add(state_digest).Finish();
+    return crypto::CheckpointCertDigest(seq, state_digest, read_root);
   }
 };
 
@@ -320,7 +332,8 @@ struct ReadRequestMsg : sim::Message {
 /// monotonic floor, or the client's last write not yet covered) and the
 /// client should redirect or fall back to a full transaction. Otherwise the
 /// value plus proof let the client verify the read against f+1 checkpoint
-/// signers without trusting this single replica.
+/// signers without trusting this single replica: the proof's Merkle paths
+/// bind the value AND the read-your-writes coverage to the certified root.
 struct ReadReplyMsg : sim::Message {
   ReadReplyMsg() : Message(kReadReply) {}
 
@@ -333,7 +346,9 @@ struct ReadReplyMsg : sim::Message {
   bool behind = false;
   crypto::ReadProof proof;
   /// Highest timestamp of the requesting client covered by the serving
-  /// checkpoint (exactly-once table snapshot); proves read-your-writes.
+  /// checkpoint. A claim, not a proof: verifiers derive the provable
+  /// coverage from proof.coverage_proof and ignore this field for safety
+  /// decisions (it feeds logging/metrics only).
   RequestTimestamp covered_write_ts = 0;
   /// Causal mode: per-zone stable-seq floors merged from writers whose ops
   /// this replica executed (Byz-GentleRain-style stabilization vector,
@@ -352,13 +367,16 @@ struct ReadReplyMsg : sim::Message {
         .Add(behind ? 1 : 0)
         .Add(proof.anchor_seq)
         .Add(proof.state_digest)
-        .Add(proof.rest_digest)
+        .Add(proof.read_root)
+        .Add(proof.key_proof.ContentsDigest())
+        .Add(proof.coverage_proof.ContentsDigest())
         .Add(covered_write_ts)
         .Finish();
   }
   std::size_t WireSize() const override {
     return 96 + key.size() + value.size() +
-           proof.certificate.size() * 24 + deps.size() * 16;
+           proof.certificate.size() * 24 + deps.size() * 16 +
+           proof.key_proof.WireSize() + proof.coverage_proof.WireSize();
   }
 };
 

@@ -169,11 +169,47 @@ MessagePtr StaleReadResponderBehavior::OnSend(NodeId /*from*/, NodeId /*to*/,
   auto copy = std::make_shared<pbft::ReadReplyMsg>(reply);
   copy->value = it->second.first;
   copy->found = it->second.second;
-  // Deliberately keep the fresh proof: the frozen value cannot fold into
-  // the newer certified state digest, which is exactly what the client's
-  // inclusion check catches.
+  // Deliberately keep the fresh proof: its Merkle leaf still binds the
+  // current truth, so the frozen value mismatches the proven one — exactly
+  // what the client's inclusion check catches.
   lies_++;
   sim_->counters().Inc(obs::CounterId::kByzStaleReadLies);
+  return copy;
+}
+
+// -------------------------------------------------- forging read responder
+
+MessagePtr ForgingReadResponderBehavior::OnSend(NodeId /*from*/,
+                                                NodeId /*to*/,
+                                                const MessagePtr& msg) {
+  if (msg->type() != pbft::kReadReply) return msg;
+  const auto& reply = static_cast<const pbft::ReadReplyMsg&>(*msg);
+  if (reply.behind) return msg;
+  auto copy = std::make_shared<pbft::ReadReplyMsg>(reply);
+  copy->found = true;
+  copy->value = forged_value_;
+  // Patch the proof's leaf so the reply is *internally* consistent: the
+  // leaf hashes over the fabricated value, and the audit path keeps the
+  // honest sibling digests. Under the old additive sum-digest this was a
+  // complete forgery (solve rest = state - entry); against the Merkle tree
+  // the patched leaf folds to a root other than the certified one.
+  copy->proof.key_proof.present = true;
+  copy->proof.key_proof.leaf.key = crypto::ReadDataLeafKey(reply.key);
+  copy->proof.key_proof.leaf.value = forged_value_;
+  if (!reply.proof.key_proof.present) {
+    // The honest reply proved absence: claim the bracketing leaf's position
+    // for the fabricated entry.
+    if (reply.proof.key_proof.has_succ) {
+      copy->proof.key_proof.leaf.steps = reply.proof.key_proof.succ.steps;
+    } else if (reply.proof.key_proof.has_pred) {
+      copy->proof.key_proof.leaf.steps = reply.proof.key_proof.pred.steps;
+    }
+  }
+  // Also claim boundless read-your-writes coverage; verifiers must derive
+  // coverage from the proof, never this field.
+  copy->covered_write_ts = ~0ull;
+  lies_++;
+  sim_->counters().Inc(obs::CounterId::kByzForgedReadLies);
   return copy;
 }
 

@@ -149,8 +149,8 @@ class LyingStateResponderBehavior : public ByzantineBehavior {
 /// (value, found) it ever replies for each key and substitutes that frozen
 /// answer into every later read reply — while keeping the *fresh* checkpoint
 /// proof, because a Byzantine replica cannot forge old certificates for new
-/// sequence numbers. The served value no longer folds into the certified
-/// state digest, so honest clients reject the reply via the inclusion check
+/// sequence numbers. The frozen value does not match the Merkle leaf the
+/// fresh key proof still binds, so honest clients reject the reply
 /// (reads.cert_rejected) and retry elsewhere. Behind-replies pass through
 /// untouched: lying "behind" is indistinguishable from slowness and merely
 /// redirects the client.
@@ -165,6 +165,33 @@ class StaleReadResponderBehavior : public ByzantineBehavior {
  private:
   /// key -> first (value, found) ever served; later truths are replaced.
   std::map<std::string, std::pair<std::string, bool>> first_answer_;
+  std::uint64_t lies_ = 0;
+};
+
+/// Forges read replies outright: substitutes a fabricated value into every
+/// non-behind read reply AND rewrites the key proof's leaf to match it, so
+/// the reply is internally consistent (leaf hashes over the served value).
+/// This is the strongest forgery available to a replica holding a valid
+/// checkpoint certificate — the attack that broke the old additive
+/// sum-digest scheme, where the liar could always solve
+/// rest = state_digest - EntryDigest(key, lie). Against the Merkle read
+/// tree the patched leaf folds to a root other than the certified one, so
+/// honest clients reject the reply. It also inflates the claimed
+/// covered_write_ts to the moon; verifiers must ignore the claim and trust
+/// only the coverage proof.
+class ForgingReadResponderBehavior : public ByzantineBehavior {
+ public:
+  ForgingReadResponderBehavior(Simulation* sim, NodeId self,
+                               std::string forged_value)
+      : ByzantineBehavior(sim, self),
+        forged_value_(std::move(forged_value)) {}
+  const char* name() const override { return "forging-read-responder"; }
+  MessagePtr OnSend(NodeId from, NodeId to, const MessagePtr& msg) override;
+
+  std::uint64_t lies_told() const { return lies_; }
+
+ private:
+  std::string forged_value_;
   std::uint64_t lies_ = 0;
 };
 

@@ -14,12 +14,6 @@ namespace {
 
 std::string NodeName(NodeId id) { return "node " + std::to_string(id); }
 
-/// Digest the PBFT checkpoint certificate signs (same construction as
-/// pbft::CheckpointMsg / core::ZoneCheckpointMsg::ComputeDigest).
-crypto::Digest CheckpointDigest(SeqNum seq, std::uint64_t state_digest) {
-  return crypto::CheckpointCertDigest(seq, state_digest);
-}
-
 }  // namespace
 
 bool InvariantChecker::Honest(core::ZiziphusSystem& system, NodeId id) const {
@@ -72,9 +66,10 @@ void InvariantChecker::CheckCheckpoints(
     core::ZiziphusSystem& system, std::vector<InvariantViolation>* out) {
   const core::Topology& topo = system.topology();
   const crypto::KeyRegistry& keys = system.keys();
-  // (producing zone, seq) -> (state digest, first honest holder).
-  std::map<std::pair<ZoneId, SeqNum>,
-           std::pair<std::uint64_t, NodeId>> reference;
+  // Accumulates the certified (state digest, read root) identity per
+  // (producing zone, seq) into anchor_refs_, which CheckReads later judges
+  // read witnesses against.
+  anchor_refs_.clear();
 
   auto check_one = [&](NodeId holder, ZoneId producer,
                        const storage::Checkpoint& cp) {
@@ -85,7 +80,8 @@ void InvariantChecker::CheckCheckpoints(
              zi.members.end();
     };
     Status st = crypto::VerifyCertificate(
-        keys, cp.certificate, CheckpointDigest(cp.seq, cp.state_digest),
+        keys, cp.certificate,
+        crypto::CheckpointCertDigest(cp.seq, cp.state_digest, cp.read_root),
         zi.quorum(), is_member);
     if (!st.ok()) {
       std::ostringstream detail;
@@ -95,14 +91,18 @@ void InvariantChecker::CheckCheckpoints(
       out->push_back({"checkpoint-validity", detail.str()});
       return;
     }
-    auto [it, inserted] = reference.try_emplace(
-        std::make_pair(producer, cp.seq), cp.state_digest, holder);
-    if (!inserted && it->second.first != cp.state_digest) {
+    auto [it, inserted] = anchor_refs_.try_emplace(
+        std::make_pair(producer, cp.seq),
+        AnchorRef{cp.state_digest, cp.read_root, holder});
+    if (!inserted && (it->second.state_digest != cp.state_digest ||
+                      it->second.read_root != cp.read_root)) {
       std::ostringstream detail;
       detail << "zone " << producer << " checkpoint seq " << cp.seq << ": "
-             << NodeName(it->second.second) << " has digest "
-             << it->second.first << " but " << NodeName(holder) << " has "
-             << cp.state_digest;
+             << NodeName(it->second.holder) << " has (digest "
+             << it->second.state_digest << ", read root "
+             << it->second.read_root << ") but " << NodeName(holder)
+             << " has (digest " << cp.state_digest << ", read root "
+             << cp.read_root << ")";
       out->push_back({"checkpoint-validity", detail.str()});
     }
   };
@@ -270,16 +270,35 @@ void InvariantChecker::CheckReads(core::ZiziphusSystem& system,
                                   std::vector<InvariantViolation>* out) {
   const core::Topology& topo = system.topology();
   const crypto::KeyRegistry& keys = system.keys();
+  // Committed snapshots honest replicas still retain, per (zone, seq):
+  // the ground truth a witnessed value is compared against. Retention is
+  // best-effort (only the latest checkpoint per holder survives), so a
+  // witness whose anchor nobody retains skips only this comparison.
+  std::map<std::pair<ZoneId, SeqNum>, const storage::Checkpoint*> truth;
+  for (const auto& node : system.nodes()) {
+    if (!Honest(system, node->id())) continue;
+    const storage::Checkpoint& own = node->pbft().last_stable_checkpoint();
+    if (own.seq > 0) {
+      truth.try_emplace(std::make_pair(node->zone(), own.seq), &own);
+    }
+    for (ZoneId producer = 0; producer < topo.num_zones(); ++producer) {
+      const storage::Checkpoint* remote =
+          node->lazy_sync().remote_checkpoints().Latest(producer);
+      if (remote != nullptr && remote->seq > 0) {
+        truth.try_emplace(std::make_pair(producer, remote->seq), remote);
+      }
+    }
+  }
   for (const crypto::ReadWitness& w : opt_.read_witnesses) {
     const core::ZoneInfo& zi = topo.zone(w.zone);
     auto is_member = [&zi](NodeId n) {
       return std::find(zi.members.begin(), zi.members.end(), n) !=
              zi.members.end();
     };
-    std::uint64_t record_digest =
-        w.found ? storage::KvStore::EntryDigest(w.key, w.value) : 0;
-    Status st = crypto::VerifyReadProof(keys, w.proof, record_digest,
-                                        /*quorum=*/zi.f + 1, is_member);
+    Status st =
+        crypto::VerifyReadProof(keys, w.proof, w.key, w.found, w.value,
+                                w.client, /*quorum=*/zi.f + 1, is_member,
+                                /*covered_ts=*/nullptr);
     if (!st.ok()) {
       std::ostringstream detail;
       detail << "client " << w.client << " accepted a read of '" << w.key
@@ -288,6 +307,44 @@ void InvariantChecker::CheckReads(core::ZiziphusSystem& system,
              << ") whose proof does not verify: " << st.message();
       out->push_back({"read-validity", detail.str()});
       continue;
+    }
+    // The anchor must be a checkpoint the zone's honest replicas actually
+    // stabilized, not merely one with f+1 signatures (which f Byzantine
+    // members plus one slow-but-honest vote can never mint, but a
+    // misconfigured quorum could).
+    if (auto it =
+            anchor_refs_.find(std::make_pair(w.zone, w.proof.anchor_seq));
+        it != anchor_refs_.end() &&
+        (it->second.state_digest != w.proof.state_digest ||
+         it->second.read_root != w.proof.read_root)) {
+      std::ostringstream detail;
+      detail << "client " << w.client << " accepted a read of '" << w.key
+             << "' anchored at zone " << w.zone << " seq "
+             << w.proof.anchor_seq << " with (digest "
+             << w.proof.state_digest << ", read root " << w.proof.read_root
+             << ") but honest " << NodeName(it->second.holder)
+             << " stabilized (digest " << it->second.state_digest
+             << ", read root " << it->second.read_root << ")";
+      out->push_back({"read-validity", detail.str()});
+      continue;
+    }
+    // Ground truth: wherever an honest replica still retains the anchored
+    // snapshot, the witnessed value must be exactly what was committed.
+    if (auto it = truth.find(std::make_pair(w.zone, w.proof.anchor_seq));
+        it != truth.end()) {
+      const auto& snap = it->second->snapshot;
+      auto vit = snap.find(w.key);
+      bool committed_found = vit != snap.end();
+      if (committed_found != w.found ||
+          (committed_found && vit->second != w.value)) {
+        std::ostringstream detail;
+        detail << "client " << w.client << " accepted a read of '" << w.key
+               << "' = '" << (w.found ? w.value : "<absent>")
+               << "' anchored at zone " << w.zone << " seq "
+               << w.proof.anchor_seq << " but the committed snapshot holds '"
+               << (committed_found ? vit->second : "<absent>") << "'";
+        out->push_back({"read-validity", detail.str()});
+      }
     }
     if (w.proof.anchor_seq < w.floor_before) {
       std::ostringstream detail;

@@ -30,8 +30,8 @@ struct InvariantViolation {
 ///      batches at the same PBFT sequence number;
 ///   2. checkpoint-validity: every stable checkpoint held anywhere (own or
 ///      lazily replicated) carries a valid 2f+1 certificate of its
-///      producing zone, and honest replicas agree on the digest per
-///      (zone, seq);
+///      producing zone, and honest replicas agree on the
+///      (state digest, read root) pair per (zone, seq);
 ///   3. global-agreement: no two honest nodes (any zone) execute different
 ///      global requests under the same data-synchronization ballot;
 ///   4. balance-conservation: the bank totals honest replicas hold match
@@ -43,9 +43,14 @@ struct InvariantViolation {
 ///      persisted before the crash (no promised-then-forgotten);
 ///   6. read-validity: every fast-path read an honest client accepted
 ///      (recorded as a crypto::ReadWitness) re-verifies — f+1 zone-member
-///      certificate over the anchored checkpoint, value folds into the
-///      certified state digest, anchor not older than the session floor
-///      held at issue time (monotonic reads).
+///      certificate over the anchored checkpoint, Merkle proofs binding the
+///      value and the client's coverage to the certified read root, anchor
+///      not older than the session floor held at issue time (monotonic
+///      reads) — and, beyond what the client alone could check, the
+///      witness is compared against ground truth: its anchor's
+///      (state digest, read root) must match what honest replicas actually
+///      stabilized at that (zone, seq), and the value must match the
+///      committed snapshot wherever an honest replica still retains it.
 ///
 /// Every check skips nodes listed as Byzantine or currently crashed —
 /// the paper's guarantees only cover honest replicas, and a crashed
@@ -108,6 +113,16 @@ class InvariantChecker {
                      std::vector<InvariantViolation>* out);
   void CheckReads(core::ZiziphusSystem& system,
                   std::vector<InvariantViolation>* out);
+
+  /// Certified checkpoint identity honest replicas hold, accumulated by
+  /// CheckCheckpoints and consumed by CheckReads as the ground truth read
+  /// anchors are judged against.
+  struct AnchorRef {
+    std::uint64_t state_digest = 0;
+    crypto::Digest read_root = 0;
+    NodeId holder = kInvalidNode;
+  };
+  std::map<std::pair<ZoneId, SeqNum>, AnchorRef> anchor_refs_;
 
   Options opt_;
 };

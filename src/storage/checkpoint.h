@@ -14,11 +14,17 @@ namespace ziziphus::storage {
 
 /// A stable state snapshot at a sequence number: the last persisted state of
 /// a zone's data (Section V-B, lazy synchronization). The certificate proves
-/// 2f+1 nodes of the producing zone vouch for the snapshot digest.
+/// 2f+1 nodes of the producing zone vouch for (seq, state_digest, read_root).
 struct Checkpoint {
   SeqNum seq = 0;
   std::uint64_t state_digest = 0;
+  /// Merkle root over snapshot + coverage (crypto::BuildReadTree); folded
+  /// into the certified digest so read proofs bind key, value and coverage.
+  std::uint64_t read_root = 0;
   KvStore::Map snapshot;
+  /// Per-client highest covered write timestamp as of this checkpoint — the
+  /// read-your-writes coverage the read fast path may provably claim.
+  std::map<ClientId, RequestTimestamp> coverage;
   crypto::Certificate certificate;
 };
 

@@ -65,7 +65,7 @@ TEST(PbftTest, DuplicateRequestExecutesOnce) {
   op.command = "only-once";
   auto req = std::make_shared<pbft::ClientRequestMsg>();
   req->op = op;
-  req->client_sig = c.keys.Sign(c.client->id(), op.ComputeDigest());
+  req->client_sig = c.keys.Sign(c.client->id(), req->ComputeDigest());
   c.client->Send(c.members[0], req);
   c.sim.RunFor(Millis(300));
   c.client->Send(c.members[0], req);  // replay

@@ -1,9 +1,12 @@
-// Verified edge-read fast path: proof/verdict unit tests, the engine's
-// watermark gates, session guarantees across view changes and amnesia
-// rejoin, the stale-read Byzantine sweep, read-heavy workload mixes over
-// MobileClient, and the chaos determinism probe with reads enabled.
+// Verified edge-read fast path: Merkle-tree and proof/verdict unit tests
+// (including the algebraic-forgery regression the old additive sum-digest
+// scheme was vulnerable to), the engine's watermark gates, session
+// guarantees across view changes and amnesia rejoin, the stale-read and
+// forging Byzantine sweeps, read-heavy workload mixes over MobileClient,
+// and the chaos determinism probe with reads enabled.
 // `ctest -L reads` runs this suite plus the bench_reads smoke pair.
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -33,77 +36,220 @@ using app::Session;
 crypto::Certificate MakeCheckpointCert(const crypto::KeyRegistry& keys,
                                        const std::vector<NodeId>& signers,
                                        SeqNum seq,
-                                       std::uint64_t state_digest) {
+                                       std::uint64_t state_digest,
+                                       crypto::Digest read_root) {
   crypto::Certificate cert;
-  cert.digest = crypto::CheckpointCertDigest(seq, state_digest);
+  cert.digest = crypto::CheckpointCertDigest(seq, state_digest, read_root);
   for (NodeId n : signers) {
     cert.signatures.push_back(keys.Sign(n, cert.digest));
   }
   return cert;
 }
 
+TEST(MerkleTreeTest, MembershipAndAbsence) {
+  storage::KvStore::Map entries = {
+      {"b", "1"}, {"d", "2"}, {"f", "3"}, {"h", "4"}, {"j", "5"}};
+  crypto::MerkleTree tree(entries);
+  EXPECT_EQ(tree.leaf_count(), 5u);
+
+  for (const auto& [k, v] : entries) {
+    crypto::MerkleProof p = tree.Prove(k);
+    bool found = false;
+    std::string value;
+    ASSERT_TRUE(
+        crypto::VerifyMerkleProof(tree.root(), k, p, &found, &value).ok())
+        << k;
+    EXPECT_TRUE(found);
+    EXPECT_EQ(value, v);
+  }
+
+  // Absence in the middle, before the first leaf, and after the last.
+  for (const std::string k : {"c", "a", "z"}) {
+    crypto::MerkleProof p = tree.Prove(k);
+    bool found = true;
+    std::string value;
+    ASSERT_TRUE(
+        crypto::VerifyMerkleProof(tree.root(), k, p, &found, &value).ok())
+        << k;
+    EXPECT_FALSE(found) << k;
+  }
+
+  // A proof for one key says nothing about another.
+  crypto::MerkleProof p = tree.Prove("d");
+  bool found = false;
+  std::string value;
+  EXPECT_FALSE(
+      crypto::VerifyMerkleProof(tree.root(), "f", p, &found, &value).ok());
+
+  // Tampering with the proven value breaks the fold to the root.
+  crypto::MerkleProof forged = tree.Prove("d");
+  forged.leaf.value = "999";
+  EXPECT_FALSE(
+      crypto::VerifyMerkleProof(tree.root(), "d", forged, &found, &value)
+          .ok());
+
+  // Lying about the leaf count (to fake an edge absence) is caught: the
+  // root binds the count.
+  crypto::MerkleProof miscount = tree.Prove("z");
+  miscount.leaf_count = 4;
+  EXPECT_FALSE(
+      crypto::VerifyMerkleProof(tree.root(), "z", miscount, &found, &value)
+          .ok());
+
+  // Empty tree proves absence of anything.
+  crypto::MerkleTree empty{storage::KvStore::Map{}};
+  crypto::MerkleProof none = empty.Prove("q");
+  found = true;
+  ASSERT_TRUE(
+      crypto::VerifyMerkleProof(empty.root(), "q", none, &found, &value)
+          .ok());
+  EXPECT_FALSE(found);
+}
+
 TEST(ReadProofTest, VerifiesPresentAndAbsentKeys) {
   crypto::KeyRegistry keys(7);
-  const std::vector<NodeId> members = {0, 1, 2, 3};
-  auto is_member = [&](NodeId n) { return n <= 3; };
+  auto is_member = [](NodeId n) { return n <= 3; };
 
   storage::KvStore store;
   store.Put("acct/7", "100");
   store.Put("acct/9", "250");
+  std::map<ClientId, RequestTimestamp> coverage = {{100, 5}};
+  crypto::MerkleTree tree = crypto::BuildReadTree(store.Snapshot(), coverage);
   std::uint64_t state = store.StateDigest();
 
   crypto::ReadProof proof;
   proof.anchor_seq = 8;
   proof.state_digest = state;
-  std::uint64_t record = storage::KvStore::EntryDigest("acct/7", "100");
-  proof.rest_digest = state - record;
-  proof.certificate = MakeCheckpointCert(keys, {0, 1}, 8, state);
+  proof.read_root = tree.root();
+  proof.key_proof = tree.Prove(crypto::ReadDataLeafKey("acct/7"));
+  proof.coverage_proof = tree.Prove(crypto::ReadCoverageLeafKey(100));
+  proof.certificate = MakeCheckpointCert(keys, {0, 1}, 8, state, tree.root());
 
-  EXPECT_TRUE(crypto::VerifyReadProof(keys, proof, record, 2, is_member).ok());
+  RequestTimestamp covered = 0;
+  EXPECT_TRUE(crypto::VerifyReadProof(keys, proof, "acct/7", true, "100",
+                                      100, 2, is_member, &covered)
+                  .ok());
+  EXPECT_EQ(covered, 5u);  // proven, not claimed
 
-  // Absent key: record digest 0, the rest is the whole state.
+  // Absent key: non-membership path for its data leaf.
   crypto::ReadProof absent = proof;
-  absent.rest_digest = state;
-  EXPECT_TRUE(crypto::VerifyReadProof(keys, absent, 0, 2, is_member).ok());
+  absent.key_proof = tree.Prove(crypto::ReadDataLeafKey("acct/8"));
+  EXPECT_TRUE(crypto::VerifyReadProof(keys, absent, "acct/8", false, "",
+                                      100, 2, is_member, nullptr)
+                  .ok());
 
-  // A tampered value no longer folds into the certified digest.
-  std::uint64_t forged = storage::KvStore::EntryDigest("acct/7", "999");
-  EXPECT_FALSE(
-      crypto::VerifyReadProof(keys, proof, forged, 2, is_member).ok());
+  // A client with no coverage leaf proves coverage 0.
+  crypto::ReadProof uncovered = proof;
+  uncovered.coverage_proof = tree.Prove(crypto::ReadCoverageLeafKey(999));
+  covered = 77;
+  EXPECT_TRUE(crypto::VerifyReadProof(keys, uncovered, "acct/7", true,
+                                      "100", 999, 2, is_member, &covered)
+                  .ok());
+  EXPECT_EQ(covered, 0u);
+
+  // A tampered value does not match the proven leaf.
+  EXPECT_FALSE(crypto::VerifyReadProof(keys, proof, "acct/7", true, "999",
+                                       100, 2, is_member, nullptr)
+                   .ok());
+
+  // Falsely claiming absence of a present key.
+  EXPECT_FALSE(crypto::VerifyReadProof(keys, proof, "acct/7", false, "",
+                                       100, 2, is_member, nullptr)
+                   .ok());
 
   // Too few signatures.
   crypto::ReadProof thin = proof;
-  thin.certificate = MakeCheckpointCert(keys, {0}, 8, state);
-  EXPECT_FALSE(
-      crypto::VerifyReadProof(keys, thin, record, 2, is_member).ok());
+  thin.certificate = MakeCheckpointCert(keys, {0}, 8, state, tree.root());
+  EXPECT_FALSE(crypto::VerifyReadProof(keys, thin, "acct/7", true, "100",
+                                       100, 2, is_member, nullptr)
+                   .ok());
 
   // Signers outside the zone do not count toward the quorum.
   crypto::ReadProof foreign = proof;
-  foreign.certificate = MakeCheckpointCert(keys, {10, 11}, 8, state);
-  EXPECT_FALSE(
-      crypto::VerifyReadProof(keys, foreign, record, 2, is_member).ok());
+  foreign.certificate =
+      MakeCheckpointCert(keys, {10, 11}, 8, state, tree.root());
+  EXPECT_FALSE(crypto::VerifyReadProof(keys, foreign, "acct/7", true, "100",
+                                       100, 2, is_member, nullptr)
+                   .ok());
+}
+
+// Regression for the forgery that broke the additive sum-digest scheme: a
+// Byzantine replica holding a *valid* checkpoint certificate fabricates an
+// arbitrary value and back-solves the proof so it is internally consistent.
+// Under `record + rest == state` the attacker always succeeded by setting
+// rest = state - EntryDigest(key, lie); under the Merkle tree the patched
+// leaf cannot fold to the certified root.
+TEST(ReadProofTest, AlgebraicForgeryRejected) {
+  crypto::KeyRegistry keys(7);
+  auto is_member = [](NodeId n) { return n <= 3; };
+
+  storage::KvStore store;
+  store.Put("acct/7", "100");
+  store.Put("acct/9", "250");
+  std::map<ClientId, RequestTimestamp> coverage = {{100, 5}};
+  crypto::MerkleTree tree = crypto::BuildReadTree(store.Snapshot(), coverage);
+
+  crypto::ReadProof proof;
+  proof.anchor_seq = 8;
+  proof.state_digest = store.StateDigest();
+  proof.read_root = tree.root();
+  proof.key_proof = tree.Prove(crypto::ReadDataLeafKey("acct/7"));
+  proof.coverage_proof = tree.Prove(crypto::ReadCoverageLeafKey(100));
+  proof.certificate =
+      MakeCheckpointCert(keys, {0, 1}, 8, store.StateDigest(), tree.root());
+
+  // The lie is internally consistent: the leaf hashes over the fabricated
+  // value and every sibling digest is genuine. Only the fold to the
+  // certified root exposes it.
+  crypto::ReadProof forged = proof;
+  forged.key_proof.leaf.value = "1000000";
+  EXPECT_FALSE(crypto::VerifyReadProof(keys, forged, "acct/7", true,
+                                       "1000000", 100, 2, is_member, nullptr)
+                   .ok());
+
+  // Equally, a stale-but-certified value cannot ride under the fresh root:
+  // rebuilding the snapshot's tree after the write moves the root, and the
+  // old proof's fold no longer matches.
+  storage::KvStore moved;
+  moved.Restore(store.Snapshot());
+  moved.Put("acct/7", "175");
+  crypto::MerkleTree fresh =
+      crypto::BuildReadTree(moved.Snapshot(), coverage);
+  crypto::ReadProof stale = proof;  // old tree's path for the old value
+  stale.state_digest = moved.StateDigest();
+  stale.read_root = fresh.root();
+  stale.certificate = MakeCheckpointCert(keys, {0, 1}, 12,
+                                         moved.StateDigest(), fresh.root());
+  stale.anchor_seq = 12;
+  EXPECT_FALSE(crypto::VerifyReadProof(keys, stale, "acct/7", true, "100",
+                                       100, 2, is_member, nullptr)
+                   .ok());
 }
 
 pbft::ReadReplyMsg ReplyFor(const crypto::KeyRegistry& keys,
                             const std::vector<NodeId>& members,
                             const storage::KvStore& store, SeqNum anchor,
-                            const std::string& key) {
+                            const std::string& key,
+                            RequestTimestamp covered_ts = 5,
+                            ClientId client = 100) {
+  std::map<ClientId, RequestTimestamp> coverage = {{client, covered_ts}};
+  crypto::MerkleTree tree = crypto::BuildReadTree(store.Snapshot(), coverage);
   pbft::ReadReplyMsg r;
-  r.client = 100;
+  r.client = client;
   r.nonce = 1;
   r.replica = members[0];
   r.key = key;
   std::optional<std::string> v = store.Get(key);
   r.found = v.has_value();
   if (r.found) r.value = *v;
-  std::uint64_t state = store.StateDigest();
-  std::uint64_t record =
-      r.found ? storage::KvStore::EntryDigest(key, r.value) : 0;
   r.proof.anchor_seq = anchor;
-  r.proof.state_digest = state;
-  r.proof.rest_digest = state - record;
-  r.proof.certificate = MakeCheckpointCert(keys, members, anchor, state);
-  r.covered_write_ts = 5;
+  r.proof.state_digest = store.StateDigest();
+  r.proof.read_root = tree.root();
+  r.proof.key_proof = tree.Prove(crypto::ReadDataLeafKey(key));
+  r.proof.coverage_proof = tree.Prove(crypto::ReadCoverageLeafKey(client));
+  r.proof.certificate = MakeCheckpointCert(keys, members, anchor,
+                                           store.StateDigest(), tree.root());
+  r.covered_write_ts = covered_ts;
   return r;
 }
 
@@ -131,10 +277,16 @@ TEST(ReadVerdictTest, SessionWatermarksEnforced) {
 
   // Certificate from outside the zone.
   pbft::ReadReplyMsg foreign = ok;
-  foreign.proof.certificate =
-      MakeCheckpointCert(keys, {20, 21}, 12, ok.proof.state_digest);
+  foreign.proof.certificate = MakeCheckpointCert(
+      keys, {20, 21}, 12, ok.proof.state_digest, ok.proof.read_root);
   EXPECT_EQ(app::VerifyReadReply(keys, members, 1, foreign, session, 0),
             ReadVerdict::kBadCertificate);
+
+  // A corrupted coverage path is its own verdict.
+  pbft::ReadReplyMsg badcov = ok;
+  badcov.proof.coverage_proof.leaf.value = "123456";
+  EXPECT_EQ(app::VerifyReadReply(keys, members, 1, badcov, session, 0),
+            ReadVerdict::kBadCoverage);
 
   // Monotonic reads: the session already saw seq 15 from this zone.
   Session ahead;
@@ -147,6 +299,21 @@ TEST(ReadVerdictTest, SessionWatermarksEnforced) {
   wrote.last_write_ts = 9;
   EXPECT_EQ(app::VerifyReadReply(keys, members, 1, ok, wrote, 0),
             ReadVerdict::kStaleWrite);
+
+  // The replica's *claimed* coverage is ignored: inflating the wire field
+  // without a matching coverage leaf still fails read-your-writes. This is
+  // the self-reported-coverage hole the certified coverage table closes.
+  pbft::ReadReplyMsg inflated = ok;
+  inflated.covered_write_ts = 1000000;
+  EXPECT_EQ(app::VerifyReadReply(keys, members, 1, inflated, wrote, 0),
+            ReadVerdict::kStaleWrite);
+
+  // With the coverage genuinely in the certified tree, the same session
+  // verifies.
+  pbft::ReadReplyMsg covered =
+      ReplyFor(keys, members, store, 12, "acct/5", /*covered_ts=*/9);
+  EXPECT_EQ(app::VerifyReadReply(keys, members, 1, covered, wrote, 0),
+            ReadVerdict::kOk);
 }
 
 // ---------------------------------------------------------- engine path
@@ -306,6 +473,36 @@ TEST(ReadPathTest, StaleReadResponderCaughtByInclusionCheck) {
   ASSERT_TRUE(fx.probe->last().has_value());
   EXPECT_EQ(fx.Verify(*fx.probe->last()), ReadVerdict::kOk);
   EXPECT_NE(fx.probe->last()->value, frozen);
+}
+
+TEST(ReadPathTest, ForgingResponderCaughtByMerkleFold) {
+  ReadFixture fx;
+  NodeId liar = fx.members[1];
+  sim::ForgingReadResponderBehavior byz(&fx.sys.sim(), liar, "1000000");
+  byz.Attach();
+
+  const std::string key = BankStateMachine::AccountKey(fx.writer->id());
+  fx.writer->SubmitLocalSequence(fx.sys.PrimaryOf(0)->id(), 6, "DEP ");
+  fx.sys.sim().RunFor(Seconds(3));
+
+  // The liar serves an internally-consistent forged leaf — genuine sibling
+  // digests, fabricated value — plus an inflated coverage claim. The fold
+  // to the certified root rejects it.
+  fx.probe->SendRead(liar, key);
+  fx.sys.sim().RunFor(Seconds(1));
+  ASSERT_TRUE(fx.probe->last().has_value());
+  EXPECT_EQ(fx.probe->last()->value, "1000000");
+  EXPECT_EQ(fx.Verify(*fx.probe->last()), ReadVerdict::kBadInclusion);
+  EXPECT_GE(byz.lies_told(), 1u);
+  EXPECT_GE(fx.sys.sim().counters().Get(obs::CounterId::kByzForgedReadLies),
+            1u);
+
+  // An honest replica's answer verifies.
+  fx.probe->SendRead(fx.members[2], key);
+  fx.sys.sim().RunFor(Seconds(1));
+  ASSERT_TRUE(fx.probe->last().has_value());
+  EXPECT_EQ(fx.Verify(*fx.probe->last()), ReadVerdict::kOk);
+  EXPECT_NE(fx.probe->last()->value, "1000000");
 }
 
 TEST(ReadPathTest, MonotonicAnchorsAcrossViewChange) {

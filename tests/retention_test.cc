@@ -118,7 +118,7 @@ TEST(RetentionTest, ReplyCacheEvictsSupersededEntriesAndReplaysSynth) {
   op.command = "hello";
   auto dup = std::make_shared<pbft::ClientRequestMsg>();
   dup->op = op;
-  dup->client_sig = c.keys.Sign(op.client, op.ComputeDigest());
+  dup->client_sig = c.keys.Sign(op.client, dup->ComputeDigest());
   SeqNum before = c.engine(1).last_executed();
   c.client->Send(c.members[1], dup);
   c.sim.RunFor(Seconds(2));

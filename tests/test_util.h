@@ -37,7 +37,7 @@ class TestClient : public sim::Process {
     op.command = command;
     auto req = std::make_shared<pbft::ClientRequestMsg>();
     req->op = op;
-    req->client_sig = keys_->Sign(id(), op.ComputeDigest());
+    req->client_sig = keys_->Sign(id(), req->ComputeDigest());
     Send(target, req);
     if (!retry_group_.empty()) {
       outstanding_[op.timestamp] = req;
