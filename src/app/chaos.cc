@@ -431,6 +431,13 @@ enum class ByzKind {
   // Drawn only when the mix enables reads (NextBounded(7) vs the historic
   // NextBounded(6)), so read-free seeds keep their exact roster.
   kStaleReadResponder,
+  // Drawn only under fast-path ordering (the draw widens to 8/9), so
+  // stable/rotating rosters replay the historic stream exactly.
+  kFastVoteEquivocate,
+  kFastVoteWithhold,
+  // Never drawn from the main stream: substituted per rostered replica by
+  // an appended coin-flip stream when ChaosOptions::byz_forge_reads is on.
+  kForgeReads,
 };
 
 const char* KindName(ByzKind k) {
@@ -441,7 +448,10 @@ const char* KindName(ByzKind k) {
     case ByzKind::kCorruptSignature: return "corrupt-signature";
     case ByzKind::kStaleReplay: return "stale-cert-replay";
     case ByzKind::kLyingStateResponder: return "lying-state-responder";
-    default: return "stale-read-responder";
+    case ByzKind::kStaleReadResponder: return "stale-read-responder";
+    case ByzKind::kFastVoteEquivocate: return "fast-vote-equivocator";
+    case ByzKind::kFastVoteWithhold: return "fast-vote-withhold";
+    default: return "forging-read-responder";
   }
 }
 
@@ -482,6 +492,9 @@ ChaosReport RunZiziphusChaos(const ChaosOptions& opt) {
   // All chaos decisions flow from this generator (independent of the
   // simulation's own stream), so the run is a pure function of the seed.
   Rng rng(Mix64(opt.seed) ^ 0xc4a05eedULL);
+  // Appended stream for the forge-reads coin flips: drawn only when the
+  // flag is on, so legacy seeds never touch it and keep their fingerprints.
+  Rng forge_rng(Mix64(opt.seed) ^ 0xf0465eedULL);
 
   // --- Byzantine roster: member indices chosen before node ids exist. ---
   std::size_t byz_count = opt.byzantine_per_zone;
@@ -495,18 +508,46 @@ ChaosReport RunZiziphusChaos(const ChaosOptions& opt) {
     }
     for (std::size_t i = 0; i < byz_count && i < indices.size(); ++i) {
       // The stale-read responder only makes sense (and only changes the
-      // draw) when the mix issues reads. The forging read responder is
-      // deliberately NOT in this pool: adding it would widen the draw and
-      // silently re-seed every existing chaos run; its attack is covered
-      // by dedicated engine and proof-unit tests instead.
-      ByzKind kind = static_cast<ByzKind>(
-          rng.NextBounded(opt.mix.read_fraction > 0 ? 7 : 6));
+      // draw) when the mix issues reads, and the fast-path attackers only
+      // when fast-path ordering is under test — each widening is gated so
+      // every pre-existing (ordering, mix) combination replays its exact
+      // historic roster stream.
+      ByzKind kind;
+      const bool reads = opt.mix.read_fraction > 0;
+      if (opt.ordering == pbft::Ordering::kFastPath) {
+        std::uint64_t v = rng.NextBounded(reads ? 9 : 8);
+        // Read-free draws skip kStaleReadResponder (6), mapping 6/7 onto
+        // the two fast-path attackers.
+        if (!reads && v >= 6) v += 1;
+        kind = static_cast<ByzKind>(v);
+      } else {
+        kind = static_cast<ByzKind>(rng.NextBounded(reads ? 7 : 6));
+      }
+      // The forging read responder rides an appended stream instead of
+      // widening the main draw (which would silently re-seed every
+      // existing run): when enabled, a coin flip per rostered replica
+      // swaps its behaviour for the forger.
+      if (opt.byz_forge_reads && forge_rng.NextBounded(2) == 0) {
+        kind = ByzKind::kForgeReads;
+      }
       roster.push_back({static_cast<ZoneId>(z), indices[i], kind});
     }
   }
 
   core::NodeConfig cfg;
   cfg.pbft.request_timeout_us = Millis(400);
+  cfg.pbft.ordering = opt.ordering;
+  if (opt.ordering != pbft::Ordering::kStable) {
+    // The non-stable strategies are the fault-adaptive lab: drive the
+    // progress and abandon timers from the commit-latency EWMA.
+    cfg.pbft.adaptive_timeouts = true;
+  }
+  if (opt.ordering == pbft::Ordering::kRotating) {
+    // Rotation fires at stable checkpoints; the default interval of 128
+    // seqs would never rotate inside a short chaos run.
+    cfg.pbft.checkpoint_interval =
+        std::min<std::uint64_t>(cfg.pbft.checkpoint_interval, 8);
+  }
   if (opt.mix.read_fraction > 0) {
     // Reads anchor on stable checkpoints; the default interval would leave
     // the short chaos workload with no anchor at all. The interval counts
@@ -573,6 +614,17 @@ ChaosReport RunZiziphusChaos(const ChaosOptions& opt) {
         break;
       case ByzKind::kStaleReadResponder:
         b = std::make_unique<sim::StaleReadResponderBehavior>(&sys.sim(), id);
+        break;
+      case ByzKind::kFastVoteEquivocate:
+        b = std::make_unique<sim::FastVoteEquivocatingBehavior>(
+            &sys.sim(), id, &sys.keys());
+        break;
+      case ByzKind::kFastVoteWithhold:
+        b = std::make_unique<sim::FastVoteWithholdingBehavior>(&sys.sim(), id);
+        break;
+      case ByzKind::kForgeReads:
+        b = std::make_unique<sim::ForgingReadResponderBehavior>(
+            &sys.sim(), id, "31337");
         break;
     }
     if (b != nullptr) {
@@ -649,6 +701,28 @@ ChaosReport RunZiziphusChaos(const ChaosOptions& opt) {
                                         sys.topology().AllNodes(),
                                         opt.fault_window,
                                         opt.amnesia_crashes);
+  if (opt.latency_flaps > 0 && opt.fault_window > Seconds(2)) {
+    // Flapping links, from an appended stream (legacy schedules replay
+    // bit-for-bit with flaps off): congest a link, heal it a few hundred
+    // milliseconds later. Adaptive timeouts must ride the swings without
+    // spurious view changes; the terminal ResetAllAt backstops any flap
+    // still live at the window edge.
+    Rng flap_rng(Mix64(opt.seed) ^ 0xf1a75eedULL);
+    const std::vector<NodeId> all = sys.topology().AllNodes();
+    for (std::size_t i = 0; i < opt.latency_flaps; ++i) {
+      NodeId a = all[flap_rng.NextBounded(all.size())];
+      NodeId b = all[flap_rng.NextBounded(all.size())];
+      if (a == b) continue;
+      SimTime at = flap_rng.NextRange(Millis(500),
+                                      opt.fault_window - Millis(1000));
+      Duration spike = flap_rng.NextRange(Millis(50), Millis(300));
+      Duration up = flap_rng.NextRange(Millis(200), Millis(800));
+      sys.sim().schedule().LinkDelayAt(at, a, b, spike);
+      sys.sim().schedule().LinkDelayAt(
+          std::min<SimTime>(at + up, opt.fault_window), a, b, 0);
+    }
+    report.events = sys.sim().schedule().size();
+  }
   for (auto& c : clients) c->Kick();
   sys.sim().RunUntil(opt.fault_window + opt.drain);
 
@@ -696,6 +770,29 @@ ChaosReport RunZiziphusChaos(const ChaosOptions& opt) {
     report.reads_ok += c->reads_ok();
     report.reads_rejected += c->reads_rejected();
     report.reads_abandoned += c->reads_abandoned();
+  }
+
+  // Converged application state per zone: the digest of the honest replica
+  // that executed furthest. Strategy-differential tests compare these —
+  // different orderings batch differently, so commit-log digests differ
+  // even when the resulting state is identical.
+  for (ZoneId z = 0; z < sys.topology().num_zones(); ++z) {
+    NodeId best = kInvalidNode;
+    SeqNum best_exec = 0;
+    for (NodeId id : sys.topology().zone(z).members) {
+      if (byz_nodes.count(id) > 0 || sys.sim().faults().IsCrashed(id)) {
+        continue;
+      }
+      SeqNum le = sys.node(id)->pbft().last_executed();
+      if (best == kInvalidNode || le > best_exec) {
+        best = id;
+        best_exec = le;
+      }
+    }
+    if (best != kInvalidNode) {
+      report.final_state_digests[z] =
+          sys.node(best)->pbft().state_machine()->StateDigest();
+    }
   }
 
   sim::InvariantChecker::Options iopt;

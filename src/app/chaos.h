@@ -8,6 +8,7 @@
 
 #include "app/workload.h"
 #include "common/types.h"
+#include "pbft/config.h"
 #include "sim/event_queue.h"
 #include "sim/invariants.h"
 
@@ -46,10 +47,30 @@ struct ChaosOptions {
   /// Byzantine kind distribution stays exactly as before.
   WorkloadMix mix;
 
+  /// Zone-ordering strategy under test. Non-stable orderings also enable
+  /// fault-adaptive timeouts (the EWMA-driven progress timer) and, for
+  /// rotating, tighten the checkpoint interval so several rotation windows
+  /// fit inside a chaos run. The stable default changes nothing, keeping
+  /// every pre-existing seed byte-identical.
+  pbft::Ordering ordering = pbft::Ordering::kStable;
+
   /// Byzantine replicas per zone. Clamped to f unless allow_over_budget —
   /// the misconfiguration demo sets f+1 liars to break safety on purpose.
   std::size_t byzantine_per_zone = 1;
   bool allow_over_budget = false;
+
+  /// Folds the forging read responder into the Byzantine roster: each
+  /// rostered replica flips a coin from an *appended* rng stream and, on
+  /// heads, swaps its drawn behaviour for the read-reply forger. Off (the
+  /// default) draws nothing from the extra stream, so existing seeds keep
+  /// their exact roster and fingerprint.
+  bool byz_forge_reads = false;
+
+  /// Flapping-latency links appended to the fault timeline from an appended
+  /// rng stream: each flap congests one link mid-window and heals it a few
+  /// hundred milliseconds later, the pathological input for latency-tracking
+  /// adaptive timeouts. 0 (default) leaves existing schedules untouched.
+  std::size_t latency_flaps = 0;
 
   /// Amnesia crash/recover pairs appended to the fault timeline: each
   /// victim loses all volatile state (RAM) and rejoins from its durable
@@ -97,6 +118,11 @@ struct ChaosReport {
   /// one seed must produce byte-identical exports on either event queue —
   /// the recovery tests diff this directly.
   std::string obs_json;
+  /// Per zone, the application state digest of the furthest-executed honest
+  /// replica at run end. Ordering strategies batch and order differently,
+  /// so cross-strategy tests compare converged state through this instead
+  /// of commit-log digests.
+  std::map<ZoneId, std::uint64_t> final_state_digests;
 
   bool ok() const { return violations.empty() && all_done; }
   std::string Summary() const;

@@ -220,6 +220,28 @@ struct ReadCounterSnap {
   }
 };
 
+/// Ordering-strategy counter totals at one instant; reported as the delta
+/// over the measurement window, like the reads.* counters above.
+struct ConsensusCounterSnap {
+  std::uint64_t fast_commits = 0;
+  std::uint64_t fast_fallbacks = 0;
+  std::uint64_t rotations = 0;
+
+  static ConsensusCounterSnap Take(const CounterSet& c) {
+    ConsensusCounterSnap s;
+    s.fast_commits = c.Get(obs::CounterId::kPbftFastCommits);
+    s.fast_fallbacks = c.Get(obs::CounterId::kPbftFastFallbacks);
+    s.rotations = c.Get(obs::CounterId::kPbftRotations);
+    return s;
+  }
+  void DeltaInto(const CounterSet& c, ExperimentResult* r) const {
+    ConsensusCounterSnap now = Take(c);
+    r->fast_commits = now.fast_commits - fast_commits;
+    r->fast_fallbacks = now.fast_fallbacks - fast_fallbacks;
+    r->rotations = now.rotations - rotations;
+  }
+};
+
 /// Turns the causal tracer on at the measurement boundary. Warmup traffic
 /// is never traced, so the warmup event schedule is byte-identical with
 /// observability on or off.
@@ -299,11 +321,13 @@ ExperimentResult RunZiziphusLike(Protocol protocol,
   EnableTracing(sys.sim(), ospec);
   std::uint64_t msgs0 = sys.sim().counters().Get(obs::CounterId::kNetMsgsSent);
   ReadCounterSnap reads0 = ReadCounterSnap::Take(sys.sim().counters());
+  ConsensusCounterSnap cons0 = ConsensusCounterSnap::Take(sys.sim().counters());
   sys.sim().RunUntil(wl.warmup + wl.measure);
   std::uint64_t msgs =
       sys.sim().counters().Get(obs::CounterId::kNetMsgsSent) - msgs0;
   ExperimentResult r = Collect(protocol, pool, wl.measure, msgs);
   reads0.DeltaInto(sys.sim().counters(), &r);
+  cons0.DeltaInto(sys.sim().counters(), &r);
   r.events_dispatched = sys.sim().events_dispatched();
   if (ospec.trace) FinishObservedRun(sys.sim().recorder(), ospec, &r);
   return r;

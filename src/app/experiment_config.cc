@@ -9,6 +9,7 @@
 #include "baselines/two_level.h"
 #include "core/messages.h"
 #include "pbft/messages.h"
+#include "pbft/ordering.h"
 
 namespace ziziphus::app {
 
@@ -43,6 +44,9 @@ std::string ExperimentConfig::ToString() const {
   if (faults.crashed_backups_per_zone > 0) {
     os << " crashed/zone=" << faults.crashed_backups_per_zone;
   }
+  if (ordering != pbft::Ordering::kStable) {
+    os << " ordering=" << pbft::OrderingName(ordering);
+  }
   if (!stable_leader) os << " no-stable-leader";
   if (obs.trace) os << " traced(1/" << obs.sample_every << ")";
   if (workload.queue != sim::EventQueueKind::kCalendar) {
@@ -58,6 +62,8 @@ ExperimentResult ExperimentConfig::Run() const {
     node.lazy_sync = false;  // every transaction is already global
   }
   node.sync.stable_leader = stable_leader;
+  node.pbft.ordering = ordering;
+  if (ordering != pbft::Ordering::kStable) node.pbft.adaptive_timeouts = true;
   return RunExperimentWithConfig(protocol, Deployment(), workload, node,
                                  faults, obs);
 }
@@ -152,6 +158,22 @@ bool ExperimentConfig::ApplyFlag(const char* arg) {
     chaos.fault_window = Millis(ToU64(v));
   } else if (FlagValue(arg, "crash-amnesia", &v)) {
     chaos.amnesia_crashes = ToU64(v);
+  } else if (FlagValue(arg, "ordering", &v)) {
+    std::optional<pbft::Ordering> o = pbft::ParseOrdering(v);
+    if (!o.has_value()) {
+      std::fprintf(stderr,
+                   "unknown --ordering=%s (want stable | rotating | "
+                   "fast-path)\n",
+                   v.c_str());
+      std::exit(2);
+    }
+    WithOrdering(*o);
+  } else if (std::strcmp(arg, "--byz-forge-reads") == 0) {
+    chaos.byz_forge_reads = true;
+  } else if (FlagValue(arg, "byz-forge-reads", &v)) {
+    chaos.byz_forge_reads = v != "0" && v != "false";
+  } else if (FlagValue(arg, "latency-flaps", &v)) {
+    chaos.latency_flaps = ToU64(v);
   } else {
     return false;
   }
@@ -190,6 +212,8 @@ obs::Tracer::TypeLabeler PhaseLabeler() {
         return "pbft.prepare";
       case pbft::kCommit:
         return "pbft.commit";
+      case pbft::kFastVote:
+        return "pbft.fast-vote";
       case pbft::kCheckpoint:
         return "pbft.checkpoint";
       case pbft::kViewChange:

@@ -35,6 +35,9 @@ struct ExperimentConfig {
   std::size_t clusters = 1;  // > 1 selects the Fig. 8 clustered placement
   std::size_t f = 1;         // per-zone fault tolerance (3f+1 nodes)
   bool stable_leader = true;  // Alg. 1 stable-leader optimization
+  /// Zone-ordering strategy (stable | rotating | fast-path). Non-stable
+  /// strategies also enable the EWMA-driven adaptive progress timer.
+  pbft::Ordering ordering = pbft::Ordering::kStable;
   WorkloadSpec workload;
   FaultSpec faults;
   ChaosOptions chaos;  // chaos-schedule knobs (chaos binaries only)
@@ -60,6 +63,11 @@ struct ExperimentConfig {
   }
   ExperimentConfig& WithStableLeader(bool on) {
     stable_leader = on;
+    return *this;
+  }
+  ExperimentConfig& WithOrdering(pbft::Ordering o) {
+    ordering = o;
+    chaos.ordering = o;  // one flag drives both harnesses
     return *this;
   }
   ExperimentConfig& WithClients(std::size_t per_zone) {
@@ -145,7 +153,9 @@ struct ExperimentConfig {
   /// --warmup-ms= --measure-ms= --seed= --queue=calendar|heap --faults=
   /// --no-stable-leader --trace[=0|1] --sample-every= --json-out=
   /// --byzantine= --think-ms= --fault-window-ms= --crash-amnesia=N
-  /// (amnesia crash/recover pairs in the chaos timeline). Unknown flags
+  /// (amnesia crash/recover pairs in the chaos timeline)
+  /// --ordering=stable|rotating|fast-path --byz-forge-reads[=0|1]
+  /// --latency-flaps=N. Unknown flags
   /// are ignored so binary-specific extras can ride along.
   static ExperimentConfig FromFlags(int argc, char** argv);
 
@@ -229,6 +239,11 @@ void ReportResult(State& state, std::string name,
     put("reads_redirects", static_cast<double>(r.reads_redirects));
     put("reads_session_violations",
         static_cast<double>(r.reads_session_violations));
+  }
+  if (r.fast_commits + r.fast_fallbacks + r.rotations > 0) {
+    put("fast_commits", static_cast<double>(r.fast_commits));
+    put("fast_fallbacks", static_cast<double>(r.fast_fallbacks));
+    put("rotations", static_cast<double>(r.rotations));
   }
   if (r.traces_completed > 0) {
     put("traces", static_cast<double>(r.traces_completed));

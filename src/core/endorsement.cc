@@ -104,7 +104,15 @@ void ZoneEndorser::HandlePrePrepare(
       // endorsement (its vote tally may have been lost to an amnesia
       // crash). Votes are idempotent — the certificate builder dedups
       // signers — so re-cast ours to let a rebuilt tally reach quorum.
-      if (st.voted && !st.done) {
+      if (st.done) return;
+      if (m->full_prepare) {
+        // The stall can equally sit in the prepare phase: a replica whose
+        // prepare quorum was lost never votes, and votes alone can't move
+        // it. Re-multicast our prepare — the tally set dedups replicas —
+        // so prepare-phase stragglers rebuild their quorum too.
+        MulticastPrepare(*m);
+      }
+      if (st.voted) {
         transport_->EndSpan(st.build_span);
         st.build_span = 0;
         st.voted = false;
@@ -136,16 +144,7 @@ void ZoneEndorser::HandlePrePrepare(
   st.early_votes.clear();
 
   if (m->full_prepare) {
-    auto prep = std::make_shared<EndorsePrepareMsg>();
-    prep->phase = m->phase;
-    prep->request_id = m->request_id;
-    prep->view = view_;
-    prep->content_digest = m->content_digest;
-    prep->replica = transport_->self();
-    prep->sig = keys_->Sign(transport_->self(), prep->digest());
-    transport_->ChargeCrypto(costs_.mac_us);
-    transport_->ChargeCpu(costs_.send_us * zone_->members.size());
-    transport_->Multicast(zone_->members, prep);
+    MulticastPrepare(*m);
     // Prepares recorded so far may already satisfy the quorum.
     std::size_t have = st.prepares.size();
     if (!st.prepares.count(primary())) have += 1;
@@ -172,6 +171,19 @@ void ZoneEndorser::HandlePrepare(
   std::size_t have = st.prepares.size();
   if (!st.prepares.count(primary())) have += 1;  // pre-prepare counts
   if (have >= zone_->quorum()) CastVote(key, st);
+}
+
+void ZoneEndorser::MulticastPrepare(const EndorsePrePrepareMsg& m) {
+  auto prep = std::make_shared<EndorsePrepareMsg>();
+  prep->phase = m.phase;
+  prep->request_id = m.request_id;
+  prep->view = view_;
+  prep->content_digest = m.content_digest;
+  prep->replica = transport_->self();
+  prep->sig = keys_->Sign(transport_->self(), prep->digest());
+  transport_->ChargeCrypto(costs_.mac_us);
+  transport_->ChargeCpu(costs_.send_us * zone_->members.size());
+  transport_->Multicast(zone_->members, prep);
 }
 
 void ZoneEndorser::CastVote(const EndorseKey& key, State& st) {

@@ -104,6 +104,7 @@ class ZoneEndorser {
   void HandlePrepare(const std::shared_ptr<const EndorsePrepareMsg>& m);
   void HandleVote(const std::shared_ptr<const EndorseVoteMsg>& m);
   void CastVote(const EndorseKey& key, State& st);
+  void MulticastPrepare(const EndorsePrePrepareMsg& m);
   void MaybeFinish(const EndorseKey& key, State& st);
 
   sim::Transport* transport_;

@@ -184,25 +184,42 @@ bool MigrationEngine::HandleTimer(std::uint64_t tag) {
   st.wait_timer = 0;
   if (st.appended || my_zone_ != st.op.destination) return true;
 
-  // Probe the source zone for the missing state.
-  auto query = std::make_shared<ResponseQueryMsg>();
-  query->request_id = QueryId(id);
-  query->ballot = st.ballot;
-  query->zone = my_zone_;
-  query->replica = transport_->self();
-  query->sig = keys_->Sign(transport_->self(), query->digest());
-  const auto& members = topology_->zone(st.op.source).members;
-  transport_->ChargeCrypto(config_.costs.crypto.sign_us);
-  transport_->ChargeCpu(config_.costs.send_us * members.size());
-  transport_->counters().Inc(obs::CounterId::kMigStateQueriesSent);
-  transport_->Multicast(members, query);
-  // Probes keep going unanswered: the source zone may have missed the
-  // global commit entirely (its primary was amnesia-crashed when the
-  // commit broadcast went out), in which case no source node can generate
-  // the records. Re-deliver the commit we hold — idempotent for nodes
-  // that already executed it, bootstrapping for ones that never saw it.
-  if (st.wait_rounds >= 2 && reship_) {
-    reship_(id, st.op.source);
+  if (st.state_msg != nullptr) {
+    // We already hold the certified STATE (the source multicasts it to the
+    // whole destination zone) but the append never finalized — typically
+    // the then-primary lost its copy to an amnesia crash before starting
+    // the append endorsement. Hand our retained copy to whoever is primary
+    // *now* (or re-drive it ourselves if the view rotated onto us) instead
+    // of re-probing the source zone.
+    if (endorser_->IsPrimary()) {
+      auto state = st.state_msg;
+      HandleStateTransfer(state);
+    } else {
+      transport_->ChargeCpu(config_.costs.send_us);
+      transport_->counters().Inc(obs::CounterId::kMigStatesResent);
+      transport_->Send(endorser_->primary(), st.state_msg);
+    }
+  } else {
+    // Probe the source zone for the missing state.
+    auto query = std::make_shared<ResponseQueryMsg>();
+    query->request_id = QueryId(id);
+    query->ballot = st.ballot;
+    query->zone = my_zone_;
+    query->replica = transport_->self();
+    query->sig = keys_->Sign(transport_->self(), query->digest());
+    const auto& members = topology_->zone(st.op.source).members;
+    transport_->ChargeCrypto(config_.costs.crypto.sign_us);
+    transport_->ChargeCpu(config_.costs.send_us * members.size());
+    transport_->counters().Inc(obs::CounterId::kMigStateQueriesSent);
+    transport_->Multicast(members, query);
+    // Probes keep going unanswered: the source zone may have missed the
+    // global commit entirely (its primary was amnesia-crashed when the
+    // commit broadcast went out), in which case no source node can generate
+    // the records. Re-deliver the commit we hold — idempotent for nodes
+    // that already executed it, bootstrapping for ones that never saw it.
+    if (st.wait_rounds >= 2 && reship_) {
+      reship_(id, st.op.source);
+    }
   }
   // Probe with capped exponential backoff. The round budget is generous:
   // the source zone may need the full fault window plus a rejoin before it
@@ -292,7 +309,14 @@ void MigrationEngine::OnEndorseQuorum(const EndorseKey& key,
 
   switch (key.phase) {
     case EndorsePhase::kMigrationState: {
-      if (!endorser_->IsPrimary()) break;
+      // Every node that completes the certificate materializes the STATE
+      // message, not just the current primary: the records it carries were
+      // pinned by ValidateEndorse, so the bytes are identical everywhere.
+      // Under rotating primaries the quorum can land while the lead sits on
+      // a replica that never ships (or has already rotated away); holding
+      // state_msg on all cert-holders lets any of them answer destination
+      // probes in HandleResponseQuery. Only the primary ships unprompted to
+      // keep the common case a single cross-zone transfer.
       auto msg = std::make_shared<StateTransferMsg>();
       msg->request_id = key.request_id;
       msg->ballot = pp.ballot;
@@ -309,7 +333,7 @@ void MigrationEngine::OnEndorseQuorum(const EndorseKey& key,
         marker.ballot = st.ballot;
         marker.state_msg = msg;
       }
-      ShipState(st);
+      if (endorser_->IsPrimary()) ShipState(st);
       transport_->EndSpan(st.source_span);  // record read -> STATE shipped
       st.source_span = 0;
       break;
@@ -357,7 +381,6 @@ void MigrationEngine::HandleStateTransfer(
     st.op.timestamp = msg->timestamp;
   }
   if (st.appended) return;
-  if (!endorser_->IsPrimary()) return;
   if (st.op.destination != kInvalidZone && my_zone_ != st.op.destination) {
     return;
   }
@@ -366,6 +389,13 @@ void MigrationEngine::HandleStateTransfer(
     transport_->counters().Inc(obs::CounterId::kMigBadStateCert);
     return;
   }
+  // Every destination node retains the verified STATE, not just the
+  // primary who starts the append endorsement: if that primary loses its
+  // copy to an amnesia crash before the endorsement completes, any backup
+  // can re-drive the append from its retained copy when its wait timer
+  // fires (see HandleTimer) — without a round-trip back to the source zone.
+  st.state_msg = msg;
+  if (!endorser_->IsPrimary()) return;
   st.install_span = transport_->BeginSpan(obs::SpanKind::kMigDestInstall);
   endorser_->Start(
       EndorsePhase::kMigrationAppend, id, msg->ballot, kNullBallot,

@@ -89,6 +89,11 @@
   X(kPbftBatchesProposed,       "pbft.batches_proposed")                  \
   X(kPbftDeltaTransfers,        "pbft.delta_transfers")                   \
   X(kPbftEquivocationDetected,  "pbft.equivocation_detected")             \
+  X(kPbftFallbackGraces,        "pbft.fallback_graces")                   \
+  X(kPbftFastCommits,           "pbft.fast_commits")                      \
+  X(kPbftFastConflicts,         "pbft.fast_conflicts")                    \
+  X(kPbftFastFallbacks,         "pbft.fast_fallbacks")                    \
+  X(kPbftFastSuppressed,        "pbft.fast_suppressed")                   \
   X(kPbftFullTransfers,         "pbft.full_transfers")                    \
   X(kPbftLogTrims,              "pbft.log_trims")                         \
   X(kPbftNewViewsEntered,       "pbft.new_views_entered")                 \
@@ -96,6 +101,7 @@
   X(kPbftOutOfWindow,           "pbft.out_of_window")                     \
   X(kPbftProgressTimeout,       "pbft.progress_timeout")                  \
   X(kPbftReplyCacheEvictions,   "pbft.reply_cache_evictions")             \
+  X(kPbftRotations,             "pbft.rotations")                         \
   X(kPbftStableCheckpoints,     "pbft.stable_checkpoints")                \
   X(kPbftStateTransfers,        "pbft.state_transfers")                   \
   X(kPbftViewChangesStarted,    "pbft.view_changes_started")              \

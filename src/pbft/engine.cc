@@ -18,7 +18,8 @@ PbftEngine::PbftEngine(sim::Transport* transport,
     : transport_(transport),
       keys_(keys),
       config_(std::move(config)),
-      state_machine_(state_machine) {
+      state_machine_(state_machine),
+      ordering_(OrderingStrategy::Make(config_.ordering)) {
   ZCHECK(config_.members.size() >= 3 * config_.f + 1);
   ZCHECK(state_machine_ != nullptr);
 }
@@ -52,6 +53,11 @@ bool PbftEngine::HandleMessage(const sim::MessagePtr& msg) {
       transport_->ChargeCpu(costs.base_handle_us);
       transport_->ChargeCrypto(costs.crypto.verify_us);
       HandlePrepare(std::static_pointer_cast<const PrepareMsg>(msg));
+      return true;
+    case kFastVote:
+      transport_->ChargeCpu(costs.base_handle_us);
+      transport_->ChargeCrypto(costs.crypto.verify_us);
+      HandleFastVote(std::static_pointer_cast<const FastVoteMsg>(msg));
       return true;
     case kCommit:
       transport_->ChargeCpu(costs.base_handle_us);
@@ -118,6 +124,16 @@ bool PbftEngine::HandleTimer(std::uint64_t tag) {
           catch_up_abandoned_ = false;
           StartCatchUp(last_executed_ + 1);
           ArmProgressTimer();
+        } else if (fallback_grace_) {
+          // A fast-path slot fell back to prepare/commit this cycle. The
+          // stall was already charged to the fast path (the fallback is the
+          // remedy and is making progress through the classic rounds);
+          // demanding a view change for the same slot would amplify one
+          // missing fast vote into a primary replacement. One cycle of
+          // grace, then normal escalation resumes.
+          fallback_grace_ = false;
+          transport_->counters().Inc(obs::CounterId::kPbftFallbackGraces);
+          ArmProgressTimer();
         } else {
           StartViewChange(view_ + 1);
         }
@@ -133,6 +149,17 @@ bool PbftEngine::HandleTimer(std::uint64_t tag) {
       state_transfer_timer_ = 0;
       OnStateTransferTimer();
       break;
+    case kFastAbandonTimer: {
+      // Unanimity did not arrive in time for this slot (crashed or
+      // withholding replica, or plain latency): fall back to the classic
+      // prepare/commit rounds. The slot may already be gone (committed and
+      // trimmed, or erased by a view change) — the trigger no-ops then.
+      SeqNum seq = sim::TimerTag::Unpack(tag).slot;
+      auto it = slots_.find(seq);
+      if (it != slots_.end()) it->second.fast_abandon_timer = 0;
+      TriggerFastFallback(seq);
+      break;
+    }
     default:
       break;
   }
@@ -358,9 +385,37 @@ void PbftEngine::HandlePrePrepare(
     return;
   }
   slot.pre_prepare = msg;
+  slot.proposed_at = transport_->Now();
   slot.consensus_span = transport_->BeginSpan(obs::SpanKind::kPbftConsensus);
   slot.prepare_span = transport_->BeginSpan(obs::SpanKind::kPbftPreparePhase);
   ArmProgressTimer();
+
+  if (ordering_->use_fast_votes() && !FastArmAllowed(msg->seq)) {
+    // Hysteresis: unanimity has failed fast_disable_after times in a row,
+    // so this slot votes a classic Prepare immediately instead of paying
+    // the abandon wait again (re-probe slots exempted — see FastArmAllowed).
+    transport_->counters().Inc(obs::CounterId::kPbftFastSuppressed);
+  } else if (ordering_->use_fast_votes()) {
+    // Optimistic fast path: vote with a FastVote instead of a Prepare. Fast
+    // votes double as prepares at every receiver, so if unanimity does not
+    // materialize the classic 2f+1 machinery is already fed — the fallback
+    // only has to release the held-back Commit round. The abandon timer
+    // bounds how long unanimity is awaited.
+    slot.fast_eligible = true;
+    auto vote = std::make_shared<FastVoteMsg>();
+    vote->view = msg->view;
+    vote->seq = msg->seq;
+    vote->batch_digest = msg->batch_digest;
+    vote->replica = transport_->self();
+    vote->sig = keys_->Sign(transport_->self(), vote->digest());
+    transport_->ChargeCrypto(config_.costs.crypto.sign_us);
+    transport_->ChargeCpu(config_.costs.send_us * config_.members.size());
+    transport_->Multicast(config_.members, vote);
+    ArmFastAbandon(msg->seq);
+    TryPrepare(msg->seq);
+    TryFastCommit(msg->seq);
+    return;
+  }
 
   auto prep = std::make_shared<PrepareMsg>();
   prep->view = msg->view;
@@ -390,6 +445,39 @@ void PbftEngine::HandlePrepare(const std::shared_ptr<const PrepareMsg>& msg) {
   TryPrepare(msg->seq);
 }
 
+void PbftEngine::HandleFastVote(
+    const std::shared_ptr<const FastVoteMsg>& msg) {
+  if (!view_active_ || msg->view != view_) return;
+  if (!IsMember(msg->replica) || msg->replica != msg->from()) return;
+  if (!keys_->Verify(msg->sig, msg->digest())) {
+    transport_->counters().Inc(obs::CounterId::kPbftBadSig);
+    return;
+  }
+  if (msg->seq <= stable_seq_) return;
+  Slot& slot = slots_[msg->seq];
+  // Record the voted digest for conflict detection. A replica that re-votes
+  // a different digest for the same slot is equivocating on the fast path:
+  // unanimity is unattainable, so certify the slot classically instead.
+  auto [vit, inserted] = slot.fast_votes.emplace(msg->replica,
+                                                 msg->batch_digest);
+  if (!inserted && vit->second != msg->batch_digest) {
+    if (!slot.fast_conflict) {
+      slot.fast_conflict = true;
+      transport_->counters().Inc(obs::CounterId::kPbftFastConflicts);
+    }
+    TriggerFastFallback(msg->seq);
+    return;
+  }
+  // Fast votes double as prepares, under the same digest laxity as
+  // HandlePrepare: count the vote unless it contradicts a known pre-prepare.
+  if (slot.pre_prepare == nullptr ||
+      slot.pre_prepare->batch_digest == msg->batch_digest) {
+    slot.prepares.insert(msg->replica);
+  }
+  TryPrepare(msg->seq);
+  TryFastCommit(msg->seq);
+}
+
 void PbftEngine::TryPrepare(SeqNum seq) {
   auto it = slots_.find(seq);
   if (it == slots_.end()) return;
@@ -410,6 +498,13 @@ void PbftEngine::TryPrepare(SeqNum seq) {
                     slot.pre_prepare->batch_digest, slot.pre_prepare->batch};
   if (durable_ != nullptr) {
     durable_->prepared_proofs[seq] = prepared_proofs_[seq];
+  }
+  if (slot.fast_eligible && !slot.fast_fallback) {
+    // Fast path in flight: the slot is prepared (durable proof recorded,
+    // view-change safety identical to the classic path) but the Commit
+    // round is held back — unanimity (TryFastCommit) supersedes it, or the
+    // fallback releases it. Exactly one Commit broadcast per slot.
+    return;
   }
 
   auto commit = std::make_shared<CommitMsg>();
@@ -448,10 +543,139 @@ void PbftEngine::TryCommit(SeqNum seq) {
   if (slot.committed || !slot.prepared) return;
   if (slot.commits.size() < Quorum()) return;
   slot.committed = true;
+  CancelFastAbandon(slot);
   transport_->EndSpan(slot.commit_span);
   slot.commit_span = 0;
+  // Fallback slots are excluded from the latency EWMA: their commit time
+  // is dominated by the abandon wait itself, and feeding it back would
+  // make the next abandon timeout learn its own delay (each paid wait
+  // quadruples the following one until it hits the cap).
+  if (slot.proposed_at != 0 && !slot.fast_fallback) {
+    commit_ewma_.Observe(transport_->Now() - slot.proposed_at);
+  }
   transport_->counters().Inc(obs::CounterId::kPbftBatchesCommitted);
   ExecuteReady();
+}
+
+void PbftEngine::TryFastCommit(SeqNum seq) {
+  auto it = slots_.find(seq);
+  if (it == slots_.end()) return;
+  Slot& slot = it->second;
+  if (!slot.fast_eligible || slot.committed || slot.fast_fallback ||
+      slot.fast_conflict || slot.pre_prepare == nullptr) {
+    return;
+  }
+  // Unanimity check: every member's vote must match the pre-prepare digest.
+  // Any dissenting vote makes unanimity unattainable for good — certify the
+  // slot through the classic rounds instead of waiting for the timer.
+  std::size_t votes = 0;
+  for (const auto& [node, digest] : slot.fast_votes) {
+    if (digest == slot.pre_prepare->batch_digest) {
+      ++votes;
+      continue;
+    }
+    slot.fast_conflict = true;
+    transport_->counters().Inc(obs::CounterId::kPbftFastConflicts);
+    TriggerFastFallback(seq);
+    return;
+  }
+  // The pre-prepare is its sender's signed vote for the digest; count it
+  // implicitly if the explicit fast vote has not arrived yet.
+  if (!slot.fast_votes.count(slot.pre_prepare->from())) votes += 1;
+  if (votes < config_.members.size()) return;
+  // All 3f+1 replicas voted one digest: commit without the commit round.
+  // Safe because unanimity contains every honest replica — no conflicting
+  // prepared certificate can exist anywhere, in this or any later view.
+  slot.fast_committed = true;
+  slot.committed = true;
+  fast_fallback_streak_ = 0;
+  CancelFastAbandon(slot);
+  transport_->EndSpan(slot.commit_span);
+  slot.commit_span = 0;
+  fast_certified_[seq] = slot.pre_prepare->batch_digest;
+  if (slot.proposed_at != 0) {
+    commit_ewma_.Observe(transport_->Now() - slot.proposed_at);
+  }
+  transport_->counters().Inc(obs::CounterId::kPbftFastCommits);
+  transport_->counters().Inc(obs::CounterId::kPbftBatchesCommitted);
+  // Still announce a Commit — off the critical path — so a replica whose
+  // fast votes were lost can assemble a classic commit quorum instead of
+  // wedging until the next checkpoint rescues it by state transfer.
+  auto commit = std::make_shared<CommitMsg>();
+  commit->view = slot.pre_prepare->view;
+  commit->seq = seq;
+  commit->batch_digest = slot.pre_prepare->batch_digest;
+  commit->replica = transport_->self();
+  commit->sig = keys_->Sign(transport_->self(), commit->digest());
+  transport_->ChargeCrypto(config_.costs.crypto.sign_us);
+  transport_->ChargeCpu(config_.costs.send_us * config_.members.size());
+  transport_->Multicast(config_.members, commit);
+  ExecuteReady();
+}
+
+void PbftEngine::TriggerFastFallback(SeqNum seq) {
+  if (!view_active_ || seq <= stable_seq_) return;
+  auto it = slots_.find(seq);
+  if (it == slots_.end()) return;
+  Slot& slot = it->second;
+  // Idempotent and safe mid-slot: a second trigger (timer raced a
+  // conflicting vote), an already-committed slot, or a slot from an older
+  // view (fast_eligible is only set in the proposing view) all no-op.
+  if (!slot.fast_eligible || slot.committed || slot.fast_fallback) return;
+  slot.fast_fallback = true;
+  ++fast_fallback_streak_;
+  transport_->counters().Inc(obs::CounterId::kPbftFastFallbacks);
+  // Grant the next progress timeout one cycle of grace: the fallback is
+  // the remedy for this stall, and escalating a view change on top of it
+  // would amplify one withheld vote into a primary replacement.
+  fallback_grace_ = true;
+  if (slot.prepared) {
+    // The prepare quorum already landed while the Commit round was held
+    // back; release it now.
+    auto commit = std::make_shared<CommitMsg>();
+    commit->view = slot.pre_prepare->view;
+    commit->seq = seq;
+    commit->batch_digest = slot.pre_prepare->batch_digest;
+    commit->replica = transport_->self();
+    commit->sig = keys_->Sign(transport_->self(), commit->digest());
+    transport_->ChargeCrypto(config_.costs.crypto.sign_us);
+    transport_->ChargeCpu(config_.costs.send_us * config_.members.size());
+    transport_->Multicast(config_.members, commit);
+    TryCommit(seq);
+  }
+  // Not prepared yet: the TryPrepare gate is off now, so the Commit goes
+  // out the moment the prepare quorum completes.
+}
+
+bool PbftEngine::FastArmAllowed(SeqNum seq) const {
+  if (config_.fast_disable_after == 0) return true;
+  if (fast_fallback_streak_ < config_.fast_disable_after) return true;
+  // Suppressed: probe unanimity on a thin, seq-keyed schedule so every
+  // replica re-arms the same slots without coordination. One unanimous
+  // probe resets the streak and re-enables the fast path everywhere.
+  const std::uint64_t n =
+      config_.fast_reprobe_slots == 0 ? 16 : config_.fast_reprobe_slots;
+  return seq % n == 0;
+}
+
+void PbftEngine::ArmFastAbandon(SeqNum seq) {
+  auto it = slots_.find(seq);
+  if (it == slots_.end()) return;
+  Slot& slot = it->second;
+  if (slot.fast_abandon_timer != 0) {
+    transport_->CancelTimer(slot.fast_abandon_timer);
+  }
+  slot.fast_abandon_timer = transport_->SetTimer(
+      FastPathAbandonTimeout(config_, commit_ewma_.value(), transport_->self(),
+                             seq),
+      sim::PackTimer(sim::TimerEngine::kPbft, kFastAbandonTimer, seq));
+}
+
+void PbftEngine::CancelFastAbandon(Slot& slot) {
+  if (slot.fast_abandon_timer != 0) {
+    transport_->CancelTimer(slot.fast_abandon_timer);
+    slot.fast_abandon_timer = 0;
+  }
 }
 
 void PbftEngine::ExecuteReady() {
@@ -663,7 +887,13 @@ void PbftEngine::AdvanceStable(SeqNum seq, const crypto::Certificate& cert,
   // benchmark can run a no-trim control arm; the durable checkpoint and
   // client table always advance regardless (correctness, not retention).
   if (config_.trim_at_checkpoint) {
+    for (auto sit = slots_.begin();
+         sit != slots_.end() && sit->first <= seq; ++sit) {
+      CancelFastAbandon(sit->second);
+    }
     slots_.erase(slots_.begin(), slots_.upper_bound(seq));
+    fast_certified_.erase(fast_certified_.begin(),
+                          fast_certified_.upper_bound(seq));
     prepared_proofs_.erase(prepared_proofs_.begin(),
                            prepared_proofs_.upper_bound(seq));
     checkpoint_votes_.erase(checkpoint_votes_.begin(),
@@ -695,6 +925,20 @@ void PbftEngine::AdvanceStable(SeqNum seq, const crypto::Certificate& cert,
   transport_->counters().Inc(obs::CounterId::kPbftStableCheckpoints);
   if (stable_checkpoint_callback_) {
     stable_checkpoint_callback_(last_stable_checkpoint_);
+  }
+  // Rotating ordering: hand the primary role to the next replica at
+  // checkpoint-window boundaries. Riding the view-change machinery keeps
+  // rotation safety-free-of-charge (prepared certificates carry over), and
+  // because every replica crosses the same stable checkpoint, the f+1 join
+  // rule assembles the rotation quorum immediately rather than waiting out
+  // a timeout. Skipped while a state transfer is in flight — a catching-up
+  // replica rotating solo would only run its view number away from the
+  // zone.
+  ++stable_checkpoints_seen_;
+  if (view_changes_enabled_ && view_active_ && pending_transfer_seq_ == 0 &&
+      ordering_->RotateAt(stable_checkpoints_seen_, config_)) {
+    transport_->counters().Inc(obs::CounterId::kPbftRotations);
+    StartViewChange(view_ + 1);
   }
 }
 
@@ -900,7 +1144,13 @@ void PbftEngine::InstallStateResponse(const StateResponseMsg& msg) {
     }
     last_executed_ = std::max(last_executed_, msg.seq);
     stable_seq_ = std::max(stable_seq_, msg.seq);
+    for (auto sit = slots_.begin();
+         sit != slots_.end() && sit->first <= stable_seq_; ++sit) {
+      CancelFastAbandon(sit->second);
+    }
     slots_.erase(slots_.begin(), slots_.upper_bound(stable_seq_));
+    fast_certified_.erase(fast_certified_.begin(),
+                          fast_certified_.upper_bound(stable_seq_));
     prepared_proofs_.erase(prepared_proofs_.begin(),
                            prepared_proofs_.upper_bound(stable_seq_));
   }
@@ -1022,9 +1272,17 @@ bool PbftEngine::ApplyDelta(const StateResponseMsg& msg) {
 void PbftEngine::ArmProgressTimer() {
   if (!view_changes_enabled_) return;
   if (progress_timer_ != 0) transport_->CancelTimer(progress_timer_);
+  // Fault-adaptive mode tracks the observed commit latency instead of the
+  // fixed configured timeout: suspicion fires sooner on a healthy zone and
+  // relaxes (up to the cap) when latency genuinely degrades, so a flapping
+  // link does not trigger spurious view changes.
+  const Duration timeout =
+      config_.adaptive_timeouts
+          ? AdaptiveProgressTimeout(config_, commit_ewma_.value(),
+                                    transport_->self(), view_)
+          : config_.request_timeout_us;
   progress_timer_ = transport_->SetTimer(
-      config_.request_timeout_us,
-      sim::PackTimer(sim::TimerEngine::kPbft, kProgressTimer));
+      timeout, sim::PackTimer(sim::TimerEngine::kPbft, kProgressTimer));
 }
 
 void PbftEngine::DisarmProgressTimer() {
@@ -1224,11 +1482,19 @@ void PbftEngine::EnterNewView(const std::shared_ptr<const NewViewMsg>& msg) {
   // drop the fresh one without ever re-preparing it in this view.
   for (auto it = slots_.begin(); it != slots_.end();) {
     if (!it->second.committed) {
+      CancelFastAbandon(it->second);
       it = slots_.erase(it);
     } else {
       ++it;
     }
   }
+  // Reproposed slots run the classic flow in the new view (fast_eligible is
+  // only ever set when a live pre-prepare is accepted), and any fallback
+  // grace from the old view is spent: the view change already happened.
+  // The fallback streak resets too — the stall may have been the old
+  // primary's fault, so the new view gets a fresh optimistic chance.
+  fallback_grace_ = false;
+  fast_fallback_streak_ = 0;
 
   SeqNum max_seq = msg->stable_seq;
   for (const auto& proof : msg->reproposals) {

@@ -15,6 +15,7 @@
 #include "pbft/config.h"
 #include "pbft/durable.h"
 #include "pbft/messages.h"
+#include "pbft/ordering.h"
 #include "pbft/state_machine.h"
 #include "sim/timer_tag.h"
 #include "sim/transport.h"
@@ -75,6 +76,20 @@ class PbftEngine {
   const PbftConfig& config() const { return config_; }
   const storage::CommitLog& commit_log() const { return commit_log_; }
   StateMachine* state_machine() const { return state_machine_; }
+
+  /// Slots this replica committed through the optimistic fast path, with
+  /// the unanimously voted batch digest (the fast certificate). Trimmed
+  /// with the slot map at stable checkpoints; the chaos invariant checker
+  /// cross-checks surviving entries against the honest commit logs.
+  const std::map<SeqNum, crypto::Digest>& fast_certified() const {
+    return fast_certified_;
+  }
+
+  /// Commit-latency EWMA driving the fault-adaptive timers (introspection
+  /// for tests; 0 until the first commit is observed).
+  Duration commit_latency_ewma() const { return commit_ewma_.value(); }
+
+  const OrderingStrategy& ordering() const { return *ordering_; }
 
   /// Last stable checkpoint with its 2f+1 certificate (lazy sync source).
   const storage::Checkpoint& last_stable_checkpoint() const {
@@ -194,6 +209,21 @@ class PbftEngine {
     bool prepared = false;
     bool committed = false;
     bool executed = false;
+    // Fast-path state (fast-path ordering only). fast_votes records each
+    // replica's vote digest so conflicting re-votes are detectable;
+    // fast_eligible marks slots proposed on the fast path in this view —
+    // slots adopted through a view change run the classic flow. The
+    // eligible/fallback pair gates exactly one Commit broadcast per slot:
+    // the fast commit sends it as a laggard rescue off the critical path,
+    // the fallback sends it the moment the slot is (or becomes) prepared.
+    std::map<NodeId, crypto::Digest> fast_votes;
+    bool fast_eligible = false;
+    bool fast_conflict = false;
+    bool fast_fallback = false;
+    bool fast_committed = false;
+    std::uint64_t fast_abandon_timer = 0;
+    // Pre-prepare accept time; commit latency observed into the EWMA.
+    SimTime proposed_at = 0;
     // Phase spans for the causal trace (0 when the slot is untraced):
     // consensus covers pre-prepare accept -> execution, the others one
     // protocol phase each. Closed from whichever handler flips the flag.
@@ -217,6 +247,7 @@ class PbftEngine {
     kProgressTimer = 2,
     kViewChangeTimer = 3,
     kStateTransferTimer = 4,
+    kFastAbandonTimer = 5,  // slot field carries the sequence number
   };
 
   NodeId PrimaryOf(ViewId v) const {
@@ -229,6 +260,7 @@ class PbftEngine {
   void HandleReadRequest(const std::shared_ptr<const ReadRequestMsg>& msg);
   void HandlePrePrepare(const std::shared_ptr<const PrePrepareMsg>& msg);
   void HandlePrepare(const std::shared_ptr<const PrepareMsg>& msg);
+  void HandleFastVote(const std::shared_ptr<const FastVoteMsg>& msg);
   void HandleCommit(const std::shared_ptr<const CommitMsg>& msg);
   void HandleCheckpoint(const std::shared_ptr<const CheckpointMsg>& msg);
   void HandleViewChange(const std::shared_ptr<const ViewChangeMsg>& msg);
@@ -248,6 +280,13 @@ class PbftEngine {
   void ProposeBatch(Batch batch);
   void TryPrepare(SeqNum seq);
   void TryCommit(SeqNum seq);
+  // Fast path: unanimity check, certified fallback to prepare/commit, and
+  // the per-slot abandon timer that bounds how long unanimity is awaited.
+  void TryFastCommit(SeqNum seq);
+  void TriggerFastFallback(SeqNum seq);
+  void ArmFastAbandon(SeqNum seq);
+  void CancelFastAbandon(Slot& slot);
+  bool FastArmAllowed(SeqNum seq) const;
   void ExecuteReady();
   void ExecuteOp(SeqNum seq, const Operation& op);
   // Checkpoint materials frozen when this replica cast its vote at `seq`:
@@ -342,6 +381,23 @@ class PbftEngine {
   std::uint64_t view_change_timer_ = 0;
   std::uint64_t view_change_attempts_ = 0;
   bool batch_timer_armed_ = false;
+
+  // Ordering strategy (never null) and the fault-adaptive timer inputs.
+  // stable_checkpoints_seen_ counts checkpoints installed since boot and
+  // drives rotation; fallback_grace_ grants one progress-timeout cycle of
+  // grace after a fast-path fallback so the same stall is not charged twice
+  // (once as a fallback, again as a view-change demand — the demand
+  // amplification bug). fast_certified_ is documented at its accessor.
+  std::unique_ptr<OrderingStrategy> ordering_;
+  CommitLatencyEwma commit_ewma_;
+  std::uint64_t stable_checkpoints_seen_ = 0;
+  bool fallback_grace_ = false;
+  std::map<SeqNum, crypto::Digest> fast_certified_;
+  // Consecutive fast-path fallbacks with no intervening fast commit. Once
+  // it reaches fast_disable_after, FastArmAllowed suppresses the optimistic
+  // round except on re-probe slots; a unanimous probe (or a new view)
+  // resets it. See PbftConfig::fast_disable_after for why.
+  std::uint64_t fast_fallback_streak_ = 0;
 
   // In-flight state transfer target (0 = none). When the target digest is
   // known (from 2f+1 checkpoint votes) one matching response suffices;

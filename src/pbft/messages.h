@@ -28,6 +28,7 @@ enum PbftMessageType : sim::MessageType {
   kStateResponse = 19,
   kReadRequest = 20,
   kReadReply = 21,
+  kFastVote = 22,
 };
 
 /// An application operation as carried by consensus: an opaque command
@@ -143,6 +144,27 @@ struct PrepareMsg : sim::Message {
 
   crypto::Digest ComputeDigest() const override {
     return Hasher(0x0d).Add(view).Add(seq).Add(batch_digest).Finish();
+  }
+};
+
+/// <FAST-VOTE, v, n, d, i>_sigma_i — the optimistic fast path's single vote
+/// round (Ordering::kFastPath). A fast vote asserts exactly what a prepare
+/// asserts — "I accepted pre-prepare (v, n, d)" — so receivers fold it into
+/// the prepare tally too: 2f+1 matching fast votes make the slot prepared
+/// (classic safety, view-change carryover and durable proofs included),
+/// and all 3f+1 matching fast votes commit it without waiting for the
+/// commit round.
+struct FastVoteMsg : sim::Message {
+  FastVoteMsg() : Message(kFastVote) {}
+
+  ViewId view = 0;
+  SeqNum seq = 0;
+  crypto::Digest batch_digest = 0;
+  NodeId replica = kInvalidNode;
+  crypto::Signature sig;
+
+  crypto::Digest ComputeDigest() const override {
+    return Hasher(0x0f).Add(view).Add(seq).Add(batch_digest).Finish();
   }
 };
 

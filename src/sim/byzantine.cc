@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/hash.h"
 #include "core/lazy_sync.h"
 #include "core/messages.h"
 #include "storage/kv_store.h"
@@ -59,6 +60,38 @@ MessagePtr EquivocatingPrimaryBehavior::OnSend(NodeId from, NodeId to,
     it = forged_.emplace(key, std::move(twin)).first;
   }
   return it->second;
+}
+
+MessagePtr FastVoteEquivocatingBehavior::OnSend(NodeId from, NodeId to,
+                                                const MessagePtr& msg) {
+  if (msg->type() != pbft::kFastVote) return msg;
+  // Even-id destinations get the honest vote, odd-id ones the forged twin.
+  if (to % 2 == 0) return msg;
+  const auto* vote = static_cast<const pbft::FastVoteMsg*>(msg.get());
+  auto key = std::make_pair(vote->view, vote->seq);
+  auto it = forged_.find(key);
+  if (it == forged_.end()) {
+    auto twin = std::make_shared<pbft::FastVoteMsg>(*vote);
+    twin->batch_digest =
+        Hasher(0xfab5).Add(vote->batch_digest).Add(vote->seq).Finish();
+    twin->sig = keys_->Sign(from, twin->digest());
+    twin->set_from(from);
+    equivocations_++;
+    sim_->counters().Inc(obs::CounterId::kByzEquivocationsEmitted);
+    it = forged_.emplace(key, std::move(twin)).first;
+  }
+  return it->second;
+}
+
+MessagePtr FastVoteWithholdingBehavior::OnSend(NodeId /*from*/, NodeId to,
+                                               const MessagePtr& msg) {
+  // Keeps its own vote (local state stays consistent) but starves everyone
+  // else of the unanimity it requires.
+  if (msg->type() == pbft::kFastVote && to != self_) {
+    suppressed_++;
+    return nullptr;
+  }
+  return msg;
 }
 
 void EquivocatingPbftEngine::EmitPrePrepare(

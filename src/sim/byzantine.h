@@ -195,6 +195,48 @@ class ForgingReadResponderBehavior : public ByzantineBehavior {
   std::uint64_t lies_ = 0;
 };
 
+/// Fast-path equivocating voter: sends its honest FastVote to even-id
+/// destinations and a correctly signed vote for a forged digest to odd-id
+/// destinations (one forged twin per (view, seq), so every victim sees the
+/// same lie). Victims detect the conflicting digest, mark the slot
+/// fast-conflicted and fall back to the classic prepare/commit rounds; the
+/// forged vote never counts toward a prepare quorum (digest laxity check),
+/// so safety is untouched and the attack only costs the fast path.
+class FastVoteEquivocatingBehavior : public ByzantineBehavior {
+ public:
+  FastVoteEquivocatingBehavior(Simulation* sim, NodeId self,
+                               const crypto::KeyRegistry* keys)
+      : ByzantineBehavior(sim, self), keys_(keys) {}
+  const char* name() const override { return "fast-vote-equivocator"; }
+  MessagePtr OnSend(NodeId from, NodeId to, const MessagePtr& msg) override;
+
+  std::uint64_t equivocations() const { return equivocations_; }
+
+ private:
+  const crypto::KeyRegistry* keys_;
+  /// One forged twin per (view, seq).
+  std::map<std::pair<ViewId, SeqNum>, MessagePtr> forged_;
+  std::uint64_t equivocations_ = 0;
+};
+
+/// Fast-path vote withholder: suppresses every outbound FastVote (except to
+/// itself, keeping local bookkeeping intact). Unanimity becomes unreachable
+/// for every slot, so the zone's fast path degrades to perpetual abandon
+/// fallback — the worst-case latency regression a single silent backup can
+/// inflict. Classic quorums are untouched: 3f remaining votes still exceed
+/// 2f+1, so the fallback commits every slot.
+class FastVoteWithholdingBehavior : public ByzantineBehavior {
+ public:
+  using ByzantineBehavior::ByzantineBehavior;
+  const char* name() const override { return "fast-vote-withhold"; }
+  MessagePtr OnSend(NodeId from, NodeId to, const MessagePtr& msg) override;
+
+  std::uint64_t suppressed() const { return suppressed_; }
+
+ private:
+  std::uint64_t suppressed_ = 0;
+};
+
 /// Engine-level equivocator: a PbftEngine subclass overriding the virtual
 /// EmitPrePrepare hook so that, as primary, it signs and sends two
 /// conflicting pre-prepares for the same (view, seq) — the original batch

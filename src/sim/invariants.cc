@@ -24,6 +24,7 @@ std::vector<InvariantViolation> InvariantChecker::Check(
     core::ZiziphusSystem& system) {
   std::vector<InvariantViolation> out;
   CheckZoneAgreement(system, &out);
+  CheckFastCertificates(system, &out);
   CheckCheckpoints(system, &out);
   CheckGlobalAgreement(system, &out);
   CheckBalances(system, &out);
@@ -57,6 +58,39 @@ void InvariantChecker::CheckZoneAgreement(
                  << " committed " << e.digest;
           out->push_back({"zone-agreement", detail.str()});
         }
+      }
+    }
+  }
+}
+
+void InvariantChecker::CheckFastCertificates(
+    core::ZiziphusSystem& system, std::vector<InvariantViolation>* out) {
+  const core::Topology& topo = system.topology();
+  for (ZoneId z = 0; z < topo.num_zones(); ++z) {
+    // Reference digests come from the honest commit logs (whatever path
+    // produced them); every surviving fast certificate must agree. Both
+    // maps are trimmed at the same stable checkpoint, so a retained fast
+    // certificate always has retained log holders to be judged against.
+    std::map<SeqNum, std::pair<std::uint64_t, NodeId>> reference;
+    for (NodeId id : topo.zone(z).members) {
+      if (!Honest(system, id)) continue;
+      core::ZiziphusNode* node = system.node(id);
+      for (const storage::LogEntry& e : node->pbft().commit_log().entries()) {
+        reference.try_emplace(e.seq, e.digest, id);
+      }
+    }
+    for (NodeId id : topo.zone(z).members) {
+      if (!Honest(system, id)) continue;
+      core::ZiziphusNode* node = system.node(id);
+      for (const auto& [seq, digest] : node->pbft().fast_certified()) {
+        auto it = reference.find(seq);
+        if (it == reference.end() || it->second.first == digest) continue;
+        std::ostringstream detail;
+        detail << "zone " << z << " seq " << seq << ": " << NodeName(id)
+               << " holds fast certificate for digest " << digest << " but "
+               << NodeName(it->second.second) << " committed "
+               << it->second.first;
+        out->push_back({"fast-path-certificate", detail.str()});
       }
     }
   }

@@ -50,7 +50,13 @@ struct InvariantViolation {
 ///      witness is compared against ground truth: its anchor's
 ///      (state digest, read root) must match what honest replicas actually
 ///      stabilized at that (zone, seq), and the value must match the
-///      committed snapshot wherever an honest replica still retains it.
+///      committed snapshot wherever an honest replica still retains it;
+///   7. fast-path-certificate: every slot an honest replica committed via
+///      the optimistic fast path (unanimous FastVote round, recorded with
+///      the voted digest) carries exactly the batch digest its zone's
+///      honest replicas committed at that sequence — a fast certificate
+///      never contradicts the classic three-phase outcome, whichever path
+///      each replica took.
 ///
 /// Every check skips nodes listed as Byzantine or currently crashed —
 /// the paper's guarantees only cover honest replicas, and a crashed
@@ -103,6 +109,8 @@ class InvariantChecker {
 
   void CheckZoneAgreement(core::ZiziphusSystem& system,
                           std::vector<InvariantViolation>* out);
+  void CheckFastCertificates(core::ZiziphusSystem& system,
+                             std::vector<InvariantViolation>* out);
   void CheckCheckpoints(core::ZiziphusSystem& system,
                         std::vector<InvariantViolation>* out);
   void CheckGlobalAgreement(core::ZiziphusSystem& system,
