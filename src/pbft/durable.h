@@ -26,6 +26,11 @@ namespace ziziphus::pbft {
 ///  - `prepared_proofs`: prepared certificates above the stable checkpoint.
 ///    They carry the full batches, which doubles as the WAL's payload:
 ///    replay pairs each WAL digest with its proof's batch to re-apply ops.
+///  - `fast_votes`: the fast-path votes this replica cast above the stable
+///    checkpoint (view, seq, digest, batch). Fast-commit safety across view
+///    changes rests on every honest voter reporting its vote in its
+///    view-change message (>= f+1 reports in any quorum); an amnesiac that
+///    forgot a cast vote could silently drop the count below threshold.
 ///  - `client_ts`: last executed timestamp per client, so a recovered
 ///    replica keeps exactly-once semantics instead of re-applying requests
 ///    it already executed.
@@ -39,6 +44,7 @@ struct DurableState {
   storage::Checkpoint stable_checkpoint;
   storage::CommitLog wal;
   std::map<SeqNum, PreparedProof> prepared_proofs;
+  std::map<SeqNum, PreparedProof> fast_votes;
   std::map<ClientId, RequestTimestamp> client_ts;
   std::map<ClientId, RequestTimestamp> checkpoint_client_ts;
 };

@@ -124,18 +124,25 @@ bool PbftEngine::HandleTimer(std::uint64_t tag) {
           catch_up_abandoned_ = false;
           StartCatchUp(last_executed_ + 1);
           ArmProgressTimer();
-        } else if (fallback_grace_) {
-          // A fast-path slot fell back to prepare/commit this cycle. The
-          // stall was already charged to the fast path (the fallback is the
-          // remedy and is making progress through the classic rounds);
-          // demanding a view change for the same slot would amplify one
-          // missing fast vote into a primary replacement. One cycle of
-          // grace, then normal escalation resumes.
-          fallback_grace_ = false;
-          transport_->counters().Inc(obs::CounterId::kPbftFallbackGraces);
-          ArmProgressTimer();
         } else {
-          StartViewChange(view_ + 1);
+          // Fast-path fallback grace, scoped to the slot actually stalling
+          // execution: if the next slot to execute fell back, the fallback
+          // is the remedy for this stall (the classic rounds are making
+          // progress) and demanding a view change on top would amplify one
+          // missing fast vote into a primary replacement. Each slot buys at
+          // most one grace cycle, and fallbacks on *other* slots buy
+          // nothing — a stream of fallback-provoking pre-prepares from a
+          // faulty primary cannot keep renewing grace for an unrelated
+          // wedge.
+          auto hit = slots_.find(last_executed_ + 1);
+          if (hit != slots_.end() && hit->second.fast_fallback &&
+              !hit->second.committed && !hit->second.fast_grace_spent) {
+            hit->second.fast_grace_spent = true;
+            transport_->counters().Inc(obs::CounterId::kPbftFallbackGraces);
+            ArmProgressTimer();
+          } else {
+            StartViewChange(view_ + 1);
+          }
         }
       }
       break;
@@ -402,6 +409,15 @@ void PbftEngine::HandlePrePrepare(
     // only has to release the held-back Commit round. The abandon timer
     // bounds how long unanimity is awaited.
     slot.fast_eligible = true;
+    // Record the vote where view changes can find it (and durably — see
+    // DurableState::fast_votes): if the zone fast-commits this digest, the
+    // f+1-of-quorum reporting rule in MaybeSendNewView is what keeps the
+    // committed slot from being no-op-filled in the next view.
+    fast_voted_[msg->seq] =
+        PreparedProof{msg->view, msg->seq, msg->batch_digest, msg->batch};
+    if (durable_ != nullptr) {
+      durable_->fast_votes[msg->seq] = fast_voted_[msg->seq];
+    }
     auto vote = std::make_shared<FastVoteMsg>();
     vote->view = msg->view;
     vote->seq = msg->seq;
@@ -584,8 +600,14 @@ void PbftEngine::TryFastCommit(SeqNum seq) {
   if (!slot.fast_votes.count(slot.pre_prepare->from())) votes += 1;
   if (votes < config_.members.size()) return;
   // All 3f+1 replicas voted one digest: commit without the commit round.
-  // Safe because unanimity contains every honest replica — no conflicting
-  // prepared certificate can exist anywhere, in this or any later view.
+  // Safety needs two legs. Within a view, unanimity contains every honest
+  // replica, so no conflicting certificate of either kind can form. Across
+  // view changes the commit must also be *recoverable*: other honest
+  // replicas may not hold a prepared certificate yet (their vote copies
+  // delayed), so every honest voter carries its fast vote in its
+  // view-change message, and any 2f+1 quorum therefore contains >= f+1
+  // reporters of this digest — enough for MaybeSendNewView to repropose it
+  // instead of a no-op filler (the classic Zyzzyva view-change pitfall).
   slot.fast_committed = true;
   slot.committed = true;
   fast_fallback_streak_ = 0;
@@ -625,10 +647,10 @@ void PbftEngine::TriggerFastFallback(SeqNum seq) {
   slot.fast_fallback = true;
   ++fast_fallback_streak_;
   transport_->counters().Inc(obs::CounterId::kPbftFastFallbacks);
-  // Grant the next progress timeout one cycle of grace: the fallback is
-  // the remedy for this stall, and escalating a view change on top of it
-  // would amplify one withheld vote into a primary replacement.
-  fallback_grace_ = true;
+  // The fast_fallback flag doubles as the progress-timer grace marker: if
+  // this slot is the one stalling execution when the timer fires, it buys
+  // one cycle before view-change escalation (see the kProgressTimer
+  // handler) — the fallback, not a primary replacement, is the remedy.
   if (slot.prepared) {
     // The prepare quorum already landed while the Commit round was held
     // back; release it now.
@@ -896,6 +918,7 @@ void PbftEngine::AdvanceStable(SeqNum seq, const crypto::Certificate& cert,
                           fast_certified_.upper_bound(seq));
     prepared_proofs_.erase(prepared_proofs_.begin(),
                            prepared_proofs_.upper_bound(seq));
+    fast_voted_.erase(fast_voted_.begin(), fast_voted_.upper_bound(seq));
     checkpoint_votes_.erase(checkpoint_votes_.begin(),
                             checkpoint_votes_.upper_bound(seq));
     commit_log_.TruncatePrefix(seq);
@@ -914,6 +937,8 @@ void PbftEngine::AdvanceStable(SeqNum seq, const crypto::Certificate& cert,
       durable_->prepared_proofs.erase(
           durable_->prepared_proofs.begin(),
           durable_->prepared_proofs.upper_bound(seq));
+      durable_->fast_votes.erase(durable_->fast_votes.begin(),
+                                 durable_->fast_votes.upper_bound(seq));
     }
     durable_->checkpoint_client_ts.clear();
     for (const auto& [client, cs] : clients_) {
@@ -931,12 +956,17 @@ void PbftEngine::AdvanceStable(SeqNum seq, const crypto::Certificate& cert,
   // rotation safety-free-of-charge (prepared certificates carry over), and
   // because every replica crosses the same stable checkpoint, the f+1 join
   // rule assembles the rotation quorum immediately rather than waiting out
-  // a timeout. Skipped while a state transfer is in flight — a catching-up
-  // replica rotating solo would only run its view number away from the
-  // zone.
-  ++stable_checkpoints_seen_;
+  // a timeout. The rotation point is the zone-global checkpoint ordinal
+  // (seq / interval), not a boot-relative counter: a replica recovered from
+  // amnesia mid-window must agree with the zone on which checkpoints
+  // rotate, or its solo planned view changes can never gather f+1 joiners.
+  // Skipped while a state transfer is in flight — a catching-up replica
+  // rotating solo would only run its view number away from the zone.
+  const std::uint64_t checkpoint_ordinal =
+      config_.checkpoint_interval == 0 ? 0
+                                       : seq / config_.checkpoint_interval;
   if (view_changes_enabled_ && view_active_ && pending_transfer_seq_ == 0 &&
-      ordering_->RotateAt(stable_checkpoints_seen_, config_)) {
+      ordering_->RotateAt(checkpoint_ordinal, config_)) {
     transport_->counters().Inc(obs::CounterId::kPbftRotations);
     StartViewChange(view_ + 1);
   }
@@ -1153,6 +1183,8 @@ void PbftEngine::InstallStateResponse(const StateResponseMsg& msg) {
                           fast_certified_.upper_bound(stable_seq_));
     prepared_proofs_.erase(prepared_proofs_.begin(),
                            prepared_proofs_.upper_bound(stable_seq_));
+    fast_voted_.erase(fast_voted_.begin(),
+                      fast_voted_.upper_bound(stable_seq_));
   }
   // Adopt the responder's client table (max-merge) so a recovered replica
   // does not re-apply requests executed during its outage.
@@ -1314,6 +1346,14 @@ void PbftEngine::StartViewChange(ViewId new_view) {
     if (seq <= stable_seq_) continue;
     msg->prepared.push_back(proof);
   }
+  // Carry every fast vote cast above the stable checkpoint: if any replica
+  // fast-committed one of these slots, all honest replicas voted its digest
+  // and >= f+1 of them land in whatever quorum forms the next view, which
+  // is what lets the new primary repropose the committed batch.
+  for (const auto& [seq, vote] : fast_voted_) {
+    if (seq <= stable_seq_) continue;
+    msg->fast_votes.push_back(vote);
+  }
   msg->replica = transport_->self();
   msg->sig = keys_->Sign(transport_->self(), msg->digest());
   transport_->ChargeCrypto(config_.costs.crypto.sign_us);
@@ -1403,24 +1443,66 @@ void PbftEngine::MaybeSendNewView(ViewId v) {
   auto msg = std::make_shared<NewViewMsg>();
   msg->new_view = v;
   SeqNum max_stable = stable_seq_;
-  SeqNum max_prepared = 0;
+  SeqNum max_seq = 0;
   std::map<SeqNum, const PreparedProof*> best;
+  // Fast-vote tally: seq -> (vote view, digest) -> distinct reporters plus
+  // one carried copy of the batch.
+  std::map<SeqNum, std::map<std::pair<ViewId, crypto::Digest>,
+                            std::pair<std::set<NodeId>, const PreparedProof*>>>
+      fast_tally;
   for (const auto& [node, vc] : it->second) {
     msg->view_change_sources.push_back(node);
     max_stable = std::max(max_stable, vc->stable_seq);
     for (const auto& proof : vc->prepared) {
-      max_prepared = std::max(max_prepared, proof.seq);
+      max_seq = std::max(max_seq, proof.seq);
       auto bit = best.find(proof.seq);
       if (bit == best.end() || bit->second->view < proof.view) {
         best[proof.seq] = &proof;
       }
     }
+    for (const auto& vote : vc->fast_votes) {
+      auto& cell = fast_tally[vote.seq][{vote.view, vote.batch_digest}];
+      cell.first.insert(node);
+      cell.second = &vote;
+    }
+  }
+  // A fast commit leaves no prepared certificate behind at the other
+  // replicas — only the 3f+1 unanimous votes. Since every honest member
+  // voted the committed digest, >= f+1 members of THIS quorum report it
+  // (and no conflicting digest can reach f+1 reports at the same view:
+  // two such candidates would need 2f+2 distinct reporters). An f+1-backed
+  // candidate is therefore safe to repropose, and must be, or a committed
+  // slot gets no-op-filled. At most f Byzantine reports can conjure no
+  // candidate; a reproposed batch nobody committed re-runs the classic
+  // rounds harmlessly.
+  std::map<SeqNum, const PreparedProof*> fast_best;
+  for (const auto& [seq, by_vote] : fast_tally) {
+    for (const auto& [key, cell] : by_vote) {
+      if (cell.first.size() < config_.f + 1) continue;
+      auto fit = fast_best.find(seq);
+      if (fit == fast_best.end() || fit->second->view < key.first) {
+        fast_best[seq] = cell.second;
+        max_seq = std::max(max_seq, seq);
+      }
+    }
   }
   msg->stable_seq = max_stable;
-  for (SeqNum s = max_stable + 1; s <= max_prepared; ++s) {
-    auto bit = best.find(s);
-    if (bit != best.end()) {
-      PreparedProof p = *bit->second;
+  for (SeqNum s = max_stable + 1; s <= max_seq; ++s) {
+    // Pick per slot: the higher-view candidate wins; on a view tie the
+    // prepared certificate wins (with an equivocating primary, f Byzantine
+    // reporters plus one misled honest voter can back a digest that never
+    // fast-committed, while 2f+1 prepares certify the other — and a fast
+    // commit at that view would have made a conflicting prepared
+    // certificate impossible).
+    const PreparedProof* pick = nullptr;
+    if (auto bit = best.find(s); bit != best.end()) pick = bit->second;
+    if (auto fit = fast_best.find(s);
+        fit != fast_best.end() &&
+        (pick == nullptr || pick->view < fit->second->view)) {
+      pick = fit->second;
+    }
+    if (pick != nullptr) {
+      PreparedProof p = *pick;
       p.view = v;
       msg->reproposals.push_back(std::move(p));
     } else {
@@ -1489,11 +1571,10 @@ void PbftEngine::EnterNewView(const std::shared_ptr<const NewViewMsg>& msg) {
     }
   }
   // Reproposed slots run the classic flow in the new view (fast_eligible is
-  // only ever set when a live pre-prepare is accepted), and any fallback
-  // grace from the old view is spent: the view change already happened.
-  // The fallback streak resets too — the stall may have been the old
-  // primary's fault, so the new view gets a fresh optimistic chance.
-  fallback_grace_ = false;
+  // only ever set when a live pre-prepare is accepted). The fallback streak
+  // resets — the stall may have been the old primary's fault, so the new
+  // view gets a fresh optimistic chance. Per-slot grace needs no reset:
+  // fast_grace_spent lives on the slot and dies with it.
   fast_fallback_streak_ = 0;
 
   SeqNum max_seq = msg->stable_seq;
@@ -1590,6 +1671,9 @@ void PbftEngine::RestoreFromDurable() {
     last_stable_checkpoint_ = cp;
   }
   prepared_proofs_ = durable_->prepared_proofs;
+  // Restore cast fast votes: an amnesiac that forgot a vote could drop a
+  // fast-committed digest below the f+1 view-change reporting threshold.
+  fast_voted_ = durable_->fast_votes;
   // Seed the client table as of the checkpoint; replay rebuilds it forward
   // so per-op duplicate decisions replay exactly as they first ran.
   clients_.clear();

@@ -221,6 +221,10 @@ class PbftEngine {
     bool fast_conflict = false;
     bool fast_fallback = false;
     bool fast_committed = false;
+    // Progress-timeout grace already spent on this slot: a fallen-back head
+    // slot buys exactly one timer cycle before view-change escalation
+    // resumes (see the kProgressTimer handler).
+    bool fast_grace_spent = false;
     std::uint64_t fast_abandon_timer = 0;
     // Pre-prepare accept time; commit latency observed into the EWMA.
     SimTime proposed_at = 0;
@@ -376,6 +380,13 @@ class PbftEngine {
   // lose the certificate and let the new primary no-op-fill a sequence
   // number that another replica already committed.
   std::map<SeqNum, PreparedProof> prepared_proofs_;
+  // Fast votes this replica cast, keyed by slot (latest view wins). Like
+  // prepared_proofs_ these must outlive slot state: a fast-committed slot
+  // leaves no prepared certificate at 2f+1 replicas, so the unanimous votes
+  // themselves are what view-change messages carry to make the commit
+  // recoverable (>= f+1 of any 2f+1 quorum reports the committed digest).
+  // Trimmed at stable checkpoints, persisted write-through when durable.
+  std::map<SeqNum, PreparedProof> fast_voted_;
   std::uint64_t batch_timer_ = 0;
   std::uint64_t progress_timer_ = 0;
   std::uint64_t view_change_timer_ = 0;
@@ -383,15 +394,13 @@ class PbftEngine {
   bool batch_timer_armed_ = false;
 
   // Ordering strategy (never null) and the fault-adaptive timer inputs.
-  // stable_checkpoints_seen_ counts checkpoints installed since boot and
-  // drives rotation; fallback_grace_ grants one progress-timeout cycle of
-  // grace after a fast-path fallback so the same stall is not charged twice
-  // (once as a fallback, again as a view-change demand — the demand
-  // amplification bug). fast_certified_ is documented at its accessor.
+  // Rotation is keyed to the zone-global checkpoint ordinal (stable seq /
+  // checkpoint interval) computed in AdvanceStable, never to a boot-relative
+  // counter, so a replica recovered from amnesia rotates at the same
+  // checkpoints as the rest of the zone. Fallback grace is per-slot
+  // (Slot::fast_grace_spent). fast_certified_ is documented at its accessor.
   std::unique_ptr<OrderingStrategy> ordering_;
   CommitLatencyEwma commit_ewma_;
-  std::uint64_t stable_checkpoints_seen_ = 0;
-  bool fallback_grace_ = false;
   std::map<SeqNum, crypto::Digest> fast_certified_;
   // Consecutive fast-path fallbacks with no intervening fast commit. Once
   // it reaches fast_disable_after, FastArmAllowed suppresses the optimistic

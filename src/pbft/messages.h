@@ -215,13 +215,24 @@ struct PreparedProof {
   }
 };
 
-/// <VIEW-CHANGE, v+1, n_stable, C, P, i>_sigma_i
+/// <VIEW-CHANGE, v+1, n_stable, C, P, F, i>_sigma_i
 struct ViewChangeMsg : sim::Message {
   ViewChangeMsg() : Message(kViewChange) {}
 
   ViewId new_view = 0;
   SeqNum stable_seq = 0;
   std::vector<PreparedProof> prepared;
+  /// Fast votes this replica cast (view, seq, digest, batch — PreparedProof
+  /// doubles as the carrier), for slots above the stable checkpoint. A
+  /// fast-committed slot leaves no 2f+1 prepared certificate behind at the
+  /// other replicas, only the 3f+1 unanimous votes — so those votes must
+  /// survive the view change the same way prepared certificates do, or the
+  /// new primary no-op-fills a sequence number some replica already
+  /// executed (the Zyzzyva view-change bug). Since a fast commit requires
+  /// every member's vote, any 2f+1 view-change quorum contains >= f+1
+  /// honest reporters of the committed digest; MaybeSendNewView reproposes
+  /// on that threshold.
+  std::vector<PreparedProof> fast_votes;
   NodeId replica = kInvalidNode;
   crypto::Signature sig;
 
@@ -229,9 +240,16 @@ struct ViewChangeMsg : sim::Message {
     Hasher h(0x11);
     h.Add(new_view).Add(stable_seq).Add(replica);
     for (const auto& p : prepared) h.Add(p.ComputeDigest());
+    // Domain-separated per entry so a proof cannot migrate between the
+    // prepared and fast-vote sections without breaking the signature. An
+    // empty vector adds nothing: stable/rotating view changes hash (and
+    // sign) exactly as before.
+    for (const auto& p : fast_votes) h.Add(0xfa).Add(p.ComputeDigest());
     return h.Finish();
   }
-  std::size_t WireSize() const override { return 96 + prepared.size() * 72; }
+  std::size_t WireSize() const override {
+    return 96 + prepared.size() * 72 + fast_votes.size() * 72;
+  }
 };
 
 /// <NEW-VIEW, v+1, V, O>_sigma_p

@@ -76,10 +76,12 @@ class StableOrdering : public OrderingStrategy {
 class RotatingOrdering : public OrderingStrategy {
  public:
   Ordering kind() const override { return Ordering::kRotating; }
-  bool RotateAt(std::uint64_t stable_checkpoints,
+  bool RotateAt(std::uint64_t checkpoint_ordinal,
                 const PbftConfig& config) const override {
+    // Keyed to the zone-global ordinal, every replica — including one that
+    // restarted mid-epoch — picks the same rotation checkpoints.
     return config.rotation_checkpoints != 0 &&
-           stable_checkpoints % config.rotation_checkpoints == 0;
+           checkpoint_ordinal % config.rotation_checkpoints == 0;
   }
 };
 

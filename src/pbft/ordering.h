@@ -21,29 +21,35 @@ std::optional<Ordering> ParseOrdering(std::string_view name);
 /// (pre-prepare accept -> commit), the input signal for the fault-adaptive
 /// timers. alpha = 1/8: ewma += (sample - ewma) / 8, seeded by the first
 /// sample. Integer microseconds end to end, so same-seed runs stay
-/// byte-identical.
+/// byte-identical. Kept in fixed point (accumulator = 8 * ewma) so the
+/// sub-alpha residue carries between samples: with a plain integer ewma,
+/// a persistent drift under 8us per sample truncates to a zero update and
+/// the average stays pinned below real latency forever.
 class CommitLatencyEwma {
  public:
   void Observe(Duration sample_us) {
     if (!seeded_) {
-      ewma_ = sample_us;
+      scaled_ = static_cast<std::int64_t>(sample_us) * 8;
       seeded_ = true;
       return;
     }
-    // Signed delta: a sample below the current average must pull the
-    // average down, not wrap the unsigned subtraction around.
-    const std::int64_t delta = static_cast<std::int64_t>(sample_us) -
-                               static_cast<std::int64_t>(ewma_);
-    ewma_ = static_cast<Duration>(static_cast<std::int64_t>(ewma_) + delta / 8);
+    // scaled' = scaled + (sample - scaled/8) is the same recurrence as
+    // ewma += (sample - ewma) / 8 scaled by 8, except the division happens
+    // once (on read-back) instead of on every delta, so small deltas
+    // accumulate instead of truncating to zero. Signed throughout: a
+    // sample below the average must pull it down, not wrap.
+    scaled_ += static_cast<std::int64_t>(sample_us) - scaled_ / 8;
   }
 
   /// Current estimate; 0 until the first sample (callers fall back to the
   /// configured fixed timeout while unseeded).
-  Duration value() const { return seeded_ ? ewma_ : 0; }
+  Duration value() const {
+    return seeded_ ? static_cast<Duration>(scaled_ / 8) : 0;
+  }
   bool seeded() const { return seeded_; }
 
  private:
-  Duration ewma_ = 0;
+  std::int64_t scaled_ = 0;  // 8x the estimate, in microseconds.
   bool seeded_ = false;
 };
 
@@ -84,12 +90,14 @@ class OrderingStrategy {
   /// instead of Prepare.
   virtual bool use_fast_votes() const { return false; }
 
-  /// Called with the running count of stable checkpoints this replica has
-  /// installed; true asks the engine to rotate the primary (a planned view
-  /// change to view+1).
-  virtual bool RotateAt(std::uint64_t stable_checkpoints,
+  /// Called with the zone-global checkpoint ordinal of the stable
+  /// checkpoint just installed (stable seq / checkpoint interval — NOT a
+  /// boot-relative counter, which would desynchronize a replica's rotation
+  /// phase from the zone after an amnesia restart); true asks the engine to
+  /// rotate the primary (a planned view change to view+1).
+  virtual bool RotateAt(std::uint64_t checkpoint_ordinal,
                         const PbftConfig& config) const {
-    (void)stable_checkpoints;
+    (void)checkpoint_ordinal;
     (void)config;
     return false;
   }

@@ -90,6 +90,18 @@ TEST(AdaptiveTimeoutTest, EwmaPullsDownOnSamplesBelowTheAverage) {
   EXPECT_LT(ewma.value(), 1000u);
 }
 
+TEST(AdaptiveTimeoutTest, EwmaTracksSubAlphaDrifts) {
+  // Fixed-point regression: with a plain integer ewma, a persistent +4us
+  // drift truncates to a zero update (4 / 8 == 0) and the average stays
+  // pinned below real latency forever, keeping the adaptive timers a
+  // notch too tight. The scaled accumulator must converge onto the
+  // drifted value instead.
+  pbft::CommitLatencyEwma ewma;
+  ewma.Observe(8000);
+  for (int i = 0; i < 64; ++i) ewma.Observe(8004);
+  EXPECT_EQ(ewma.value(), 8004u);
+}
+
 TEST(AdaptiveTimeoutTest, ProgressTimeoutClampsAndJittersDeterministically) {
   pbft::PbftConfig cfg;
   cfg.request_timeout_us = Millis(600);
@@ -280,6 +292,51 @@ TEST(FastPathTest, FastCertificatesMatchCommittedDigests) {
             << " against a different digest than replica " << j;
       }
     }
+  }
+}
+
+TEST(FastPathTest, ViewChangeReproposesFastCommittedSlot) {
+  // The Zyzzyva view-change pitfall: the primary collects all 3f+1 fast
+  // votes and commits seq 1 while the other replicas — partitioned from
+  // each other, each holding only its own vote plus the primary's — never
+  // assemble a 2f+1 prepare quorum. The view change that follows must
+  // recover the committed digest from the fast votes carried in the
+  // view-change messages (>= f+1 of the quorum report it); no-op-filling
+  // the slot would diverge the zone from the state the primary executed.
+  PbftCluster c(4, 1, 1, 1000, FastPathConfig());
+  // Votes flow only replica <-> primary: cut the links among 1, 2, 3.
+  for (int i = 1; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      c.sim.faults().Partition(c.members[i], c.members[j]);
+    }
+  }
+  c.client->SubmitLocal(c.members[0], "fast-committed");
+  c.sim.RunFor(Millis(100));
+  auto at_primary = c.engine(0).commit_log().Find(1);
+  ASSERT_TRUE(at_primary.has_value());  // only the primary fast-committed
+  EXPECT_GE(c.sim.counters().Get(obs::CounterId::kPbftFastCommits), 1u);
+  for (int i = 1; i < 4; ++i) {
+    ASSERT_FALSE(c.engine(i).commit_log().Find(1).has_value());
+  }
+  // Isolate the fast-committed primary and let the rest regroup: progress
+  // timeouts (one fallback grace cycle, then escalation) drive a view
+  // change among 1, 2, 3.
+  for (int i = 1; i < 4; ++i) {
+    c.sim.faults().Partition(c.members[0], c.members[i]);
+    for (int j = i + 1; j < 4; ++j) {
+      c.sim.faults().Heal(c.members[i], c.members[j]);
+    }
+  }
+  c.sim.RunFor(Seconds(20));
+  EXPECT_GE(c.sim.counters().Get(obs::CounterId::kPbftNewViewsEntered), 1u);
+  // The new view reproposed the committed batch: same digest at seq 1
+  // everywhere, same application state as the isolated fast-committer.
+  for (int i = 1; i < 4; ++i) {
+    auto entry = c.engine(i).commit_log().Find(1);
+    ASSERT_TRUE(entry.has_value()) << "replica " << i;
+    EXPECT_EQ(entry->digest, at_primary->digest) << "replica " << i;
+    EXPECT_EQ(c.app(i).StateDigest(), c.app(0).StateDigest())
+        << "replica " << i;
   }
 }
 
